@@ -1,0 +1,63 @@
+// Ablation: communication volume across partition classes (the paper's
+// Section 5 future-work question, quantified).
+//
+// Rectangles are chosen in the paper because they "implicitly minimize the
+// communication"; this bench measures exactly how the classes compare on the
+// nearest-neighbour exchange volume while they trade off load balance.
+#include "bench_common.hpp"
+#include "workloads/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rectpart;
+  register_builtin_partitioners();
+  const Flags flags(argc, argv);
+  const bool full = full_scale_requested();
+  const int n = static_cast<int>(flags.get_int("n", 512));
+
+  bench::print_header(
+      "Ablation: communication volume",
+      "total and max per-processor cut edges by algorithm class",
+      std::to_string(n) + "x" + std::to_string(n) +
+          " Peak + PIC-MAG iteration 20000",
+      full);
+
+  const char* kAlgos[] = {"rect-uniform", "rect-nicol",  "jag-pq-heur",
+                          "jag-m-heur",   "hier-rb",     "hier-relaxed"};
+
+  PicMagSimulator sim(bench::picmag_config());
+  struct Inst {
+    const char* name;
+    LoadMatrix load;
+  };
+  std::vector<Inst> instances;
+  instances.push_back({"peak", gen_peak(n, n, 1)});
+  instances.push_back({"picmag", sim.snapshot_at(20000)});
+
+  Table table({"instance", "m", "algorithm", "imbalance", "comm_total",
+               "comm_max_proc", "half_perim_sum"});
+  for (const Inst& inst : instances) {
+    const PrefixSum2D ps(inst.load);
+    for (const int m : {256, 1024}) {
+      for (const char* name : kAlgos) {
+        const Partition p = make_partitioner(name)->run(ps, m);
+        const CommStats cs = comm_stats(p, n, n);
+        table.row()
+            .cell(inst.name)
+            .cell(m)
+            .cell(name)
+            .cell(p.imbalance(ps))
+            .cell(cs.total_volume)
+            .cell(cs.max_per_proc)
+            .cell(cs.half_perimeter_sum);
+      }
+    }
+  }
+  table.print(std::cout);
+  bench::print_shape(
+      "the grid-structured classes (rectilinear, jagged) have smaller comm "
+      "volume than hierarchical partitions of equal m, while the paper's "
+      "proposed heuristics buy their load balance with moderately more "
+      "communication",
+      true);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: repartitioning policies on the drifting PIC-MAG load (the
+// Section 5 future-work question: "taking into account data migration costs
+// in dynamic applications").
+//
+// Over one simulated run we track, for each policy, the mean and worst
+// imbalance actually experienced and the total data migrated — the
+// trade-off a production code must pick on.
+#include "bench_common.hpp"
+#include "dynamic/rebalance.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rectpart;
+  register_builtin_partitioners();
+  const Flags flags(argc, argv);
+  const bool full = full_scale_requested();
+  const int m = static_cast<int>(flags.get_int("m", 1024));
+  const std::string algo = flags.get_string("algo", "jag-m-heur");
+
+  bench::print_header(
+      "Ablation: repartitioning policies",
+      "static vs always vs threshold-triggered rebalancing",
+      "PIC-MAG 512x512, m = " + std::to_string(m) + ", " + algo, full);
+
+  struct PolicySpec {
+    const char* name;
+    RebalancePolicy policy;
+    double threshold;
+  };
+  const PolicySpec kPolicies[] = {
+      {"static", RebalancePolicy::kNever, 0.0},
+      {"always", RebalancePolicy::kAlways, 0.0},
+      {"threshold_0.05", RebalancePolicy::kThreshold, 0.05},
+      {"threshold_0.10", RebalancePolicy::kThreshold, 0.10},
+      {"threshold_0.20", RebalancePolicy::kThreshold, 0.20},
+  };
+
+  Table table({"policy", "mean_imbalance", "worst_imbalance",
+               "repartitions", "total_migrated_frac"});
+  double static_mean = 0, always_mean = 0, always_migration = 0,
+         best_threshold_migration = 1e30;
+  for (const PolicySpec& spec : kPolicies) {
+    PicMagSimulator sim(bench::picmag_config());
+    Rebalancer rebalancer(make_partitioner(algo), m, spec.policy,
+                          spec.threshold);
+    double sum = 0, worst = 0, migrated = 0;
+    int repartitions = 0, steps = 0;
+    for (const int it : bench::iteration_sweep(full)) {
+      const LoadMatrix a = sim.snapshot_at(it);
+      const PrefixSum2D ps(a);
+      const RebalanceDecision d = rebalancer.step(ps);
+      sum += d.imbalance_after;
+      worst = std::max(worst, d.imbalance_after);
+      migrated += d.migration.fraction;
+      repartitions += d.repartitioned ? 1 : 0;
+      ++steps;
+    }
+    const double mean = sum / steps;
+    table.row()
+        .cell(spec.name)
+        .cell(mean)
+        .cell(worst)
+        .cell(repartitions)
+        .cell(migrated);
+    if (std::string(spec.name) == "static") static_mean = mean;
+    if (std::string(spec.name) == "always") {
+      always_mean = mean;
+      always_migration = migrated;
+    }
+    if (std::string(spec.name).rfind("threshold", 0) == 0)
+      best_threshold_migration = std::min(best_threshold_migration, migrated);
+  }
+  table.print(std::cout);
+  bench::print_shape(
+      "repartitioning beats the static partition on mean imbalance, and "
+      "threshold policies buy most of that improvement with less migration "
+      "than repartitioning every snapshot",
+      always_mean <= static_mean + 1e-9 &&
+          best_threshold_migration <= always_migration + 1e-9);
+  return 0;
+}

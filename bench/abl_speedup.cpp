@@ -1,0 +1,75 @@
+// Ablation: end-to-end simulated speedup by partitioning algorithm — the
+// Section 5 "end-to-end effects" question, quantified under an alpha-beta
+// machine model on the PIC-MAG workload.
+#include "bench_common.hpp"
+#include "simulator/stencil_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rectpart;
+  register_builtin_partitioners();
+  const Flags flags(argc, argv);
+  const bool full = full_scale_requested();
+  const int iteration = static_cast<int>(flags.get_int("iteration", 20000));
+
+  MachineModel machine;
+  machine.compute_rate = flags.get_double("rate", 1e9);
+  machine.latency = flags.get_double("latency", 5e-6);
+  machine.bandwidth = flags.get_double("bandwidth", 1e8);
+
+  PicMagSimulator sim(bench::picmag_config());
+  const LoadMatrix a = sim.snapshot_at(iteration);
+  const PrefixSum2D ps(a);
+
+  bench::print_header(
+      "Ablation: simulated parallel speedup",
+      "stencil superstep speedup under an alpha-beta machine model",
+      "PIC-MAG 512x512, iteration " + std::to_string(iteration), full);
+
+  const char* kAlgos[] = {"rect-uniform", "rect-nicol",  "jag-pq-heur",
+                          "jag-m-heur",   "hier-rb",     "hier-relaxed"};
+  std::vector<std::string> cols{"m"};
+  for (const char* algo : kAlgos) cols.emplace_back(algo);
+  Table table(cols);
+
+  const auto sweep = bench::square_m_sweep(full);
+  double first_balanced_best = 0, first_grid_best = 0;
+  double last_hier_best = 0, last_grid_best = 0;
+  for (const int m : sweep) {
+    table.row().cell(m);
+    double balanced_best = 0, grid_best = 0, hier_best = 0;
+    for (const char* name : kAlgos) {
+      const Partition p = make_partitioner(name)->run(ps, m);
+      const double speedup = simulate_step(p, ps, machine).speedup();
+      table.cell(speedup);
+      const std::string algo = name;
+      if (algo == "jag-m-heur" || algo == "hier-relaxed")
+        balanced_best = std::max(balanced_best, speedup);
+      if (algo.rfind("hier", 0) == 0)
+        hier_best = std::max(hier_best, speedup);
+      else
+        grid_best = std::max(grid_best, speedup);
+    }
+    if (m == sweep.front()) {
+      first_balanced_best = balanced_best;
+      first_grid_best = grid_best;
+    }
+    if (m == sweep.back()) {
+      last_hier_best = hier_best;
+      last_grid_best = grid_best;
+    }
+  }
+  table.print(std::cout);
+  // The interesting (and honest) result: while per-step compute dominates,
+  // the better-balanced heuristics win end-to-end; once m is large enough
+  // that the alpha-beta term dominates, the grid-structured classes with
+  // their small, few-neighbour boundaries overtake the hierarchical ones —
+  // the communication effect the paper defers to future work, quantified.
+  bench::print_shape(
+      "better balance wins the compute-bound regime (small m); at large m "
+      "the communication term takes over and the grid-structured classes "
+      "(rectilinear/jagged) overtake the hierarchical partitions despite "
+      "their worse balance",
+      first_balanced_best >= first_grid_best - 1e-9 &&
+          last_grid_best >= last_hier_best - 1e-9);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shared infrastructure for the figure-reproduction harness.
+//
+// Every fig* binary prints:
+//   * a provenance header (instance, sweep, paper reference),
+//   * a gnuplot-ready table (# header + data rows),
+//   * a "# paper shape" trailer stating the qualitative result the paper
+//     reports and whether this run reproduced it.
+// Default sweeps finish in seconds on a laptop core; set RECTPART_FULL=1 for
+// the paper-scale sweeps.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/partitioner.hpp"
+#include "picmag/picmag.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace rectpart::bench {
+
+/// Square processor counts, the paper's sweep ("most square numbers between
+/// 16 and 10,000").  Default: a geometric subset; full: every (4k)^2 grid.
+inline std::vector<int> square_m_sweep(bool full) {
+  std::vector<int> ms;
+  if (full) {
+    for (int k = 4; k <= 100; k += 4) ms.push_back(k * k);
+  } else {
+    for (const int k : {4, 8, 16, 24, 32, 48, 64}) ms.push_back(k * k);
+  }
+  return ms;
+}
+
+/// PIC-MAG iteration sweep (paper: every 500 up to 33,500).
+inline std::vector<int> iteration_sweep(bool full) {
+  std::vector<int> its;
+  const int stride = full ? 500 : 2500;
+  for (int it = 0; it <= 33500; it += stride) its.push_back(it);
+  return its;
+}
+
+/// The paper's standard PIC-MAG configuration for the figure harnesses.
+inline PicMagConfig picmag_config() { return PicMagConfig{}; }
+
+struct RunResult {
+  double imbalance = 0;
+  double ms = 0;
+  std::int64_t lmax = 0;
+};
+
+/// Runs one registered algorithm and evaluates it.
+inline RunResult run_algorithm(const Partitioner& algo, const PrefixSum2D& ps,
+                               int m) {
+  WallTimer timer;
+  const Partition p = algo.run(ps, m);
+  RunResult r;
+  r.ms = timer.milliseconds();
+  r.lmax = p.max_load(ps);
+  r.imbalance = imbalance_of(r.lmax, ps.total(), m);
+  return r;
+}
+
+/// Prints the standard provenance header.
+inline void print_header(const std::string& figure, const std::string& what,
+                         const std::string& instance, bool full) {
+  std::printf("# === %s: %s ===\n", figure.c_str(), what.c_str());
+  std::printf("# instance: %s\n", instance.c_str());
+  std::printf("# scale: %s (set RECTPART_FULL=1 for the paper-scale sweep)\n",
+              full ? "FULL (paper)" : "default (laptop)");
+}
+
+/// Prints the qualitative expectation and a measured verdict line.
+inline void print_shape(const std::string& expectation, bool reproduced) {
+  std::printf("# paper shape: %s\n", expectation.c_str());
+  std::printf("# reproduced: %s\n\n", reproduced ? "YES" : "NO (see table)");
+}
+
+}  // namespace rectpart::bench

@@ -1,0 +1,43 @@
+// Figure 10: HIER-RB vs HIER-RELAXED on the large Diagonal instance (paper:
+// 4096x4096) as the processor count varies.
+//
+// Paper result: HIER-RELAXED clearly leads to a better load balance than
+// HIER-RB across the sweep.
+#include "bench_common.hpp"
+#include "hier/hier.hpp"
+#include "workloads/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rectpart;
+  register_builtin_partitioners();
+  const Flags flags(argc, argv);
+  const bool full = full_scale_requested();
+  const int n = static_cast<int>(flags.get_int("n", full ? 4096 : 1024));
+  const std::uint64_t seed = flags.get_int("seed", 3);
+
+  bench::print_header("Figure 10", "HIER-RB vs HIER-RELAXED",
+                      std::to_string(n) + "x" + std::to_string(n) +
+                          " Diagonal (seed " + std::to_string(seed) + ")",
+                      full);
+
+  const LoadMatrix a = gen_diagonal(n, n, seed);
+  const PrefixSum2D ps(a);
+
+  Table table({"m", "hier-rb", "hier-relaxed"});
+  double rb_sum = 0, relaxed_sum = 0;
+  for (const int m : bench::square_m_sweep(full)) {
+    const double rb =
+        bench::run_algorithm(*make_partitioner("hier-rb"), ps, m).imbalance;
+    const double relaxed =
+        bench::run_algorithm(*make_partitioner("hier-relaxed"), ps, m)
+            .imbalance;
+    table.row().cell(m).cell(rb).cell(relaxed);
+    rb_sum += rb;
+    relaxed_sum += relaxed;
+  }
+  table.print(std::cout);
+  bench::print_shape("HIER-RELAXED leads to a better load balance than "
+                     "HIER-RB across the sweep",
+                     relaxed_sum <= rb_sum + 1e-9);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Microbenchmarks of the core substrate (google-benchmark): prefix-sum
+// construction and queries, transposition, the two validity tests, and the
+// communication-volume evaluation.
+#include <benchmark/benchmark.h>
+
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+#include "hier/hier.hpp"
+#include "prefix/prefix_sum.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace rectpart;
+
+void BM_PrefixBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const LoadMatrix a = gen_uniform(n, n, 1.2, 1);
+  for (auto _ : state) {
+    PrefixSum2D ps(a);
+    benchmark::DoNotOptimize(ps.total());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_PrefixBuild)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_PrefixTranspose(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const PrefixSum2D ps(gen_uniform(n, n, 1.2, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ps.transpose());
+  }
+}
+BENCHMARK(BM_PrefixTranspose)->Arg(512)->Arg(1024);
+
+void BM_RectQueries(benchmark::State& state) {
+  const int n = 1024;
+  const PrefixSum2D ps(gen_uniform(n, n, 1.2, 3));
+  int x = 0;
+  for (auto _ : state) {
+    x = (x + 37) & 1023;
+    benchmark::DoNotOptimize(ps.load(x / 2, n - x / 3, x / 4, n - 1 - x / 5));
+  }
+}
+BENCHMARK(BM_RectQueries);
+
+Partition sample_partition(const PrefixSum2D& ps, int m) {
+  return hier_rb(ps, m);
+}
+
+void BM_ValidatePairwise(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const PrefixSum2D ps(gen_uniform(512, 512, 1.2, 4));
+  const Partition p = sample_partition(ps, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate_pairwise(p, 512, 512));
+  }
+}
+BENCHMARK(BM_ValidatePairwise)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ValidatePaint(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const PrefixSum2D ps(gen_uniform(512, 512, 1.2, 5));
+  const Partition p = sample_partition(ps, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate_paint(p, 512, 512));
+  }
+}
+BENCHMARK(BM_ValidatePaint)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CommStats(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const PrefixSum2D ps(gen_uniform(512, 512, 1.2, 6));
+  const Partition p = sample_partition(ps, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm_stats(p, 512, 512));
+  }
+}
+BENCHMARK(BM_CommStats)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

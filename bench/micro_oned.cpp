@@ -1,0 +1,107 @@
+// Microbenchmarks of the 1-D partitioning substrate (google-benchmark):
+// DirectCut, Recursive Bisection, Probe, NicolPlus, Nicol's plain search,
+// integer bisection, and the Manne-Olstad DP, across array sizes and
+// processor counts.  These back the complexity claims of Section 2.2.
+#include <benchmark/benchmark.h>
+
+#include "oned/oned.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rectpart;
+
+std::vector<std::int64_t> make_prefix(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> prefix(n + 1, 0);
+  for (int i = 0; i < n; ++i)
+    prefix[i + 1] = prefix[i] + rng.uniform_int(1, 1000);
+  return prefix;
+}
+
+void BM_DirectCut(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const auto prefix = make_prefix(n, 1);
+  const oned::PrefixOracle o(prefix);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oned::direct_cut(o, m));
+  }
+}
+BENCHMARK(BM_DirectCut)->Args({4096, 64})->Args({65536, 64})
+    ->Args({65536, 1024});
+
+void BM_RecursiveBisection(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const auto prefix = make_prefix(n, 2);
+  const oned::PrefixOracle o(prefix);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oned::recursive_bisection(o, m));
+  }
+}
+BENCHMARK(BM_RecursiveBisection)->Args({4096, 64})->Args({65536, 64})
+    ->Args({65536, 1024});
+
+void BM_Probe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const auto prefix = make_prefix(n, 3);
+  const oned::PrefixOracle o(prefix);
+  const std::int64_t budget = prefix.back() / m + 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oned::probe(o, m, budget));
+  }
+}
+BENCHMARK(BM_Probe)->Args({65536, 64})->Args({65536, 1024})
+    ->Args({1048576, 1024});
+
+void BM_NicolPlus(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const auto prefix = make_prefix(n, 4);
+  const oned::PrefixOracle o(prefix);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oned::nicol_plus(o, m));
+  }
+}
+BENCHMARK(BM_NicolPlus)->Args({4096, 64})->Args({65536, 64})
+    ->Args({65536, 1024});
+
+void BM_NicolSearchPlain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const auto prefix = make_prefix(n, 5);
+  const oned::PrefixOracle o(prefix);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oned::nicol_search(o, m));
+  }
+}
+BENCHMARK(BM_NicolSearchPlain)->Args({4096, 64})->Args({65536, 64});
+
+void BM_BisectProbe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const auto prefix = make_prefix(n, 6);
+  const oned::PrefixOracle o(prefix);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oned::bisect_probe(o, m));
+  }
+}
+BENCHMARK(BM_BisectProbe)->Args({4096, 64})->Args({65536, 64})
+    ->Args({65536, 1024});
+
+void BM_DpOptimal(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const auto prefix = make_prefix(n, 7);
+  const oned::PrefixOracle o(prefix);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oned::dp_optimal(o, m));
+  }
+}
+BENCHMARK(BM_DpOptimal)->Args({1024, 16})->Args({4096, 64});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+# Generic line plot for the figure-harness tables: first column on x, every
+# remaining column as a series, titles taken from the '#'-prefixed header.
+#
+#   ./build/bench/fig07_jagged_picmag_m > fig07.dat
+#   gnuplot -e "datafile='fig07.dat'; outfile='fig07.png'" bench/plots/series.gp
+#
+# Optional -e variables:
+#   logx=0 / logy=0   disable the default log scales
+#   xtitle='...'      x-axis label (default: header of column 1)
+
+if (!exists("datafile")) { print "usage: gnuplot -e \"datafile='...'\" series.gp"; exit }
+if (!exists("outfile")) outfile = datafile.".png"
+if (!exists("logx")) logx = 1
+if (!exists("logy")) logy = 1
+
+set terminal pngcairo size 900,600 enhanced
+set output outfile
+
+# The table's column header is the last '#' line before the first data row;
+# read it for series titles (word 1 is the '#').
+header = system("awk '/^#/{h=$0} /^[^#]/{print h; exit}' ".datafile)
+ncols = words(header) - 1
+if (!exists("xtitle")) xtitle = word(header, 2)
+
+set datafile commentschars "#"
+set key outside right top
+set grid
+set xlabel xtitle
+set ylabel "load imbalance"
+if (logx) set logscale x
+if (logy) set logscale y
+
+plot for [i=2:ncols] datafile using 1:i with linespoints pointsize 0.6 \
+     title word(header, i + 1)

@@ -1,0 +1,64 @@
+// Mesh partition viewer: rasterize the SLAC-like accelerator-cavity mesh,
+// partition it with several algorithm classes, and write PGM images with the
+// rectangle boundaries burned in — the visual counterpart of Figure 14's
+// "only hierarchical methods handle sparse instances" conclusion.
+//
+// Run:  ./mesh_partition_viewer [--n=512] [--m=100] [--outdir=.]
+// Then view the written *.pgm files with any image viewer.
+#include <cstdio>
+#include <iostream>
+
+#include "core/metrics.hpp"
+#include "core/partitioner.hpp"
+#include "io/pgm.hpp"
+#include "mesh/mesh.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rectpart;
+  register_builtin_partitioners();
+
+  const Flags flags(argc, argv);
+  const int n = static_cast<int>(flags.get_int("n", 512));
+  const int m = static_cast<int>(flags.get_int("m", 100));
+  const std::string outdir = flags.get_string("outdir", ".");
+
+  const LoadMatrix load = gen_slac(n, n);
+  const LoadStats stats = compute_stats(load);
+  std::printf("SLAC-like mesh raster: %dx%d, %lld vertices, %lld occupied "
+              "cells (%.1f%%)\n\n",
+              n, n, static_cast<long long>(stats.total),
+              static_cast<long long>(stats.nonzero),
+              100.0 * static_cast<double>(stats.nonzero) / (n * n));
+  save_pgm(load, outdir + "/slac_instance.pgm", /*log_scale=*/true);
+
+  const PrefixSum2D ps(load);
+  Table table({"algorithm", "imbalance", "comm_volume", "max_comm", "image"});
+  for (const char* name :
+       {"rect-uniform", "rect-nicol", "jag-pq-heur", "jag-m-heur", "hier-rb",
+        "hier-relaxed"}) {
+    const Partition part = make_partitioner(name)->run(ps, m);
+    const auto verdict = validate(part, n, n);
+    if (!verdict) {
+      std::fprintf(stderr, "%s produced an invalid partition: %s\n", name,
+                   verdict.message.c_str());
+      return 1;
+    }
+    const CommStats comm = comm_stats(part, n, n);
+    std::string img = outdir + "/slac_" + name + ".pgm";
+    save_pgm_with_partition(load, part, img, /*log_scale=*/true);
+    table.row()
+        .cell(name)
+        .cell(part.imbalance(ps))
+        .cell(comm.total_volume)
+        .cell(comm.max_per_proc)
+        .cell(img);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected (paper, Figure 14): the sparse silhouette defeats the\n"
+      "rectilinear and jagged classes; hier-relaxed keeps the lowest\n"
+      "imbalance, hier-rb second.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Dynamic load balancing of a particle-in-cell simulation — the motivating
+// application of the paper (and its future-work scenario): as particles move,
+// the load distribution drifts, and a static partition degrades while
+// periodic repartitioning keeps the imbalance low.
+//
+// This example runs the PIC-MAG substrate, compares a partition frozen at
+// iteration 0 against repartitioning every snapshot, and reports both the
+// computational imbalance and the data-migration cost of each repartition
+// (the fraction of cells that change owner), connecting to the migration
+// trade-off the paper's conclusion raises.
+//
+// Run:  ./pic_dynamic_load_balancing [--n=256] [--m=256] [--algo=jag-m-heur]
+//                                    [--iters=20000] [--stride=2500]
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/partitioner.hpp"
+#include "picmag/picmag.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Fraction of cells whose owner differs between two partitions.
+double migration_fraction(const rectpart::Partition& a,
+                          const rectpart::Partition& b, int n1, int n2) {
+  std::vector<int> oa(static_cast<std::size_t>(n1) * n2, -1), ob = oa;
+  auto paint = [&](const rectpart::Partition& p, std::vector<int>& o) {
+    for (std::size_t i = 0; i < p.rects.size(); ++i) {
+      const rectpart::Rect& r = p.rects[i];
+      for (int x = r.x0; x < r.x1; ++x)
+        for (int y = r.y0; y < r.y1; ++y)
+          o[static_cast<std::size_t>(x) * n2 + y] = static_cast<int>(i);
+    }
+  };
+  paint(a, oa);
+  paint(b, ob);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < oa.size(); ++i) moved += oa[i] != ob[i];
+  return static_cast<double>(moved) / static_cast<double>(oa.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rectpart;
+  register_builtin_partitioners();
+
+  const Flags flags(argc, argv);
+  const int n = static_cast<int>(flags.get_int("n", 256));
+  const int m = static_cast<int>(flags.get_int("m", 256));
+  const int iters = static_cast<int>(flags.get_int("iters", 20000));
+  const int stride = static_cast<int>(flags.get_int("stride", 2500));
+  const std::string algo_name = flags.get_string("algo", "jag-m-heur");
+  const auto algo = make_partitioner(algo_name);
+
+  PicMagConfig config;
+  config.n1 = config.n2 = n;
+  config.particles = n * n / 4;
+  PicMagSimulator sim(config);
+
+  std::printf(
+      "PIC-MAG dynamic balancing: %dx%d grid, %d particles, m=%d, %s\n\n", n,
+      n, sim.particle_count(), m, algo->name().c_str());
+
+  Table table({"iteration", "delta", "static_imbal", "dynamic_imbal",
+               "migrated_frac"});
+
+  Partition static_part;  // frozen at iteration 0
+  Partition previous;     // last dynamic partition, for migration cost
+  for (int it = 0; it <= iters; it += stride) {
+    const LoadMatrix load = sim.snapshot_at(it);
+    const PrefixSum2D ps(load);
+    const Partition dynamic_part = algo->run(ps, m);
+    if (it == 0) {
+      static_part = dynamic_part;
+      previous = dynamic_part;
+    }
+    table.row()
+        .cell(it)
+        .cell(compute_stats(load).delta())
+        .cell(static_part.imbalance(ps))
+        .cell(dynamic_part.imbalance(ps))
+        .cell(migration_fraction(previous, dynamic_part, n, n));
+    previous = dynamic_part;
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe static partition degrades as the bow-shock structure forms;\n"
+      "repartitioning holds the imbalance flat at the price of migrating\n"
+      "the reported fraction of cells each rebalance.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "apps/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rectpart {
+
+namespace {
+
+/// Procedural density field over the unit cube: a torus in the z = 0.5
+/// plane plus a dense ellipsoidal blob, both smoothly falling off.
+struct Volume {
+  double torus_r_major = 0.30;
+  double torus_r_minor = 0.11;
+  double blob_x = 0.62, blob_y = 0.40, blob_z = 0.55;
+  double blob_r = 0.16;
+  double wobble = 0.03;   ///< radial perturbation amplitude
+  double phase = 0.0;     ///< perturbation phase from the seed
+
+  [[nodiscard]] double density(double x, double y, double z) const {
+    const double cx = x - 0.5, cy = y - 0.5, cz = z - 0.5;
+    // Torus around the z axis with a wobbled minor radius.
+    const double ring = std::sqrt(cx * cx + cy * cy) - torus_r_major;
+    const double angle = std::atan2(cy, cx);
+    const double rmin =
+        torus_r_minor * (1.0 + wobble * std::sin(5.0 * angle + phase));
+    const double torus_d2 = ring * ring + cz * cz;
+    double d = 0.0;
+    if (torus_d2 < rmin * rmin)
+      d += 1.0 - std::sqrt(torus_d2) / rmin;
+    // Dense blob.
+    const double bx = x - blob_x, by = y - blob_y, bz = z - blob_z;
+    const double blob_d2 = bx * bx + by * by + bz * bz;
+    if (blob_d2 < blob_r * blob_r)
+      d += 2.5 * (1.0 - std::sqrt(blob_d2) / blob_r);
+    return d;
+  }
+};
+
+}  // namespace
+
+LoadMatrix render_cost_image(const RenderConfig& config) {
+  if (config.image_size < 1 || config.max_steps < 1)
+    throw std::invalid_argument("render: image_size, max_steps >= 1");
+  Rng rng(config.seed);
+  Volume volume;
+  volume.phase = rng.uniform_real(0.0, 6.28318);
+  volume.blob_x = rng.uniform_real(0.45, 0.7);
+  volume.blob_y = rng.uniform_real(0.3, 0.55);
+
+  const int n = config.image_size;
+  LoadMatrix cost(n, n, 0);
+  const double dt = 1.0 / config.max_steps;
+  for (int px = 0; px < n; ++px) {
+    for (int py = 0; py < n; ++py) {
+      // Orthographic ray through pixel centre, marching along z.
+      const double x = (px + 0.5) / n;
+      const double y = (py + 0.5) / n;
+      double transparency = 1.0;
+      std::int64_t work = 0;
+      for (int s = 0; s < config.max_steps; ++s) {
+        const double z = (s + 0.5) * dt;
+        const double d = volume.density(x, y, z);
+        if (d > 0.0) {
+          // Occupied samples pay for interpolation, gradient estimation and
+          // shading; empty samples only pay the traversal step.
+          work += 8;
+          // Beer-Lambert absorption; early ray termination caps the cost of
+          // rays hitting opaque material.
+          transparency *= std::exp(-3.0 * d * dt * config.max_steps / 64.0);
+          if (1.0 - transparency >= config.opacity_cutoff) break;
+        } else {
+          work += 1;
+        }
+      }
+      cost(px, py) = work;
+    }
+  }
+  return cost;
+}
+
+}  // namespace rectpart

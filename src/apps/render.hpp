@@ -1,0 +1,33 @@
+// Image-space volume-rendering substrate.
+//
+// The paper's second motivating application class is "image rendering
+// algorithms" ([4] Kutluca, Kurc & Aykanat: image-space decomposition for
+// sort-first parallel volume rendering): the screen is partitioned among
+// processors, and a pixel's cost is the work of ray-casting through the
+// volume behind it — heavily non-uniform, concentrated where the volume is
+// deep and dense.  This module ray-marches a procedural density volume and
+// returns the per-pixel sample-count matrix as the load.
+#pragma once
+
+#include <cstdint>
+
+#include "core/matrix.hpp"
+
+namespace rectpart {
+
+struct RenderConfig {
+  int image_size = 256;     ///< square image, pixels per side
+  int max_steps = 192;      ///< samples along a full-depth ray
+  /// Early-ray-termination opacity threshold: marching stops once the
+  /// accumulated opacity reaches it, making cost depend on content.
+  double opacity_cutoff = 0.985;
+  std::uint64_t seed = 5;   ///< volume perturbation seed
+};
+
+/// Ray-casts an orthographic view of a procedural volume (a torus of dense
+/// material plus an absorbing core blob, mildly perturbed) and returns, per
+/// pixel, the number of samples taken before termination — the ray-casting
+/// cost a sort-first renderer must balance.
+[[nodiscard]] LoadMatrix render_cost_image(const RenderConfig& config = {});
+
+}  // namespace rectpart

@@ -1,0 +1,98 @@
+#include "apps/spmv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rectpart {
+
+bool CsrMatrix::well_formed() const {
+  if (rows < 0 || cols < 0) return false;
+  if (static_cast<int>(row_ptr.size()) != rows + 1) return false;
+  if (!row_ptr.empty() && row_ptr.front() != 0) return false;
+  for (int r = 0; r < rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) return false;
+    for (std::int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_idx[k] < 0 || col_idx[k] >= cols) return false;
+      if (k > row_ptr[r] && col_idx[k] <= col_idx[k - 1]) return false;
+    }
+  }
+  return static_cast<std::int64_t>(col_idx.size()) == nnz();
+}
+
+CsrMatrix make_grid_laplacian(int g) {
+  if (g < 1) throw std::invalid_argument("grid laplacian: g >= 1");
+  const int n = g * g;
+  CsrMatrix a;
+  a.rows = a.cols = n;
+  a.row_ptr.reserve(n + 1);
+  a.row_ptr.push_back(0);
+  for (int i = 0; i < g; ++i) {
+    for (int j = 0; j < g; ++j) {
+      const int row = i * g + j;
+      // Neighbours in index order: up, left, self, right, down.
+      if (i > 0) a.col_idx.push_back(row - g);
+      if (j > 0) a.col_idx.push_back(row - 1);
+      a.col_idx.push_back(row);
+      if (j + 1 < g) a.col_idx.push_back(row + 1);
+      if (i + 1 < g) a.col_idx.push_back(row + g);
+      a.row_ptr.push_back(static_cast<std::int64_t>(a.col_idx.size()));
+    }
+  }
+  return a;
+}
+
+CsrMatrix make_power_law_matrix(int n, int avg_nnz_per_row, double skew,
+                                std::uint64_t seed) {
+  if (n < 1 || avg_nnz_per_row < 1)
+    throw std::invalid_argument("power-law matrix: n, avg_nnz >= 1");
+  Rng rng(seed);
+  CsrMatrix a;
+  a.rows = a.cols = n;
+  a.row_ptr.reserve(n + 1);
+  a.row_ptr.push_back(0);
+  std::vector<int> cols_buf;
+  for (int r = 0; r < n; ++r) {
+    // Row degree ~ shifted geometric around the average.
+    const int degree = std::clamp(
+        1 + static_cast<int>(-static_cast<double>(avg_nnz_per_row) *
+                             std::log(1.0 - rng.uniform_real() + 1e-12)),
+        1, n);
+    cols_buf.clear();
+    for (int k = 0; k < degree; ++k) {
+      // Column popularity ~ power law: u^skew maps the unit draw onto the
+      // low indices preferentially (skew > 1 concentrates harder).
+      const double u = rng.uniform_real();
+      const int c = std::min(
+          n - 1, static_cast<int>(std::pow(u, skew) * n));
+      cols_buf.push_back(c);
+    }
+    std::sort(cols_buf.begin(), cols_buf.end());
+    cols_buf.erase(std::unique(cols_buf.begin(), cols_buf.end()),
+                   cols_buf.end());
+    a.col_idx.insert(a.col_idx.end(), cols_buf.begin(), cols_buf.end());
+    a.row_ptr.push_back(static_cast<std::int64_t>(a.col_idx.size()));
+  }
+  return a;
+}
+
+LoadMatrix spmv_block_loads(const CsrMatrix& a, int blocks) {
+  if (blocks < 1) throw std::invalid_argument("spmv blocks >= 1");
+  LoadMatrix load(blocks, blocks, 0);
+  // Block index via proportional mapping, robust to rows % blocks != 0.
+  auto block_of = [blocks](int index, int extent) {
+    return std::min(blocks - 1, static_cast<int>(static_cast<std::int64_t>(
+                                    index) *
+                                blocks / std::max(1, extent)));
+  };
+  for (int r = 0; r < a.rows; ++r) {
+    const int bi = block_of(r, a.rows);
+    for (std::int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k)
+      ++load(bi, block_of(a.col_idx[k], a.cols));
+  }
+  return load;
+}
+
+}  // namespace rectpart

@@ -1,0 +1,93 @@
+// Dense row-major matrix and the load-matrix statistics used by the paper.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace rectpart {
+
+/// Dense row-major matrix.
+///
+/// Index convention follows the paper: the *first* dimension (size n1) indexes
+/// rows (coordinate x), the *second* dimension (size n2) indexes columns
+/// (coordinate y).  All rectangles elsewhere in the library are half-open in
+/// both dimensions.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(int n1, int n2, T fill = T{}) : n1_(n1), n2_(n2) {
+    if (n1 < 0 || n2 < 0) throw std::invalid_argument("negative matrix size");
+    data_.assign(static_cast<std::size_t>(n1) * static_cast<std::size_t>(n2),
+                 fill);
+  }
+
+  [[nodiscard]] int rows() const { return n1_; }
+  [[nodiscard]] int cols() const { return n2_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] T& operator()(int x, int y) {
+    assert(x >= 0 && x < n1_ && y >= 0 && y < n2_);
+    return data_[static_cast<std::size_t>(x) * n2_ + y];
+  }
+  [[nodiscard]] const T& operator()(int x, int y) const {
+    assert(x >= 0 && x < n1_ && y >= 0 && y < n2_);
+    return data_[static_cast<std::size_t>(x) * n2_ + y];
+  }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  [[nodiscard]] auto begin() { return data_.begin(); }
+  [[nodiscard]] auto end() { return data_.end(); }
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.n1_ == b.n1_ && a.n2_ == b.n2_ && a.data_ == b.data_;
+  }
+
+ private:
+  int n1_ = 0;
+  int n2_ = 0;
+  std::vector<T> data_;
+};
+
+/// The paper's load matrix: an n1 x n2 array of non-negative integers.
+using LoadMatrix = Matrix<std::int64_t>;
+
+/// Summary statistics of a load matrix.
+struct LoadStats {
+  std::int64_t total = 0;
+  std::int64_t min = 0;  ///< smallest cell value (may be 0 for sparse inputs)
+  std::int64_t max = 0;
+  std::int64_t nonzero = 0;  ///< number of cells with positive load
+  /// The paper's heterogeneity measure Delta = max / min.  Undefined (reported
+  /// as infinity) when the matrix contains zeros, as for the SLAC mesh.
+  [[nodiscard]] double delta() const {
+    if (min <= 0) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(max) / static_cast<double>(min);
+  }
+};
+
+/// Scans a load matrix once and returns its statistics.
+inline LoadStats compute_stats(const LoadMatrix& a) {
+  LoadStats s;
+  if (a.empty()) return s;
+  s.min = std::numeric_limits<std::int64_t>::max();
+  for (const std::int64_t v : a) {
+    s.total += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    if (v > 0) ++s.nonzero;
+  }
+  return s;
+}
+
+}  // namespace rectpart

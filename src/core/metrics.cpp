@@ -1,0 +1,64 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rectpart {
+
+std::int64_t lower_bound_lmax(const PrefixSum2D& ps, int m) {
+  const std::int64_t total = ps.total();
+  const std::int64_t avg_ceil = (total + m - 1) / m;
+  return std::max(avg_ceil, ps.max_cell());
+}
+
+double imbalance_of(std::int64_t lmax, std::int64_t total, int m) {
+  if (total == 0 || m == 0) return 0.0;
+  const double avg = static_cast<double>(total) / static_cast<double>(m);
+  return static_cast<double>(lmax) / avg - 1.0;
+}
+
+CommStats comm_stats(const Partition& p, int n1, int n2) {
+  CommStats s;
+  for (const Rect& r : p.rects) s.half_perimeter_sum += r.half_perimeter();
+
+  // Paint ownership, then count cut edges along both axes.
+  std::vector<int> owner(static_cast<std::size_t>(n1) * n2, -1);
+  for (std::size_t i = 0; i < p.rects.size(); ++i) {
+    const Rect& r = p.rects[i];
+    for (int x = r.x0; x < r.x1; ++x)
+      std::fill(owner.begin() + static_cast<std::size_t>(x) * n2 + r.y0,
+                owner.begin() + static_cast<std::size_t>(x) * n2 + r.y1,
+                static_cast<int>(i));
+  }
+
+  std::vector<std::int64_t> per_proc(p.rects.size(), 0);
+  auto at = [&](int x, int y) {
+    return owner[static_cast<std::size_t>(x) * n2 + y];
+  };
+  for (int x = 0; x < n1; ++x) {
+    for (int y = 0; y < n2; ++y) {
+      const int o = at(x, y);
+      if (x + 1 < n1) {
+        const int o2 = at(x + 1, y);
+        if (o != o2) {
+          ++s.total_volume;
+          if (o >= 0) ++per_proc[o];
+          if (o2 >= 0) ++per_proc[o2];
+        }
+      }
+      if (y + 1 < n2) {
+        const int o2 = at(x, y + 1);
+        if (o != o2) {
+          ++s.total_volume;
+          if (o >= 0) ++per_proc[o];
+          if (o2 >= 0) ++per_proc[o2];
+        }
+      }
+    }
+  }
+  for (const std::int64_t v : per_proc)
+    s.max_per_proc = std::max(s.max_per_proc, v);
+  return s;
+}
+
+}  // namespace rectpart

@@ -1,0 +1,39 @@
+// Solution-quality metrics: load bounds, imbalance, communication volume.
+#pragma once
+
+#include <cstdint>
+
+#include "core/partition.hpp"
+#include "prefix/prefix_sum.hpp"
+
+namespace rectpart {
+
+/// Lower bound on the optimal maximum load (Section 2.1):
+///   L*max >= max( ceil(total/m), max cell ).
+[[nodiscard]] std::int64_t lower_bound_lmax(const PrefixSum2D& ps, int m);
+
+/// Load imbalance of a given maximum load against the average load.
+[[nodiscard]] double imbalance_of(std::int64_t lmax, std::int64_t total,
+                                  int m);
+
+/// Communication metrics for nearest-neighbour (5-point stencil) exchange.
+///
+/// The paper's model optimizes computation only; quantifying communication is
+/// listed as future work in Section 5.  We measure it exactly: an edge between
+/// two 4-adjacent cells owned by different processors contributes one unit of
+/// exchanged data in each direction.
+struct CommStats {
+  /// Total number of cross-processor adjacent cell pairs (cut edges).
+  std::int64_t total_volume = 0;
+  /// Largest per-processor boundary (cells it must send each step).
+  std::int64_t max_per_proc = 0;
+  /// Upper bound from rectangle perimeters: sum of half-perimeters.  For any
+  /// rectangle partition total_volume <= sum(2*(w+h)) and the half-perimeter
+  /// sum is the classical proxy minimized by compact rectangles.
+  std::int64_t half_perimeter_sum = 0;
+};
+
+/// Exact communication statistics via an ownership grid; O(n1*n2 + m).
+[[nodiscard]] CommStats comm_stats(const Partition& p, int n1, int n2);
+
+}  // namespace rectpart

@@ -1,0 +1,44 @@
+// Orientation handling shared by the 2-D algorithm variants.
+//
+// Jagged and rectilinear algorithms distinguish a *main* dimension.  The
+// implementations in this library always treat the first dimension (rows) as
+// the main one; the -VER variants run the same code on the transposed
+// prefix-sum view and transpose the resulting rectangles back, and the -BEST
+// variants take whichever orientation achieves the lower maximum load
+// (Section 4.1 of the paper).
+#pragma once
+
+#include <string>
+
+#include "core/partition.hpp"
+
+namespace rectpart {
+
+/// Which dimension an algorithm treats as the main one.
+enum class Orientation {
+  kHorizontal,  ///< first dimension (rows) is the main dimension
+  kVertical,    ///< second dimension (columns) is the main dimension
+  kBest,        ///< run both and keep the better partition
+};
+
+/// Suffix used in registry names: "-hor", "-ver", "-best".
+[[nodiscard]] inline std::string orientation_suffix(Orientation o) {
+  switch (o) {
+    case Orientation::kHorizontal: return "-hor";
+    case Orientation::kVertical: return "-ver";
+    case Orientation::kBest: return "-best";
+  }
+  return "-?";
+}
+
+/// Swaps the two coordinates of every rectangle (maps a partition of the
+/// transposed matrix back to the original).
+[[nodiscard]] inline Partition transpose_partition(Partition p) {
+  for (Rect& r : p.rects) {
+    std::swap(r.x0, r.y0);
+    std::swap(r.x1, r.y1);
+  }
+  return p;
+}
+
+}  // namespace rectpart

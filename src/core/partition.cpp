@@ -1,0 +1,104 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+
+namespace rectpart {
+
+std::vector<std::int64_t> Partition::loads(const PrefixSum2D& ps) const {
+  std::vector<std::int64_t> out(rects.size());
+  for (std::size_t i = 0; i < rects.size(); ++i) out[i] = ps.load(rects[i]);
+  return out;
+}
+
+std::int64_t Partition::max_load(const PrefixSum2D& ps) const {
+  std::int64_t lmax = 0;
+  for (const Rect& r : rects) lmax = std::max(lmax, ps.load(r));
+  return lmax;
+}
+
+double Partition::imbalance(const PrefixSum2D& ps) const {
+  if (rects.empty()) return 0.0;
+  const double avg =
+      static_cast<double>(ps.total()) / static_cast<double>(m());
+  if (avg == 0.0) return 0.0;
+  return static_cast<double>(max_load(ps)) / avg - 1.0;
+}
+
+int Partition::owner(int x, int y) const {
+  for (std::size_t i = 0; i < rects.size(); ++i)
+    if (rects[i].contains(x, y)) return static_cast<int>(i);
+  return -1;
+}
+
+namespace {
+
+ValidationResult fail(std::string msg) { return {false, std::move(msg)}; }
+
+ValidationResult check_bounds_and_area(const Partition& p, int n1, int n2) {
+  std::int64_t area = 0;
+  for (std::size_t i = 0; i < p.rects.size(); ++i) {
+    const Rect& r = p.rects[i];
+    if (r.x0 > r.x1 || r.y0 > r.y1)
+      return fail("rectangle " + std::to_string(i) + " is inverted: " +
+                  r.to_string());
+    if (r.empty()) continue;
+    if (r.x0 < 0 || r.x1 > n1 || r.y0 < 0 || r.y1 > n2)
+      return fail("rectangle " + std::to_string(i) +
+                  " escapes the domain: " + r.to_string());
+    area += r.area();
+  }
+  const std::int64_t domain = static_cast<std::int64_t>(n1) * n2;
+  if (area != domain)
+    return fail("areas sum to " + std::to_string(area) + ", domain has " +
+                std::to_string(domain) + " cells");
+  return {};
+}
+
+}  // namespace
+
+ValidationResult validate_pairwise(const Partition& p, int n1, int n2) {
+  if (auto r = check_bounds_and_area(p, n1, n2); !r) return r;
+  // Pairwise collision tests, as described in Section 2.1.  Together with the
+  // area identity above, disjointness implies full coverage.
+  for (std::size_t i = 0; i < p.rects.size(); ++i) {
+    if (p.rects[i].empty()) continue;
+    for (std::size_t j = i + 1; j < p.rects.size(); ++j) {
+      if (p.rects[i].intersects(p.rects[j]))
+        return fail("rectangles " + std::to_string(i) + " and " +
+                    std::to_string(j) + " collide: " +
+                    p.rects[i].to_string() + " vs " + p.rects[j].to_string());
+    }
+  }
+  return {};
+}
+
+ValidationResult validate_paint(const Partition& p, int n1, int n2) {
+  if (auto r = check_bounds_and_area(p, n1, n2); !r) return r;
+  std::vector<int> owner(static_cast<std::size_t>(n1) * n2, -1);
+  for (std::size_t i = 0; i < p.rects.size(); ++i) {
+    const Rect& r = p.rects[i];
+    for (int x = r.x0; x < r.x1; ++x) {
+      int* row = owner.data() + static_cast<std::size_t>(x) * n2;
+      for (int y = r.y0; y < r.y1; ++y) {
+        if (row[y] != -1)
+          return fail("cell (" + std::to_string(x) + "," + std::to_string(y) +
+                      ") painted by both " + std::to_string(row[y]) + " and " +
+                      std::to_string(i));
+        row[y] = static_cast<int>(i);
+      }
+    }
+  }
+  // The area identity guarantees no cell is left unpainted at this point.
+  return {};
+}
+
+ValidationResult validate(const Partition& p, int n1, int n2) {
+  const std::int64_t pairwise_cost =
+      static_cast<std::int64_t>(p.rects.size()) *
+      static_cast<std::int64_t>(p.rects.size());
+  const std::int64_t paint_cost = static_cast<std::int64_t>(n1) * n2;
+  return pairwise_cost <= paint_cost ? validate_pairwise(p, n1, n2)
+                                     : validate_paint(p, n1, n2);
+}
+
+}  // namespace rectpart

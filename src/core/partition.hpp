@@ -1,0 +1,61 @@
+// Partition representation, load evaluation, and the paper's validity test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rect.hpp"
+#include "prefix/prefix_sum.hpp"
+
+namespace rectpart {
+
+/// A solution to the 2-D partitioning problem: one rectangle per processor.
+///
+/// rects[i] is the region allocated to processor i.  Empty rectangles are
+/// allowed (a processor with no work).  A partition is *valid* for an
+/// n1 x n2 matrix when the rectangles are pairwise disjoint, lie inside the
+/// matrix, and their areas sum to n1*n2 (Section 2.1 of the paper).
+struct Partition {
+  std::vector<Rect> rects;
+
+  [[nodiscard]] int m() const { return static_cast<int>(rects.size()); }
+
+  /// Per-processor loads under the given prefix-sum view.
+  [[nodiscard]] std::vector<std::int64_t> loads(const PrefixSum2D& ps) const;
+
+  /// Load of the most loaded processor (the paper's objective Lmax).
+  [[nodiscard]] std::int64_t max_load(const PrefixSum2D& ps) const;
+
+  /// Load imbalance Lmax/Lavg - 1 where Lavg = total/m (Section 2.1).
+  [[nodiscard]] double imbalance(const PrefixSum2D& ps) const;
+
+  /// Finds which processor owns cell (x, y); -1 if uncovered.  Linear scan —
+  /// intended for tests and examples, not inner loops.
+  [[nodiscard]] int owner(int x, int y) const;
+};
+
+/// Outcome of a validity check; `ok` plus a human-readable reason on failure.
+struct ValidationResult {
+  bool ok = true;
+  std::string message;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// The paper's O(m^2) validity test: every rectangle inside the domain, no
+/// two rectangles collide (pairwise line/inclusion tests), and the areas sum
+/// to the domain area.
+[[nodiscard]] ValidationResult validate_pairwise(const Partition& p, int n1,
+                                                 int n2);
+
+/// Grid-painting validity test: O(n1*n2 + m).  Paints each rectangle into an
+/// ownership grid and rejects double-painted or unpainted cells.  Used to
+/// cross-check validate_pairwise and for very large m.
+[[nodiscard]] ValidationResult validate_paint(const Partition& p, int n1,
+                                              int n2);
+
+/// Chooses the cheaper of the two exact tests based on m vs n1*n2.
+[[nodiscard]] ValidationResult validate(const Partition& p, int n1, int n2);
+
+}  // namespace rectpart

@@ -1,0 +1,53 @@
+#include "core/partitioner.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace rectpart {
+
+namespace {
+
+std::map<std::string, PartitionerFactory>& registry() {
+  static std::map<std::string, PartitionerFactory> r;
+  return r;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void register_partitioner(const std::string& name,
+                          PartitionerFactory factory) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto [it, inserted] = registry().emplace(name, std::move(factory));
+  (void)it;
+  if (!inserted)
+    throw std::invalid_argument("partitioner '" + name +
+                                "' registered twice");
+}
+
+std::unique_ptr<Partitioner> make_partitioner(const std::string& name) {
+  PartitionerFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto it = registry().find(name);
+    if (it == registry().end())
+      throw std::out_of_range("unknown partitioner '" + name + "'");
+    factory = it->second;
+  }
+  return factory();
+}
+
+std::vector<std::string> partitioner_names() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace rectpart

@@ -1,0 +1,52 @@
+// Abstract 2-D partitioner interface and a name-based registry.
+//
+// The registry is how examples and figure harnesses refer to algorithms:
+// every algorithm variant evaluated in the paper registers itself under the
+// paper's name in lower case (e.g. "jag-m-heur-best", "hier-rb-load").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "prefix/prefix_sum.hpp"
+
+namespace rectpart {
+
+/// A 2-D rectangular partitioning algorithm.
+///
+/// Implementations are stateless with respect to the instance: run() may be
+/// called concurrently on different prefix-sum views.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Registry name, e.g. "jag-m-heur-best".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Partition the matrix behind `ps` into m rectangles.
+  /// Requires m >= 1; the returned partition has exactly m rectangles
+  /// (possibly some empty) and is valid for ps.rows() x ps.cols().
+  [[nodiscard]] virtual Partition run(const PrefixSum2D& ps, int m) const = 0;
+};
+
+using PartitionerFactory = std::function<std::unique_ptr<Partitioner>()>;
+
+/// Registers a factory under a unique name; throws on duplicates.
+void register_partitioner(const std::string& name, PartitionerFactory factory);
+
+/// Instantiates a registered partitioner; throws std::out_of_range for
+/// unknown names.
+[[nodiscard]] std::unique_ptr<Partitioner> make_partitioner(
+    const std::string& name);
+
+/// All registered names in lexicographic order.
+[[nodiscard]] std::vector<std::string> partitioner_names();
+
+/// Ensures every built-in algorithm has been registered.  Safe to call more
+/// than once; examples and benches call it on startup.
+void register_builtin_partitioners();
+
+}  // namespace rectpart

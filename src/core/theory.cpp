@@ -1,0 +1,35 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+
+namespace rectpart::theory {
+
+double jag_pq_heur_ratio(double delta, int n1, int n2, int p, int q) {
+  return (1.0 + delta * p / n1) * (1.0 + delta * q / n2);
+}
+
+double jag_pq_heur_optimal_p(int n1, int n2, int m) {
+  return std::sqrt(static_cast<double>(m) * n1 / n2);
+}
+
+double jag_m_heur_ratio(double delta, int n1, int n2, int m, int p) {
+  const double dm = static_cast<double>(m);
+  const double dp = static_cast<double>(p);
+  return dm / (dm - dp) * (1.0 + delta / n2) +
+         delta * dm / (dp * n2) * (1.0 + delta * dp / n1);
+}
+
+double jag_m_heur_optimal_p(double delta, int n2, int m) {
+  return static_cast<double>(m) *
+         (std::sqrt(delta * (delta + n2)) - delta) / n2;
+}
+
+double direct_cut_bound(double total, double max_elem, int m) {
+  return total / m + max_elem;
+}
+
+double direct_cut_ratio(double delta, int n, int m) {
+  return 1.0 + delta * m / n;
+}
+
+}  // namespace rectpart::theory

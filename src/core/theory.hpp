@@ -1,0 +1,39 @@
+// Closed-form worst-case guarantees from Section 3 of the paper.
+//
+// These are used (a) by the Figure 9 harness, which plots the measured
+// imbalance of JAG-M-HEUR against the Theorem 3 guarantee as the stripe count
+// varies, and (b) by the property tests, which check that the heuristics never
+// exceed their proved ratios on zero-free matrices.
+#pragma once
+
+namespace rectpart::theory {
+
+/// Theorem 1: approximation ratio of JAG-PQ-HEUR on a zero-free matrix,
+///   (1 + Delta*P/n1) * (1 + Delta*Q/n2),
+/// valid for P < n1, Q < n2, Delta = max/min cell value.
+[[nodiscard]] double jag_pq_heur_ratio(double delta, int n1, int n2, int p,
+                                       int q);
+
+/// Theorem 2: the stripe count minimizing the Theorem 1 ratio,
+///   P* = sqrt(m * n1 / n2).
+[[nodiscard]] double jag_pq_heur_optimal_p(int n1, int n2, int m);
+
+/// Theorem 3: approximation ratio of JAG-M-HEUR on a zero-free matrix,
+///   m/(m-P) * (1 + Delta/n2) + Delta*m/(P*n2) * (1 + Delta*P/n1),
+/// valid for P < n1 and P < m.
+[[nodiscard]] double jag_m_heur_ratio(double delta, int n1, int n2, int m,
+                                      int p);
+
+/// Theorem 4: the stripe count minimizing the Theorem 3 ratio,
+///   P* = m * (sqrt(Delta*(Delta + n2)) - Delta) / n2.
+[[nodiscard]] double jag_m_heur_optimal_p(double delta, int n2, int m);
+
+/// Guarantee of DirectCut / RB on a 1-D array (Section 2.2):
+///   Lmax <= total/m + max element.
+[[nodiscard]] double direct_cut_bound(double total, double max_elem, int m);
+
+/// Lemma 1: zero-free refinement of the DirectCut bound,
+///   Lmax <= (total/m) * (1 + Delta*m/n).
+[[nodiscard]] double direct_cut_ratio(double delta, int n, int m);
+
+}  // namespace rectpart::theory

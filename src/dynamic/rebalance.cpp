@@ -1,0 +1,80 @@
+#include "dynamic/rebalance.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace rectpart {
+
+MigrationStats migration_cost(const Partition& from, const Partition& to,
+                              const PrefixSum2D& ps) {
+  const int n1 = ps.rows();
+  const int n2 = ps.cols();
+  std::vector<int> owner_from(static_cast<std::size_t>(n1) * n2, -1);
+  std::vector<int> owner_to(owner_from);
+  auto paint = [n2](const Partition& p, std::vector<int>& owner) {
+    for (std::size_t i = 0; i < p.rects.size(); ++i) {
+      const Rect& r = p.rects[i];
+      for (int x = r.x0; x < r.x1; ++x)
+        for (int y = r.y0; y < r.y1; ++y)
+          owner[static_cast<std::size_t>(x) * n2 + y] = static_cast<int>(i);
+    }
+  };
+  paint(from, owner_from);
+  paint(to, owner_to);
+
+  MigrationStats s;
+  for (int x = 0; x < n1; ++x) {
+    for (int y = 0; y < n2; ++y) {
+      const std::size_t i = static_cast<std::size_t>(x) * n2 + y;
+      if (owner_from[i] != owner_to[i]) {
+        ++s.cells_moved;
+        s.load_moved += ps.load(x, x + 1, y, y + 1);
+      }
+    }
+  }
+  const double cells = static_cast<double>(n1) * n2;
+  s.fraction = cells > 0 ? static_cast<double>(s.cells_moved) / cells : 0.0;
+  return s;
+}
+
+Rebalancer::Rebalancer(std::unique_ptr<Partitioner> algorithm, int m,
+                       RebalancePolicy policy, double threshold)
+    : algorithm_(std::move(algorithm)),
+      m_(m),
+      policy_(policy),
+      threshold_(threshold) {
+  if (!algorithm_) throw std::invalid_argument("rebalancer: null algorithm");
+  if (m_ < 1) throw std::invalid_argument("rebalancer: m must be >= 1");
+}
+
+RebalanceDecision Rebalancer::step(const PrefixSum2D& ps) {
+  RebalanceDecision d;
+  if (!initialized_) {
+    current_ = algorithm_->run(ps, m_);
+    initialized_ = true;
+    d.repartitioned = true;
+    d.imbalance_after = current_.imbalance(ps);
+    d.imbalance_before = d.imbalance_after;
+    return d;
+  }
+
+  d.imbalance_before = current_.imbalance(ps);
+  bool repartition = false;
+  switch (policy_) {
+    case RebalancePolicy::kNever: break;
+    case RebalancePolicy::kAlways: repartition = true; break;
+    case RebalancePolicy::kThreshold:
+      repartition = d.imbalance_before > threshold_;
+      break;
+  }
+  if (repartition) {
+    Partition next = algorithm_->run(ps, m_);
+    d.migration = migration_cost(current_, next, ps);
+    current_ = std::move(next);
+    d.repartitioned = true;
+  }
+  d.imbalance_after = current_.imbalance(ps);
+  return d;
+}
+
+}  // namespace rectpart

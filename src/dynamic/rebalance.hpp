@@ -1,0 +1,71 @@
+// Dynamic load balancing: repartitioning policies and data-migration cost
+// (the paper's Section 5 future work: "taking into account data migration
+// costs in dynamic applications").
+//
+// A simulation's load drifts over time; keeping the initial partition
+// degrades the balance, while repartitioning every step pays a migration
+// cost (cells changing owner carry their state across the network).  The
+// Rebalancer tracks a current partition and applies a policy that trades
+// the two off.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/partitioner.hpp"
+
+namespace rectpart {
+
+/// Cost of switching ownership from one partition to another.
+struct MigrationStats {
+  std::int64_t cells_moved = 0;  ///< cells whose owner changes
+  double fraction = 0.0;         ///< cells_moved / total cells
+  std::int64_t load_moved = 0;   ///< load carried by the moved cells
+};
+
+/// Exact migration cost via ownership painting; O(n1*n2 + m).
+[[nodiscard]] MigrationStats migration_cost(const Partition& from,
+                                            const Partition& to,
+                                            const PrefixSum2D& ps);
+
+/// When the Rebalancer recomputes the partition.
+enum class RebalancePolicy {
+  kNever,      ///< static: keep the first partition forever
+  kAlways,     ///< repartition at every step
+  kThreshold,  ///< repartition when the imbalance exceeds a threshold
+};
+
+/// Outcome of one Rebalancer step.
+struct RebalanceDecision {
+  bool repartitioned = false;
+  double imbalance_before = 0.0;  ///< with the incumbent partition
+  double imbalance_after = 0.0;   ///< with the active partition (may equal
+                                  ///< imbalance_before when not repartitioned)
+  MigrationStats migration;       ///< zero when not repartitioned
+};
+
+/// Stateful driver around a Partitioner.
+class Rebalancer {
+ public:
+  /// `threshold` is the imbalance trigger for kThreshold (ignored
+  /// otherwise).
+  Rebalancer(std::unique_ptr<Partitioner> algorithm, int m,
+             RebalancePolicy policy, double threshold = 0.1);
+
+  /// Evaluates the incumbent partition on the new load, applies the policy,
+  /// and returns what happened.  The first call always partitions.
+  RebalanceDecision step(const PrefixSum2D& ps);
+
+  [[nodiscard]] const Partition& current() const { return current_; }
+  [[nodiscard]] RebalancePolicy policy() const { return policy_; }
+
+ private:
+  std::unique_ptr<Partitioner> algorithm_;
+  int m_;
+  RebalancePolicy policy_;
+  double threshold_;
+  bool initialized_ = false;
+  Partition current_;
+};
+
+}  // namespace rectpart

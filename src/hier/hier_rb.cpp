@@ -1,0 +1,136 @@
+// HIER-RB: recursive bisection with the paper's four dimension-selection
+// variants (Sections 3.3 and 4.2; HIER-RB-LOAD wins and becomes "HIER-RB").
+#include <algorithm>
+
+#include "hier/hier.hpp"
+
+namespace rectpart {
+
+const char* hier_variant_suffix(HierVariant v) {
+  switch (v) {
+    case HierVariant::kLoad: return "-load";
+    case HierVariant::kDist: return "-dist";
+    case HierVariant::kHor: return "-hor";
+    case HierVariant::kVer: return "-ver";
+  }
+  return "-?";
+}
+
+namespace {
+
+/// Outcome of probing one cut dimension: the best cut position and the
+/// resulting expected bottleneck max(L1/ml, L2/mr), kept as a scaled integer
+/// pair for exact comparison: score = max(L1*mr, L2*ml) over denominator
+/// ml*mr (the denominator is identical for both dimensions, so the numerator
+/// alone orders candidates).
+struct CutChoice {
+  int pos = 0;
+  std::int64_t score = 0;
+};
+
+/// Best row cut of rect r for an ml : mr processor split.  The predicate
+/// L_left * mr >= L_right * ml is monotone in the cut position; the optimum
+/// is at the crossing or one step before it.
+CutChoice best_cut_rows(const PrefixSum2D& ps, const Rect& r, int ml, int mr) {
+  auto left = [&](int k) { return ps.load(r.x0, k, r.y0, r.y1); };
+  auto right = [&](int k) { return ps.load(k, r.x1, r.y0, r.y1); };
+  int lo = r.x0, hi = r.x1;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (left(mid) * mr >= right(mid) * ml)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  auto score = [&](int k) { return std::max(left(k) * mr, right(k) * ml); };
+  CutChoice c{lo, score(lo)};
+  if (lo > r.x0) {
+    const std::int64_t s = score(lo - 1);
+    if (s < c.score) c = {lo - 1, s};
+  }
+  return c;
+}
+
+/// Best column cut; symmetric to best_cut_rows.
+CutChoice best_cut_cols(const PrefixSum2D& ps, const Rect& r, int ml, int mr) {
+  auto left = [&](int k) { return ps.load(r.x0, r.x1, r.y0, k); };
+  auto right = [&](int k) { return ps.load(r.x0, r.x1, k, r.y1); };
+  int lo = r.y0, hi = r.y1;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (left(mid) * mr >= right(mid) * ml)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  auto score = [&](int k) { return std::max(left(k) * mr, right(k) * ml); };
+  CutChoice c{lo, score(lo)};
+  if (lo > r.y0) {
+    const std::int64_t s = score(lo - 1);
+    if (s < c.score) c = {lo - 1, s};
+  }
+  return c;
+}
+
+void rb_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
+                HierVariant variant, std::vector<Rect>& out) {
+  if (m == 1) {
+    out.push_back(r);
+    return;
+  }
+  const int ml = m / 2;
+  const int mr = m - ml;
+
+  bool cut_rows;
+  CutChoice choice;
+  switch (variant) {
+    case HierVariant::kLoad: {
+      const CutChoice cr = best_cut_rows(ps, r, ml, mr);
+      const CutChoice cc = best_cut_cols(ps, r, ml, mr);
+      cut_rows = cr.score <= cc.score;
+      choice = cut_rows ? cr : cc;
+      break;
+    }
+    case HierVariant::kDist:
+      cut_rows = r.width() >= r.height();
+      choice = cut_rows ? best_cut_rows(ps, r, ml, mr)
+                        : best_cut_cols(ps, r, ml, mr);
+      break;
+    case HierVariant::kHor:
+      cut_rows = depth % 2 == 0;
+      choice = cut_rows ? best_cut_rows(ps, r, ml, mr)
+                        : best_cut_cols(ps, r, ml, mr);
+      break;
+    case HierVariant::kVer:
+      cut_rows = depth % 2 != 0;
+      choice = cut_rows ? best_cut_rows(ps, r, ml, mr)
+                        : best_cut_cols(ps, r, ml, mr);
+      break;
+    default:
+      cut_rows = true;
+      choice = best_cut_rows(ps, r, ml, mr);
+  }
+
+  Rect a = r, b = r;
+  if (cut_rows) {
+    a.x1 = choice.pos;
+    b.x0 = choice.pos;
+  } else {
+    a.y1 = choice.pos;
+    b.y0 = choice.pos;
+  }
+  rb_recurse(ps, a, ml, depth + 1, variant, out);
+  rb_recurse(ps, b, mr, depth + 1, variant, out);
+}
+
+}  // namespace
+
+Partition hier_rb(const PrefixSum2D& ps, int m, const HierOptions& opt) {
+  Partition part;
+  part.rects.reserve(m);
+  rb_recurse(ps, Rect{0, ps.rows(), 0, ps.cols()}, m, 0, opt.variant,
+             part.rects);
+  return part;
+}
+
+}  // namespace rectpart

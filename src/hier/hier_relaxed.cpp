@@ -1,0 +1,108 @@
+// HIER-RELAXED: the heuristic extracted from the hierarchical dynamic
+// program (Section 3.3).  At each node it evaluates every processor split j
+// and both cut dimensions (subject to the variant), scoring a candidate by
+// the relaxed objective max(L1/j, L2/(m-j)) — i.e. the DP recursion with the
+// recursive calls replaced by average loads — and recurses on the winner.
+// Complexity O(m^2 log max(n1, n2)).
+#include <algorithm>
+#include <limits>
+
+#include "hier/hier.hpp"
+
+namespace rectpart {
+
+namespace {
+
+struct NodeChoice {
+  bool cut_rows = true;
+  int pos = 0;
+  int j = 1;  // processors for the first part
+  long double score = std::numeric_limits<long double>::infinity();
+};
+
+/// For a fixed dimension and processor split j : (m-j), the relaxed score is
+/// minimized at the crossing of L1*(m-j) and L2*j; returns the better of the
+/// crossing index and its left neighbour.
+template <typename LeftFn, typename RightFn>
+void consider_dim(LeftFn left, RightFn right, int lo0, int hi0, int m, int j,
+                  bool cut_rows, NodeChoice& best) {
+  int lo = lo0, hi = hi0;
+  const std::int64_t wl = m - j;  // weight on the left load
+  const std::int64_t wr = j;      // weight on the right load
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (left(mid) * wl >= right(mid) * wr)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  for (int k = std::max(lo0, lo - 1); k <= lo; ++k) {
+    const long double score =
+        std::max(static_cast<long double>(left(k)) / j,
+                 static_cast<long double>(right(k)) / (m - j));
+    if (score < best.score) best = {cut_rows, k, j, score};
+  }
+}
+
+void relaxed_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
+                     HierVariant variant, std::vector<Rect>& out) {
+  if (m == 1) {
+    out.push_back(r);
+    return;
+  }
+
+  bool try_rows = true, try_cols = true;
+  switch (variant) {
+    case HierVariant::kLoad:
+      break;  // both dimensions
+    case HierVariant::kDist:
+      try_rows = r.width() >= r.height();
+      try_cols = !try_rows;
+      break;
+    case HierVariant::kHor:
+      try_rows = depth % 2 == 0;
+      try_cols = !try_rows;
+      break;
+    case HierVariant::kVer:
+      try_cols = depth % 2 == 0;
+      try_rows = !try_cols;
+      break;
+  }
+
+  NodeChoice best;
+  for (int j = 1; j < m; ++j) {
+    if (try_rows) {
+      consider_dim([&](int k) { return ps.load(r.x0, k, r.y0, r.y1); },
+                   [&](int k) { return ps.load(k, r.x1, r.y0, r.y1); }, r.x0,
+                   r.x1, m, j, /*cut_rows=*/true, best);
+    }
+    if (try_cols) {
+      consider_dim([&](int k) { return ps.load(r.x0, r.x1, r.y0, k); },
+                   [&](int k) { return ps.load(r.x0, r.x1, k, r.y1); }, r.y0,
+                   r.y1, m, j, /*cut_rows=*/false, best);
+    }
+  }
+
+  Rect a = r, b = r;
+  if (best.cut_rows) {
+    a.x1 = best.pos;
+    b.x0 = best.pos;
+  } else {
+    a.y1 = best.pos;
+    b.y0 = best.pos;
+  }
+  relaxed_recurse(ps, a, best.j, depth + 1, variant, out);
+  relaxed_recurse(ps, b, m - best.j, depth + 1, variant, out);
+}
+
+}  // namespace
+
+Partition hier_relaxed(const PrefixSum2D& ps, int m, const HierOptions& opt) {
+  Partition part;
+  part.rects.reserve(m);
+  relaxed_recurse(ps, Rect{0, ps.rows(), 0, ps.cols()}, m, 0, opt.variant,
+                  part.rects);
+  return part;
+}
+
+}  // namespace rectpart

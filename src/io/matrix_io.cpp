@@ -1,0 +1,109 @@
+#include "io/matrix_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace rectpart {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+
+constexpr char kMagic[4] = {'R', 'P', 'M', '1'};
+constexpr char kMagic3[4] = {'R', 'P', 'M', '3'};
+
+}  // namespace
+
+void save_matrix_text(const LoadMatrix& a, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) io_fail("cannot open for writing", path);
+  out << a.rows() << ' ' << a.cols() << '\n';
+  for (int x = 0; x < a.rows(); ++x) {
+    for (int y = 0; y < a.cols(); ++y) {
+      if (y) out << ' ';
+      out << a(x, y);
+    }
+    out << '\n';
+  }
+  if (!out) io_fail("write error", path);
+}
+
+LoadMatrix load_matrix_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) io_fail("cannot open for reading", path);
+  int n1 = 0, n2 = 0;
+  if (!(in >> n1 >> n2) || n1 < 0 || n2 < 0)
+    io_fail("malformed header", path);
+  LoadMatrix a(n1, n2);
+  for (int x = 0; x < n1; ++x)
+    for (int y = 0; y < n2; ++y)
+      if (!(in >> a(x, y))) io_fail("truncated matrix body", path);
+  return a;
+}
+
+void save_matrix_binary(const LoadMatrix& a, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) io_fail("cannot open for writing", path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::int32_t dims[2] = {a.rows(), a.cols()};
+  out.write(reinterpret_cast<const char*>(dims), sizeof(dims));
+  out.write(reinterpret_cast<const char*>(a.data()),
+            static_cast<std::streamsize>(a.size() * sizeof(std::int64_t)));
+  if (!out) io_fail("write error", path);
+}
+
+LoadMatrix load_matrix_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail("cannot open for reading", path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    io_fail("bad magic (not an RPM1 file)", path);
+  std::int32_t dims[2];
+  in.read(reinterpret_cast<char*>(dims), sizeof(dims));
+  if (!in || dims[0] < 0 || dims[1] < 0) io_fail("malformed header", path);
+  LoadMatrix a(dims[0], dims[1]);
+  in.read(reinterpret_cast<char*>(a.data()),
+          static_cast<std::streamsize>(a.size() * sizeof(std::int64_t)));
+  if (!in) io_fail("truncated matrix body", path);
+  return a;
+}
+
+}  // namespace rectpart
+
+namespace rectpart {
+
+void save_matrix3_binary(const LoadMatrix3& a, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) io_fail("cannot open for writing", path);
+  out.write(kMagic3, sizeof(kMagic3));
+  const std::int32_t dims[3] = {a.dim1(), a.dim2(), a.dim3()};
+  out.write(reinterpret_cast<const char*>(dims), sizeof(dims));
+  for (const std::int64_t v : a)
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  if (!out) io_fail("write error", path);
+}
+
+LoadMatrix3 load_matrix3_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail("cannot open for reading", path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic3, sizeof(kMagic3)) != 0)
+    io_fail("bad magic (not an RPM3 file)", path);
+  std::int32_t dims[3];
+  in.read(reinterpret_cast<char*>(dims), sizeof(dims));
+  if (!in || dims[0] < 0 || dims[1] < 0 || dims[2] < 0)
+    io_fail("malformed header", path);
+  LoadMatrix3 a(dims[0], dims[1], dims[2]);
+  for (std::int64_t& v : a) {
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!in) io_fail("truncated matrix body", path);
+  }
+  return a;
+}
+
+}  // namespace rectpart

@@ -1,0 +1,28 @@
+// Load-matrix persistence: a simple text format and a compact binary format.
+//
+// Text format (human-inspectable, gnuplot `matrix`-compatible body):
+//   line 1: "n1 n2"
+//   lines 2..n1+1: n2 whitespace-separated integers
+// Binary format: magic "RPM1", int32 n1, int32 n2, then n1*n2 little-endian
+// int64 values row-major.
+#pragma once
+
+#include <string>
+
+#include "core/matrix.hpp"
+#include "three/matrix3.hpp"
+
+namespace rectpart {
+
+void save_matrix_text(const LoadMatrix& a, const std::string& path);
+[[nodiscard]] LoadMatrix load_matrix_text(const std::string& path);
+
+void save_matrix_binary(const LoadMatrix& a, const std::string& path);
+[[nodiscard]] LoadMatrix load_matrix_binary(const std::string& path);
+
+/// 3-D binary format: magic "RPM3", int32 n1, n2, n3, then int64 values in
+/// x-major order.
+void save_matrix3_binary(const LoadMatrix3& a, const std::string& path);
+[[nodiscard]] LoadMatrix3 load_matrix3_binary(const std::string& path);
+
+}  // namespace rectpart

@@ -1,0 +1,44 @@
+#include "io/partition_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rectpart {
+
+void save_partition_csv(const Partition& p, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << "proc,x0,x1,y0,y1\n";
+  for (int i = 0; i < p.m(); ++i) {
+    const Rect& r = p.rects[i];
+    out << i << ',' << r.x0 << ',' << r.x1 << ',' << r.y0 << ',' << r.y1
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("write error: " + path);
+}
+
+Partition load_partition_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "proc,x0,x1,y0,y1")
+    throw std::runtime_error("bad partition CSV header: " + path);
+  Partition p;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    int proc = 0;
+    Rect r;
+    char comma;
+    if (!(ss >> proc >> comma >> r.x0 >> comma >> r.x1 >> comma >> r.y0 >>
+          comma >> r.y1))
+      throw std::runtime_error("bad partition CSV row: " + line);
+    if (proc != p.m())
+      throw std::runtime_error("partition CSV rows out of order: " + line);
+    p.rects.push_back(r);
+  }
+  return p;
+}
+
+}  // namespace rectpart

@@ -1,0 +1,16 @@
+// Partition persistence: CSV with one rectangle per processor.
+//
+// Format: header "proc,x0,x1,y0,y1" followed by one row per processor, in
+// processor order.  Round-trips exactly.
+#pragma once
+
+#include <string>
+
+#include "core/partition.hpp"
+
+namespace rectpart {
+
+void save_partition_csv(const Partition& p, const std::string& path);
+[[nodiscard]] Partition load_partition_csv(const std::string& path);
+
+}  // namespace rectpart

@@ -1,0 +1,67 @@
+#include "io/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rectpart {
+
+namespace {
+
+std::vector<unsigned char> intensities(const LoadMatrix& a, bool log_scale) {
+  std::int64_t max_v = 0;
+  for (const std::int64_t v : a) max_v = std::max(max_v, v);
+  std::vector<unsigned char> pix(a.size(), 0);
+  if (max_v == 0) return pix;
+  const double denom =
+      log_scale ? std::log1p(static_cast<double>(max_v)) : double(max_v);
+  std::size_t i = 0;
+  for (const std::int64_t v : a) {
+    const double t = log_scale
+                         ? std::log1p(static_cast<double>(v)) / denom
+                         : static_cast<double>(v) / denom;
+    pix[i++] = static_cast<unsigned char>(std::lround(255.0 * t));
+  }
+  return pix;
+}
+
+void write_pgm(const std::vector<unsigned char>& pix, int rows, int cols,
+               const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << "P5\n" << cols << ' ' << rows << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pix.data()),
+            static_cast<std::streamsize>(pix.size()));
+  if (!out) throw std::runtime_error("write error: " + path);
+}
+
+}  // namespace
+
+void save_pgm(const LoadMatrix& a, const std::string& path, bool log_scale) {
+  write_pgm(intensities(a, log_scale), a.rows(), a.cols(), path);
+}
+
+void save_pgm_with_partition(const LoadMatrix& a, const Partition& p,
+                             const std::string& path, bool log_scale) {
+  std::vector<unsigned char> pix = intensities(a, log_scale);
+  const int n1 = a.rows(), n2 = a.cols();
+  auto darken = [&](int x, int y) {
+    pix[static_cast<std::size_t>(x) * n2 + y] = 0;
+  };
+  for (const Rect& r : p.rects) {
+    if (r.empty()) continue;
+    for (int x = r.x0; x < r.x1; ++x) {
+      darken(x, r.y0);
+      darken(x, r.y1 - 1);
+    }
+    for (int y = r.y0; y < r.y1; ++y) {
+      darken(r.x0, y);
+      darken(r.x1 - 1, y);
+    }
+  }
+  write_pgm(pix, n1, n2, path);
+}
+
+}  // namespace rectpart

@@ -1,0 +1,22 @@
+// PGM heat-map export: renders a load matrix (or a partition overlay) to a
+// portable graymap, the format behind the instance pictures in Figure 2.
+#pragma once
+
+#include <string>
+
+#include "core/matrix.hpp"
+#include "core/partition.hpp"
+
+namespace rectpart {
+
+/// Writes the matrix as an 8-bit PGM, mapping load linearly (or log-scaled)
+/// to intensity; the heaviest cell is white, as in the paper's figures.
+void save_pgm(const LoadMatrix& a, const std::string& path,
+              bool log_scale = false);
+
+/// Writes the matrix with partition boundaries burned in as black lines —
+/// handy for eyeballing what an algorithm produced.
+void save_pgm_with_partition(const LoadMatrix& a, const Partition& p,
+                             const std::string& path, bool log_scale = false);
+
+}  // namespace rectpart

@@ -1,0 +1,49 @@
+// Internal helpers shared by the jagged implementations.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/orient.hpp"
+#include "core/partition.hpp"
+#include "oned/cuts.hpp"
+#include "prefix/prefix_sum.hpp"
+
+namespace rectpart::jag_detail {
+
+/// Runs a rows-as-main-dimension algorithm under the requested orientation:
+/// kVertical transposes the instance (and the result back); kBest evaluates
+/// both and keeps the partition with the smaller maximum load, preferring
+/// horizontal on ties.
+template <typename F>
+[[nodiscard]] Partition with_orientation(const PrefixSum2D& ps,
+                                         Orientation orient, F&& run_hor) {
+  if (orient == Orientation::kHorizontal) return run_hor(ps);
+  const PrefixSum2D t = ps.transpose();
+  if (orient == Orientation::kVertical)
+    return transpose_partition(run_hor(t));
+  Partition hor = run_hor(ps);
+  Partition ver = transpose_partition(run_hor(t));
+  return ver.max_load(ps) < hor.max_load(ps) ? std::move(ver)
+                                             : std::move(hor);
+}
+
+/// Assembles a jagged partition from row stripes and per-stripe column cuts,
+/// padding with empty rectangles up to m processors.
+[[nodiscard]] inline Partition assemble_jagged(
+    const oned::Cuts& row_cuts, const std::vector<oned::Cuts>& col_cuts,
+    int m) {
+  Partition part;
+  part.rects.reserve(m);
+  for (int s = 0; s < row_cuts.parts(); ++s) {
+    const int a = row_cuts.begin_of(s);
+    const int b = row_cuts.end_of(s);
+    const oned::Cuts& cc = col_cuts[s];
+    for (int q = 0; q < cc.parts(); ++q)
+      part.rects.push_back(Rect{a, b, cc.begin_of(q), cc.end_of(q)});
+  }
+  while (part.m() < m) part.rects.push_back(Rect{});
+  return part;
+}
+
+}  // namespace rectpart::jag_detail

@@ -1,0 +1,219 @@
+// JAG-PQ-HEUR and JAG-M-HEUR (Sections 3.2.1 and 3.2.2).
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "jagged/jag_detail.hpp"
+#include "jagged/jagged.hpp"
+#include "oned/oned.hpp"
+#include "rectilinear/rectilinear.hpp"
+
+namespace rectpart {
+
+namespace {
+
+/// Default stripe count for m-way jagged: round(sqrt(m)), clamped to
+/// [1, min(m, n1)] (Section 3.2.2: the Theorem 4 optimum depends on Delta,
+/// which is unstable in practice, so the paper uses sqrt(m) stripes).
+int default_mway_stripes(int m, int n1) {
+  const int p = static_cast<int>(std::lround(std::sqrt(
+      static_cast<double>(m))));
+  return std::clamp(p, 1, std::min(m, n1));
+}
+
+Partition pq_heur_hor(const PrefixSum2D& ps, int m, int p) {
+  if (m % p != 0)
+    throw std::invalid_argument("jag_pq_heur: stripes must divide m");
+  const int q = m / p;
+
+  const auto row_prefix = ps.row_projection_prefix();
+  const oned::Cuts row_cuts =
+      oned::nicol_plus(oned::PrefixOracle(row_prefix), p).cuts;
+
+  std::vector<oned::Cuts> col_cuts;
+  col_cuts.reserve(p);
+  for (int s = 0; s < p; ++s) {
+    StripeColsOracle stripe(ps, row_cuts.begin_of(s), row_cuts.end_of(s));
+    col_cuts.push_back(oned::nicol_plus(stripe, q).cuts);
+  }
+  return jag_detail::assemble_jagged(row_cuts, col_cuts, m);
+}
+
+/// Processor allotment of JAG-M-HEUR.  The paper's rule (kCeil): each stripe
+/// S gets QS = ceil((m - P) * load(S) / total); the up-to-P leftover
+/// processors go one at a time to the stripe maximizing load(S) / QS
+/// (Section 3.2.2).  The alternative rules are ablation variants.
+/// Zero-load stripes still require one processor to own their cells.
+std::vector<int> allot_processors(const std::vector<std::int64_t>& loads,
+                                  int m, Allotment rule) {
+  const int p = static_cast<int>(loads.size());
+  std::int64_t total = 0;
+  for (const std::int64_t l : loads) total += l;
+
+  std::vector<int> q(p, 0);
+  int allotted = 0;
+  if (total > 0) {
+    switch (rule) {
+      case Allotment::kCeil:
+        for (int s = 0; s < p; ++s) {
+          if (loads[s] > 0) {
+            const std::int64_t num =
+                static_cast<std::int64_t>(m - p) * loads[s];
+            q[s] = static_cast<int>((num + total - 1) / total);  // ceil
+            allotted += q[s];
+          }
+        }
+        break;
+      case Allotment::kFloor:
+        for (int s = 0; s < p; ++s) {
+          if (loads[s] > 0) {
+            q[s] = static_cast<int>(static_cast<std::int64_t>(m) * loads[s] /
+                                    total);
+            allotted += q[s];
+          }
+        }
+        break;
+      case Allotment::kLargestRemainder: {
+        std::vector<std::pair<std::int64_t, int>> rem;  // (remainder, stripe)
+        for (int s = 0; s < p; ++s) {
+          if (loads[s] > 0) {
+            const std::int64_t num =
+                static_cast<std::int64_t>(m) * loads[s];
+            q[s] = static_cast<int>(num / total);
+            allotted += q[s];
+            rem.emplace_back(num % total, s);
+          }
+        }
+        std::sort(rem.begin(), rem.end(),
+                  [](const auto& a, const auto& b) { return a > b; });
+        for (const auto& [r, s] : rem) {
+          if (allotted >= m) break;
+          ++q[s];
+          ++allotted;
+        }
+        break;
+      }
+    }
+    // The floor-based rules can overshoot m when zero-load stripes still
+    // need a processor below; trim from the largest allocations.
+    while (allotted > m) {
+      int biggest = 0;
+      for (int s = 1; s < p; ++s)
+        if (q[s] > q[biggest]) biggest = s;
+      --q[biggest];
+      --allotted;
+    }
+  }
+  // Every stripe must own its cells even with zero load; steal from the
+  // largest allocation when the rule already consumed all m processors.
+  for (int s = 0; s < p; ++s) {
+    if (q[s] != 0) continue;
+    if (allotted < m) {
+      q[s] = 1;
+      ++allotted;
+    } else {
+      int biggest = 0;
+      for (int t = 1; t < p; ++t)
+        if (q[t] > q[biggest]) biggest = t;
+      --q[biggest];
+      q[s] = 1;
+    }
+  }
+  // Distribute the remaining processors to the stripe with the largest
+  // load-per-processor; a stripe still at zero processors has infinite ratio
+  // and is served first.
+  while (allotted < m) {
+    int best = 0;
+    for (int s = 1; s < p; ++s) {
+      if (q[s] == 0 && q[best] != 0) {
+        best = s;
+        continue;
+      }
+      if (q[best] == 0) continue;
+      // Compare loads[s]/q[s] > loads[best]/q[best] by cross-multiplication.
+      if (loads[s] * q[best] > loads[best] * q[s]) best = s;
+    }
+    ++q[best];
+    ++allotted;
+  }
+  return q;
+}
+
+Partition m_heur_hor(const PrefixSum2D& ps, int m, int p, Allotment rule) {
+  const auto row_prefix = ps.row_projection_prefix();
+  const oned::Cuts row_cuts =
+      oned::nicol_plus(oned::PrefixOracle(row_prefix), p).cuts;
+
+  std::vector<std::int64_t> stripe_loads(p);
+  for (int s = 0; s < p; ++s)
+    stripe_loads[s] = ps.row_load(row_cuts.begin_of(s), row_cuts.end_of(s));
+
+  const std::vector<int> q = allot_processors(stripe_loads, m, rule);
+
+  std::vector<oned::Cuts> col_cuts;
+  col_cuts.reserve(p);
+  for (int s = 0; s < p; ++s) {
+    StripeColsOracle stripe(ps, row_cuts.begin_of(s), row_cuts.end_of(s));
+    // allot_processors guarantees q[s] >= 1 whenever p <= m.
+    if (q[s] < 1) throw std::logic_error("jag_m_heur: unpopulated stripe");
+    col_cuts.push_back(oned::nicol_plus(stripe, q[s]).cuts);
+  }
+  return jag_detail::assemble_jagged(row_cuts, col_cuts, m);
+}
+
+}  // namespace
+
+Partition jag_pq_heur(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
+  int p = opt.stripes;
+  if (p <= 0) p = choose_grid(m).first;
+  return jag_detail::with_orientation(
+      ps, opt.orientation,
+      [m, p](const PrefixSum2D& view) { return pq_heur_hor(view, m, p); });
+}
+
+Partition jag_m_heur(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
+  return jag_detail::with_orientation(
+      ps, opt.orientation, [m, &opt](const PrefixSum2D& view) {
+        int p = opt.stripes;
+        if (p <= 0) p = default_mway_stripes(m, view.rows());
+        p = std::clamp(p, 1, m);
+        return m_heur_hor(view, m, p, opt.allotment);
+      });
+}
+
+Partition jag_m_heur_auto(const PrefixSum2D& ps, int m,
+                          const JaggedOptions& opt) {
+  return jag_detail::with_orientation(
+      ps, opt.orientation, [m, &opt](const PrefixSum2D& view) {
+        // Candidate stripe counts: sqrt(m) (the paper's default, so this
+        // variant can never lose to it) scaled by powers of two, which
+        // brackets the flat valley of the Theorem 3 guarantee (Figure 9)
+        // without needing the unstable Delta of the Theorem 4 closed form.
+        const int base = default_mway_stripes(m, view.rows());
+        std::vector<int> candidates{base,
+                                    std::max(1, base / 2),
+                                    std::min({2 * base, m, view.rows()}),
+                                    std::max(1, base / 4),
+                                    std::min({4 * base, m, view.rows()})};
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(
+            std::unique(candidates.begin(), candidates.end()),
+            candidates.end());
+        Partition best;
+        std::int64_t best_lmax = std::numeric_limits<std::int64_t>::max();
+        for (const int p : candidates) {
+          Partition cand = m_heur_hor(view, m, std::clamp(p, 1, m),
+                                      opt.allotment);
+          const std::int64_t lmax = cand.max_load(view);
+          if (lmax < best_lmax) {
+            best_lmax = lmax;
+            best = std::move(cand);
+          }
+        }
+        return best;
+      });
+}
+
+}  // namespace rectpart

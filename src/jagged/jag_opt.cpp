@@ -1,0 +1,259 @@
+// Exact jagged partitioners: JAG-PQ-OPT and JAG-M-OPT (Section 3.2).
+//
+// Both use parametric search on the bottleneck value B, which is exact for
+// integral load matrices: binary-search B in [LB, UB] where LB is the
+// average/max-cell lower bound and UB comes from the corresponding heuristic,
+// deciding feasibility of each candidate B with a specialized test.
+//
+//  * P x Q-way: a greedy maximal-stripe sweep decides whether the rows can be
+//    covered by at most P stripes whose columns each split into at most Q
+//    intervals of load <= B.  Maximal stripes dominate (shrinking a stripe
+//    only lowers its column loads), so the greedy is exact.
+//
+//  * m-way: a suffix dynamic program computes f(s) = the minimum number of
+//    processors that can cover rows [s, n) with per-rectangle load <= B.
+//    Feasible iff f(0) <= m.  The candidate stripe ends for a state are
+//    pruned to the Pareto frontier: only the maximal stripe end per distinct
+//    processor count matters, and the walk jumps between strict-decrease
+//    points of f, so each state inspects few candidates.
+//
+// The paper's original dynamic programs are implemented in jag_opt_dp.cpp
+// and cross-checked against these engines in the test suite.
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/metrics.hpp"
+#include "jagged/jag_detail.hpp"
+#include "jagged/jagged.hpp"
+#include "oned/oned.hpp"
+#include "rectilinear/rectilinear.hpp"
+
+namespace rectpart {
+
+namespace {
+
+/// Minimum number of column intervals of load <= B covering stripe [a, b),
+/// or nullopt when impossible or when the count would exceed `cap`.
+std::optional<int> stripe_parts(const PrefixSum2D& ps, int a, int b,
+                                std::int64_t B, int cap) {
+  StripeColsOracle o(ps, a, b);
+  return oned::min_parts_within(o, 0, ps.cols(), B, cap);
+}
+
+/// Largest e in [a+1, n1] such that stripe [a, e) needs at most `cap` column
+/// intervals of load <= B; requires the single row [a, a+1) to qualify.
+/// Galloping search on the antitone predicate.
+int max_stripe_end(const PrefixSum2D& ps, int a, std::int64_t B, int cap) {
+  const int n1 = ps.rows();
+  int good = a + 1;  // caller guarantees the single row qualifies
+  int step = 1;
+  int bad = n1 + 1;
+  while (good + step <= n1) {
+    const int probe = good + step;
+    if (stripe_parts(ps, a, probe, B, cap).has_value()) {
+      good = probe;
+      step *= 2;
+    } else {
+      bad = probe;
+      break;
+    }
+  }
+  while (good + 1 < bad) {
+    const int mid = good + (bad - good) / 2;
+    if (stripe_parts(ps, a, mid, B, cap).has_value())
+      good = mid;
+    else
+      bad = mid;
+  }
+  return good;
+}
+
+// ---------------------------------------------------------------- P x Q-way
+
+/// Greedy feasibility for P x Q-way jagged with bottleneck B.  On success and
+/// when `out` is non-null, writes the stripe boundaries (padded to P stripes).
+bool pq_feasible(const PrefixSum2D& ps, int p, int q, std::int64_t B,
+                 oned::Cuts* out) {
+  const int n1 = ps.rows();
+  std::vector<int> ends;
+  int a = 0;
+  while (a < n1) {
+    if (static_cast<int>(ends.size()) == p) return false;
+    if (!stripe_parts(ps, a, a + 1, B, q).has_value()) return false;
+    a = max_stripe_end(ps, a, B, q);
+    ends.push_back(a);
+  }
+  if (out) {
+    out->pos.clear();
+    out->pos.push_back(0);
+    out->pos.insert(out->pos.end(), ends.begin(), ends.end());
+    while (static_cast<int>(out->pos.size()) < p + 1) out->pos.push_back(n1);
+  }
+  return true;
+}
+
+Partition pq_opt_hor(const PrefixSum2D& ps, int m, int p) {
+  if (m % p != 0)
+    throw std::invalid_argument("jag_pq_opt: stripes must divide m");
+  const int q = m / p;
+
+  std::int64_t lb = lower_bound_lmax(ps, m);
+  JaggedOptions heur_opt;
+  heur_opt.stripes = p;
+  heur_opt.orientation = Orientation::kHorizontal;
+  std::int64_t ub = jag_pq_heur(ps, m, heur_opt).max_load(ps);
+
+  while (lb < ub) {
+    const std::int64_t mid = lb + (ub - lb) / 2;
+    if (pq_feasible(ps, p, q, mid, nullptr))
+      ub = mid;
+    else
+      lb = mid + 1;
+  }
+
+  oned::Cuts row_cuts;
+  if (!pq_feasible(ps, p, q, lb, &row_cuts))
+    throw std::logic_error("jag_pq_opt: optimum not feasible (bug)");
+
+  std::vector<oned::Cuts> col_cuts;
+  col_cuts.reserve(p);
+  for (int s = 0; s < p; ++s) {
+    StripeColsOracle stripe(ps, row_cuts.begin_of(s), row_cuts.end_of(s));
+    col_cuts.push_back(oned::nicol_plus(stripe, q).cuts);
+  }
+  return jag_detail::assemble_jagged(row_cuts, col_cuts, m);
+}
+
+// ------------------------------------------------------------------- m-way
+
+/// Suffix DP for m-way feasibility.  f[s] = minimum processors covering rows
+/// [s, n1), saturated at m+1.  When `choice_*` are non-null the minimizing
+/// stripe end / processor count per state is recorded for extraction.
+struct MWayProbe {
+  const PrefixSum2D& ps;
+  int m;
+  std::int64_t B;
+
+  std::vector<int> f;          // f[s], saturated at m+1
+  std::vector<int> next_drop;  // first index > s with f strictly smaller
+  std::vector<int> choice_e;   // stripe end realizing f[s]
+  std::vector<int> choice_c;   // processor count of that stripe
+
+  explicit MWayProbe(const PrefixSum2D& p, int m_, std::int64_t b)
+      : ps(p), m(m_), B(b) {}
+
+  bool run() {
+    const int n1 = ps.rows();
+    const int inf = m + 1;
+    f.assign(n1 + 1, inf);
+    next_drop.assign(n1 + 2, n1 + 1);
+    choice_e.assign(n1 + 1, n1);
+    choice_c.assign(n1 + 1, 0);
+    f[n1] = 0;
+    next_drop[n1] = n1 + 1;
+
+    for (int s = n1 - 1; s >= 0; --s) {
+      int best = inf, best_e = n1, best_c = 0;
+      // Minimal processor count for any stripe starting at s: the single row.
+      const auto c_min = stripe_parts(ps, s, s + 1, B, m);
+      if (c_min.has_value()) {
+        int c = *c_min;
+        while (c < best && c <= m) {
+          const int e = max_stripe_end(ps, s, B, c);
+          const int cand = (f[e] >= inf) ? inf
+                                         : std::min(inf, c + f[e]);
+          if (cand < best) {
+            best = cand;
+            best_e = e;
+            best_c = c;
+          }
+          if (e >= n1) break;  // a larger stripe cannot shrink below c
+          // Next useful candidate: the stripe must reach past the first
+          // strict decrease of f beyond e (any shorter extension raises the
+          // processor count without lowering the tail cost); that is
+          // precisely next_drop[e].
+          const int ed = next_drop[e];
+          if (ed > n1) break;
+          const auto c_next = stripe_parts(ps, s, ed, B, m);
+          if (!c_next.has_value()) break;  // needs more than m parts
+          c = *c_next;
+        }
+      }
+      f[s] = best;
+      choice_e[s] = best_e;
+      choice_c[s] = best_c;
+      // Maintain the strict-drop chain.
+      int ed = s + 1;
+      while (ed <= n1 && f[ed] >= f[s]) ed = next_drop[ed];
+      next_drop[s] = ed;
+    }
+    return f[0] <= m;
+  }
+};
+
+Partition m_opt_extract(const PrefixSum2D& ps, int m, std::int64_t B) {
+  MWayProbe probe(ps, m, B);
+  if (!probe.run())
+    throw std::logic_error("jag_m_opt: optimum not feasible (bug)");
+
+  oned::Cuts row_cuts;
+  std::vector<oned::Cuts> col_cuts;
+  row_cuts.pos.push_back(0);
+  int s = 0;
+  const int n1 = ps.rows();
+  while (s < n1) {
+    const int e = probe.choice_e[s];
+    const int c = probe.choice_c[s];
+    row_cuts.pos.push_back(e);
+    StripeColsOracle stripe(ps, s, e);
+    col_cuts.push_back(oned::nicol_plus(stripe, c).cuts);
+    s = e;
+  }
+  return jag_detail::assemble_jagged(row_cuts, col_cuts, m);
+}
+
+std::int64_t m_opt_bottleneck_hor(const PrefixSum2D& ps, int m) {
+  std::int64_t lb = lower_bound_lmax(ps, m);
+  JaggedOptions heur_opt;
+  heur_opt.orientation = Orientation::kHorizontal;
+  std::int64_t ub = jag_m_heur(ps, m, heur_opt).max_load(ps);
+
+  while (lb < ub) {
+    const std::int64_t mid = lb + (ub - lb) / 2;
+    MWayProbe probe(ps, m, mid);
+    if (probe.run())
+      ub = mid;
+    else
+      lb = mid + 1;
+  }
+  return lb;
+}
+
+}  // namespace
+
+Partition jag_pq_opt(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
+  int p = opt.stripes;
+  if (p <= 0) p = choose_grid(m).first;
+  return jag_detail::with_orientation(
+      ps, opt.orientation,
+      [m, p](const PrefixSum2D& view) { return pq_opt_hor(view, m, p); });
+}
+
+Partition jag_m_opt(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
+  return jag_detail::with_orientation(
+      ps, opt.orientation, [m](const PrefixSum2D& view) {
+        const std::int64_t b = m_opt_bottleneck_hor(view, m);
+        return m_opt_extract(view, m, b);
+      });
+}
+
+std::int64_t jag_m_opt_bottleneck(const PrefixSum2D& ps, int m,
+                                  Orientation orient) {
+  if (orient == Orientation::kHorizontal) return m_opt_bottleneck_hor(ps, m);
+  const PrefixSum2D t = ps.transpose();
+  if (orient == Orientation::kVertical) return m_opt_bottleneck_hor(t, m);
+  return std::min(m_opt_bottleneck_hor(ps, m), m_opt_bottleneck_hor(t, m));
+}
+
+}  // namespace rectpart

@@ -1,0 +1,193 @@
+// The paper's dynamic programming formulations for optimal jagged partitions
+// (Section 3.2), kept as the fidelity reference for the parametric engines in
+// jag_opt.cpp.  These are exact but carry the high polynomial complexity the
+// paper reports (15 minutes for 961 processors on a 512x512 matrix), so the
+// test suite runs them on small instances only.
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "jagged/jag_detail.hpp"
+#include "jagged/jagged.hpp"
+#include "oned/oned.hpp"
+#include "rectilinear/rectilinear.hpp"
+
+namespace rectpart {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+/// Memoized optimal 1-D bottleneck of stripe rows [a, b) with x processors.
+class StripeOptCache {
+ public:
+  explicit StripeOptCache(const PrefixSum2D& ps) : ps_(ps) {}
+
+  std::int64_t opt(int a, int b, int x) {
+    if (a >= b) return 0;
+    if (x <= 0) return kInf;
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 40) |
+                              (static_cast<std::uint64_t>(b) << 16) |
+                              static_cast<std::uint64_t>(x);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    StripeColsOracle o(ps_, a, b);
+    const std::int64_t v = oned::nicol_plus(o, x).bottleneck;
+    memo_.emplace(key, v);
+    return v;
+  }
+
+ private:
+  const PrefixSum2D& ps_;
+  std::unordered_map<std::uint64_t, std::int64_t> memo_;
+};
+
+/// The 1-D oracle whose interval load is the *optimal* Q-way column
+/// bottleneck of the stripe — plugging it into Nicol's exact 1-D search
+/// yields the optimal P x Q-way jagged partition ([2] built on [9]).
+class StripeOptOracle {
+ public:
+  StripeOptOracle(StripeOptCache& cache, int n1, int q)
+      : cache_(cache), n1_(n1), q_(q) {}
+
+  [[nodiscard]] int size() const { return n1_; }
+  [[nodiscard]] std::int64_t load(int i, int j) const {
+    return cache_.opt(i, j, q_);
+  }
+
+ private:
+  StripeOptCache& cache_;
+  int n1_;
+  int q_;
+};
+
+Partition pq_opt_dp_hor(const PrefixSum2D& ps, int m, int p) {
+  if (m % p != 0)
+    throw std::invalid_argument("jag_pq_opt_dp: stripes must divide m");
+  const int q = m / p;
+  StripeOptCache cache(ps);
+  StripeOptOracle oracle(cache, ps.rows(), q);
+  const oned::OptResult res = oned::nicol_search(oracle, p);
+
+  std::vector<oned::Cuts> col_cuts;
+  col_cuts.reserve(p);
+  for (int s = 0; s < p; ++s) {
+    StripeColsOracle stripe(ps, res.cuts.begin_of(s), res.cuts.end_of(s));
+    col_cuts.push_back(oned::nicol_plus(stripe, q).cuts);
+  }
+  return jag_detail::assemble_jagged(res.cuts, col_cuts, m);
+}
+
+/// The paper's m-way recursion
+///   Lmax(i, q) = min_{k < i, 1 <= x <= q} max(Lmax(k, q - x), 1D(k, i, x))
+/// with memoization and the bi-monotonic binary search over k.
+class MWayDp {
+ public:
+  MWayDp(const PrefixSum2D& ps, int m)
+      : ps_(ps), m_(m), n1_(ps.rows()), cache_(ps) {
+    value_.assign(static_cast<std::size_t>(n1_ + 1) * (m_ + 1), -1);
+    choice_k_.assign(value_.size(), 0);
+    choice_x_.assign(value_.size(), 0);
+  }
+
+  std::int64_t solve(int i, int q) {
+    if (i == 0) return 0;
+    if (q == 0) return kInf;
+    std::int64_t& slot = value_[idx(i, q)];
+    if (slot >= 0) return slot;
+
+    std::int64_t best = kInf;
+    int best_k = 0, best_x = q;
+    for (int x = 1; x <= q; ++x) {
+      // For fixed x: solve(k, q-x) is non-decreasing in k and the stripe
+      // optimum 1D(k, i, x) is non-increasing, so the minimum of their max
+      // sits at the crossing point.
+      int lo = 0, hi = i - 1;
+      while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (solve(mid, q - x) >= cache_.opt(mid, i, x))
+          hi = mid;
+        else
+          lo = mid + 1;
+      }
+      for (int k = std::max(0, lo - 1); k <= lo; ++k) {
+        const std::int64_t a = solve(k, q - x);
+        const std::int64_t b = cache_.opt(k, i, x);
+        const std::int64_t cand = a > b ? a : b;
+        if (cand < best) {
+          best = cand;
+          best_k = k;
+          best_x = x;
+        }
+      }
+    }
+    slot = best;
+    choice_k_[idx(i, q)] = best_k;
+    choice_x_[idx(i, q)] = best_x;
+    return best;
+  }
+
+  Partition extract() {
+    std::vector<std::pair<int, int>> stripes;  // (start, procs), reversed
+    int i = n1_, q = m_;
+    while (i > 0) {
+      const int k = choice_k_[idx(i, q)];
+      const int x = choice_x_[idx(i, q)];
+      stripes.emplace_back(k, x);
+      i = k;
+      q -= x;
+    }
+    oned::Cuts row_cuts;
+    std::vector<oned::Cuts> col_cuts;
+    row_cuts.pos.push_back(0);
+    for (auto it = stripes.rbegin(); it != stripes.rend(); ++it) {
+      const int start = it->first;
+      const int procs = it->second;
+      (void)start;
+      const int a = row_cuts.pos.back();
+      const int b =
+          (it + 1 == stripes.rend()) ? n1_ : (it + 1)->first;
+      row_cuts.pos.push_back(b);
+      StripeColsOracle stripe(ps_, a, b);
+      col_cuts.push_back(oned::nicol_plus(stripe, procs).cuts);
+    }
+    return jag_detail::assemble_jagged(row_cuts, col_cuts, m_);
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(int i, int q) const {
+    return static_cast<std::size_t>(i) * (m_ + 1) + q;
+  }
+
+  const PrefixSum2D& ps_;
+  int m_;
+  int n1_;
+  StripeOptCache cache_;
+  std::vector<std::int64_t> value_;
+  std::vector<int> choice_k_;
+  std::vector<int> choice_x_;
+};
+
+}  // namespace
+
+Partition jag_pq_opt_dp(const PrefixSum2D& ps, int m,
+                        const JaggedOptions& opt) {
+  int p = opt.stripes;
+  if (p <= 0) p = choose_grid(m).first;
+  return jag_detail::with_orientation(
+      ps, opt.orientation,
+      [m, p](const PrefixSum2D& view) { return pq_opt_dp_hor(view, m, p); });
+}
+
+Partition jag_m_opt_dp(const PrefixSum2D& ps, int m,
+                       const JaggedOptions& opt) {
+  return jag_detail::with_orientation(
+      ps, opt.orientation, [m](const PrefixSum2D& view) {
+        MWayDp dp(view, m);
+        dp.solve(view.rows(), m);
+        return dp.extract();
+      });
+}
+
+}  // namespace rectpart

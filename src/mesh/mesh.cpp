@@ -1,0 +1,81 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rectpart {
+
+namespace {
+
+/// Cavity profile: radius as a function of axial position t in [0, 1].
+/// A chain of raised-cosine bells between narrow irises.
+double cavity_radius(double t, const CavityMeshConfig& c) {
+  const double phase = t * c.cavity_cells * std::numbers::pi;
+  const double bell = std::pow(std::abs(std::sin(phase)), 1.35);
+  return c.iris_radius + (c.bell_radius - c.iris_radius) * bell;
+}
+
+}  // namespace
+
+std::vector<Vec3> generate_cavity_mesh(const CavityMeshConfig& config) {
+  if (config.rings < 2 || config.segments < 3)
+    throw std::invalid_argument("cavity mesh: rings >= 2, segments >= 3");
+  Rng rng(config.seed);
+  std::vector<Vec3> vertices;
+  vertices.reserve(static_cast<std::size_t>(config.rings) * config.segments);
+  const double dt = 1.0 / (config.rings - 1);
+  const double dtheta = 2.0 * std::numbers::pi / config.segments;
+  for (int ring = 0; ring < config.rings; ++ring) {
+    const double t = ring * dt;
+    for (int seg = 0; seg < config.segments; ++seg) {
+      // Jitter within the local tessellation cell mimics the irregular
+      // element sizes of a real unstructured mesh.
+      const double tj =
+          std::clamp(t + config.jitter * dt * rng.normal(), 0.0, 1.0);
+      const double theta =
+          seg * dtheta + config.jitter * dtheta * rng.normal();
+      const double r = cavity_radius(tj, config);
+      vertices.push_back(
+          {r * std::cos(theta), r * std::sin(theta), tj});
+    }
+  }
+  return vertices;
+}
+
+LoadMatrix rasterize_mesh(const std::vector<Vec3>& vertices, int n1, int n2) {
+  if (n1 < 1 || n2 < 1)
+    throw std::invalid_argument("rasterize_mesh: raster must be non-empty");
+  // Bounding box of the projection (z -> rows, x -> columns).
+  double zmin = 0, zmax = 1, xmin = -1, xmax = 1;
+  if (!vertices.empty()) {
+    zmin = zmax = vertices[0].z;
+    xmin = xmax = vertices[0].x;
+    for (const Vec3& v : vertices) {
+      zmin = std::min(zmin, v.z);
+      zmax = std::max(zmax, v.z);
+      xmin = std::min(xmin, v.x);
+      xmax = std::max(xmax, v.x);
+    }
+  }
+  const double zspan = std::max(zmax - zmin, 1e-12);
+  const double xspan = std::max(xmax - xmin, 1e-12);
+  LoadMatrix a(n1, n2, 0);
+  for (const Vec3& v : vertices) {
+    const int row = std::min(
+        n1 - 1, static_cast<int>((v.z - zmin) / zspan * n1));
+    const int col = std::min(
+        n2 - 1, static_cast<int>((v.x - xmin) / xspan * n2));
+    ++a(row, col);
+  }
+  return a;
+}
+
+LoadMatrix gen_slac(int n1, int n2, const CavityMeshConfig& config) {
+  return rasterize_mesh(generate_cavity_mesh(config), n1, n2);
+}
+
+}  // namespace rectpart

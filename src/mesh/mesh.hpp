@@ -1,0 +1,56 @@
+// SLAC substrate: procedural 3-D mesh of an accelerator-cavity-like object,
+// projected to a plane and rasterized into a load matrix.
+//
+// The paper's SLAC dataset carries one unit of computation per mesh vertex of
+// a 3-D object, projects the mesh onto a 2-D plane, and discretizes at a
+// chosen granularity (512x512 in the experiments); the resulting matrix is
+// *sparse* (contains zeros, Delta undefined).  The original SLAC mesh is not
+// redistributable, so we generate the closest synthetic equivalent: a surface
+// of revolution shaped like a chain of accelerator cavity cells (bulging
+// bells connected by narrow irises), tessellated into vertices, projected
+// side-on.  The projection concentrates vertices along the silhouette —
+// exactly the dense-curves-on-empty-background structure that makes the
+// instance hard for non-hierarchical partitioners (Figure 14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.hpp"
+
+namespace rectpart {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+};
+
+struct CavityMeshConfig {
+  int cavity_cells = 6;    ///< number of bell-shaped cells along the axis
+  // Tessellation density.  The defaults put ~10k vertices on a 512x512
+  // raster: the projection is then *curve-like* (a few percent of cells
+  // occupied, silhouette-dominated), which is what makes the paper's SLAC
+  // instance hard for the non-hierarchical classes (Figure 14).  Raise the
+  // density (or lower the raster resolution) for denser instances.
+  int rings = 100;         ///< tessellation rings along the axis
+  int segments = 100;      ///< tessellation segments around the axis
+  double iris_radius = 0.12;   ///< narrow connecting radius
+  double bell_radius = 0.42;   ///< widest cavity radius
+  std::uint64_t seed = 7;  ///< jitter seed (mesh irregularity)
+  double jitter = 0.25;    ///< vertex jitter as a fraction of cell spacing
+};
+
+/// Vertices of the cavity surface mesh (rings x segments points).
+[[nodiscard]] std::vector<Vec3> generate_cavity_mesh(
+    const CavityMeshConfig& config);
+
+/// Orthographic side-view projection (drop the y coordinate) and raster
+/// count: cell (row, col) counts the vertices landing there; rows follow the
+/// axis (z), columns the transverse direction (x).
+[[nodiscard]] LoadMatrix rasterize_mesh(const std::vector<Vec3>& vertices,
+                                        int n1, int n2);
+
+/// Convenience: the full SLAC-like instance at a given raster granularity.
+[[nodiscard]] LoadMatrix gen_slac(int n1 = 512, int n2 = 512,
+                                  const CavityMeshConfig& config = {});
+
+}  // namespace rectpart

@@ -1,0 +1,56 @@
+// Representation of a 1-D partition: the cut-point vector.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "oned/oracle.hpp"
+
+namespace rectpart::oned {
+
+/// A partition of [0, n) into m consecutive (possibly empty) intervals.
+///
+/// pos has m+1 entries with pos[0] == 0, pos[m] == n, non-decreasing.
+/// Interval p is [pos[p], pos[p+1]).
+struct Cuts {
+  std::vector<int> pos;
+
+  Cuts() = default;
+  explicit Cuts(std::vector<int> p) : pos(std::move(p)) {}
+
+  /// Number of intervals.
+  [[nodiscard]] int parts() const {
+    return pos.empty() ? 0 : static_cast<int>(pos.size()) - 1;
+  }
+
+  [[nodiscard]] int begin_of(int p) const { return pos[p]; }
+  [[nodiscard]] int end_of(int p) const { return pos[p + 1]; }
+
+  /// Structural sanity: monotone, anchored at 0 and n.
+  [[nodiscard]] bool well_formed(int n) const {
+    if (pos.size() < 2 || pos.front() != 0 || pos.back() != n) return false;
+    for (std::size_t i = 1; i < pos.size(); ++i)
+      if (pos[i] < pos[i - 1]) return false;
+    return true;
+  }
+};
+
+/// Load of the most loaded interval under the oracle.
+template <IntervalOracle O>
+[[nodiscard]] std::int64_t bottleneck(const O& o, const Cuts& cuts) {
+  std::int64_t lmax = 0;
+  for (int p = 0; p < cuts.parts(); ++p)
+    lmax = std::max(lmax, o.load(cuts.begin_of(p), cuts.end_of(p)));
+  return lmax;
+}
+
+/// A trivially valid partition: all of [0, n) to interval 0, the rest empty.
+[[nodiscard]] inline Cuts all_to_first(int n, int m) {
+  assert(m >= 1);
+  std::vector<int> pos(m + 1, n);
+  pos[0] = 0;
+  return Cuts(std::move(pos));
+}
+
+}  // namespace rectpart::oned

@@ -1,0 +1,63 @@
+// DirectCut (DC) — "Heuristic 1" of Miguet and Pierson (Section 2.2).
+//
+// Processor p receives the smallest prefix whose load reaches p/m of the
+// total, so every interval's load is below total/m + max element.  This gives
+// the classical guarantee Lmax(DC) <= total/m + max_i A[i], which doubles as
+// the cheap upper bound on the optimal bottleneck used by the exact solvers.
+#pragma once
+
+#include <cstdint>
+
+#include "oned/cuts.hpp"
+#include "oned/oracle.hpp"
+
+namespace rectpart::oned {
+
+/// Greedy prefix-target heuristic; O(m log(n/m)) oracle calls via galloping.
+///
+/// Cut p (1 <= p < m) is the smallest index j with load(0, j) * m >= p * total
+/// (exact integer arithmetic; loads fit comfortably in 64 bits).
+template <IntervalOracle O>
+[[nodiscard]] Cuts direct_cut(const O& o, int m) {
+  const int n = o.size();
+  const std::int64_t total = o.load(0, n);
+  Cuts cuts;
+  cuts.pos.assign(static_cast<std::size_t>(m) + 1, n);
+  cuts.pos[0] = 0;
+
+  int prev = 0;
+  for (int p = 1; p < m; ++p) {
+    // Smallest j >= prev with m * load(0, j) >= p * total.  Galloping search
+    // on the monotone predicate keeps the total cost at O(m log(n/m)).
+    const std::int64_t target = p * total;  // compare m*load >= target
+    int good = prev;  // m * load(0, good) < target (or good == prev boundary)
+    if (static_cast<std::int64_t>(m) * o.load(0, good) >= target) {
+      cuts.pos[p] = good;
+      continue;
+    }
+    int bad = n;  // m * load(0, n) = m * total >= p * total always
+    int step = 1;
+    while (good + step < bad) {
+      const int probe = good + step;
+      if (static_cast<std::int64_t>(m) * o.load(0, probe) < target) {
+        good = probe;
+        step *= 2;
+      } else {
+        bad = probe;
+        break;
+      }
+    }
+    while (good + 1 < bad) {
+      const int mid = good + (bad - good) / 2;
+      if (static_cast<std::int64_t>(m) * o.load(0, mid) < target)
+        good = mid;
+      else
+        bad = mid;
+    }
+    cuts.pos[p] = bad;
+    prev = bad;
+  }
+  return cuts;
+}
+
+}  // namespace rectpart::oned

@@ -1,0 +1,86 @@
+// Optimal 1-D partitioning by dynamic programming (Manne & Olstad),
+// Section 2.2.
+//
+//   L*(j, p) = min_{k <= j} max( L*(k, p-1), load(k, j) ).
+//
+// For fixed p and j, L*(k, p-1) is non-decreasing and load(k, j) is
+// non-increasing in k, so the inner minimum sits at the crossing point of two
+// monotone sequences and a binary search finds it: O(m n log n) total, with
+// an O(m n) table.  Used as the independent optimality reference for the
+// parametric solvers; the table size limits it to moderate instances.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "oned/cuts.hpp"
+#include "oned/oracle.hpp"
+
+namespace rectpart::oned {
+
+/// Exact 1-D partitioning via DP.  Throws std::length_error when the
+/// (m+1) x (n+1) table would exceed ~512 MB — use nicol_plus for large runs.
+template <IntervalOracle O>
+[[nodiscard]] Cuts dp_optimal(const O& o, int m) {
+  const int n = o.size();
+  const std::size_t cells =
+      (static_cast<std::size_t>(m) + 1) * (static_cast<std::size_t>(n) + 1);
+  if (cells > (512ull << 20) / sizeof(std::int64_t))
+    throw std::length_error("dp_optimal: table too large; use nicol_plus");
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  // best[p][j] = optimal bottleneck for the first j elements with p parts.
+  std::vector<std::int64_t> best(cells, kInf);
+  // choice[p][j] = the k realizing best[p][j] (start of the last interval).
+  std::vector<int> choice(cells, 0);
+  auto idx = [n](int p, int j) {
+    return static_cast<std::size_t>(p) * (n + 1) + j;
+  };
+
+  for (int j = 0; j <= n; ++j) best[idx(1, j)] = o.load(0, j);
+  best[idx(0, 0)] = 0;
+
+  for (int p = 2; p <= m; ++p) {
+    for (int j = 0; j <= n; ++j) {
+      // Find the crossing point of  f(k) = best[p-1][k]  (non-decreasing)
+      // and  g(k) = load(k, j)  (non-increasing) over k in [0, j].
+      int lo = 0, hi = j;
+      while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (best[idx(p - 1, mid)] >= o.load(mid, j))
+          hi = mid;
+        else
+          lo = mid + 1;
+      }
+      // Candidates: the crossing index and its left neighbour.
+      std::int64_t val = kInf;
+      int arg = lo;
+      for (int k = std::max(0, lo - 1); k <= lo; ++k) {
+        const std::int64_t f = best[idx(p - 1, k)];
+        const std::int64_t g = o.load(k, j);
+        const std::int64_t cand = f > g ? f : g;
+        if (cand < val) {
+          val = cand;
+          arg = k;
+        }
+      }
+      best[idx(p, j)] = val;
+      choice[idx(p, j)] = arg;
+    }
+  }
+
+  Cuts cuts;
+  cuts.pos.assign(static_cast<std::size_t>(m) + 1, 0);
+  cuts.pos[m] = n;
+  int j = n;
+  for (int p = m; p >= 2; --p) {
+    j = choice[idx(p, j)];
+    cuts.pos[p - 1] = j;
+  }
+  cuts.pos[0] = 0;
+  return cuts;
+}
+
+}  // namespace rectpart::oned

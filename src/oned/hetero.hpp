@@ -1,0 +1,123 @@
+// Heterogeneous-processor 1-D partitioning (chains onto processors with
+// different speeds).
+//
+// The paper's introduction situates its problem next to the distribution of
+// computations over *heterogeneous* processors (its reference [7],
+// Lastovetsky & Dongarra).  This module extends the 1-D substrate to that
+// setting for a fixed processor order along the chain (the physical layout
+// case): processor p with speed s_p finishing interval I takes time
+// load(I) / s_p, and the objective is the minimum makespan.
+//
+// For a fixed order the parametric machinery carries over directly: under a
+// makespan budget T, processor p absorbs at most floor(T * s_p) load, so the
+// greedy longest-prefix probe is exact and integer bisection on
+// T * s_scale yields the optimal makespan.  (Optimizing over processor
+// permutations is a different, harder problem; fixing the order is the
+// standard practical variant.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "oned/cuts.hpp"
+#include "oned/oracle.hpp"
+
+namespace rectpart::oned {
+
+/// Feasibility of integer "work budget" W: can [0, n) be split into
+/// intervals where interval p carries load at most W * speeds[p] /
+/// speed_sum?  To stay in exact integer arithmetic the budget is expressed
+/// as scaled total work: processor p's cap is floor(W * speeds[p] /
+/// speed_sum).  Greedy longest-prefix per processor, galloping searches.
+template <IntervalOracle O>
+[[nodiscard]] bool hetero_probe(const O& o, std::span<const int> speeds,
+                                std::int64_t W, Cuts* out = nullptr) {
+  if (W < 0) return false;
+  const int n = o.size();
+  const int m = static_cast<int>(speeds.size());
+  std::int64_t speed_sum = 0;
+  for (const int s : speeds) speed_sum += s;
+  if (speed_sum <= 0) return false;
+  if (out) {
+    out->pos.assign(static_cast<std::size_t>(m) + 1, n);
+    out->pos[0] = 0;
+  }
+  int pos = 0;
+  for (int p = 0; p < m; ++p) {
+    if (pos == n) break;
+    const std::int64_t cap = W / speed_sum * speeds[p] +
+                             (W % speed_sum) * speeds[p] / speed_sum;
+    // Unlike the homogeneous probe, a single element exceeding this
+    // processor's cap is NOT infeasibility: a slow (or disabled) processor
+    // simply receives an empty interval and the chain moves on.  The
+    // maximal-prefix exchange argument is unaffected by empty intervals.
+    if (o.load(pos, pos + 1) > cap) {
+      if (out) out->pos[p + 1] = pos;
+      continue;
+    }
+    pos = max_end_within(o, pos, pos, cap);
+    if (out) out->pos[p + 1] = pos;
+  }
+  return pos == n;
+}
+
+/// Result of the heterogeneous solve.
+struct HeteroResult {
+  /// Scaled optimal budget: the smallest W such that caps floor(W * s_p /
+  /// sum(s)) admit a feasible split.  The makespan in "load per unit speed"
+  /// is W / sum(s) up to the floor rounding.
+  std::int64_t budget = 0;
+  Cuts cuts;
+  /// max over processors of load(I_p) / s_p, the actual makespan.
+  double makespan = 0;
+};
+
+/// Exact (for integral loads) heterogeneous 1-D partitioning with a fixed
+/// processor order, by integer bisection on the scaled budget.
+template <IntervalOracle O>
+[[nodiscard]] HeteroResult hetero_bisect(const O& o,
+                                         std::span<const int> speeds) {
+  const int n = o.size();
+  const std::int64_t total = o.load(0, n);
+  std::int64_t speed_sum = 0;
+  int max_speed = 0;
+  for (const int s : speeds) {
+    speed_sum += s;
+    max_speed = std::max(max_speed, s);
+  }
+  HeteroResult r;
+  if (speed_sum <= 0 || n == 0) {
+    r.cuts = all_to_first(n, static_cast<int>(speeds.size()));
+    return r;
+  }
+  // Lower bound: perfect speed-proportional split.  Upper bound: every
+  // element on the fastest processor plus everything else anywhere —
+  // W = total * speed_sum / max_speed always fits on the fastest processor
+  // alone, but the chain order may not reach it, so fall back to the safe
+  // bound below and double until feasible.
+  std::int64_t lo = total;
+  std::int64_t hi = total * speed_sum / std::max(1, max_speed) + speed_sum;
+  while (!hetero_probe(o, speeds, hi)) hi *= 2;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (hetero_probe(o, speeds, mid))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  r.budget = lo;
+  const bool ok = hetero_probe(o, speeds, lo, &r.cuts);
+  (void)ok;
+  for (std::size_t p = 0; p < speeds.size(); ++p) {
+    if (speeds[p] == 0) continue;
+    const double t = static_cast<double>(o.load(r.cuts.begin_of(
+                         static_cast<int>(p)),
+                         r.cuts.end_of(static_cast<int>(p)))) /
+                     speeds[p];
+    r.makespan = std::max(r.makespan, t);
+  }
+  return r;
+}
+
+}  // namespace rectpart::oned

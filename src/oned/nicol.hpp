@@ -1,0 +1,147 @@
+// Exact 1-D partitioners built on the parametric Probe (Section 2.2).
+//
+// * nicol_search  — Nicol's 1994 nested parametric search: for each processor
+//   in turn, binary-search the smallest first-interval load whose Probe
+//   succeeds; the optimum is the smallest candidate seen.  Works for
+//   arbitrary (not necessarily integer-spaced) monotone oracles.
+// * nicol_plus    — the algorithmically engineered variant of Pinar & Aykanat:
+//   identical search tree, but every binary search is clipped by running
+//   lower/upper bounds on the optimum, which in practice removes most probes.
+//   This is the paper's 1-D workhorse.
+// * bisect_probe  — integer parametric bisection on [LB, UB] with Probe.
+//   Exact for integral loads (all our matrices); the simplest fast solver and
+//   an independent cross-check of the other two.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "oned/cuts.hpp"
+#include "oned/direct_cut.hpp"
+#include "oned/oracle.hpp"
+#include "oned/probe.hpp"
+
+namespace rectpart::oned {
+
+/// Result of an exact solve: the optimal bottleneck and witness cuts.
+struct OptResult {
+  std::int64_t bottleneck = 0;
+  Cuts cuts;
+};
+
+/// Integer parametric bisection.  `lb`/`ub` may be supplied when the caller
+/// already knows bounds (ub must be feasible); by default they come from the
+/// average-load bound and DirectCut.
+template <IntervalOracle O>
+[[nodiscard]] OptResult bisect_probe(const O& o, int m, std::int64_t lb = -1,
+                                     std::int64_t ub = -1) {
+  const int n = o.size();
+  const std::int64_t total = o.load(0, n);
+  if (lb < 0) {
+    lb = (total + m - 1) / m;
+    lb = std::max(lb, max_singleton(o));
+  }
+  if (ub < 0) {
+    const Cuts dc = direct_cut(o, m);
+    ub = bottleneck(o, dc);
+  }
+  while (lb < ub) {
+    const std::int64_t mid = lb + (ub - lb) / 2;
+    if (probe(o, m, mid))
+      ub = mid;
+    else
+      lb = mid + 1;
+  }
+  OptResult r;
+  r.bottleneck = lb;
+  const bool ok = probe(o, m, lb, &r.cuts);
+  (void)ok;
+  return r;
+}
+
+namespace detail {
+
+/// Shared body of nicol_search / nicol_plus.  When `use_bounds` is true the
+/// per-processor binary searches are clipped to first-interval loads inside
+/// (LB, UB], and LB/UB are tightened after every processor — the
+/// Pinar–Aykanat refinement.
+template <IntervalOracle O>
+[[nodiscard]] OptResult nicol_impl(const O& o, int m, bool use_bounds) {
+  const int n = o.size();
+  const std::int64_t total = o.load(0, n);
+
+  std::int64_t lb = (total + m - 1) / m;           // average-load lower bound
+  std::int64_t ub = std::numeric_limits<std::int64_t>::max();
+  if (use_bounds) {
+    lb = std::max(lb, max_singleton(o));
+    ub = bottleneck(o, direct_cut(o, m));  // DirectCut guarantee
+  }
+
+  std::int64_t best = ub;  // smallest feasible bottleneck seen so far
+  int start = 0;
+  for (int p = 1; p <= m && start < n; ++p) {
+    const int remaining = m - p;  // processors after this one
+    if (p == m) {
+      // Last processor takes the whole suffix.
+      best = std::min(best, std::max<std::int64_t>(0, o.load(start, n)));
+      break;
+    }
+    // Binary search the smallest e in [start, n] such that the suffix
+    // [start, n) is coverable by (remaining + 1) intervals with bottleneck
+    // load(start, e).  Feasibility is monotone in e.
+    int lo = start, hi = n;
+    if (use_bounds) {
+      // Loads below LB are infeasible, so start at the first e whose load
+      // reaches LB; loads at or above UB are feasible (UB is feasible for
+      // this suffix by Nicol's invariant), so stop at the first e whose load
+      // reaches best.
+      lo = min_end_reaching(o, start, start, lb);
+      if (lo > n) lo = n;
+      int cap = min_end_reaching(o, start, lo, best);
+      if (cap > n) cap = n;
+      hi = cap;
+    }
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (probe_suffix(o, start, remaining + 1, o.load(start, mid)))
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    const int e = lo;  // smallest feasible end for the first interval
+    const std::int64_t feasible_load = o.load(start, e);
+    best = std::min(best, feasible_load);
+    if (use_bounds && e > start) {
+      // load(start, e-1) is infeasible for this suffix, so the optimum
+      // exceeds it; integral loads let us round up by one.
+      lb = std::max(lb, o.load(start, e - 1) + 1);
+      if (lb >= best) break;  // bounds met: best is optimal
+    }
+    // Allocate the largest infeasible prefix to this processor: some optimal
+    // solution ends its p-th interval at e-1 (or earlier).
+    start = e > start ? e - 1 : start;
+  }
+
+  OptResult r;
+  r.bottleneck = best;
+  const bool ok = probe(o, m, best, &r.cuts);
+  (void)ok;
+  return r;
+}
+
+}  // namespace detail
+
+/// Nicol's exact algorithm, O((m log(n/m))^2) oracle calls.
+template <IntervalOracle O>
+[[nodiscard]] OptResult nicol_search(const O& o, int m) {
+  return detail::nicol_impl(o, m, /*use_bounds=*/false);
+}
+
+/// NicolPlus: Nicol's algorithm with Pinar–Aykanat bound clipping.  The
+/// default exact 1-D solver throughout the library.
+template <IntervalOracle O>
+[[nodiscard]] OptResult nicol_plus(const O& o, int m) {
+  return detail::nicol_impl(o, m, /*use_bounds=*/true);
+}
+
+}  // namespace rectpart::oned

@@ -1,0 +1,23 @@
+// Umbrella header for the 1-D partitioning substrate (Section 2.2).
+//
+// Quick map from the paper's names to ours:
+//   DirectCut ("Heuristic 1")            -> direct_cut()
+//   Recursive Bisection                  -> recursive_bisection()
+//   Manne–Olstad dynamic programming     -> dp_optimal()
+//   Han–Narahari–Choi Probe              -> probe(), probe_suffix()
+//   Nicol's parametric search            -> nicol_search()
+//   NicolPlus (Pinar–Aykanat)            -> nicol_plus()
+//   Miguet–Pierson refinement ("H2")     -> direct_cut_refined()
+//   integer parametric bisection         -> bisect_probe()
+// All algorithms are templates over a monotone IntervalOracle; PrefixOracle
+// adapts a prefix-sum vector.
+#pragma once
+
+#include "oned/cuts.hpp"        // IWYU pragma: export
+#include "oned/direct_cut.hpp"  // IWYU pragma: export
+#include "oned/dp.hpp"          // IWYU pragma: export
+#include "oned/nicol.hpp"       // IWYU pragma: export
+#include "oned/oracle.hpp"      // IWYU pragma: export
+#include "oned/probe.hpp"       // IWYU pragma: export
+#include "oned/refine.hpp"      // IWYU pragma: export
+#include "oned/recursive_bisection.hpp"  // IWYU pragma: export

@@ -1,0 +1,142 @@
+// Interval-load oracles: the abstraction all 1-D algorithms are written
+// against.
+//
+// A 1-D partitioning instance is a monotone set function on half-open index
+// intervals.  For a plain array the oracle is a prefix-sum lookup, but the
+// 2-D algorithms need richer oracles with identical monotonicity:
+//   * RECT-NICOL partitions one dimension where the load of an interval is
+//     the *maximum* over the fixed stripes of the other dimension;
+//   * JAG-PQ-OPT partitions the main dimension where the load of an interval
+//     is the *optimal 1-D bottleneck* of that stripe with Q processors.
+// Both are monotone (widening an interval never decreases its load), which is
+// the only property the probe/search machinery relies on.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rectpart::oned {
+
+/// Requirements on a 1-D interval-load oracle:
+///  * size()      — number of elements n;
+///  * load(i, j)  — load of the half-open interval [i, j), 0 when i >= j;
+/// and the monotonicity law load(i,j) <= load(i',j') whenever
+/// [i,j) is contained in [i',j').
+template <typename O>
+concept IntervalOracle = requires(const O& o, int i, int j) {
+  { o.size() } -> std::convertible_to<int>;
+  { o.load(i, j) } -> std::convertible_to<std::int64_t>;
+};
+
+/// Oracle over a prefix-sum vector p of size n+1 with p[0] == 0:
+/// load(i, j) = p[j] - p[i].  Does not own the data.
+class PrefixOracle {
+ public:
+  explicit PrefixOracle(std::span<const std::int64_t> prefix)
+      : prefix_(prefix) {
+    assert(!prefix_.empty() && prefix_.front() == 0);
+  }
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(prefix_.size()) - 1;
+  }
+
+  [[nodiscard]] std::int64_t load(int i, int j) const {
+    if (i >= j) return 0;
+    return prefix_[j] - prefix_[i];
+  }
+
+  [[nodiscard]] std::int64_t total() const { return prefix_.back(); }
+
+ private:
+  std::span<const std::int64_t> prefix_;
+};
+
+/// Builds the prefix vector (size n+1) of a raw weight array.
+[[nodiscard]] inline std::vector<std::int64_t> prefix_of(
+    std::span<const std::int64_t> weights) {
+  std::vector<std::int64_t> p(weights.size() + 1, 0);
+  for (std::size_t i = 0; i < weights.size(); ++i) p[i + 1] = p[i] + weights[i];
+  return p;
+}
+
+/// Largest single element of the instance, i.e. max over i of load(i, i+1).
+/// This is a lower bound on any achievable bottleneck.  O(n) oracle calls.
+template <IntervalOracle O>
+[[nodiscard]] std::int64_t max_singleton(const O& o) {
+  std::int64_t best = 0;
+  const int n = o.size();
+  for (int i = 0; i < n; ++i) best = std::max(best, o.load(i, i + 1));
+  return best;
+}
+
+/// Largest j in [lo, n] such that load(i, j) <= budget, assuming
+/// load(i, lo) <= budget.  Galloping (exponential then binary) search, so the
+/// cost is O(log(j - lo)) oracle calls — the key to the O(m log(n/m)) probe.
+template <IntervalOracle O>
+[[nodiscard]] int max_end_within(const O& o, int i, int lo,
+                                 std::int64_t budget) {
+  const int n = o.size();
+  assert(lo >= i && o.load(i, lo) <= budget);
+  // Exponential phase: find a bracket [lo, hi] with load(i, hi) > budget.
+  int step = 1;
+  int hi = lo;
+  while (hi < n) {
+    const int probe = std::min(n, hi + step);
+    if (o.load(i, probe) <= budget) {
+      hi = probe;
+      step *= 2;
+    } else {
+      // Binary phase inside (hi, probe).
+      int bad = probe;
+      while (hi + 1 < bad) {
+        const int mid = hi + (bad - hi) / 2;
+        if (o.load(i, mid) <= budget)
+          hi = mid;
+        else
+          bad = mid;
+      }
+      return hi;
+    }
+  }
+  return n;
+}
+
+/// Smallest j in [lo, n] such that load(i, j) >= target, or n+1 ("impossible")
+/// when even load(i, n) < target.  Galloping search from lo.
+template <IntervalOracle O>
+[[nodiscard]] int min_end_reaching(const O& o, int i, int lo,
+                                   std::int64_t target) {
+  const int n = o.size();
+  if (o.load(i, n) < target) return n + 1;
+  if (lo <= i) lo = i;
+  if (o.load(i, lo) >= target) return lo;
+  // Invariant: load(i, good) < target <= load(i, bad).
+  int good = lo;
+  int step = 1;
+  int bad = n;
+  while (good + step < n) {
+    const int probe = good + step;
+    if (o.load(i, probe) < target) {
+      good = probe;
+      step *= 2;
+    } else {
+      bad = probe;
+      break;
+    }
+  }
+  while (good + 1 < bad) {
+    const int mid = good + (bad - good) / 2;
+    if (o.load(i, mid) < target)
+      good = mid;
+    else
+      bad = mid;
+  }
+  return bad;
+}
+
+}  // namespace rectpart::oned

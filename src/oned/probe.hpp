@@ -1,0 +1,71 @@
+// The parametric Probe of Han, Narahari and Choi (Section 2.2).
+//
+// Probe(B) answers: can [0, n) be split into at most m intervals, each of
+// load at most B?  The greedy proof: give every processor the longest prefix
+// of the remaining elements that fits in B; the greedy either covers the
+// array (feasible) or cannot (infeasible).  Galloping searches make one call
+// O(m log(n/m)) amortized — the "array slicing" effect of [10] without the
+// bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "oned/cuts.hpp"
+#include "oned/oracle.hpp"
+
+namespace rectpart::oned {
+
+/// Feasibility of bottleneck B for m intervals starting at element `from`.
+/// When feasible and `out` is non-null, writes the greedy cuts covering
+/// [from, n) into out->pos (m+1 entries over the suffix, pos[0] == from).
+template <IntervalOracle O>
+[[nodiscard]] bool probe_suffix(const O& o, int from, int m, std::int64_t B,
+                                Cuts* out = nullptr) {
+  if (B < 0 || m <= 0) return false;
+  const int n = o.size();
+  if (out) {
+    out->pos.assign(static_cast<std::size_t>(m) + 1, n);
+    out->pos[0] = from;
+  }
+  int pos = from;
+  for (int p = 0; p < m; ++p) {
+    if (pos == n) break;  // everything already covered; rest are empty
+    if (o.load(pos, pos + 1) > B) return false;  // a single element overflows
+    pos = max_end_within(o, pos, pos, B);
+    if (out) out->pos[p + 1] = pos;
+  }
+  return pos == n;
+}
+
+/// Probe over the whole array.
+template <IntervalOracle O>
+[[nodiscard]] bool probe(const O& o, int m, std::int64_t B,
+                         Cuts* out = nullptr) {
+  return probe_suffix(o, 0, m, B, out);
+}
+
+/// Minimal number of intervals of load <= B needed to cover [from, n), or
+/// std::nullopt when impossible (a single element exceeds B).  The greedy
+/// longest-prefix rule is optimal for this counting problem.  Stops early and
+/// returns nullopt once the count would exceed `cap` (pass INT_MAX for none).
+template <IntervalOracle O>
+[[nodiscard]] std::optional<int> min_parts_within(const O& o, int from, int to,
+                                                  std::int64_t B, int cap) {
+  if (B < 0) return std::nullopt;
+  int pos = from;
+  int parts = 0;
+  while (pos < to) {
+    if (parts >= cap) return std::nullopt;
+    if (o.load(pos, pos + 1) > B) return std::nullopt;
+    // Gallop within [pos, to): temporarily treat `to` as the array end by
+    // clamping the result.
+    int next = max_end_within(o, pos, pos, B);
+    if (next > to) next = to;
+    pos = next;
+    ++parts;
+  }
+  return parts;
+}
+
+}  // namespace rectpart::oned

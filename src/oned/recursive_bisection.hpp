@@ -1,0 +1,73 @@
+// 1-D Recursive Bisection (RB), Section 2.2.
+//
+// Splits the array at the cut balancing load-per-processor between the two
+// halves, assigns floor(m/2) / ceil(m/2) processors, and recurses.  Shares
+// DirectCut's guarantee Lmax <= total/m + max element, and runs in
+// O(m log n).
+#pragma once
+
+#include <cstdint>
+
+#include "oned/cuts.hpp"
+#include "oned/oracle.hpp"
+
+namespace rectpart::oned {
+
+namespace detail {
+
+/// Chooses the cut k in [i, j] minimizing
+/// max(load(i,k)/ml, load(k,j)/mr); candidates are the two indices around the
+/// fractional balance point, compared with exact integer cross-multiplication.
+template <IntervalOracle O>
+[[nodiscard]] int best_bisection_point(const O& o, int i, int j, int ml,
+                                       int mr) {
+  // Smallest k with mr * load(i,k) >= ml * load(k,j); the max-of-ratios is
+  // minimized at this k or at k-1.
+  int lo = i, hi = j;  // invariant: predicate false at lo-0?, true at hi
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (static_cast<std::int64_t>(mr) * o.load(i, mid) >=
+        static_cast<std::int64_t>(ml) * o.load(mid, j))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  auto score = [&](int k) {
+    // max(load(i,k)/ml, load(k,j)/mr) compared via common denominator ml*mr.
+    const std::int64_t a = o.load(i, k) * mr;
+    const std::int64_t b = o.load(k, j) * ml;
+    return a > b ? a : b;
+  };
+  if (lo > i && score(lo - 1) < score(lo)) return lo - 1;
+  return lo;
+}
+
+template <IntervalOracle O>
+void rb_recurse(const O& o, int i, int j, int p0, int m,
+                std::vector<int>& pos) {
+  if (m == 1) {
+    pos[p0 + 1] = j;
+    return;
+  }
+  const int ml = m / 2;
+  const int mr = m - ml;
+  const int k = best_bisection_point(o, i, j, ml, mr);
+  pos[p0 + ml] = k;
+  rb_recurse(o, i, k, p0, ml, pos);
+  rb_recurse(o, k, j, p0 + ml, mr, pos);
+}
+
+}  // namespace detail
+
+/// Recursive bisection into m intervals; O(m log n) oracle calls.
+template <IntervalOracle O>
+[[nodiscard]] Cuts recursive_bisection(const O& o, int m) {
+  const int n = o.size();
+  Cuts cuts;
+  cuts.pos.assign(static_cast<std::size_t>(m) + 1, n);
+  cuts.pos[0] = 0;
+  detail::rb_recurse(o, 0, n, 0, m, cuts.pos);
+  return cuts;
+}
+
+}  // namespace rectpart::oned

@@ -1,0 +1,296 @@
+#include "patterns/patterns.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace rectpart {
+
+namespace {
+
+// ------------------------------------------------------------------ spiral
+
+/// Sides rotate top -> right -> bottom -> left.
+enum class Side { kTop, kRight, kBottom, kLeft };
+
+Side next_side(Side s) {
+  switch (s) {
+    case Side::kTop: return Side::kRight;
+    case Side::kRight: return Side::kBottom;
+    case Side::kBottom: return Side::kLeft;
+    case Side::kLeft: return Side::kTop;
+  }
+  return Side::kTop;
+}
+
+/// The strip of depth d peeled from `side` of r, and the remainder.
+std::pair<Rect, Rect> peel(const Rect& r, Side side, int d) {
+  Rect strip = r, rest = r;
+  switch (side) {
+    case Side::kTop:
+      strip.x1 = r.x0 + d;
+      rest.x0 = r.x0 + d;
+      break;
+    case Side::kRight:
+      strip.y0 = r.y1 - d;
+      rest.y1 = r.y1 - d;
+      break;
+    case Side::kBottom:
+      strip.x0 = r.x1 - d;
+      rest.x1 = r.x1 - d;
+      break;
+    case Side::kLeft:
+      strip.y1 = r.y0 + d;
+      rest.y0 = r.y0 + d;
+      break;
+  }
+  return {strip, rest};
+}
+
+int side_extent(const Rect& r, Side side) {
+  return (side == Side::kTop || side == Side::kBottom) ? r.width()
+                                                       : r.height();
+}
+
+/// Greedy feasibility for bottleneck B: peel the maximal strip of load <= B
+/// on each of the m-1 turns (maximal peels dominate: a deeper peel leaves a
+/// contained remainder, which only shrinks every later strip's load).  The
+/// final remainder must itself fit in B.
+bool spiral_feasible(const PrefixSum2D& ps, int m, std::int64_t B,
+                     std::vector<Rect>* out) {
+  Rect r{0, ps.rows(), 0, ps.cols()};
+  Side side = Side::kTop;
+  if (out) {
+    out->clear();
+    out->reserve(m);
+  }
+  for (int p = 0; p < m - 1; ++p) {
+    // Largest depth d with strip load <= B; load is monotone in d.
+    int lo = 0, hi = side_extent(r, side);
+    while (lo < hi) {
+      const int mid = lo + (hi - lo + 1) / 2;
+      if (ps.load(peel(r, side, mid).first) <= B)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    const auto [strip, rest] = peel(r, side, lo);
+    if (out) out->push_back(strip);
+    r = rest;
+    side = next_side(side);
+  }
+  if (ps.load(r) > B) return false;
+  if (out) out->push_back(r);
+  return true;
+}
+
+// -------------------------------------------------------------------- quad
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+constexpr int kStopSentinel = -1;
+
+/// Memoized DP for recursive quad partitions: every internal node picks one
+/// row cut and one column cut (shared by the four children) plus a processor
+/// distribution.  The distribution subproblem — minimize the max of four
+/// non-increasing value functions under a processor budget — is solved
+/// exactly by searching over the candidate values.
+class QuadDp {
+ public:
+  QuadDp(const PrefixSum2D& ps, int m) : ps_(ps) {
+    if (ps.rows() > 255 || ps.cols() > 255 || m > 4095)
+      throw std::invalid_argument(
+          "quad_opt: instance too large for the exact pattern DP");
+  }
+
+  std::int64_t solve(const Rect& r, int q) {
+    if (r.empty()) return q >= 0 ? 0 : kInf;
+    if (q <= 0) return kInf;
+    if (q == 1) return ps_.load(r);
+    const std::uint64_t key = pack(r, q);
+    if (const auto it = memo_.find(key); it != memo_.end())
+      return it->second.value;
+
+    Entry best;
+    // It is always legal to stop splitting: one processor takes the whole
+    // rectangle and the remaining q-1 stay idle (empty rectangles).  This is
+    // also the only option for single-cell rectangles, whose cut pairs are
+    // all degenerate.
+    best.value = ps_.load(r);
+    best.xc = kStopSentinel;
+    for (int xc = r.x0; xc <= r.x1; ++xc) {
+      for (int yc = r.y0; yc <= r.y1; ++yc) {
+        // A cut pair degenerate in *both* dimensions reproduces r itself;
+        // skip it (degenerate in one dimension is a plain bisection, which
+        // keeps this class a superset of the hierarchical bipartitions).
+        const bool x_deg = xc == r.x0 || xc == r.x1;
+        const bool y_deg = yc == r.y0 || yc == r.y1;
+        if (x_deg && y_deg) continue;
+        const Rect blocks[4] = {Rect{r.x0, xc, r.y0, yc},
+                                Rect{r.x0, xc, yc, r.y1},
+                                Rect{xc, r.x1, r.y0, yc},
+                                Rect{xc, r.x1, yc, r.y1}};
+        const auto [value, split] = allocate(blocks, q);
+        if (value < best.value) {
+          best.value = value;
+          best.xc = xc;
+          best.yc = yc;
+          best.split = split;
+        }
+      }
+    }
+    memo_.emplace(key, best);
+    return best.value;
+  }
+
+  void extract(const Rect& r, int q, std::vector<Rect>& out) {
+    if (r.empty()) {
+      for (int i = 0; i < q; ++i) out.push_back(Rect{});
+      return;
+    }
+    if (q == 1) {
+      out.push_back(r);
+      return;
+    }
+    const auto it = memo_.find(pack(r, q));
+    if (it == memo_.end())
+      throw std::logic_error("quad_opt: missing memo entry");
+    const Entry& e = it->second;
+    if (e.xc == kStopSentinel) {
+      out.push_back(r);
+      for (int i = 1; i < q; ++i) out.push_back(Rect{});
+      return;
+    }
+    const Rect blocks[4] = {Rect{r.x0, e.xc, r.y0, e.yc},
+                            Rect{r.x0, e.xc, e.yc, r.y1},
+                            Rect{e.xc, r.x1, r.y0, e.yc},
+                            Rect{e.xc, r.x1, e.yc, r.y1}};
+    for (int i = 0; i < 4; ++i) extract(blocks[i], e.split[i], out);
+  }
+
+ private:
+  struct Entry {
+    std::int64_t value = kInf;
+    int xc = 0, yc = 0;
+    std::array<int, 4> split{1, 1, 1, 1};
+  };
+
+  /// Optimal processor distribution over the four blocks.  Empty blocks get
+  /// zero processors; each non-empty block needs at least one.  Minimizes
+  /// max_i solve(block_i, q_i) over compositions of q by bisecting on the
+  /// achievable values.
+  std::pair<std::int64_t, std::array<int, 4>> allocate(const Rect blocks[4],
+                                                       int q) {
+    std::array<int, 4> lo_procs{};
+    int mandatory = 0;
+    for (int i = 0; i < 4; ++i) {
+      lo_procs[i] = blocks[i].empty() ? 0 : 1;
+      mandatory += lo_procs[i];
+    }
+    if (mandatory > q || mandatory == 0)
+      return {kInf, {0, 0, 0, 0}};
+
+    // Candidate bottleneck values: the per-block DP values at every
+    // feasible processor count.
+    std::vector<std::int64_t> candidates;
+    for (int i = 0; i < 4; ++i) {
+      if (blocks[i].empty()) continue;
+      const int cap = q - (mandatory - 1);
+      for (int k = 1; k <= cap; ++k)
+        candidates.push_back(solve(blocks[i], k));
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    // Smallest candidate V with sum of min-processors(V) <= q.
+    auto min_procs = [&](int i, std::int64_t v) {
+      const int cap = q - (mandatory - 1);
+      for (int k = 1; k <= cap; ++k)
+        if (solve(blocks[i], k) <= v) return k;
+      return q + 1;  // unreachable under this V
+    };
+    std::int64_t best_v = kInf;
+    std::array<int, 4> best_split{0, 0, 0, 0};
+    int lo = 0, hi = static_cast<int>(candidates.size()) - 1;
+    while (lo <= hi) {
+      const int mid = lo + (hi - lo) / 2;
+      const std::int64_t v = candidates[mid];
+      std::array<int, 4> split{};
+      int used = 0;
+      bool ok = true;
+      for (int i = 0; i < 4 && ok; ++i) {
+        if (blocks[i].empty()) continue;
+        split[i] = min_procs(i, v);
+        used += split[i];
+        if (used > q) ok = false;
+      }
+      if (ok) {
+        best_v = v;
+        // Hand any leftover processors to the first non-empty block (they
+        // cannot hurt: the value function is non-increasing).
+        int leftover = q - used;
+        for (int i = 0; i < 4 && leftover > 0; ++i)
+          if (!blocks[i].empty()) {
+            split[i] += leftover;
+            leftover = 0;
+          }
+        best_split = split;
+        hi = mid - 1;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return {best_v, best_split};
+  }
+
+  static std::uint64_t pack(const Rect& r, int q) {
+    return (static_cast<std::uint64_t>(r.x0) << 44) |
+           (static_cast<std::uint64_t>(r.x1) << 36) |
+           (static_cast<std::uint64_t>(r.y0) << 28) |
+           (static_cast<std::uint64_t>(r.y1) << 20) |
+           static_cast<std::uint64_t>(q);
+  }
+
+  const PrefixSum2D& ps_;
+  std::unordered_map<std::uint64_t, Entry> memo_;
+};
+
+}  // namespace
+
+std::int64_t spiral_opt_bottleneck(const PrefixSum2D& ps, int m) {
+  std::int64_t lb = lower_bound_lmax(ps, m);
+  std::int64_t ub = ps.total();
+  while (lb < ub) {
+    const std::int64_t mid = lb + (ub - lb) / 2;
+    if (spiral_feasible(ps, m, mid, nullptr))
+      ub = mid;
+    else
+      lb = mid + 1;
+  }
+  return lb;
+}
+
+Partition spiral_opt(const PrefixSum2D& ps, int m) {
+  const std::int64_t b = spiral_opt_bottleneck(ps, m);
+  Partition part;
+  if (!spiral_feasible(ps, m, b, &part.rects))
+    throw std::logic_error("spiral_opt: optimum not feasible (bug)");
+  return part;
+}
+
+Partition quad_opt(const PrefixSum2D& ps, int m) {
+  QuadDp dp(ps, m);
+  const Rect whole{0, ps.rows(), 0, ps.cols()};
+  dp.solve(whole, m);
+  Partition part;
+  part.rects.reserve(m);
+  dp.extract(whole, m, part.rects);
+  return part;
+}
+
+}  // namespace rectpart

@@ -1,0 +1,43 @@
+// More general partitioning schemes (Section 3.4, Figures 1(e) and 1(f)).
+//
+// The paper observes that the hierarchical dynamic program generalizes to
+// *any* recursively defined pattern with polynomially many choices per
+// level.  This module makes that observation concrete:
+//
+//  * spiral partitions (Figure 1(e)) — at each level one side strip (top,
+//    right, bottom, left, rotating) is peeled off as a single processor's
+//    rectangle and the rest recurses.  We solve this class *exactly* with a
+//    parametric search: for a bottleneck budget B, greedily peeling the
+//    maximal strip of load <= B is dominant, so feasibility is a single
+//    O(m log n) sweep and the optimum is found by integer bisection — a
+//    polynomial-and-practical algorithm for a class the paper only sketches.
+//
+//  * the generic recursive-pattern DP — a memoized optimal solver over a
+//    pluggable split rule.  Instantiated with single guillotine cuts it
+//    reproduces HIER-OPT; with the 2x2 shared-cut split it yields optimal
+//    recursive quad partitions (a Figure 1(f)-style scheme).  Exponential
+//    state space at scale; for small instances it certifies the class
+//    relationships the tests assert.
+#pragma once
+
+#include "core/partition.hpp"
+#include "prefix/prefix_sum.hpp"
+
+namespace rectpart {
+
+/// Optimal spiral partition: m-1 peeled strips plus the final core.
+/// Sides rotate top -> right -> bottom -> left (rows first).
+[[nodiscard]] Partition spiral_opt(const PrefixSum2D& ps, int m);
+
+/// Bottleneck of the optimal spiral partition (no extraction pass).
+[[nodiscard]] std::int64_t spiral_opt_bottleneck(const PrefixSum2D& ps,
+                                                 int m);
+
+/// Optimal recursive quad partition: every internal node splits its
+/// rectangle with one row cut and one column cut shared by the four
+/// children, and distributes its processors among them.  Exact via the
+/// generic pattern DP; requires n1, n2 <= 255 and m <= 4095 and is intended
+/// for small instances only.
+[[nodiscard]] Partition quad_opt(const PrefixSum2D& ps, int m);
+
+}  // namespace rectpart

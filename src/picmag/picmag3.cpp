@@ -1,0 +1,170 @@
+#include "picmag/picmag3.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rectpart {
+
+namespace {
+
+constexpr double kDipoleX = 0.55;
+constexpr double kDipoleY = 0.5;
+constexpr double kDipoleZ = 0.5;
+constexpr double kSoftening = 6e-3;  // softens the field singularity (r^2)
+
+}  // namespace
+
+PicMag3Simulator::PicMag3Simulator(const PicMag3Config& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.n1 <= 1 || config_.n2 <= 1 || config_.n3 <= 1)
+    throw std::invalid_argument("picmag3: grid must be at least 2x2x2");
+  if (config_.particles < 1)
+    throw std::invalid_argument("picmag3: need at least one particle");
+  const std::size_t n = config_.particles;
+  px_.resize(n);
+  py_.resize(n);
+  pz_.resize(n);
+  vx_.resize(n);
+  vy_.resize(n);
+  vz_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    px_[i] = rng_.uniform_real();
+    py_[i] = rng_.uniform_real();
+    pz_[i] = rng_.uniform_real();
+    vx_[i] = config_.wind_speed + config_.thermal_jitter * rng_.normal();
+    vy_[i] = config_.thermal_jitter * rng_.normal();
+    vz_[i] = config_.thermal_jitter * rng_.normal();
+  }
+}
+
+void PicMag3Simulator::inject(std::size_t i) {
+  px_[i] = 0.0;
+  py_[i] = rng_.uniform_real();
+  pz_[i] = rng_.uniform_real();
+  vx_[i] = config_.wind_speed + config_.thermal_jitter * rng_.normal();
+  vy_[i] = config_.thermal_jitter * rng_.normal();
+  vz_[i] = config_.thermal_jitter * rng_.normal();
+}
+
+void PicMag3Simulator::step() {
+  const double mu = config_.dipole_strength;
+  for (std::size_t i = 0; i < px_.size(); ++i) {
+    // Dipole field with moment along +z:
+    //   B = mu * (3 (mhat.rhat) rhat - mhat) / r^3   (softened).
+    const double rx = px_[i] - kDipoleX;
+    const double ry = py_[i] - kDipoleY;
+    const double rz = pz_[i] - kDipoleZ;
+    const double r2 = rx * rx + ry * ry + rz * rz + kSoftening;
+    const double inv_r = 1.0 / std::sqrt(r2);
+    const double inv_r3 = inv_r / r2;
+    const double mdotr = rz * inv_r;  // mhat . rhat
+    double tx = mu * inv_r3 * (3.0 * mdotr * rx * inv_r);
+    double ty = mu * inv_r3 * (3.0 * mdotr * ry * inv_r);
+    double tz = mu * inv_r3 * (3.0 * mdotr * rz * inv_r - 1.0);
+    // Limit the rotation angle per step for stability near the core.
+    const double tmag = std::sqrt(tx * tx + ty * ty + tz * tz);
+    if (tmag > 1.5) {
+      const double scale = 1.5 / tmag;
+      tx *= scale;
+      ty *= scale;
+      tz *= scale;
+    }
+    // Boris rotation: w = v + v x t;  v += w x s,  s = 2 t / (1 + |t|^2).
+    const double t2 = tx * tx + ty * ty + tz * tz;
+    const double sf = 2.0 / (1.0 + t2);
+    const double sx = tx * sf, sy = ty * sf, sz = tz * sf;
+    const double wx = vx_[i] + (vy_[i] * tz - vz_[i] * ty);
+    const double wy = vy_[i] + (vz_[i] * tx - vx_[i] * tz);
+    const double wz = vz_[i] + (vx_[i] * ty - vy_[i] * tx);
+    vx_[i] += wy * sz - wz * sy;
+    vy_[i] += wz * sx - wx * sz;
+    vz_[i] += wx * sy - wy * sx;
+
+    px_[i] += vx_[i];
+    py_[i] += vy_[i];
+    pz_[i] += vz_[i];
+
+    if (py_[i] < 0.0) py_[i] += 1.0;
+    if (py_[i] >= 1.0) py_[i] -= 1.0;
+    if (pz_[i] < 0.0) pz_[i] += 1.0;
+    if (pz_[i] >= 1.0) pz_[i] -= 1.0;
+    if (px_[i] >= 1.0 || px_[i] < 0.0) inject(i);
+  }
+}
+
+LoadMatrix3 PicMag3Simulator::deposit() const {
+  const int n1 = config_.n1, n2 = config_.n2, n3 = config_.n3;
+  Matrix3<double> density(n1, n2, n3, 0.0);
+  for (std::size_t i = 0; i < px_.size(); ++i) {
+    const double gx = px_[i] * (n1 - 1);
+    const double gy = py_[i] * (n2 - 1);
+    const double gz = pz_[i] * (n3 - 1);
+    const int x0 = std::clamp(static_cast<int>(gx), 0, n1 - 2);
+    const int y0 = std::clamp(static_cast<int>(gy), 0, n2 - 2);
+    const int z0 = std::clamp(static_cast<int>(gz), 0, n3 - 2);
+    const double fx = gx - x0, fy = gy - y0, fz = gz - z0;
+    for (int dx = 0; dx <= 1; ++dx)
+      for (int dy = 0; dy <= 1; ++dy)
+        for (int dz = 0; dz <= 1; ++dz)
+          density(x0 + dx, y0 + dy, z0 + dz) +=
+              (dx ? fx : 1 - fx) * (dy ? fy : 1 - fy) * (dz ? fz : 1 - fz);
+  }
+  // Separable box filter (radius 1) along each axis: the shot-noise
+  // smoothing; in 3-D one pass per axis suffices for the Delta band.
+  auto blur_axis = [&](int axis) {
+    Matrix3<double> tmp(n1, n2, n3, 0.0);
+    for (int x = 0; x < n1; ++x)
+      for (int y = 0; y < n2; ++y)
+        for (int z = 0; z < n3; ++z) {
+          double sum = 0;
+          int cnt = 0;
+          for (int d = -1; d <= 1; ++d) {
+            const int xx = x + (axis == 0 ? d : 0);
+            const int yy = y + (axis == 1 ? d : 0);
+            const int zz = z + (axis == 2 ? d : 0);
+            if (xx < 0 || xx >= n1 || yy < 0 || yy >= n2 || zz < 0 ||
+                zz >= n3)
+              continue;
+            sum += density(xx, yy, zz);
+            ++cnt;
+          }
+          tmp(x, y, z) = sum / cnt;
+        }
+    density = tmp;
+  };
+  blur_axis(0);
+  blur_axis(1);
+  blur_axis(2);
+
+  const double per_particle = config_.particle_weight *
+                              static_cast<double>(config_.base_cost) *
+                              static_cast<double>(n1) * n2 * n3 /
+                              static_cast<double>(px_.size());
+  LoadMatrix3 load(n1, n2, n3);
+  for (int x = 0; x < n1; ++x)
+    for (int y = 0; y < n2; ++y)
+      for (int z = 0; z < n3; ++z)
+        load(x, y, z) =
+            config_.base_cost +
+            static_cast<std::int64_t>(per_particle * density(x, y, z));
+  return load;
+}
+
+LoadMatrix3 PicMag3Simulator::snapshot_at(int iteration) {
+  if (iteration < iteration_)
+    throw std::invalid_argument(
+        "picmag3: snapshots must be requested in non-decreasing order");
+  const int target = iteration / kSnapshotStride;
+  const int current = iteration_ / kSnapshotStride;
+  for (int w = current; w < target; ++w)
+    for (int s = 0; s < config_.substeps_per_snapshot; ++s) step();
+  iteration_ = target * kSnapshotStride;
+  return deposit();
+}
+
+LoadMatrix PicMag3Simulator::snapshot2d_at(int iteration, int axis) {
+  return accumulate_along(snapshot_at(iteration), axis);
+}
+
+}  // namespace rectpart

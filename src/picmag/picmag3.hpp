@@ -1,0 +1,62 @@
+// Native 3-D PIC-MAG: the paper's PIC-MAG data "are extracted from a 3D
+// simulation" and accumulated along one dimension (Section 4.1).  This
+// simulator runs the solar-wind / dipole interaction in 3-D — wind along +x,
+// dipole moment along +z, full Boris rotation in the dipole field — and
+// produces either native 3-D load matrices (for the 3-D partitioners) or
+// axis-accumulated 2-D instances mirroring the paper's pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "three/matrix3.hpp"
+#include "util/rng.hpp"
+
+namespace rectpart {
+
+struct PicMag3Config {
+  int n1 = 128;  ///< grid cells along the flow (x)
+  int n2 = 128;  ///< grid cells along y
+  int n3 = 32;   ///< grid cells along the dipole axis (z)
+  int particles = 80000;
+  std::uint64_t seed = 42;
+  int substeps_per_snapshot = 20;
+  std::int64_t base_cost = 1000;
+  double particle_weight = 0.085;  ///< as in the 2-D model
+  double wind_speed = 0.012;
+  double dipole_strength = 3e-5;   ///< rotation scale of the 3-D dipole
+  double thermal_jitter = 0.0025;
+};
+
+class PicMag3Simulator {
+ public:
+  explicit PicMag3Simulator(const PicMag3Config& config = {});
+
+  static constexpr int kSnapshotStride = 500;
+
+  /// 3-D cost matrix at the given paper iteration (non-decreasing calls).
+  [[nodiscard]] LoadMatrix3 snapshot_at(int iteration);
+
+  /// The paper's 2-D pipeline: 3-D snapshot accumulated along `axis`
+  /// (default: the dipole axis z, giving the equatorial-plane view).
+  [[nodiscard]] LoadMatrix snapshot2d_at(int iteration, int axis = 2);
+
+  [[nodiscard]] int iteration() const { return iteration_; }
+  [[nodiscard]] const PicMag3Config& config() const { return config_; }
+  [[nodiscard]] int particle_count() const {
+    return static_cast<int>(px_.size());
+  }
+
+ private:
+  void step();
+  void inject(std::size_t i);
+  [[nodiscard]] LoadMatrix3 deposit() const;
+
+  PicMag3Config config_;
+  int iteration_ = 0;
+  std::vector<double> px_, py_, pz_, vx_, vy_, vz_;
+  Rng rng_;
+};
+
+}  // namespace rectpart

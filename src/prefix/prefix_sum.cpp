@@ -1,0 +1,75 @@
+#include "prefix/prefix_sum.hpp"
+
+#include <algorithm>
+
+namespace rectpart {
+
+PrefixSum2D::PrefixSum2D(const LoadMatrix& a) : n1_(a.rows()), n2_(a.cols()) {
+  const std::size_t stride = static_cast<std::size_t>(n2_) + 1;
+  ps_.assign((static_cast<std::size_t>(n1_) + 1) * stride, 0);
+
+  // Phase 1: per-row horizontal prefix of the raw values, written into the
+  // interior of ps_ (offset by the zero border).  Rows are independent.
+  std::int64_t max_cell = 0;
+#ifdef _OPENMP
+#pragma omp parallel for reduction(max : max_cell) schedule(static)
+#endif
+  for (int x = 0; x < n1_; ++x) {
+    std::int64_t run = 0;
+    std::int64_t* out = ps_.data() + static_cast<std::size_t>(x + 1) * stride;
+    for (int y = 0; y < n2_; ++y) {
+      const std::int64_t v = a(x, y);
+      max_cell = std::max(max_cell, v);
+      run += v;
+      out[y + 1] = run;
+    }
+  }
+  max_cell_ = max_cell;
+
+  // Phase 2: vertical accumulation down each column.  The row-major layout
+  // makes a row-by-row sweep cache-friendly; the loop carries a dependency
+  // across x, so it stays sequential (it is a single streaming pass).
+  for (int x = 1; x <= n1_; ++x) {
+    const std::int64_t* prev = ps_.data() + static_cast<std::size_t>(x - 1) * stride;
+    std::int64_t* cur = ps_.data() + static_cast<std::size_t>(x) * stride;
+    for (int y = 1; y <= n2_; ++y) cur[y] += prev[y];
+  }
+}
+
+PrefixSum2D PrefixSum2D::from_prefix(int n1, int n2,
+                                     std::vector<std::int64_t> bordered,
+                                     std::int64_t max_cell) {
+  PrefixSum2D ps;
+  ps.n1_ = n1;
+  ps.n2_ = n2;
+  ps.max_cell_ = max_cell;
+  ps.ps_ = std::move(bordered);
+  return ps;
+}
+
+PrefixSum2D PrefixSum2D::transpose() const {
+  PrefixSum2D t;
+  t.n1_ = n2_;
+  t.n2_ = n1_;
+  t.max_cell_ = max_cell_;
+  const std::size_t stride_t = static_cast<std::size_t>(t.n2_) + 1;
+  t.ps_.assign((static_cast<std::size_t>(t.n1_) + 1) * stride_t, 0);
+  for (int x = 0; x <= t.n1_; ++x)
+    for (int y = 0; y <= t.n2_; ++y)
+      t.ps_[static_cast<std::size_t>(x) * stride_t + y] = at(y, x);
+  return t;
+}
+
+std::vector<std::int64_t> PrefixSum2D::row_projection_prefix() const {
+  std::vector<std::int64_t> p(static_cast<std::size_t>(n1_) + 1);
+  for (int x = 0; x <= n1_; ++x) p[x] = at(x, n2_);
+  return p;
+}
+
+std::vector<std::int64_t> PrefixSum2D::col_projection_prefix() const {
+  std::vector<std::int64_t> p(static_cast<std::size_t>(n2_) + 1);
+  for (int y = 0; y <= n2_; ++y) p[y] = at(n1_, y);
+  return p;
+}
+
+}  // namespace rectpart

@@ -1,0 +1,97 @@
+// Two-dimensional prefix-sum array with O(1) rectangle-load queries.
+//
+// Section 2.1 of the paper: algorithms never look at individual cells; they
+// query the load of rectangles.  Precomputing the inclusive prefix-sum array
+// Gamma (here stored with a zero border, so size (n1+1) x (n2+1)) makes each
+// rectangle query a 4-term expression.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rect.hpp"
+
+namespace rectpart {
+
+/// Immutable 2-D prefix-sum view of a load matrix.
+///
+/// ps(x, y) stores the sum of all cells in rows [0, x) x columns [0, y), so
+/// load of rows [a, b) x columns [c, d) is
+///     ps(b,d) - ps(a,d) - ps(b,c) + ps(a,c).
+/// Construction is a single pass over the matrix (OpenMP-parallel across rows
+/// for the column-accumulation phase when enabled).
+class PrefixSum2D {
+ public:
+  PrefixSum2D() = default;
+
+  /// Builds the prefix array; O(n1*n2) time, one extra row/column of zeros.
+  explicit PrefixSum2D(const LoadMatrix& a);
+
+  /// Wraps an already-computed bordered prefix array (size (n1+1)*(n2+1),
+  /// row-major, first row/column all zeros).  Used by the 3-D slab adapter,
+  /// which derives a 2-D view from PrefixSum3D differences without touching
+  /// the raw cells.  `max_cell` may be any value that is at most the true
+  /// largest cell: it only feeds *lower* bounds on the optimum, so an
+  /// underestimate stays correct (the 3-D adapter passes the 3-D cell
+  /// maximum, a valid underestimate of the accumulated 2-D maximum).
+  static PrefixSum2D from_prefix(int n1, int n2,
+                                 std::vector<std::int64_t> bordered_prefix,
+                                 std::int64_t max_cell);
+
+  [[nodiscard]] int rows() const { return n1_; }
+  [[nodiscard]] int cols() const { return n2_; }
+
+  /// Total load of the whole matrix.
+  [[nodiscard]] std::int64_t total() const { return at(n1_, n2_); }
+
+  /// Load of rows [x0, x1) x columns [y0, y1); empty ranges return 0.
+  [[nodiscard]] std::int64_t load(int x0, int x1, int y0, int y1) const {
+    if (x0 >= x1 || y0 >= y1) return 0;
+    return at(x1, y1) - at(x0, y1) - at(x1, y0) + at(x0, y0);
+  }
+
+  /// Load of a rectangle.
+  [[nodiscard]] std::int64_t load(const Rect& r) const {
+    return load(r.x0, r.x1, r.y0, r.y1);
+  }
+
+  /// Load of full rows [x0, x1).
+  [[nodiscard]] std::int64_t row_load(int x0, int x1) const {
+    return load(x0, x1, 0, n2_);
+  }
+
+  /// Load of full columns [y0, y1).
+  [[nodiscard]] std::int64_t col_load(int y0, int y1) const {
+    return load(0, n1_, y0, y1);
+  }
+
+  /// Largest single cell value (a lower bound on any Lmax) — precomputed.
+  [[nodiscard]] std::int64_t max_cell() const { return max_cell_; }
+
+  /// 1-D prefix vector of the projection onto rows: entry i is the load of
+  /// rows [0, i).  Size n1+1.  Used by jagged/rectilinear main-dimension cuts.
+  [[nodiscard]] std::vector<std::int64_t> row_projection_prefix() const;
+
+  /// 1-D prefix vector of the projection onto columns; entry j is the load of
+  /// columns [0, j).  Size n2+1.
+  [[nodiscard]] std::vector<std::int64_t> col_projection_prefix() const;
+
+  /// Raw inclusive-border prefix value: sum of rows [0,x) x cols [0,y).
+  [[nodiscard]] std::int64_t at(int x, int y) const {
+    return ps_[static_cast<std::size_t>(x) * (n2_ + 1) + y];
+  }
+
+  /// Prefix-sum view of the transposed matrix.  The -VER algorithm variants
+  /// run the row-major implementation on this view and transpose the
+  /// resulting rectangles back.  O(n1*n2).
+  [[nodiscard]] PrefixSum2D transpose() const;
+
+ private:
+  int n1_ = 0;
+  int n2_ = 0;
+  std::int64_t max_cell_ = 0;
+  std::vector<std::int64_t> ps_;  // (n1+1) x (n2+1), row-major
+};
+
+}  // namespace rectpart

@@ -1,0 +1,104 @@
+#include "rectilinear/rectilinear.hpp"
+
+#include <algorithm>
+
+#include "oned/nicol.hpp"
+
+namespace rectpart {
+
+std::pair<int, int> choose_grid(int m) {
+  int p = 1;
+  for (int d = 1; static_cast<std::int64_t>(d) * d <= m; ++d)
+    if (m % d == 0) p = d;
+  return {p, m / p};
+}
+
+oned::Cuts uniform_cuts(int n, int parts) {
+  oned::Cuts cuts;
+  cuts.pos.resize(static_cast<std::size_t>(parts) + 1);
+  for (int k = 0; k <= parts; ++k)
+    cuts.pos[k] =
+        static_cast<int>(static_cast<std::int64_t>(k) * n / parts);
+  return cuts;
+}
+
+Partition grid_partition(const oned::Cuts& row_cuts,
+                         const oned::Cuts& col_cuts) {
+  const int p = row_cuts.parts();
+  const int q = col_cuts.parts();
+  Partition part;
+  part.rects.reserve(static_cast<std::size_t>(p) * q);
+  for (int i = 0; i < p; ++i)
+    for (int j = 0; j < q; ++j)
+      part.rects.push_back(Rect{row_cuts.begin_of(i), row_cuts.end_of(i),
+                                col_cuts.begin_of(j), col_cuts.end_of(j)});
+  return part;
+}
+
+std::int64_t grid_max_load(const PrefixSum2D& ps, const oned::Cuts& row_cuts,
+                           const oned::Cuts& col_cuts) {
+  std::int64_t lmax = 0;
+  for (int i = 0; i < row_cuts.parts(); ++i)
+    for (int j = 0; j < col_cuts.parts(); ++j)
+      lmax = std::max(lmax, ps.load(row_cuts.begin_of(i), row_cuts.end_of(i),
+                                    col_cuts.begin_of(j), col_cuts.end_of(j)));
+  return lmax;
+}
+
+Partition rect_uniform(const PrefixSum2D& ps, int p, int q) {
+  return grid_partition(uniform_cuts(ps.rows(), p), uniform_cuts(ps.cols(), q));
+}
+
+Partition rect_uniform(const PrefixSum2D& ps, int m) {
+  const auto [p, q] = choose_grid(m);
+  return rect_uniform(ps, p, q);
+}
+
+Partition rect_nicol(const PrefixSum2D& ps, int m,
+                     const RectNicolOptions& opt, RectNicolReport* report) {
+  int p = opt.p, q = opt.q;
+  if (p <= 0 || q <= 0) {
+    const auto [gp, gq] = choose_grid(m);
+    p = gp;
+    q = gq;
+  }
+
+  // Start from the optimal 1-D partition of the row projection — a stronger
+  // seed than uniform cuts and the natural first half-sweep of the method.
+  const auto row_prefix = ps.row_projection_prefix();
+  oned::Cuts row_cuts =
+      oned::nicol_plus(oned::PrefixOracle(row_prefix), p).cuts;
+  oned::Cuts col_cuts = uniform_cuts(ps.cols(), q);
+
+  std::int64_t best = grid_max_load(ps, row_cuts, col_cuts);
+  oned::Cuts best_rows = row_cuts, best_cols = col_cuts;
+  if (report) {
+    *report = RectNicolReport{};
+    report->initial_lmax = best;
+  }
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    if (report) report->iterations = iter + 1;
+    // Refine columns against fixed rows, then rows against fixed columns.
+    {
+      StripeMaxOracle oracle(ps, row_cuts.pos, /*stripes_are_rows=*/true);
+      col_cuts = oned::nicol_plus(oracle, q).cuts;
+    }
+    {
+      StripeMaxOracle oracle(ps, col_cuts.pos, /*stripes_are_rows=*/false);
+      row_cuts = oned::nicol_plus(oracle, p).cuts;
+    }
+    const std::int64_t lmax = grid_max_load(ps, row_cuts, col_cuts);
+    if (lmax < best) {
+      best = lmax;
+      best_rows = row_cuts;
+      best_cols = col_cuts;
+    } else {
+      break;  // no improvement: the refinement has converged
+    }
+  }
+  if (report) report->final_lmax = best;
+  return grid_partition(best_rows, best_cols);
+}
+
+}  // namespace rectpart

@@ -1,0 +1,99 @@
+// Rectilinear partitions (Section 3.1): the P x Q "General Block
+// Distribution" — P row intervals crossed with Q column intervals.
+//
+//  * RECT-UNIFORM: uniform index ranges, the MPI_Cart-style baseline that
+//    balances *area*, not load.
+//  * RECT-NICOL:   Nicol's iterative refinement [9] — alternately fix the
+//    cuts of one dimension and solve the induced 1-D problem in the other
+//    optimally, where the load of an interval is the maximum over the fixed
+//    stripes.  Converges in a few iterations in practice.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "oned/cuts.hpp"
+#include "prefix/prefix_sum.hpp"
+
+namespace rectpart {
+
+/// Factors m into P*Q with P <= Q and P the largest divisor of m not
+/// exceeding sqrt(m).  Square m yields P = Q = sqrt(m), the paper's setting.
+[[nodiscard]] std::pair<int, int> choose_grid(int m);
+
+/// Uniform cut positions: k-th cut at floor(k*n/parts).
+[[nodiscard]] oned::Cuts uniform_cuts(int n, int parts);
+
+/// Assembles the P x Q grid partition from row cuts and column cuts.
+/// Processor p*Q + q owns row interval p crossed with column interval q.
+[[nodiscard]] Partition grid_partition(const oned::Cuts& row_cuts,
+                                       const oned::Cuts& col_cuts);
+
+/// Maximum block load of a grid partition; O(P*Q) prefix queries.
+[[nodiscard]] std::int64_t grid_max_load(const PrefixSum2D& ps,
+                                         const oned::Cuts& row_cuts,
+                                         const oned::Cuts& col_cuts);
+
+/// RECT-UNIFORM with an explicit grid shape.
+[[nodiscard]] Partition rect_uniform(const PrefixSum2D& ps, int p, int q);
+
+/// RECT-UNIFORM choosing the grid via choose_grid(m).
+[[nodiscard]] Partition rect_uniform(const PrefixSum2D& ps, int m);
+
+/// Options for the iterative refinement.
+struct RectNicolOptions {
+  int p = 0;              ///< grid rows; 0 = derive from choose_grid(m)
+  int q = 0;              ///< grid columns; 0 = derive from choose_grid(m)
+  int max_iterations = 50;  ///< hard cap; convergence usually needs 3-10
+};
+
+/// Convergence report of the iterative refinement: the paper observes 3-10
+/// sweeps in practice against an O(n1*n2) worst case.
+struct RectNicolReport {
+  int iterations = 0;            ///< refinement sweeps actually run
+  std::int64_t initial_lmax = 0; ///< bottleneck of the seed grid
+  std::int64_t final_lmax = 0;   ///< bottleneck of the returned grid
+};
+
+/// RECT-NICOL.  Returns the best grid found across refinement sweeps; when
+/// `report` is non-null the convergence statistics are written to it.
+[[nodiscard]] Partition rect_nicol(const PrefixSum2D& ps, int m,
+                                   const RectNicolOptions& opt = {},
+                                   RectNicolReport* report = nullptr);
+
+/// The 1-D oracle induced by fixed stripes in the other dimension: the load
+/// of interval [i, j) is the maximum over the fixed stripes of the stripe's
+/// load restricted to [i, j).  Monotone, O(#stripes) per query.  Exposed for
+/// testing.
+class StripeMaxOracle {
+ public:
+  /// `stripes_are_rows`: true when the fixed cuts partition the rows and the
+  /// oracle ranges over columns; false for the symmetric case.
+  StripeMaxOracle(const PrefixSum2D& ps, const std::vector<int>& stripe_cuts,
+                  bool stripes_are_rows)
+      : ps_(ps), cuts_(stripe_cuts), rows_fixed_(stripes_are_rows) {}
+
+  [[nodiscard]] int size() const {
+    return rows_fixed_ ? ps_.cols() : ps_.rows();
+  }
+
+  [[nodiscard]] std::int64_t load(int i, int j) const {
+    if (i >= j) return 0;
+    std::int64_t lmax = 0;
+    for (std::size_t s = 0; s + 1 < cuts_.size(); ++s) {
+      const std::int64_t l =
+          rows_fixed_ ? ps_.load(cuts_[s], cuts_[s + 1], i, j)
+                      : ps_.load(i, j, cuts_[s], cuts_[s + 1]);
+      if (l > lmax) lmax = l;
+    }
+    return lmax;
+  }
+
+ private:
+  const PrefixSum2D& ps_;
+  const std::vector<int>& cuts_;
+  bool rows_fixed_;
+};
+
+}  // namespace rectpart

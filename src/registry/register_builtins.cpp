@@ -1,0 +1,149 @@
+// Registration of every algorithm variant evaluated in the paper under its
+// Section 4.1 name (lower-cased).  The unsuffixed aliases follow the paper's
+// Section 4.2 conclusions: "hier-rb" means HIER-RB-LOAD, "hier-relaxed"
+// means HIER-RELAXED-LOAD, and the jagged names mean their -BEST variants.
+#include <atomic>
+
+#include "core/partitioner.hpp"
+#include "hier/hier.hpp"
+#include "patterns/patterns.hpp"
+#include "jagged/jagged.hpp"
+#include "rectilinear/rectilinear.hpp"
+
+namespace rectpart {
+
+namespace {
+
+/// Adapts a plain callable to the Partitioner interface.
+class LambdaPartitioner final : public Partitioner {
+ public:
+  using Fn = Partition (*)(const PrefixSum2D&, int);
+
+  LambdaPartitioner(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(fn) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] Partition run(const PrefixSum2D& ps, int m) const override {
+    return fn_(ps, m);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+void add(const std::string& name, LambdaPartitioner::Fn fn) {
+  register_partitioner(name, [name, fn]() {
+    return std::make_unique<LambdaPartitioner>(name, fn);
+  });
+}
+
+template <Orientation O>
+JaggedOptions jag_opts() {
+  JaggedOptions opt;
+  opt.orientation = O;
+  return opt;
+}
+
+template <HierVariant V>
+HierOptions hier_opts() {
+  HierOptions opt;
+  opt.variant = V;
+  return opt;
+}
+
+}  // namespace
+
+void register_builtin_partitioners() {
+  static std::atomic<bool> done{false};
+  if (done.exchange(true)) return;
+
+  // Rectilinear (Section 3.1).
+  add("rect-uniform",
+      [](const PrefixSum2D& ps, int m) { return rect_uniform(ps, m); });
+  add("rect-nicol",
+      [](const PrefixSum2D& ps, int m) { return rect_nicol(ps, m); });
+
+  // P x Q-way jagged (Section 3.2.1).
+  add("jag-pq-heur-hor", [](const PrefixSum2D& ps, int m) {
+    return jag_pq_heur(ps, m, jag_opts<Orientation::kHorizontal>());
+  });
+  add("jag-pq-heur-ver", [](const PrefixSum2D& ps, int m) {
+    return jag_pq_heur(ps, m, jag_opts<Orientation::kVertical>());
+  });
+  add("jag-pq-heur", [](const PrefixSum2D& ps, int m) {
+    return jag_pq_heur(ps, m, jag_opts<Orientation::kBest>());
+  });
+  add("jag-pq-opt-hor", [](const PrefixSum2D& ps, int m) {
+    return jag_pq_opt(ps, m, jag_opts<Orientation::kHorizontal>());
+  });
+  add("jag-pq-opt-ver", [](const PrefixSum2D& ps, int m) {
+    return jag_pq_opt(ps, m, jag_opts<Orientation::kVertical>());
+  });
+  add("jag-pq-opt", [](const PrefixSum2D& ps, int m) {
+    return jag_pq_opt(ps, m, jag_opts<Orientation::kBest>());
+  });
+
+  // m-way jagged (Section 3.2.2).
+  add("jag-m-heur-hor", [](const PrefixSum2D& ps, int m) {
+    return jag_m_heur(ps, m, jag_opts<Orientation::kHorizontal>());
+  });
+  add("jag-m-heur-ver", [](const PrefixSum2D& ps, int m) {
+    return jag_m_heur(ps, m, jag_opts<Orientation::kVertical>());
+  });
+  add("jag-m-heur", [](const PrefixSum2D& ps, int m) {
+    return jag_m_heur(ps, m, jag_opts<Orientation::kBest>());
+  });
+  add("jag-m-heur-auto", [](const PrefixSum2D& ps, int m) {
+    return jag_m_heur_auto(ps, m, jag_opts<Orientation::kBest>());
+  });
+  add("jag-m-opt-hor", [](const PrefixSum2D& ps, int m) {
+    return jag_m_opt(ps, m, jag_opts<Orientation::kHorizontal>());
+  });
+  add("jag-m-opt-ver", [](const PrefixSum2D& ps, int m) {
+    return jag_m_opt(ps, m, jag_opts<Orientation::kVertical>());
+  });
+  add("jag-m-opt", [](const PrefixSum2D& ps, int m) {
+    return jag_m_opt(ps, m, jag_opts<Orientation::kBest>());
+  });
+
+  // Hierarchical bipartitions (Section 3.3).
+  add("hier-rb-load", [](const PrefixSum2D& ps, int m) {
+    return hier_rb(ps, m, hier_opts<HierVariant::kLoad>());
+  });
+  add("hier-rb-dist", [](const PrefixSum2D& ps, int m) {
+    return hier_rb(ps, m, hier_opts<HierVariant::kDist>());
+  });
+  add("hier-rb-hor", [](const PrefixSum2D& ps, int m) {
+    return hier_rb(ps, m, hier_opts<HierVariant::kHor>());
+  });
+  add("hier-rb-ver", [](const PrefixSum2D& ps, int m) {
+    return hier_rb(ps, m, hier_opts<HierVariant::kVer>());
+  });
+  add("hier-rb", [](const PrefixSum2D& ps, int m) {
+    return hier_rb(ps, m, hier_opts<HierVariant::kLoad>());
+  });
+  add("hier-relaxed-load", [](const PrefixSum2D& ps, int m) {
+    return hier_relaxed(ps, m, hier_opts<HierVariant::kLoad>());
+  });
+  add("hier-relaxed-dist", [](const PrefixSum2D& ps, int m) {
+    return hier_relaxed(ps, m, hier_opts<HierVariant::kDist>());
+  });
+  add("hier-relaxed-hor", [](const PrefixSum2D& ps, int m) {
+    return hier_relaxed(ps, m, hier_opts<HierVariant::kHor>());
+  });
+  add("hier-relaxed-ver", [](const PrefixSum2D& ps, int m) {
+    return hier_relaxed(ps, m, hier_opts<HierVariant::kVer>());
+  });
+  add("hier-relaxed", [](const PrefixSum2D& ps, int m) {
+    return hier_relaxed(ps, m, hier_opts<HierVariant::kLoad>());
+  });
+  add("hier-opt",
+      [](const PrefixSum2D& ps, int m) { return hier_opt(ps, m); });
+
+  // More general recursive schemes (Section 3.4, Figure 1(e)).
+  add("spiral-opt",
+      [](const PrefixSum2D& ps, int m) { return spiral_opt(ps, m); });
+}
+
+}  // namespace rectpart

@@ -1,0 +1,67 @@
+#include "simulator/stencil_sim.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rectpart {
+
+std::vector<std::vector<std::pair<int, std::int64_t>>> neighbor_table(
+    const Partition& p, int n1, int n2) {
+  std::vector<int> owner(static_cast<std::size_t>(n1) * n2, -1);
+  for (std::size_t i = 0; i < p.rects.size(); ++i) {
+    const Rect& r = p.rects[i];
+    for (int x = r.x0; x < r.x1; ++x)
+      std::fill(owner.begin() + static_cast<std::size_t>(x) * n2 + r.y0,
+                owner.begin() + static_cast<std::size_t>(x) * n2 + r.y1,
+                static_cast<int>(i));
+  }
+  auto at = [&](int x, int y) {
+    return owner[static_cast<std::size_t>(x) * n2 + y];
+  };
+
+  // Count cut edges per ordered processor pair.
+  std::vector<std::map<int, std::int64_t>> counts(p.rects.size());
+  auto record = [&](int a, int b) {
+    if (a == b) return;
+    if (a >= 0 && b >= 0) {
+      ++counts[a][b];
+      ++counts[b][a];
+    }
+  };
+  for (int x = 0; x < n1; ++x) {
+    for (int y = 0; y < n2; ++y) {
+      if (x + 1 < n1) record(at(x, y), at(x + 1, y));
+      if (y + 1 < n2) record(at(x, y), at(x, y + 1));
+    }
+  }
+
+  std::vector<std::vector<std::pair<int, std::int64_t>>> table(
+      p.rects.size());
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    table[i].assign(counts[i].begin(), counts[i].end());
+  return table;
+}
+
+StepTiming simulate_step(const Partition& p, const PrefixSum2D& ps,
+                         const MachineModel& machine) {
+  StepTiming t;
+  t.serial_time = static_cast<double>(ps.total()) / machine.compute_rate;
+
+  const auto neighbors = neighbor_table(p, ps.rows(), ps.cols());
+  for (int i = 0; i < p.m(); ++i) {
+    const double compute =
+        static_cast<double>(ps.load(p.rects[i])) / machine.compute_rate;
+    double comm = 0;
+    for (const auto& [q, cells] : neighbors[i])
+      comm += machine.latency +
+              static_cast<double>(cells) / machine.bandwidth;
+    t.max_compute = std::max(t.max_compute, compute);
+    t.max_comm = std::max(t.max_comm, comm);
+    t.max_neighbors =
+        std::max(t.max_neighbors, static_cast<int>(neighbors[i].size()));
+    t.makespan = std::max(t.makespan, compute + comm);
+  }
+  return t;
+}
+
+}  // namespace rectpart

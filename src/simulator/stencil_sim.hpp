@@ -1,0 +1,62 @@
+// Simulated parallel execution of a stencil computation under a partition.
+//
+// The paper motivates rectangle partitioning with applications whose tasks
+// "only communicate with their neighboring tasks" (Section 1) and leaves
+// end-to-end effects to future work (Section 5).  This module closes that
+// loop in simulation: given a partition, a per-cell compute cost matrix, and
+// an alpha-beta machine model, it computes the per-superstep makespan
+//
+//   T_step = max_p ( compute_p / rate  +  sum_{q in neighbors(p)}
+//                                          (alpha + boundary(p,q) / beta) )
+//
+// where boundary(p, q) counts the 4-adjacent cell pairs shared by p and q
+// (the halo cells p must send to q each step).  From it: speedup against
+// one processor and parallel efficiency — the numbers a practitioner
+// actually buys with a better partition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "prefix/prefix_sum.hpp"
+
+namespace rectpart {
+
+/// Alpha-beta machine: homogeneous processors on a fully connected network.
+struct MachineModel {
+  double compute_rate = 1e9;  ///< load units processed per second
+  double latency = 5e-6;      ///< per-message cost alpha (seconds)
+  double bandwidth = 1e8;     ///< halo cells transferred per second (1/beta)
+};
+
+/// Timing of one superstep under a partition.
+struct StepTiming {
+  double makespan = 0;        ///< max over processors of compute + comm
+  double max_compute = 0;     ///< slowest processor's compute time
+  double max_comm = 0;        ///< largest per-processor communication time
+  double serial_time = 0;     ///< whole matrix on one processor
+  int max_neighbors = 0;      ///< largest neighbor count (message fan-out)
+
+  [[nodiscard]] double speedup() const {
+    return makespan > 0 ? serial_time / makespan : 0.0;
+  }
+  /// Parallel efficiency given the processor count.
+  [[nodiscard]] double efficiency(int m) const {
+    return m > 0 ? speedup() / m : 0.0;
+  }
+};
+
+/// Evaluates one superstep of a 5-point stencil.  O(n1*n2 + m) via an
+/// ownership grid; processors with empty rectangles contribute nothing.
+[[nodiscard]] StepTiming simulate_step(const Partition& p,
+                                       const PrefixSum2D& ps,
+                                       const MachineModel& machine = {});
+
+/// Per-processor neighbor table: entry p maps to (neighbor q, shared
+/// boundary cells) pairs, q > -1.  Exposed for tests and for building
+/// communication schedules.
+[[nodiscard]] std::vector<std::vector<std::pair<int, std::int64_t>>>
+neighbor_table(const Partition& p, int n1, int n2);
+
+}  // namespace rectpart

@@ -1,0 +1,273 @@
+#include "three/algorithms3.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "jagged/jagged.hpp"
+#include "oned/oned.hpp"
+#include "rectilinear/rectilinear.hpp"
+
+namespace rectpart {
+
+namespace {
+
+/// Uniform cut positions, as in the 2-D rectilinear baseline.
+std::vector<int> uniform_pos(int n, int parts) {
+  std::vector<int> pos(parts + 1);
+  for (int k = 0; k <= parts; ++k)
+    pos[k] = static_cast<int>(static_cast<std::int64_t>(k) * n / parts);
+  return pos;
+}
+
+/// 2-D prefix view of slab rows [a, b): entry (y, z) of the bordered prefix
+/// is the slab load over [a,b) x [0,y) x [0,z), read off PrefixSum3D in
+/// O(1) per entry.
+PrefixSum2D slab_view(const PrefixSum3D& ps, int a, int b) {
+  const int n2 = ps.dim2();
+  const int n3 = ps.dim3();
+  std::vector<std::int64_t> bordered(
+      (static_cast<std::size_t>(n2) + 1) * (n3 + 1));
+  for (int y = 0; y <= n2; ++y)
+    for (int z = 0; z <= n3; ++z)
+      bordered[static_cast<std::size_t>(y) * (n3 + 1) + z] =
+          ps.at(b, y, z) - ps.at(a, y, z);
+  return PrefixSum2D::from_prefix(n2, n3, std::move(bordered),
+                                  ps.max_cell());
+}
+
+/// Load-proportional processor allotment (the JAG-M-HEUR rule lifted to
+/// slabs): ceil((m - P) * load / total) plus leftover redistribution.
+std::vector<int> allot(const std::vector<std::int64_t>& loads, int m) {
+  const int p = static_cast<int>(loads.size());
+  std::int64_t total = 0;
+  for (const std::int64_t l : loads) total += l;
+  std::vector<int> q(p, 0);
+  int allotted = 0;
+  if (total > 0) {
+    for (int s = 0; s < p; ++s) {
+      if (loads[s] > 0) {
+        const std::int64_t num = static_cast<std::int64_t>(m - p) * loads[s];
+        q[s] = static_cast<int>((num + total - 1) / total);
+        allotted += q[s];
+      }
+    }
+  }
+  for (int s = 0; s < p && allotted < m; ++s)
+    if (q[s] == 0) {
+      q[s] = 1;
+      ++allotted;
+    }
+  while (allotted < m) {
+    int best = 0;
+    for (int s = 1; s < p; ++s) {
+      if (q[s] == 0 && q[best] != 0) {
+        best = s;
+        continue;
+      }
+      if (q[best] == 0) continue;
+      if (loads[s] * q[best] > loads[best] * q[s]) best = s;
+    }
+    ++q[best];
+    ++allotted;
+  }
+  return q;
+}
+
+}  // namespace
+
+std::tuple<int, int, int> choose_grid3(int m) {
+  int best_p = 1;
+  for (int d = 1; static_cast<std::int64_t>(d) * d * d <= m; ++d)
+    if (m % d == 0) best_p = d;
+  const auto [q, r] = choose_grid(m / best_p);
+  return {best_p, q, r};
+}
+
+Partition3 rect_uniform3(const PrefixSum3D& ps, int p, int q, int r) {
+  const auto xs = uniform_pos(ps.dim1(), p);
+  const auto ys = uniform_pos(ps.dim2(), q);
+  const auto zs = uniform_pos(ps.dim3(), r);
+  Partition3 part;
+  part.boxes.reserve(static_cast<std::size_t>(p) * q * r);
+  for (int i = 0; i < p; ++i)
+    for (int j = 0; j < q; ++j)
+      for (int k = 0; k < r; ++k)
+        part.boxes.push_back(Box{xs[i], xs[i + 1], ys[j], ys[j + 1], zs[k],
+                                 zs[k + 1]});
+  return part;
+}
+
+Partition3 rect_uniform3(const PrefixSum3D& ps, int m) {
+  const auto [p, q, r] = choose_grid3(m);
+  return rect_uniform3(ps, p, q, r);
+}
+
+Partition3 jag_m_heur3(const PrefixSum3D& ps, int m,
+                       const Jagged3Options& opt) {
+  int p = opt.slabs;
+  if (p <= 0)
+    p = static_cast<int>(std::lround(std::cbrt(static_cast<double>(m))));
+  p = std::clamp(p, 1, std::min(m, ps.dim1()));
+
+  const auto projection = ps.dim1_projection_prefix();
+  const oned::Cuts slabs =
+      oned::nicol_plus(oned::PrefixOracle(projection), p).cuts;
+
+  std::vector<std::int64_t> loads(p);
+  for (int s = 0; s < p; ++s)
+    loads[s] = projection[slabs.end_of(s)] - projection[slabs.begin_of(s)];
+  const std::vector<int> q = allot(loads, m);
+
+  Partition3 part;
+  part.boxes.reserve(m);
+  for (int s = 0; s < p; ++s) {
+    const int a = slabs.begin_of(s);
+    const int b = slabs.end_of(s);
+    const PrefixSum2D view = slab_view(ps, a, b);
+    const Partition inner = jag_m_heur(view, q[s]);
+    for (const Rect& r : inner.rects)
+      part.boxes.push_back(Box{a, b, r.x0, r.x1, r.y0, r.y1});
+  }
+  while (part.m() < m) part.boxes.push_back(Box{});
+  return part;
+}
+
+namespace {
+
+struct Cut3 {
+  int dim = 0;  // 0, 1, 2
+  int pos = 0;
+  std::int64_t score = std::numeric_limits<std::int64_t>::max();
+};
+
+std::pair<Box, Box> split_box(const Box& b, int dim, int pos) {
+  Box lo = b, hi = b;
+  switch (dim) {
+    case 0: lo.x1 = pos; hi.x0 = pos; break;
+    case 1: lo.y1 = pos; hi.y0 = pos; break;
+    default: lo.z1 = pos; hi.z0 = pos; break;
+  }
+  return {lo, hi};
+}
+
+/// Best cut of `b` along `dim` for an ml : mr split, scored by
+/// max(L_lo * mr, L_hi * ml) (shared denominator across dimensions).
+Cut3 best_cut3(const PrefixSum3D& ps, const Box& b, int dim, int ml,
+               int mr) {
+  int lo, hi;
+  switch (dim) {
+    case 0: lo = b.x0; hi = b.x1; break;
+    case 1: lo = b.y0; hi = b.y1; break;
+    default: lo = b.z0; hi = b.z1; break;
+  }
+  const int lo0 = lo;
+  auto halves = [&](int k) {
+    const auto [first, second] = split_box(b, dim, k);
+    return std::pair<std::int64_t, std::int64_t>{ps.load(first),
+                                                 ps.load(second)};
+  };
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const auto [l, r] = halves(mid);
+    if (l * mr >= r * ml)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  auto score_at = [&](int k) {
+    const auto [l, r] = halves(k);
+    return std::max(l * mr, r * ml);
+  };
+  Cut3 cut{dim, lo, score_at(lo)};
+  if (lo > lo0) {
+    const std::int64_t s = score_at(lo - 1);
+    if (s < cut.score) cut = {dim, lo - 1, s};
+  }
+  return cut;
+}
+
+void rb3_recurse(const PrefixSum3D& ps, const Box& b, int m, bool load_rule,
+                 std::vector<Box>& out) {
+  if (m == 1) {
+    out.push_back(b);
+    return;
+  }
+  const int ml = m / 2;
+  const int mr = m - ml;
+  Cut3 best;
+  if (load_rule) {
+    for (int dim = 0; dim < 3; ++dim) {
+      const Cut3 c = best_cut3(ps, b, dim, ml, mr);
+      if (c.score < best.score) best = c;
+    }
+  } else {
+    const int extents[3] = {b.dx(), b.dy(), b.dz()};
+    int dim = 0;
+    for (int d = 1; d < 3; ++d)
+      if (extents[d] > extents[dim]) dim = d;
+    best = best_cut3(ps, b, dim, ml, mr);
+  }
+  const auto [first, second] = split_box(b, best.dim, best.pos);
+  rb3_recurse(ps, first, ml, load_rule, out);
+  rb3_recurse(ps, second, mr, load_rule, out);
+}
+
+void relaxed3_recurse(const PrefixSum3D& ps, const Box& b, int m,
+                      bool load_rule, std::vector<Box>& out) {
+  if (m == 1) {
+    out.push_back(b);
+    return;
+  }
+  int dims[3] = {0, 1, 2};
+  int ndims = 3;
+  if (!load_rule) {
+    const int extents[3] = {b.dx(), b.dy(), b.dz()};
+    int dim = 0;
+    for (int d = 1; d < 3; ++d)
+      if (extents[d] > extents[dim]) dim = d;
+    dims[0] = dim;
+    ndims = 1;
+  }
+  long double best_score = std::numeric_limits<long double>::infinity();
+  int best_dim = 0, best_pos = 0, best_j = 1;
+  for (int j = 1; j < m; ++j) {
+    for (int di = 0; di < ndims; ++di) {
+      const Cut3 c = best_cut3(ps, b, dims[di], j, m - j);
+      const auto [first, second] = split_box(b, c.dim, c.pos);
+      const long double score =
+          std::max(static_cast<long double>(ps.load(first)) / j,
+                   static_cast<long double>(ps.load(second)) / (m - j));
+      if (score < best_score) {
+        best_score = score;
+        best_dim = c.dim;
+        best_pos = c.pos;
+        best_j = j;
+      }
+    }
+  }
+  const auto [first, second] = split_box(b, best_dim, best_pos);
+  relaxed3_recurse(ps, first, best_j, load_rule, out);
+  relaxed3_recurse(ps, second, m - best_j, load_rule, out);
+}
+
+}  // namespace
+
+Partition3 hier_rb3(const PrefixSum3D& ps, int m, const Hier3Options& opt) {
+  Partition3 part;
+  part.boxes.reserve(m);
+  rb3_recurse(ps, Box{0, ps.dim1(), 0, ps.dim2(), 0, ps.dim3()}, m,
+              opt.load_rule, part.boxes);
+  return part;
+}
+
+Partition3 hier_relaxed3(const PrefixSum3D& ps, int m,
+                         const Hier3Options& opt) {
+  Partition3 part;
+  part.boxes.reserve(m);
+  relaxed3_recurse(ps, Box{0, ps.dim1(), 0, ps.dim2(), 0, ps.dim3()}, m,
+                   opt.load_rule, part.boxes);
+  return part;
+}
+
+}  // namespace rectpart

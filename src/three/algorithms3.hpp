@@ -1,0 +1,52 @@
+// 3-D partitioners: the natural generalizations of the paper's 2-D classes
+// to rectangular volumes (Section 1 poses the problem for both).
+//
+//  * rect_uniform3 — P x Q x R uniform grid (the MPI_Cart baseline).
+//  * jag_m_heur3   — m-way jagged in 3-D: optimal 1-D slabs along the first
+//    dimension, load-proportional processor allotment, then the full 2-D
+//    JAG-M-HEUR inside each slab (accumulated slab view).  Two nesting
+//    levels of the paper's Section 3.2.2 construction.
+//  * hier_rb3      — recursive bisection with three candidate cut planes.
+//  * hier_relaxed3 — the HIER-RELAXED relaxation with three cut dimensions.
+#pragma once
+
+#include <tuple>
+
+#include "three/partition3.hpp"
+#include "three/prefix_sum3.hpp"
+
+namespace rectpart {
+
+/// Factors m into p*q*r as close to a cube as possible (p <= q <= r).
+[[nodiscard]] std::tuple<int, int, int> choose_grid3(int m);
+
+/// Uniform P x Q x R grid partition.
+[[nodiscard]] Partition3 rect_uniform3(const PrefixSum3D& ps, int p, int q,
+                                       int r);
+[[nodiscard]] Partition3 rect_uniform3(const PrefixSum3D& ps, int m);
+
+struct Jagged3Options {
+  /// Number of slabs along the first dimension; 0 = round(m^(1/3)).
+  int slabs = 0;
+};
+
+/// m-way jagged partition in 3-D.
+[[nodiscard]] Partition3 jag_m_heur3(const PrefixSum3D& ps, int m,
+                                     const Jagged3Options& opt = {});
+
+struct Hier3Options {
+  /// When true (default), each node evaluates all three cut dimensions and
+  /// keeps the best expected balance (the -LOAD rule); when false, the
+  /// longest dimension is cut (-DIST).
+  bool load_rule = true;
+};
+
+/// 3-D recursive bisection.
+[[nodiscard]] Partition3 hier_rb3(const PrefixSum3D& ps, int m,
+                                  const Hier3Options& opt = {});
+
+/// 3-D HIER-RELAXED.
+[[nodiscard]] Partition3 hier_relaxed3(const PrefixSum3D& ps, int m,
+                                       const Hier3Options& opt = {});
+
+}  // namespace rectpart

@@ -1,0 +1,47 @@
+#include "three/metrics3.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rectpart {
+
+CommStats3 comm_stats3(const Partition3& p, int n1, int n2, int n3) {
+  CommStats3 s;
+  for (const Box& b : p.boxes) s.half_surface_sum += b.half_surface();
+
+  std::vector<int> owner(
+      static_cast<std::size_t>(n1) * n2 * n3, -1);
+  auto idx = [n2, n3](int x, int y, int z) {
+    return (static_cast<std::size_t>(x) * n2 + y) * n3 + z;
+  };
+  for (std::size_t i = 0; i < p.boxes.size(); ++i) {
+    const Box& b = p.boxes[i];
+    for (int x = b.x0; x < b.x1; ++x)
+      for (int y = b.y0; y < b.y1; ++y)
+        std::fill(owner.begin() + idx(x, y, b.z0),
+                  owner.begin() + idx(x, y, b.z1), static_cast<int>(i));
+  }
+
+  std::vector<std::int64_t> per_proc(p.boxes.size(), 0);
+  auto edge = [&](int a, int b) {
+    if (a == b) return;
+    ++s.total_volume;
+    if (a >= 0) ++per_proc[a];
+    if (b >= 0) ++per_proc[b];
+  };
+  for (int x = 0; x < n1; ++x) {
+    for (int y = 0; y < n2; ++y) {
+      for (int z = 0; z < n3; ++z) {
+        const int o = owner[idx(x, y, z)];
+        if (x + 1 < n1) edge(o, owner[idx(x + 1, y, z)]);
+        if (y + 1 < n2) edge(o, owner[idx(x, y + 1, z)]);
+        if (z + 1 < n3) edge(o, owner[idx(x, y, z + 1)]);
+      }
+    }
+  }
+  for (const std::int64_t v : per_proc)
+    s.max_per_proc = std::max(s.max_per_proc, v);
+  return s;
+}
+
+}  // namespace rectpart

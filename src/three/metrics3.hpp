@@ -1,0 +1,23 @@
+// Communication metrics for 3-D partitions (7-point stencil exchange).
+#pragma once
+
+#include <cstdint>
+
+#include "three/partition3.hpp"
+
+namespace rectpart {
+
+/// 3-D analogue of CommStats: a face between two 6-adjacent cells owned by
+/// different processors contributes one unit in each direction.
+struct CommStats3 {
+  std::int64_t total_volume = 0;     ///< cut faces
+  std::int64_t max_per_proc = 0;     ///< largest per-processor boundary
+  std::int64_t half_surface_sum = 0; ///< sum of box half-surfaces (proxy)
+};
+
+/// Exact 3-D communication statistics via an ownership grid;
+/// O(n1*n2*n3 + m).
+[[nodiscard]] CommStats3 comm_stats3(const Partition3& p, int n1, int n2,
+                                     int n3);
+
+}  // namespace rectpart

@@ -1,0 +1,61 @@
+#include "three/partition3.hpp"
+
+#include <algorithm>
+
+namespace rectpart {
+
+std::vector<std::int64_t> Partition3::loads(const PrefixSum3D& ps) const {
+  std::vector<std::int64_t> out(boxes.size());
+  for (std::size_t i = 0; i < boxes.size(); ++i) out[i] = ps.load(boxes[i]);
+  return out;
+}
+
+std::int64_t Partition3::max_load(const PrefixSum3D& ps) const {
+  std::int64_t lmax = 0;
+  for (const Box& b : boxes) lmax = std::max(lmax, ps.load(b));
+  return lmax;
+}
+
+double Partition3::imbalance(const PrefixSum3D& ps) const {
+  if (boxes.empty()) return 0.0;
+  const double avg =
+      static_cast<double>(ps.total()) / static_cast<double>(m());
+  if (avg == 0.0) return 0.0;
+  return static_cast<double>(max_load(ps)) / avg - 1.0;
+}
+
+ValidationResult validate3(const Partition3& p, int n1, int n2, int n3) {
+  std::int64_t volume = 0;
+  for (std::size_t i = 0; i < p.boxes.size(); ++i) {
+    const Box& b = p.boxes[i];
+    if (b.x0 > b.x1 || b.y0 > b.y1 || b.z0 > b.z1)
+      return {false, "box " + std::to_string(i) + " is inverted: " +
+                         b.to_string()};
+    if (b.empty()) continue;
+    if (b.x0 < 0 || b.x1 > n1 || b.y0 < 0 || b.y1 > n2 || b.z0 < 0 ||
+        b.z1 > n3)
+      return {false, "box " + std::to_string(i) + " escapes the domain: " +
+                         b.to_string()};
+    volume += b.volume();
+  }
+  const std::int64_t domain =
+      static_cast<std::int64_t>(n1) * n2 * n3;
+  if (volume != domain)
+    return {false, "volumes sum to " + std::to_string(volume) +
+                       ", domain has " + std::to_string(domain) + " cells"};
+  for (std::size_t i = 0; i < p.boxes.size(); ++i) {
+    if (p.boxes[i].empty()) continue;
+    for (std::size_t j = i + 1; j < p.boxes.size(); ++j)
+      if (p.boxes[i].intersects(p.boxes[j]))
+        return {false, "boxes " + std::to_string(i) + " and " +
+                           std::to_string(j) + " collide"};
+  }
+  return {};
+}
+
+std::int64_t lower_bound_lmax3(const PrefixSum3D& ps, int m) {
+  const std::int64_t total = ps.total();
+  return std::max((total + m - 1) / m, ps.max_cell());
+}
+
+}  // namespace rectpart

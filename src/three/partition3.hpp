@@ -1,0 +1,33 @@
+// 3-D partitions: one box per processor, with validity testing and metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"  // ValidationResult
+#include "three/box.hpp"
+#include "three/prefix_sum3.hpp"
+
+namespace rectpart {
+
+/// A solution to the 3-D partitioning problem.
+struct Partition3 {
+  std::vector<Box> boxes;
+
+  [[nodiscard]] int m() const { return static_cast<int>(boxes.size()); }
+
+  [[nodiscard]] std::vector<std::int64_t> loads(const PrefixSum3D& ps) const;
+  [[nodiscard]] std::int64_t max_load(const PrefixSum3D& ps) const;
+  [[nodiscard]] double imbalance(const PrefixSum3D& ps) const;
+};
+
+/// Validity: boxes inside the domain, pairwise disjoint, volumes summing to
+/// the domain volume (the 3-D analogue of the Section 2.1 test).
+[[nodiscard]] ValidationResult validate3(const Partition3& p, int n1, int n2,
+                                         int n3);
+
+/// Lower bound on the optimal maximum load: max(ceil(total/m), max cell).
+[[nodiscard]] std::int64_t lower_bound_lmax3(const PrefixSum3D& ps, int m);
+
+}  // namespace rectpart

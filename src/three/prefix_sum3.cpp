@@ -1,0 +1,48 @@
+#include "three/prefix_sum3.hpp"
+
+#include <algorithm>
+
+namespace rectpart {
+
+PrefixSum3D::PrefixSum3D(const LoadMatrix3& a)
+    : n1_(a.dim1()), n2_(a.dim2()), n3_(a.dim3()) {
+  const std::size_t sy = static_cast<std::size_t>(n2_) + 1;
+  const std::size_t sz = static_cast<std::size_t>(n3_) + 1;
+  ps_.assign((static_cast<std::size_t>(n1_) + 1) * sy * sz, 0);
+  auto idx = [sy, sz](int x, int y, int z) {
+    return (static_cast<std::size_t>(x) * sy + y) * sz + z;
+  };
+
+  // Pass 1: raw values with running sum along z.
+  std::int64_t max_cell = 0;
+  for (int x = 0; x < n1_; ++x) {
+    for (int y = 0; y < n2_; ++y) {
+      std::int64_t run = 0;
+      for (int z = 0; z < n3_; ++z) {
+        const std::int64_t v = a(x, y, z);
+        max_cell = std::max(max_cell, v);
+        run += v;
+        ps_[idx(x + 1, y + 1, z + 1)] = run;
+      }
+    }
+  }
+  max_cell_ = max_cell;
+  // Pass 2: accumulate along y.
+  for (int x = 1; x <= n1_; ++x)
+    for (int y = 2; y <= n2_; ++y)
+      for (int z = 1; z <= n3_; ++z)
+        ps_[idx(x, y, z)] += ps_[idx(x, y - 1, z)];
+  // Pass 3: accumulate along x.
+  for (int x = 2; x <= n1_; ++x)
+    for (int y = 1; y <= n2_; ++y)
+      for (int z = 1; z <= n3_; ++z)
+        ps_[idx(x, y, z)] += ps_[idx(x - 1, y, z)];
+}
+
+std::vector<std::int64_t> PrefixSum3D::dim1_projection_prefix() const {
+  std::vector<std::int64_t> p(static_cast<std::size_t>(n1_) + 1);
+  for (int x = 0; x <= n1_; ++x) p[x] = at(x, n2_, n3_);
+  return p;
+}
+
+}  // namespace rectpart

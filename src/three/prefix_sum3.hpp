@@ -1,0 +1,52 @@
+// 3-D prefix sums with O(1) box-load queries (8-term inclusion-exclusion).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "three/box.hpp"
+#include "three/matrix3.hpp"
+
+namespace rectpart {
+
+/// Immutable 3-D prefix-sum view; at(x,y,z) = sum over [0,x)x[0,y)x[0,z).
+class PrefixSum3D {
+ public:
+  PrefixSum3D() = default;
+  explicit PrefixSum3D(const LoadMatrix3& a);
+
+  [[nodiscard]] int dim1() const { return n1_; }
+  [[nodiscard]] int dim2() const { return n2_; }
+  [[nodiscard]] int dim3() const { return n3_; }
+
+  [[nodiscard]] std::int64_t total() const { return at(n1_, n2_, n3_); }
+  [[nodiscard]] std::int64_t max_cell() const { return max_cell_; }
+
+  /// Load of the half-open box; empty ranges yield 0.
+  [[nodiscard]] std::int64_t load(int x0, int x1, int y0, int y1, int z0,
+                                  int z1) const {
+    if (x0 >= x1 || y0 >= y1 || z0 >= z1) return 0;
+    return at(x1, y1, z1) - at(x0, y1, z1) - at(x1, y0, z1) -
+           at(x1, y1, z0) + at(x0, y0, z1) + at(x0, y1, z0) +
+           at(x1, y0, z0) - at(x0, y0, z0);
+  }
+
+  [[nodiscard]] std::int64_t load(const Box& b) const {
+    return load(b.x0, b.x1, b.y0, b.y1, b.z0, b.z1);
+  }
+
+  /// Prefix vector (size n1+1) of the projection onto the first dimension.
+  [[nodiscard]] std::vector<std::int64_t> dim1_projection_prefix() const;
+
+  [[nodiscard]] std::int64_t at(int x, int y, int z) const {
+    return ps_[(static_cast<std::size_t>(x) * (n2_ + 1) + y) * (n3_ + 1) +
+               z];
+  }
+
+ private:
+  int n1_ = 0, n2_ = 0, n3_ = 0;
+  std::int64_t max_cell_ = 0;
+  std::vector<std::int64_t> ps_;
+};
+
+}  // namespace rectpart

@@ -1,0 +1,53 @@
+// Minimal command-line / environment flag parsing for benches and examples.
+//
+// Every experiment binary accepts `--name=value` arguments and honours the
+// RECTPART_FULL environment variable, which switches the harness from the
+// laptop-scale default sweep to the paper-scale sweep.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rectpart {
+
+/// Parses `--name=value` and `--name value` style command lines.
+///
+/// Unknown positional arguments are collected in positional().  Typed getters
+/// return the supplied default when the flag is absent; a malformed value
+/// terminates the program with a diagnostic (experiments should never run on
+/// half-parsed configurations).
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Name of the program (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// True when the RECTPART_FULL environment variable is set to a truthy value
+/// ("1", "true", "yes", "on"); benches then run the paper-scale sweeps.
+[[nodiscard]] bool full_scale_requested();
+
+/// Reads an integer environment override, returning `def` when unset.
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t def);
+
+}  // namespace rectpart

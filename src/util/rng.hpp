@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation.
+//
+// The experimental evaluation depends on reproducible synthetic instances
+// (uniform / diagonal / peak / multi-peak load matrices, particle seeding in
+// the PIC simulator).  We implement SplitMix64 and xoshiro256** ourselves
+// instead of using <random> distributions because the standard distributions
+// are not guaranteed to produce identical streams across library
+// implementations; instance generation must be bit-reproducible everywhere.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace rectpart {
+
+/// SplitMix64: used to expand a user seed into xoshiro's 256-bit state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
+///
+/// All synthetic workloads and the PIC-MAG simulator draw from this engine so
+/// that a (family, size, seed) triple fully identifies an instance.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Raw 64 uniformly random bits.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi]; requires lo <= hi.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    // Rejection sampling: draw until the value falls in the unbiased zone.
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() - ((~span + 1) % span);
+    std::uint64_t v = next_u64();
+    while (v > limit) v = next_u64();
+    return lo + static_cast<std::int64_t>(v % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_real() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform_real();
+  }
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform_real(-1.0, 1.0);
+      v = uniform_real(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace rectpart

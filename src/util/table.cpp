@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace rectpart {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  std::string s(buf);
+  // Trim trailing zeros but keep at least one digit after the point.
+  const auto dot = s.find('.');
+  if (dot != std::string::npos) {
+    auto last = s.find_last_not_of('0');
+    if (last == dot) ++last;
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+Table& Table::row() {
+  if (row_open_) {
+    assert(rows_.back().size() == columns_.size() &&
+           "previous row is incomplete");
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  row_open_ = true;
+  return *this;
+}
+
+void Table::ensure_row_open() const {
+  assert(row_open_ && "cell() before row()");
+  assert(rows_.back().size() < columns_.size() && "too many cells in row");
+}
+
+Table& Table::cell(const std::string& v) {
+  ensure_row_open();
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(double v) { return cell(format_double(v)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  os << "#";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << ' ' << columns_[c];
+    os << std::string(width[c] - columns_[c].size(), ' ');
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    os << ' ';  // align under '#'
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << ' ' << r[c] << std::string(width[c] - r[c].size(), ' ');
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace rectpart

@@ -1,0 +1,48 @@
+// Column-aligned, gnuplot-friendly table emission for the experiment harness.
+//
+// Every figure-reproduction bench prints one of these tables: a `#`-prefixed
+// header row followed by whitespace-separated data rows, so the output can be
+// redirected straight into gnuplot/python without post-processing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rectpart {
+
+/// Streaming table writer.  Columns are declared once; each row must supply
+/// exactly that many cells.  Numeric cells are formatted compactly (imbalance
+/// values with six significant digits, times in milliseconds).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Begin a new row; cells are appended with operator<< style calls.
+  Table& row();
+  Table& cell(const std::string& v);
+  Table& cell(const char* v);
+  Table& cell(std::int64_t v);
+  Table& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  Table& cell(std::size_t v) { return cell(static_cast<std::int64_t>(v)); }
+  Table& cell(double v);
+
+  /// Number of completed data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with aligned columns; the header line starts with '#'.
+  void print(std::ostream& os) const;
+
+ private:
+  void ensure_row_open() const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  bool row_open_ = false;
+};
+
+/// Formats a double with fixed precision, trimming trailing zeros.
+[[nodiscard]] std::string format_double(double v, int precision = 6);
+
+}  // namespace rectpart

@@ -1,0 +1,63 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace rectpart {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this]() { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& f) {
+  if (n == 0) return;
+  if (size() == 1 || n == 1) {  // avoid queueing overhead in the serial case
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  std::vector<std::future<void>> futures;
+  const std::size_t lanes = std::min(size(), n);
+  futures.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    futures.push_back(submit([next, n, &f]() {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1);
+        if (i >= n) return;
+        f(i);
+      }
+    }));
+  }
+  for (auto& fut : futures) fut.get();  // propagates exceptions
+}
+
+}  // namespace rectpart

@@ -1,0 +1,61 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// The partitioning algorithms themselves are sequential (as in the paper),
+// but the experiment harness parallelizes across independent runs — the
+// -BEST variants try both orientations, and figure sweeps evaluate many
+// (algorithm, m) pairs on the same immutable prefix-sum array.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rectpart {
+
+/// Fixed-size worker pool.  Tasks are arbitrary `void()` callables; submit()
+/// returns a future for completion/exception propagation.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the returned future rethrows any exception it threw.
+  template <typename F>
+  std::future<void> submit(F&& f) {
+    auto task =
+        std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs f(i) for i in [0, n), distributing indices across the pool and
+  /// blocking until all complete.  Exceptions from any index are rethrown.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace rectpart

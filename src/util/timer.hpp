@@ -1,0 +1,36 @@
+// Wall-clock timing utilities used by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rectpart {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// The paper reports partitioning runtimes in milliseconds (Figure 6); this
+/// class is the measurement primitive behind those tables.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last reset().
+  [[nodiscard]] double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rectpart

@@ -1,0 +1,100 @@
+#include "workloads/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rectpart {
+
+LoadMatrix gen_uniform(int n1, int n2, double delta, std::uint64_t seed) {
+  if (delta < 1.0)
+    throw std::invalid_argument("gen_uniform: delta must be >= 1");
+  Rng rng(seed);
+  LoadMatrix a(n1, n2);
+  const std::int64_t lo = 1000;
+  const std::int64_t hi = static_cast<std::int64_t>(std::llround(1000 * delta));
+  for (int x = 0; x < n1; ++x)
+    for (int y = 0; y < n2; ++y) a(x, y) = rng.uniform_int(lo, hi);
+  return a;
+}
+
+namespace {
+
+struct Point {
+  double x;
+  double y;
+};
+
+/// Distance-scaled random field shared by diagonal/peak/multipeak:
+/// cell = U[0, n1*n2] / (dist(cell, nearest reference) + 0.1).
+template <typename DistFn>
+LoadMatrix distance_field(int n1, int n2, std::uint64_t seed, DistFn dist) {
+  Rng rng(seed);
+  LoadMatrix a(n1, n2);
+  const std::int64_t cells = static_cast<std::int64_t>(n1) * n2;
+  for (int x = 0; x < n1; ++x) {
+    for (int y = 0; y < n2; ++y) {
+      const double u = static_cast<double>(rng.uniform_int(0, cells));
+      a(x, y) = static_cast<std::int64_t>(u / (dist(x, y) + 0.1));
+    }
+  }
+  return a;
+}
+
+double euclid(double ax, double ay, double bx, double by) {
+  const double dx = ax - bx, dy = ay - by;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+LoadMatrix gen_diagonal(int n1, int n2, std::uint64_t seed) {
+  // Distance from (x, y) to the continuous diagonal segment from (0, 0) to
+  // (n1-1, n2-1).
+  const double dx = n1 - 1, dy = n2 - 1;
+  const double len2 = dx * dx + dy * dy;
+  return distance_field(n1, n2, seed, [&](int x, int y) {
+    double t = len2 > 0 ? (x * dx + y * dy) / len2 : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    return euclid(x, y, t * dx, t * dy);
+  });
+}
+
+LoadMatrix gen_peak(int n1, int n2, std::uint64_t seed) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);  // reference point stream
+  const Point ref{static_cast<double>(rng.uniform_int(0, n1 - 1)),
+                  static_cast<double>(rng.uniform_int(0, n2 - 1))};
+  return distance_field(n1, n2, seed, [&](int x, int y) {
+    return euclid(x, y, ref.x, ref.y);
+  });
+}
+
+LoadMatrix gen_multipeak(int n1, int n2, int peaks, std::uint64_t seed) {
+  if (peaks < 1) throw std::invalid_argument("gen_multipeak: peaks >= 1");
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<Point> refs;
+  refs.reserve(peaks);
+  for (int p = 0; p < peaks; ++p)
+    refs.push_back({static_cast<double>(rng.uniform_int(0, n1 - 1)),
+                    static_cast<double>(rng.uniform_int(0, n2 - 1))});
+  return distance_field(n1, n2, seed, [&](int x, int y) {
+    double best = euclid(x, y, refs[0].x, refs[0].y);
+    for (std::size_t p = 1; p < refs.size(); ++p)
+      best = std::min(best, euclid(x, y, refs[p].x, refs[p].y));
+    return best;
+  });
+}
+
+LoadMatrix make_synthetic(const std::string& family, int n1, int n2,
+                          std::uint64_t seed, double delta) {
+  if (family == "uniform") return gen_uniform(n1, n2, delta, seed);
+  if (family == "diagonal") return gen_diagonal(n1, n2, seed);
+  if (family == "peak") return gen_peak(n1, n2, seed);
+  if (family == "multipeak") return gen_multipeak(n1, n2, 3, seed);
+  throw std::invalid_argument("unknown synthetic family '" + family + "'");
+}
+
+}  // namespace rectpart

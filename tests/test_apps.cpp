@@ -1,0 +1,137 @@
+// Tests for the application substrates: SpMV block loads and the
+// volume-rendering cost image.
+#include <gtest/gtest.h>
+
+#include "apps/render.hpp"
+#include "apps/spmv.hpp"
+#include "core/partitioner.hpp"
+#include "prefix/prefix_sum.hpp"
+
+namespace rectpart {
+namespace {
+
+struct Registered {
+  Registered() { register_builtin_partitioners(); }
+};
+const Registered registered;
+
+TEST(GridLaplacian, StructureIsCorrect) {
+  const CsrMatrix a = make_grid_laplacian(4);
+  EXPECT_EQ(a.rows, 16);
+  EXPECT_TRUE(a.well_formed());
+  // Interior row (i=1, j=1 -> row 5) has 5 nonzeros; corner row 0 has 3.
+  EXPECT_EQ(a.row_ptr[6] - a.row_ptr[5], 5);
+  EXPECT_EQ(a.row_ptr[1] - a.row_ptr[0], 3);
+  // Total nnz of a g x g Laplacian: 5g^2 - 4g.
+  EXPECT_EQ(a.nnz(), 5 * 16 - 4 * 4);
+}
+
+TEST(GridLaplacian, DiagonalAlwaysPresent) {
+  const CsrMatrix a = make_grid_laplacian(5);
+  for (int r = 0; r < a.rows; ++r) {
+    bool diag = false;
+    for (std::int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k)
+      diag |= a.col_idx[k] == r;
+    EXPECT_TRUE(diag) << "row " << r;
+  }
+}
+
+TEST(PowerLawMatrix, WellFormedAndDeterministic) {
+  const CsrMatrix a = make_power_law_matrix(200, 8, 2.0, 7);
+  EXPECT_TRUE(a.well_formed());
+  EXPECT_GT(a.nnz(), 200);
+  const CsrMatrix b = make_power_law_matrix(200, 8, 2.0, 7);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  const CsrMatrix c = make_power_law_matrix(200, 8, 2.0, 8);
+  EXPECT_NE(a.col_idx, c.col_idx);
+}
+
+TEST(PowerLawMatrix, SkewConcentratesColumns) {
+  const CsrMatrix a = make_power_law_matrix(400, 10, 3.0, 1);
+  // Count nonzeros in the first tenth of the columns vs the last tenth.
+  std::int64_t head = 0, tail = 0;
+  for (const int c : a.col_idx) {
+    if (c < 40) ++head;
+    if (c >= 360) ++tail;
+  }
+  EXPECT_GT(head, 5 * std::max<std::int64_t>(tail, 1));
+}
+
+TEST(SpmvBlockLoads, CountsEveryNonzeroExactlyOnce) {
+  const CsrMatrix a = make_grid_laplacian(10);
+  for (const int blocks : {1, 4, 7, 10}) {
+    const LoadMatrix load = spmv_block_loads(a, blocks);
+    EXPECT_EQ(load.rows(), blocks);
+    EXPECT_EQ(compute_stats(load).total, a.nnz()) << blocks;
+  }
+}
+
+TEST(SpmvBlockLoads, LaplacianLoadIsBandDiagonal) {
+  const CsrMatrix a = make_grid_laplacian(16);
+  const LoadMatrix load = spmv_block_loads(a, 8);
+  // The Laplacian's nonzeros hug the diagonal: off-diagonal-band blocks are
+  // empty.
+  std::int64_t far = 0;
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      if (std::abs(i - j) > 1) far += load(i, j);
+  EXPECT_EQ(far, 0);
+}
+
+TEST(SpmvBlockLoads, PartitionersHandleTheBlockView) {
+  const CsrMatrix a = make_power_law_matrix(512, 12, 2.5, 3);
+  const LoadMatrix load = spmv_block_loads(a, 64);
+  const PrefixSum2D ps(load);
+  for (const char* name : {"jag-m-heur", "hier-relaxed"}) {
+    const Partition p = make_partitioner(name)->run(ps, 16);
+    ASSERT_TRUE(validate(p, 64, 64)) << name;
+    // The skewed corner makes uniform blocks terrible; real algorithms must
+    // do much better.
+    EXPECT_LT(p.imbalance(ps),
+              make_partitioner("rect-uniform")->run(ps, 16).imbalance(ps))
+        << name;
+  }
+}
+
+TEST(RenderCost, ShapeAndDeterminism) {
+  RenderConfig c;
+  c.image_size = 64;
+  c.max_steps = 48;
+  const LoadMatrix a = render_cost_image(c);
+  EXPECT_EQ(a.rows(), 64);
+  EXPECT_EQ(a.cols(), 64);
+  EXPECT_EQ(a, render_cost_image(c));
+  c.seed = 99;
+  EXPECT_FALSE(a == render_cost_image(c));
+}
+
+TEST(RenderCost, EveryRayPaysAtLeastTraversal) {
+  RenderConfig c;
+  c.image_size = 48;
+  c.max_steps = 32;
+  const LoadMatrix a = render_cost_image(c);
+  const LoadStats s = compute_stats(a);
+  EXPECT_GE(s.min, c.max_steps);      // empty ray: one unit per step
+  EXPECT_GT(s.max, 2 * c.max_steps);  // occupied rays pay shading
+}
+
+TEST(RenderCost, CostConcentratesOnTheObject) {
+  RenderConfig c;
+  c.image_size = 96;
+  c.max_steps = 64;
+  const LoadMatrix a = render_cost_image(c);
+  // Image corners see empty space; the torus ring area is expensive.
+  const std::int64_t corner = a(2, 2);
+  std::int64_t max_v = 0;
+  for (const auto v : a) max_v = std::max(max_v, v);
+  EXPECT_GT(max_v, 3 * corner);
+}
+
+TEST(RenderCost, RejectsBadConfig) {
+  RenderConfig c;
+  c.image_size = 0;
+  EXPECT_THROW((void)render_cost_image(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rectpart

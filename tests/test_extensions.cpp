@@ -1,0 +1,149 @@
+// Tests for the later extensions: automatic stripe selection, the
+// RECT-NICOL convergence report, 3-D communication metrics, and 3-D I/O.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "core/partitioner.hpp"
+#include "io/matrix_io.hpp"
+#include "jagged/jagged.hpp"
+#include "rectilinear/rectilinear.hpp"
+#include "testing_util.hpp"
+#include "three/algorithms3.hpp"
+#include "three/metrics3.hpp"
+#include "util/rng.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace rectpart {
+namespace {
+
+using testing::random_matrix;
+
+TEST(JagMHeurAuto, NeverWorseThanFixedSqrtM) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const LoadMatrix a = gen_multipeak(40, 40, 3, seed);
+    const PrefixSum2D ps(a);
+    for (const int m : {9, 25, 64, 100}) {
+      const std::int64_t fixed = jag_m_heur(ps, m).max_load(ps);
+      const std::int64_t autosel = jag_m_heur_auto(ps, m).max_load(ps);
+      EXPECT_LE(autosel, fixed) << "seed=" << seed << " m=" << m;
+    }
+  }
+}
+
+TEST(JagMHeurAuto, ValidAcrossShapes) {
+  const LoadMatrix a = random_matrix(13, 29, 0, 9, 3);
+  const PrefixSum2D ps(a);
+  for (const int m : {1, 2, 7, 20, 50}) {
+    const Partition p = jag_m_heur_auto(ps, m);
+    ASSERT_EQ(p.m(), m);
+    ASSERT_TRUE(validate(p, 13, 29)) << "m=" << m;
+  }
+}
+
+TEST(JagMHeurAuto, RegisteredInTheRegistry) {
+  register_builtin_partitioners();
+  const auto algo = make_partitioner("jag-m-heur-auto");
+  const LoadMatrix a = gen_peak(20, 20, 1);
+  const PrefixSum2D ps(a);
+  EXPECT_TRUE(validate(algo->run(ps, 9), 20, 20));
+}
+
+TEST(RectNicolReport, ConvergesInFewSweepsAndImproves) {
+  const LoadMatrix a = gen_multipeak(64, 64, 3, 5);
+  const PrefixSum2D ps(a);
+  RectNicolReport report;
+  const Partition p = rect_nicol(ps, 16, {}, &report);
+  EXPECT_GE(report.iterations, 1);
+  // The paper reports 3-10 sweeps in practice; allow generous slack but
+  // catch pathological non-convergence.
+  EXPECT_LE(report.iterations, 50);
+  EXPECT_LE(report.final_lmax, report.initial_lmax);
+  EXPECT_EQ(report.final_lmax, p.max_load(ps));
+}
+
+TEST(RectNicolReport, NullReportIsFine) {
+  const LoadMatrix a = random_matrix(10, 10, 1, 9, 1);
+  const PrefixSum2D ps(a);
+  EXPECT_TRUE(validate(rect_nicol(ps, 4), 10, 10));
+}
+
+TEST(CommStats3, TwoSlabsShareOnePlane) {
+  Partition3 p;
+  p.boxes = {Box{0, 2, 0, 4, 0, 4}, Box{2, 4, 0, 4, 0, 4}};
+  const CommStats3 s = comm_stats3(p, 4, 4, 4);
+  EXPECT_EQ(s.total_volume, 16);  // 4x4 face
+  EXPECT_EQ(s.max_per_proc, 16);
+  EXPECT_EQ(s.half_surface_sum, 2 * (2 * 4 + 4 * 4 + 4 * 2));
+}
+
+TEST(CommStats3, SingleBoxNoTraffic) {
+  Partition3 p;
+  p.boxes = {Box{0, 3, 0, 3, 0, 3}};
+  const CommStats3 s = comm_stats3(p, 3, 3, 3);
+  EXPECT_EQ(s.total_volume, 0);
+  EXPECT_EQ(s.max_per_proc, 0);
+}
+
+TEST(CommStats3, OctantsCutThreePlanes) {
+  Partition3 p;
+  for (int i = 0; i < 8; ++i)
+    p.boxes.push_back(Box{(i & 1) * 2, (i & 1) * 2 + 2, ((i >> 1) & 1) * 2,
+                          ((i >> 1) & 1) * 2 + 2, ((i >> 2) & 1) * 2,
+                          ((i >> 2) & 1) * 2 + 2});
+  const CommStats3 s = comm_stats3(p, 4, 4, 4);
+  EXPECT_EQ(s.total_volume, 3 * 16);  // three 4x4 cutting planes
+}
+
+TEST(CommStats3, HierRb3PartitionsAreMeasurable) {
+  Rng rng(1);
+  LoadMatrix3 a(8, 8, 8);
+  for (auto& v : a) v = rng.uniform_int(1, 9);
+  const PrefixSum3D ps(a);
+  const Partition3 p = hier_rb3(ps, 8);
+  const CommStats3 s = comm_stats3(p, 8, 8, 8);
+  EXPECT_GT(s.total_volume, 0);
+  EXPECT_LE(s.total_volume, 2 * s.half_surface_sum);
+}
+
+class Matrix3IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rectpart_m3io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(Matrix3IoTest, BinaryRoundTrip) {
+  Rng rng(2);
+  LoadMatrix3 a(5, 7, 3);
+  for (auto& v : a) v = rng.uniform_int(0, 1'000'000'000'000LL);
+  const std::string path = (dir_ / "cube.bin").string();
+  save_matrix3_binary(a, path);
+  EXPECT_EQ(load_matrix3_binary(path), a);
+}
+
+TEST_F(Matrix3IoTest, RejectsWrongMagic) {
+  // A 2-D file must not load as a 3-D matrix.
+  LoadMatrix a(2, 2, 1);
+  const std::string path = (dir_ / "flat.bin").string();
+  save_matrix_binary(a, path);
+  EXPECT_THROW((void)load_matrix3_binary(path), std::runtime_error);
+}
+
+TEST_F(Matrix3IoTest, EmptyCube) {
+  LoadMatrix3 a(0, 0, 0);
+  const std::string path = (dir_ / "empty.bin").string();
+  save_matrix3_binary(a, path);
+  const LoadMatrix3 b = load_matrix3_binary(path);
+  EXPECT_EQ(b.dim1(), 0);
+  EXPECT_EQ(b.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rectpart

@@ -1,0 +1,106 @@
+// Randomized stress testing: hundreds of random (instance, algorithm, m)
+// triples drawn from a seeded generator, each checked against the full
+// invariant set.  Complements the structured property sweeps with irregular
+// shapes, extreme skew, zero blocks, and tiny/degenerate sizes.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/partitioner.hpp"
+#include "oned/oned.hpp"
+#include "testing_util.hpp"
+#include "util/rng.hpp"
+
+namespace rectpart {
+namespace {
+
+/// Random instance with structured hazards: random shape, a random mix of
+/// uniform noise, zero bands, hot cells, and hot rows/columns.
+LoadMatrix hazard_instance(Rng& rng) {
+  const int n1 = static_cast<int>(rng.uniform_int(1, 40));
+  const int n2 = static_cast<int>(rng.uniform_int(1, 40));
+  LoadMatrix a(n1, n2, 0);
+  // Base noise.
+  if (rng.uniform_int(0, 3) > 0)
+    for (auto& v : a) v = rng.uniform_int(0, 20);
+  // Zero bands.
+  if (rng.uniform_int(0, 1) == 1 && n1 > 2) {
+    const int from = static_cast<int>(rng.uniform_int(0, n1 - 1));
+    const int to = static_cast<int>(rng.uniform_int(from, n1));
+    for (int x = from; x < to; ++x)
+      for (int y = 0; y < n2; ++y) a(x, y) = 0;
+  }
+  // Hot cells.
+  for (int k = rng.uniform_int(0, 4); k > 0; --k)
+    a(static_cast<int>(rng.uniform_int(0, n1 - 1)),
+      static_cast<int>(rng.uniform_int(0, n2 - 1))) =
+        rng.uniform_int(500, 5000);
+  // Hot column.
+  if (rng.uniform_int(0, 2) == 0) {
+    const int y = static_cast<int>(rng.uniform_int(0, n2 - 1));
+    for (int x = 0; x < n1; ++x) a(x, y) += rng.uniform_int(50, 200);
+  }
+  return a;
+}
+
+TEST(Fuzz, AllFastAlgorithmsSurviveHazardInstances) {
+  register_builtin_partitioners();
+  const char* kAlgos[] = {"rect-uniform", "rect-nicol",  "jag-pq-heur",
+                          "jag-pq-opt",   "jag-m-heur",  "jag-m-opt",
+                          "hier-rb",      "hier-relaxed", "spiral-opt"};
+  Rng rng(0xf22);
+  for (int trial = 0; trial < 120; ++trial) {
+    const LoadMatrix a = hazard_instance(rng);
+    const PrefixSum2D ps(a);
+    const int cells = a.rows() * a.cols();
+    const int m = static_cast<int>(
+        rng.uniform_int(1, std::min(60, std::max(1, cells))));
+    const std::int64_t lb = lower_bound_lmax(ps, m);
+    for (const char* name : kAlgos) {
+      SCOPED_TRACE(std::string(name) + " trial=" + std::to_string(trial) +
+                   " shape=" + std::to_string(a.rows()) + "x" +
+                   std::to_string(a.cols()) + " m=" + std::to_string(m));
+      const Partition p = make_partitioner(name)->run(ps, m);
+      ASSERT_EQ(p.m(), m);
+      const auto v1 = validate_pairwise(p, a.rows(), a.cols());
+      const auto v2 = validate_paint(p, a.rows(), a.cols());
+      ASSERT_TRUE(v1) << v1.message;
+      ASSERT_TRUE(v2) << v2.message;
+      if (ps.total() > 0) {
+        ASSERT_GE(p.max_load(ps), lb);
+      }
+    }
+    // Exact-solver dominance on every instance where both ran.
+    const auto m_opt = make_partitioner("jag-m-opt")->run(ps, m);
+    const auto m_heur = make_partitioner("jag-m-heur")->run(ps, m);
+    const auto pq_opt = make_partitioner("jag-pq-opt")->run(ps, m);
+    ASSERT_LE(m_opt.max_load(ps), m_heur.max_load(ps)) << "trial " << trial;
+    ASSERT_LE(m_opt.max_load(ps), pq_opt.max_load(ps)) << "trial " << trial;
+  }
+}
+
+TEST(Fuzz, OneDimensionalSolversAgreeOnHazardArrays) {
+  Rng rng(0xabcd);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 60));
+    std::vector<std::int64_t> w(n);
+    for (auto& v : w) {
+      const int kind = static_cast<int>(rng.uniform_int(0, 5));
+      v = kind == 0 ? 0 : kind == 1 ? rng.uniform_int(1000, 9999)
+                                    : rng.uniform_int(0, 30);
+    }
+    const auto prefix = oned::prefix_of(w);
+    const oned::PrefixOracle o(prefix);
+    const int m = static_cast<int>(rng.uniform_int(1, 12));
+    const std::int64_t a = oned::nicol_plus(o, m).bottleneck;
+    const std::int64_t b = oned::nicol_search(o, m).bottleneck;
+    const std::int64_t c = oned::bisect_probe(o, m).bottleneck;
+    ASSERT_EQ(a, b) << "trial " << trial << " n=" << n << " m=" << m;
+    ASSERT_EQ(a, c) << "trial " << trial << " n=" << n << " m=" << m;
+    ASSERT_LE(a, oned::bottleneck(o, oned::direct_cut(o, m)));
+    ASSERT_LE(a, oned::bottleneck(o, oned::direct_cut_refined(o, m)));
+    ASSERT_LE(a, oned::bottleneck(o, oned::recursive_bisection(o, m)));
+  }
+}
+
+}  // namespace
+}  // namespace rectpart

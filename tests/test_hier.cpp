@@ -1,0 +1,171 @@
+#include "hier/hier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "jagged/jagged.hpp"
+#include "testing_util.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace rectpart {
+namespace {
+
+using testing::random_matrix;
+
+HierOptions variant(HierVariant v) {
+  HierOptions o;
+  o.variant = v;
+  return o;
+}
+
+constexpr HierVariant kAllVariants[] = {HierVariant::kLoad, HierVariant::kDist,
+                                        HierVariant::kHor, HierVariant::kVer};
+
+TEST(HierRb, AllVariantsValidAcrossShapes) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const LoadMatrix a = random_matrix(19, 26, 0, 9, seed);
+    const PrefixSum2D ps(a);
+    for (const HierVariant v : kAllVariants) {
+      for (const int m : {1, 2, 3, 7, 16, 31}) {
+        const Partition p = hier_rb(ps, m, variant(v));
+        ASSERT_EQ(p.m(), m);
+        ASSERT_TRUE(validate(p, 19, 26))
+            << "seed=" << seed << " m=" << m
+            << " variant=" << hier_variant_suffix(v);
+        EXPECT_GE(p.max_load(ps), lower_bound_lmax(ps, m));
+      }
+    }
+  }
+}
+
+TEST(HierRb, PowerOfTwoUniformIsPerfect) {
+  LoadMatrix a(16, 16, 4);
+  const PrefixSum2D ps(a);
+  for (const int m : {2, 4, 8, 16}) {
+    const Partition p = hier_rb(ps, m);
+    EXPECT_EQ(p.max_load(ps), ps.total() / m) << "m=" << m;
+  }
+}
+
+TEST(HierRb, OddProcessorCountsSplitFloorCeil) {
+  const LoadMatrix a = random_matrix(20, 20, 1, 9, 5);
+  const PrefixSum2D ps(a);
+  const Partition p = hier_rb(ps, 5);
+  EXPECT_EQ(p.m(), 5);
+  EXPECT_TRUE(validate(p, 20, 20));
+}
+
+TEST(HierRb, VariantSuffixNames) {
+  EXPECT_STREQ(hier_variant_suffix(HierVariant::kLoad), "-load");
+  EXPECT_STREQ(hier_variant_suffix(HierVariant::kDist), "-dist");
+  EXPECT_STREQ(hier_variant_suffix(HierVariant::kHor), "-hor");
+  EXPECT_STREQ(hier_variant_suffix(HierVariant::kVer), "-ver");
+}
+
+TEST(HierRelaxed, AllVariantsValidAcrossShapes) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const LoadMatrix a = random_matrix(17, 23, 0, 9, seed + 50);
+    const PrefixSum2D ps(a);
+    for (const HierVariant v : kAllVariants) {
+      for (const int m : {1, 2, 5, 9, 14}) {
+        const Partition p = hier_relaxed(ps, m, variant(v));
+        ASSERT_EQ(p.m(), m);
+        ASSERT_TRUE(validate(p, 17, 23))
+            << "seed=" << seed << " m=" << m
+            << " variant=" << hier_variant_suffix(v);
+      }
+    }
+  }
+}
+
+TEST(HierRelaxed, FlexibleSplitBeatsRbOnSkewedLoad) {
+  // Three heavy rows: RB must give each half floor/ceil processors, the
+  // relaxed split can send processors where the load is.
+  LoadMatrix a(30, 30, 1);
+  for (int y = 0; y < 30; ++y) a(0, y) = a(1, y) = a(2, y) = 200;
+  const PrefixSum2D ps(a);
+  const auto relaxed = hier_relaxed(ps, 9).max_load(ps);
+  const auto rb = hier_rb(ps, 9).max_load(ps);
+  EXPECT_LE(relaxed, rb);
+}
+
+TEST(HierOpt, MatchesExhaustiveIntuitionOnTinyCases) {
+  // 2x2 matrix, m=2: the best guillotine cut is easy to enumerate by hand.
+  LoadMatrix a(2, 2);
+  a(0, 0) = 5;
+  a(0, 1) = 1;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  const PrefixSum2D ps(a);
+  // Row cut: {6, 6}; column cut: {7, 5} -> optimum 6.
+  EXPECT_EQ(hier_opt(ps, 2).max_load(ps), 6);
+  // m = 4: every cell its own processor -> max cell 5.
+  EXPECT_EQ(hier_opt(ps, 4).max_load(ps), 5);
+}
+
+TEST(HierOpt, DominatesHeuristicsAndJagged) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const LoadMatrix a = random_matrix(9, 8, 0, 12, seed + 400);
+    const PrefixSum2D ps(a);
+    for (const int m : {2, 3, 4, 6}) {
+      const std::int64_t opt = hier_opt(ps, m).max_load(ps);
+      EXPECT_LE(opt, hier_rb(ps, m).max_load(ps))
+          << "seed=" << seed << " m=" << m;
+      EXPECT_LE(opt, hier_relaxed(ps, m).max_load(ps));
+      // Every jagged partition is a hierarchical partition, so the optimal
+      // hierarchical bottleneck is at most the optimal m-way jagged one.
+      JaggedOptions hor;
+      hor.orientation = Orientation::kHorizontal;
+      EXPECT_LE(opt, jag_m_opt(ps, m, hor).max_load(ps));
+      EXPECT_GE(opt, lower_bound_lmax(ps, m));
+    }
+  }
+}
+
+TEST(HierOpt, ProducesValidPartitions) {
+  const LoadMatrix a = random_matrix(7, 11, 0, 9, 500);
+  const PrefixSum2D ps(a);
+  for (const int m : {1, 2, 5, 8}) {
+    const Partition p = hier_opt(ps, m);
+    ASSERT_EQ(p.m(), m);
+    ASSERT_TRUE(validate(p, 7, 11)) << "m=" << m;
+  }
+}
+
+TEST(HierOpt, RejectsOversizedInstances) {
+  LoadMatrix a(300, 4, 1);
+  const PrefixSum2D ps(a);
+  EXPECT_THROW((void)hier_opt(ps, 2), std::invalid_argument);
+  LoadMatrix b(4, 4, 1);
+  const PrefixSum2D psb(b);
+  EXPECT_THROW((void)hier_opt(psb, 5000), std::invalid_argument);
+}
+
+TEST(HierOpt, UniformMatrixPowerOfTwoIsPerfect) {
+  LoadMatrix a(8, 8, 3);
+  const PrefixSum2D ps(a);
+  EXPECT_EQ(hier_opt(ps, 4).max_load(ps), ps.total() / 4);
+  EXPECT_EQ(hier_opt(ps, 8).max_load(ps), ps.total() / 8);
+}
+
+TEST(Hier, DeterministicAcrossRuns) {
+  const LoadMatrix a = gen_diagonal(25, 25, 3);
+  const PrefixSum2D ps(a);
+  for (const HierVariant v : kAllVariants) {
+    const Partition p1 = hier_rb(ps, 10, variant(v));
+    const Partition p2 = hier_rb(ps, 10, variant(v));
+    ASSERT_EQ(p1.rects.size(), p2.rects.size());
+    for (std::size_t i = 0; i < p1.rects.size(); ++i)
+      ASSERT_EQ(p1.rects[i], p2.rects[i]);
+  }
+}
+
+TEST(Hier, SingleRowMatrix) {
+  const LoadMatrix a = random_matrix(1, 30, 1, 9, 600);
+  const PrefixSum2D ps(a);
+  EXPECT_TRUE(validate(hier_rb(ps, 7), 1, 30));
+  EXPECT_TRUE(validate(hier_relaxed(ps, 7), 1, 30));
+}
+
+}  // namespace
+}  // namespace rectpart

@@ -1,0 +1,133 @@
+// End-to-end integration: substrates feed partitioners; results round-trip
+// through the I/O layer; metrics connect the pieces — the same pipeline the
+// examples and figure harnesses use.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "core/metrics.hpp"
+#include "core/partitioner.hpp"
+#include "io/matrix_io.hpp"
+#include "io/partition_io.hpp"
+#include "io/pgm.hpp"
+#include "mesh/mesh.hpp"
+#include "picmag/picmag.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace rectpart {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { register_builtin_partitioners(); }
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rectpart_integ_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IntegrationTest, PicMagThroughFullPipeline) {
+  PicMagConfig c;
+  c.n1 = 96;
+  c.n2 = 96;
+  c.particles = 8000;
+  c.substeps_per_snapshot = 5;
+  PicMagSimulator sim(c);
+  const LoadMatrix a = sim.snapshot_at(10000);
+
+  // Persist the instance, reload, and verify the partitioning result is
+  // identical to partitioning the original.
+  save_matrix_binary(a, path("pic.bin"));
+  const LoadMatrix b = load_matrix_binary(path("pic.bin"));
+  ASSERT_EQ(a, b);
+
+  const PrefixSum2D ps(a), psb(b);
+  const auto algo = make_partitioner("jag-m-heur");
+  const Partition pa = algo->run(ps, 16);
+  const Partition pb = algo->run(psb, 16);
+  ASSERT_EQ(pa.rects.size(), pb.rects.size());
+  for (std::size_t i = 0; i < pa.rects.size(); ++i)
+    EXPECT_EQ(pa.rects[i], pb.rects[i]);
+
+  // Partition round-trips through CSV with identical evaluation.
+  save_partition_csv(pa, path("p.csv"));
+  const Partition pr = load_partition_csv(path("p.csv"));
+  EXPECT_EQ(pr.max_load(ps), pa.max_load(ps));
+
+  // Visual artifacts write successfully.
+  save_pgm(a, path("pic.pgm"));
+  save_pgm_with_partition(a, pa, path("pic_part.pgm"));
+  EXPECT_TRUE(std::filesystem::exists(path("pic_part.pgm")));
+}
+
+TEST_F(IntegrationTest, DynamicRebalancingAcrossPicMagIterations) {
+  // The Figure 8/11/12 pattern: repartition each snapshot and track the
+  // imbalance; every partition must stay valid and the imbalance finite.
+  PicMagConfig c;
+  c.n1 = 64;
+  c.n2 = 64;
+  c.particles = 5000;
+  c.substeps_per_snapshot = 5;
+  PicMagSimulator sim(c);
+  const auto algo = make_partitioner("hier-rb");
+  for (int it = 0; it <= 10000; it += 2500) {
+    const LoadMatrix a = sim.snapshot_at(it);
+    const PrefixSum2D ps(a);
+    const Partition p = algo->run(ps, 25);
+    ASSERT_TRUE(validate(p, 64, 64)) << "it=" << it;
+    EXPECT_LT(p.imbalance(ps), 3.0);
+  }
+}
+
+TEST_F(IntegrationTest, SlacSparseInstanceFavoursHierarchical) {
+  // Figure 14's qualitative conclusion at miniature scale: on the sparse
+  // mesh projection, hierarchical partitioning achieves a not-worse
+  // bottleneck than the uniform rectilinear baseline.
+  CavityMeshConfig mc;
+  mc.rings = 200;
+  mc.segments = 200;
+  const LoadMatrix a = gen_slac(96, 96, mc);
+  const PrefixSum2D ps(a);
+  const std::int64_t uni =
+      make_partitioner("rect-uniform")->run(ps, 16).max_load(ps);
+  const std::int64_t rb =
+      make_partitioner("hier-rb")->run(ps, 16).max_load(ps);
+  const std::int64_t rel =
+      make_partitioner("hier-relaxed")->run(ps, 16).max_load(ps);
+  EXPECT_LE(rb, uni);
+  EXPECT_LE(rel, uni);
+}
+
+TEST_F(IntegrationTest, CommVolumeSaneAcrossClasses) {
+  const LoadMatrix a = gen_multipeak(48, 48, 3, 5);
+  const PrefixSum2D ps(a);
+  for (const char* name :
+       {"rect-uniform", "rect-nicol", "jag-m-heur", "hier-rb"}) {
+    const Partition p = make_partitioner(name)->run(ps, 16);
+    const CommStats s = comm_stats(p, 48, 48);
+    // Cut edges are internal edges; crude sanity bounds.
+    EXPECT_GT(s.total_volume, 0) << name;
+    EXPECT_LT(s.total_volume, 2LL * 48 * 47) << name;
+    EXPECT_LE(s.max_per_proc, s.total_volume) << name;
+    EXPECT_LE(s.total_volume, 2 * s.half_perimeter_sum) << name;
+  }
+}
+
+TEST_F(IntegrationTest, TextAndBinaryFormatsAgree) {
+  const LoadMatrix a = gen_diagonal(40, 40, 11);
+  save_matrix_text(a, path("d.txt"));
+  save_matrix_binary(a, path("d.bin"));
+  EXPECT_EQ(load_matrix_text(path("d.txt")),
+            load_matrix_binary(path("d.bin")));
+}
+
+}  // namespace
+}  // namespace rectpart

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "io/matrix_io.hpp"
+#include "io/partition_io.hpp"
+#include "io/pgm.hpp"
+#include "testing_util.hpp"
+
+namespace rectpart {
+namespace {
+
+using testing::random_matrix;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rectpart_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, TextRoundTrip) {
+  const LoadMatrix a = random_matrix(9, 7, 0, 1000, 1);
+  save_matrix_text(a, path("m.txt"));
+  EXPECT_EQ(load_matrix_text(path("m.txt")), a);
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const LoadMatrix a = random_matrix(13, 5, 0, 1'000'000'000'000LL, 2);
+  save_matrix_binary(a, path("m.bin"));
+  EXPECT_EQ(load_matrix_binary(path("m.bin")), a);
+}
+
+TEST_F(IoTest, EmptyMatrixRoundTrips) {
+  const LoadMatrix a(0, 0);
+  save_matrix_text(a, path("e.txt"));
+  save_matrix_binary(a, path("e.bin"));
+  EXPECT_EQ(load_matrix_text(path("e.txt")), a);
+  EXPECT_EQ(load_matrix_binary(path("e.bin")), a);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_matrix_text(path("absent.txt")),
+               std::runtime_error);
+  EXPECT_THROW((void)load_matrix_binary(path("absent.bin")),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, TruncatedTextThrows) {
+  std::ofstream(path("bad.txt")) << "3 3\n1 2 3\n4 5\n";
+  EXPECT_THROW((void)load_matrix_text(path("bad.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, BadMagicThrows) {
+  std::ofstream(path("bad.bin"), std::ios::binary) << "NOPE123456";
+  EXPECT_THROW((void)load_matrix_binary(path("bad.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, PartitionCsvRoundTrip) {
+  Partition p;
+  p.rects = {Rect{0, 2, 0, 4}, Rect{2, 4, 0, 4}, Rect{}};
+  save_partition_csv(p, path("p.csv"));
+  const Partition q = load_partition_csv(path("p.csv"));
+  ASSERT_EQ(q.m(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(q.rects[i], p.rects[i]);
+}
+
+TEST_F(IoTest, PartitionCsvBadHeaderThrows) {
+  std::ofstream(path("bad.csv")) << "wrong,header\n";
+  EXPECT_THROW((void)load_partition_csv(path("bad.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, PgmHasCorrectHeaderAndSize) {
+  const LoadMatrix a = random_matrix(10, 20, 0, 255, 3);
+  save_pgm(a, path("m.pgm"));
+  std::ifstream in(path("m.pgm"), std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 20);
+  EXPECT_EQ(h, 10);
+  EXPECT_EQ(maxv, 255);
+  in.get();  // single whitespace after header
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(body.size(), 200u);
+}
+
+TEST_F(IoTest, PgmAllZerosIsBlack) {
+  const LoadMatrix a(4, 4, 0);
+  save_pgm(a, path("z.pgm"));
+  std::ifstream in(path("z.pgm"), std::ios::binary);
+  std::string line;
+  std::getline(in, line);  // P5
+  std::getline(in, line);  // dims
+  std::getline(in, line);  // maxval
+  char c;
+  while (in.get(c)) EXPECT_EQ(c, '\0');
+}
+
+TEST_F(IoTest, PgmWithPartitionBurnsBoundaries) {
+  const LoadMatrix a = random_matrix(8, 8, 200, 255, 4);
+  Partition p;
+  p.rects = {Rect{0, 8, 0, 4}, Rect{0, 8, 4, 8}};
+  save_pgm_with_partition(a, p, path("b.pgm"));
+  std::ifstream in(path("b.pgm"), std::ios::binary);
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  std::getline(in, line);
+  std::vector<unsigned char> pix((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  ASSERT_EQ(pix.size(), 64u);
+  // The boundary columns (y = 3, 4) of every row must be black.
+  for (int x = 0; x < 8; ++x) {
+    EXPECT_EQ(pix[x * 8 + 3], 0);
+    EXPECT_EQ(pix[x * 8 + 4], 0);
+  }
+}
+
+TEST_F(IoTest, LargeValuesSurviveBinaryRoundTrip) {
+  LoadMatrix a(2, 2, 0);
+  a(0, 0) = std::numeric_limits<std::int64_t>::max();
+  a(1, 1) = 1;
+  save_matrix_binary(a, path("big.bin"));
+  EXPECT_EQ(load_matrix_binary(path("big.bin")), a);
+}
+
+}  // namespace
+}  // namespace rectpart

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/theory.hpp"
+#include "jagged/jagged.hpp"
+#include "testing_util.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace rectpart {
+namespace {
+
+using testing::random_matrix;
+
+TEST(JagPqHeur, ValidAcrossShapes) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const LoadMatrix a = random_matrix(24, 31, 0, 9, seed);
+    const PrefixSum2D ps(a);
+    for (const int m : {1, 4, 6, 9, 16, 25}) {
+      const Partition p = jag_pq_heur(ps, m);
+      ASSERT_EQ(p.m(), m);
+      ASSERT_TRUE(validate(p, 24, 31)) << "seed=" << seed << " m=" << m;
+      EXPECT_GE(p.max_load(ps), lower_bound_lmax(ps, m));
+    }
+  }
+}
+
+TEST(JagPqHeur, ExplicitStripesMustDivideM) {
+  const LoadMatrix a = random_matrix(10, 10, 1, 5, 1);
+  const PrefixSum2D ps(a);
+  JaggedOptions opt;
+  opt.stripes = 3;
+  EXPECT_THROW((void)jag_pq_heur(ps, 8, opt), std::invalid_argument);
+  opt.stripes = 2;
+  EXPECT_EQ(jag_pq_heur(ps, 8, opt).m(), 8);
+}
+
+TEST(JagPqHeur, OrientationVariants) {
+  // A matrix whose load is concentrated in a few rows: the vertical variant
+  // (columns as main dimension) behaves differently from horizontal, and
+  // BEST is never worse than either.
+  LoadMatrix a(16, 16, 1);
+  for (int y = 0; y < 16; ++y) a(3, y) = 50;
+  const PrefixSum2D ps(a);
+  JaggedOptions hor, ver, best;
+  hor.orientation = Orientation::kHorizontal;
+  ver.orientation = Orientation::kVertical;
+  best.orientation = Orientation::kBest;
+  const auto lh = jag_pq_heur(ps, 4, hor).max_load(ps);
+  const auto lv = jag_pq_heur(ps, 4, ver).max_load(ps);
+  const auto lb = jag_pq_heur(ps, 4, best).max_load(ps);
+  EXPECT_EQ(lb, std::min(lh, lv));
+}
+
+TEST(JagPqHeur, VerticalPartitionIsValid) {
+  const LoadMatrix a = random_matrix(9, 17, 0, 9, 2);
+  const PrefixSum2D ps(a);
+  JaggedOptions ver;
+  ver.orientation = Orientation::kVertical;
+  const Partition p = jag_pq_heur(ps, 6, ver);
+  EXPECT_TRUE(validate(p, 9, 17));
+}
+
+TEST(JagPqHeur, Theorem1RatioHoldsOnZeroFreeMatrices) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const LoadMatrix a = gen_uniform(32, 32, 1.6, seed);
+    const PrefixSum2D ps(a);
+    const LoadStats st = compute_stats(a);
+    for (const int m : {4, 9, 16}) {
+      const int p = static_cast<int>(std::sqrt(static_cast<double>(m)));
+      JaggedOptions opt;
+      opt.stripes = p;
+      opt.orientation = Orientation::kHorizontal;
+      const Partition part = jag_pq_heur(ps, m, opt);
+      const double ratio =
+          static_cast<double>(part.max_load(ps)) /
+          (static_cast<double>(st.total) / m);
+      EXPECT_LE(ratio, theory::jag_pq_heur_ratio(st.delta(), 32, 32, p,
+                                                 m / p) + 1e-9)
+          << "seed=" << seed << " m=" << m;
+    }
+  }
+}
+
+TEST(JagMHeur, ValidAcrossShapes) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const LoadMatrix a = random_matrix(21, 27, 0, 9, seed + 20);
+    const PrefixSum2D ps(a);
+    for (const int m : {1, 2, 5, 7, 12, 20, 33}) {
+      const Partition p = jag_m_heur(ps, m);
+      ASSERT_EQ(p.m(), m);
+      ASSERT_TRUE(validate(p, 21, 27)) << "seed=" << seed << " m=" << m;
+      EXPECT_GE(p.max_load(ps), lower_bound_lmax(ps, m));
+    }
+  }
+}
+
+TEST(JagMHeur, WorksForAnyMNotJustProducts) {
+  // m-way jagged does not need P to divide m — primes are fine.
+  const LoadMatrix a = random_matrix(20, 20, 1, 9, 30);
+  const PrefixSum2D ps(a);
+  for (const int m : {7, 11, 13, 17, 19, 23}) {
+    const Partition p = jag_m_heur(ps, m);
+    ASSERT_EQ(p.m(), m);
+    ASSERT_TRUE(validate(p, 20, 20));
+  }
+}
+
+TEST(JagMHeur, Theorem3RatioHoldsOnZeroFreeMatrices) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const LoadMatrix a = gen_uniform(40, 40, 1.3, seed);
+    const PrefixSum2D ps(a);
+    const LoadStats st = compute_stats(a);
+    for (const int m : {16, 36, 64}) {
+      const int p = static_cast<int>(std::lround(std::sqrt(
+          static_cast<double>(m))));
+      JaggedOptions opt;
+      opt.orientation = Orientation::kHorizontal;
+      const Partition part = jag_m_heur(ps, m, opt);
+      const double ratio = static_cast<double>(part.max_load(ps)) /
+                           (static_cast<double>(st.total) / m);
+      EXPECT_LE(ratio,
+                theory::jag_m_heur_ratio(st.delta(), 40, 40, m, p) + 1e-9)
+          << "seed=" << seed << " m=" << m;
+    }
+  }
+}
+
+TEST(JagMHeur, StripeCountOverride) {
+  const LoadMatrix a = random_matrix(30, 30, 1, 9, 40);
+  const PrefixSum2D ps(a);
+  for (const int stripes : {1, 2, 5, 10, 25}) {
+    JaggedOptions opt;
+    opt.stripes = stripes;
+    const Partition p = jag_m_heur(ps, 25, opt);
+    ASSERT_EQ(p.m(), 25);
+    ASSERT_TRUE(validate(p, 30, 30)) << "stripes=" << stripes;
+  }
+}
+
+TEST(JagMHeur, HandlesZeroLoadStripes) {
+  // Entire bands of zero rows: every stripe still needs a processor to own
+  // its cells.
+  LoadMatrix a(24, 8, 0);
+  for (int y = 0; y < 8; ++y) a(0, y) = a(23, y) = 100;
+  const PrefixSum2D ps(a);
+  JaggedOptions opt;
+  opt.stripes = 6;
+  opt.orientation = Orientation::kHorizontal;
+  const Partition p = jag_m_heur(ps, 12, opt);
+  ASSERT_EQ(p.m(), 12);
+  EXPECT_TRUE(validate(p, 24, 8));
+}
+
+TEST(JagMHeur, AllZeroMatrix) {
+  LoadMatrix a(10, 10, 0);
+  const PrefixSum2D ps(a);
+  const Partition p = jag_m_heur(ps, 5);
+  EXPECT_TRUE(validate(p, 10, 10));
+  EXPECT_EQ(p.max_load(ps), 0);
+}
+
+TEST(JagMHeur, SingleRowAndSingleColumnMatrices) {
+  const LoadMatrix row = random_matrix(1, 40, 1, 9, 50);
+  const PrefixSum2D psr(row);
+  EXPECT_TRUE(validate(jag_m_heur(psr, 6), 1, 40));
+  const LoadMatrix col = random_matrix(40, 1, 1, 9, 51);
+  const PrefixSum2D psc(col);
+  EXPECT_TRUE(validate(jag_m_heur(psc, 6), 40, 1));
+}
+
+TEST(JagMHeur, AllAllotmentRulesProduceValidPartitions) {
+  const LoadMatrix a = random_matrix(25, 25, 0, 9, 70);
+  const PrefixSum2D ps(a);
+  for (const Allotment rule : {Allotment::kCeil, Allotment::kFloor,
+                               Allotment::kLargestRemainder}) {
+    for (const int m : {5, 12, 25, 49}) {
+      JaggedOptions opt;
+      opt.allotment = rule;
+      const Partition p = jag_m_heur(ps, m, opt);
+      ASSERT_EQ(p.m(), m)
+          << "rule=" << static_cast<int>(rule) << " m=" << m;
+      ASSERT_TRUE(validate(p, 25, 25))
+          << "rule=" << static_cast<int>(rule) << " m=" << m;
+    }
+  }
+}
+
+TEST(JagMHeur, AllotmentRulesWithZeroStripes) {
+  // Zero-load bands must receive a processor under every rule, including
+  // when the floor-based rules would hand all m to the loaded stripes.
+  LoadMatrix a(20, 10, 0);
+  for (int y = 0; y < 10; ++y) a(0, y) = 1000;
+  const PrefixSum2D ps(a);
+  for (const Allotment rule : {Allotment::kCeil, Allotment::kFloor,
+                               Allotment::kLargestRemainder}) {
+    JaggedOptions opt;
+    opt.allotment = rule;
+    opt.stripes = 5;
+    opt.orientation = Orientation::kHorizontal;
+    const Partition p = jag_m_heur(ps, 5, opt);
+    ASSERT_TRUE(validate(p, 20, 10)) << static_cast<int>(rule);
+  }
+}
+
+TEST(JagHeur, MEqualsCellCount) {
+  const LoadMatrix a = random_matrix(4, 4, 1, 9, 60);
+  const PrefixSum2D ps(a);
+  const Partition p = jag_m_heur(ps, 16);
+  EXPECT_TRUE(validate(p, 4, 4));
+  EXPECT_GE(p.max_load(ps), ps.max_cell());
+}
+
+}  // namespace
+}  // namespace rectpart

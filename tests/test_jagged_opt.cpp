@@ -1,0 +1,162 @@
+// Exactness tests for JAG-PQ-OPT and JAG-M-OPT: the parametric engines must
+// agree with the paper's dynamic programs, dominate the heuristics, and
+// respect the solution-class containments.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "jagged/jagged.hpp"
+#include "testing_util.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace rectpart {
+namespace {
+
+using testing::random_matrix;
+
+JaggedOptions hor() {
+  JaggedOptions o;
+  o.orientation = Orientation::kHorizontal;
+  return o;
+}
+
+TEST(JagPqOpt, ValidAndDominatesHeuristic) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const LoadMatrix a = random_matrix(18, 22, 0, 9, seed);
+    const PrefixSum2D ps(a);
+    for (const int m : {4, 6, 9, 12}) {
+      const Partition opt = jag_pq_opt(ps, m, hor());
+      const Partition heur = jag_pq_heur(ps, m, hor());
+      ASSERT_TRUE(validate(opt, 18, 22)) << "seed=" << seed << " m=" << m;
+      ASSERT_EQ(opt.m(), m);
+      EXPECT_LE(opt.max_load(ps), heur.max_load(ps));
+      EXPECT_GE(opt.max_load(ps), lower_bound_lmax(ps, m));
+    }
+  }
+}
+
+TEST(JagPqOpt, MatchesPaperDpOnSmallInstances) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const LoadMatrix a = random_matrix(10, 12, 0, 15, seed + 100);
+    const PrefixSum2D ps(a);
+    for (const int m : {4, 6, 9}) {
+      const std::int64_t fast = jag_pq_opt(ps, m, hor()).max_load(ps);
+      const std::int64_t dp = jag_pq_opt_dp(ps, m, hor()).max_load(ps);
+      ASSERT_EQ(fast, dp) << "seed=" << seed << " m=" << m;
+    }
+  }
+}
+
+TEST(JagPqOpt, BestOrientationNeverWorse) {
+  const LoadMatrix a = gen_peak(20, 20, 3);
+  const PrefixSum2D ps(a);
+  JaggedOptions best;
+  best.orientation = Orientation::kBest;
+  JaggedOptions ver;
+  ver.orientation = Orientation::kVertical;
+  const auto lb = jag_pq_opt(ps, 9, best).max_load(ps);
+  EXPECT_LE(lb, jag_pq_opt(ps, 9, hor()).max_load(ps));
+  EXPECT_LE(lb, jag_pq_opt(ps, 9, ver).max_load(ps));
+}
+
+TEST(JagMOpt, ValidAndDominatesEverythingJagged) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const LoadMatrix a = random_matrix(15, 17, 0, 9, seed + 200);
+    const PrefixSum2D ps(a);
+    for (const int m : {2, 4, 6, 9}) {
+      const Partition mopt = jag_m_opt(ps, m, hor());
+      ASSERT_TRUE(validate(mopt, 15, 17)) << "seed=" << seed << " m=" << m;
+      ASSERT_EQ(mopt.m(), m);
+      const std::int64_t l = mopt.max_load(ps);
+      // m-way jagged contains P x Q-way jagged as a subclass.
+      EXPECT_LE(l, jag_pq_opt(ps, m, hor()).max_load(ps));
+      EXPECT_LE(l, jag_m_heur(ps, m, hor()).max_load(ps));
+      EXPECT_GE(l, lower_bound_lmax(ps, m));
+    }
+  }
+}
+
+TEST(JagMOpt, MatchesPaperDpOnSmallInstances) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const LoadMatrix a = random_matrix(8, 9, 0, 12, seed + 300);
+    const PrefixSum2D ps(a);
+    for (const int m : {1, 2, 3, 5, 7}) {
+      const std::int64_t fast = jag_m_opt(ps, m, hor()).max_load(ps);
+      const std::int64_t dp = jag_m_opt_dp(ps, m, hor()).max_load(ps);
+      ASSERT_EQ(fast, dp) << "seed=" << seed << " m=" << m;
+    }
+  }
+}
+
+TEST(JagMOpt, BottleneckShortcutMatchesFullRun) {
+  const LoadMatrix a = gen_multipeak(16, 16, 3, 4);
+  const PrefixSum2D ps(a);
+  for (const int m : {3, 5, 8}) {
+    EXPECT_EQ(jag_m_opt_bottleneck(ps, m, Orientation::kHorizontal),
+              jag_m_opt(ps, m, hor()).max_load(ps));
+  }
+}
+
+TEST(JagMOpt, MonotoneNonIncreasingInM) {
+  const LoadMatrix a = random_matrix(12, 12, 1, 20, 5);
+  const PrefixSum2D ps(a);
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (int m = 1; m <= 10; ++m) {
+    const std::int64_t l =
+        jag_m_opt_bottleneck(ps, m, Orientation::kHorizontal);
+    EXPECT_LE(l, prev) << "m=" << m;
+    prev = l;
+  }
+}
+
+TEST(JagMOpt, SingleProcessorTakesTotal) {
+  const LoadMatrix a = random_matrix(6, 6, 1, 9, 6);
+  const PrefixSum2D ps(a);
+  EXPECT_EQ(jag_m_opt(ps, 1, hor()).max_load(ps), ps.total());
+}
+
+TEST(JagMOpt, ManyProcessorsReachMaxCell) {
+  const LoadMatrix a = random_matrix(5, 5, 1, 9, 7);
+  const PrefixSum2D ps(a);
+  // With one processor per cell the bottleneck is the largest cell.
+  EXPECT_EQ(jag_m_opt_bottleneck(ps, 25, Orientation::kHorizontal),
+            ps.max_cell());
+}
+
+TEST(JagMOpt, SparseMatrixWithZeroRows) {
+  LoadMatrix a(12, 12, 0);
+  for (int y = 0; y < 12; ++y) a(5, y) = 10;
+  const PrefixSum2D ps(a);
+  const Partition p = jag_m_opt(ps, 4, hor());
+  EXPECT_TRUE(validate(p, 12, 12));
+  EXPECT_EQ(p.max_load(ps), 30);  // 120 split across 4 procs
+}
+
+TEST(JagMOpt, VerticalOrientationValid) {
+  const LoadMatrix a = random_matrix(9, 14, 0, 9, 8);
+  const PrefixSum2D ps(a);
+  JaggedOptions ver;
+  ver.orientation = Orientation::kVertical;
+  const Partition p = jag_m_opt(ps, 6, ver);
+  EXPECT_TRUE(validate(p, 9, 14));
+}
+
+TEST(JagOpt, OptBeatsOrMatchesHeurOnPaperFamilies) {
+  // Smoke the full family set at small scale.
+  const int n = 24;
+  for (const char* family : {"uniform", "diagonal", "peak", "multipeak"}) {
+    const LoadMatrix a = make_synthetic(family, n, n, 11);
+    const PrefixSum2D ps(a);
+    for (const int m : {4, 9}) {
+      const std::int64_t mo = jag_m_opt(ps, m, hor()).max_load(ps);
+      const std::int64_t mh = jag_m_heur(ps, m, hor()).max_load(ps);
+      const std::int64_t po = jag_pq_opt(ps, m, hor()).max_load(ps);
+      const std::int64_t ph = jag_pq_heur(ps, m, hor()).max_load(ps);
+      EXPECT_LE(mo, mh) << family;
+      EXPECT_LE(po, ph) << family;
+      EXPECT_LE(mo, po) << family;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rectpart

@@ -1,0 +1,91 @@
+#include "core/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rectpart {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  LoadMatrix a;
+  EXPECT_EQ(a.rows(), 0);
+  EXPECT_EQ(a.cols(), 0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(Matrix, FillConstruction) {
+  LoadMatrix a(3, 4, 7);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 4);
+  EXPECT_EQ(a.size(), 12u);
+  for (int x = 0; x < 3; ++x)
+    for (int y = 0; y < 4; ++y) EXPECT_EQ(a(x, y), 7);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  LoadMatrix a(2, 3);
+  int v = 0;
+  for (int x = 0; x < 2; ++x)
+    for (int y = 0; y < 3; ++y) a(x, y) = v++;
+  const std::int64_t* d = a.data();
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(d[i], i);
+}
+
+TEST(Matrix, NegativeSizeThrows) {
+  EXPECT_THROW(LoadMatrix(-1, 3), std::invalid_argument);
+  EXPECT_THROW(LoadMatrix(3, -1), std::invalid_argument);
+}
+
+TEST(Matrix, EqualityComparesShapeAndContents) {
+  LoadMatrix a(2, 2, 1), b(2, 2, 1), c(2, 2, 2), d(4, 1, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(Matrix, IterationCoversAllCells) {
+  LoadMatrix a(5, 5, 2);
+  std::int64_t sum = 0;
+  for (const auto v : a) sum += v;
+  EXPECT_EQ(sum, 50);
+}
+
+TEST(MatrixStats, BasicAggregation) {
+  LoadMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 5;
+  a(1, 0) = 3;
+  a(1, 1) = 2;
+  const LoadStats s = compute_stats(a);
+  EXPECT_EQ(s.total, 11);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 5);
+  EXPECT_EQ(s.nonzero, 4);
+  EXPECT_DOUBLE_EQ(s.delta(), 5.0);
+}
+
+TEST(MatrixStats, ZeroCellsMakeDeltaInfinite) {
+  LoadMatrix a(2, 2, 0);
+  a(0, 0) = 10;
+  const LoadStats s = compute_stats(a);
+  EXPECT_EQ(s.nonzero, 1);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_TRUE(std::isinf(s.delta()));
+}
+
+TEST(MatrixStats, EmptyMatrix) {
+  const LoadStats s = compute_stats(LoadMatrix{});
+  EXPECT_EQ(s.total, 0);
+  EXPECT_EQ(s.nonzero, 0);
+}
+
+TEST(MatrixStats, UniformMatrixDeltaIsOne) {
+  LoadMatrix a(8, 8, 42);
+  EXPECT_DOUBLE_EQ(compute_stats(a).delta(), 1.0);
+}
+
+}  // namespace
+}  // namespace rectpart

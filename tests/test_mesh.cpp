@@ -1,0 +1,102 @@
+#include "mesh/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rectpart {
+namespace {
+
+CavityMeshConfig small_config() {
+  CavityMeshConfig c;
+  c.rings = 80;
+  c.segments = 80;
+  return c;
+}
+
+TEST(CavityMesh, VertexCountMatchesTessellation) {
+  const auto v = generate_cavity_mesh(small_config());
+  EXPECT_EQ(v.size(), 80u * 80u);
+}
+
+TEST(CavityMesh, RadiiWithinProfileBounds) {
+  const CavityMeshConfig c = small_config();
+  for (const Vec3& p : generate_cavity_mesh(c)) {
+    const double r = std::sqrt(p.x * p.x + p.y * p.y);
+    EXPECT_GE(r, c.iris_radius - 1e-9);
+    EXPECT_LE(r, c.bell_radius + 1e-9);
+  }
+}
+
+TEST(CavityMesh, RejectsDegenerateTessellation) {
+  CavityMeshConfig c = small_config();
+  c.rings = 1;
+  EXPECT_THROW((void)generate_cavity_mesh(c), std::invalid_argument);
+  c = small_config();
+  c.segments = 2;
+  EXPECT_THROW((void)generate_cavity_mesh(c), std::invalid_argument);
+}
+
+TEST(CavityMesh, DeterministicInSeed) {
+  const auto a = generate_cavity_mesh(small_config());
+  const auto b = generate_cavity_mesh(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].z, b[i].z);
+  }
+}
+
+TEST(Rasterize, TotalEqualsVertexCount) {
+  const auto v = generate_cavity_mesh(small_config());
+  const LoadMatrix a = rasterize_mesh(v, 64, 64);
+  EXPECT_EQ(compute_stats(a).total,
+            static_cast<std::int64_t>(v.size()));
+}
+
+TEST(Rasterize, HandlesEmptyVertexList) {
+  const LoadMatrix a = rasterize_mesh({}, 16, 16);
+  EXPECT_EQ(compute_stats(a).total, 0);
+}
+
+TEST(Rasterize, RejectsEmptyRaster) {
+  EXPECT_THROW((void)rasterize_mesh({}, 0, 4), std::invalid_argument);
+}
+
+TEST(Rasterize, SingleVertexLandsInBounds) {
+  const LoadMatrix a = rasterize_mesh({Vec3{0.5, 0, 0.5}}, 8, 8);
+  EXPECT_EQ(compute_stats(a).total, 1);
+}
+
+TEST(Slac, InstanceIsSparseLikeThePaper) {
+  const LoadMatrix a = gen_slac(128, 128, small_config());
+  const LoadStats s = compute_stats(a);
+  // The projected silhouette covers a minority of the raster; Delta is
+  // undefined (zeros present), exactly like the paper's SLAC matrix.
+  EXPECT_GT(s.nonzero, 0);
+  EXPECT_LT(s.nonzero, static_cast<std::int64_t>(128) * 128 / 2);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_TRUE(std::isinf(s.delta()));
+}
+
+TEST(Slac, ProjectionIsStronglyNonUniform) {
+  // Orthographic projection of a surface of revolution piles vertices along
+  // silhouette curves: the densest raster cell must far exceed the mean
+  // occupied cell (this skew is what separates Figure 14 from the dense
+  // instances).
+  const LoadMatrix a = gen_slac(128, 128, small_config());
+  const LoadStats s = compute_stats(a);
+  ASSERT_GT(s.nonzero, 0);
+  const double mean_occupied =
+      static_cast<double>(s.total) / static_cast<double>(s.nonzero);
+  EXPECT_GT(static_cast<double>(s.max), 3.0 * mean_occupied);
+}
+
+TEST(Slac, DefaultShapeIs512) {
+  const LoadMatrix a = gen_slac();
+  EXPECT_EQ(a.rows(), 512);
+  EXPECT_EQ(a.cols(), 512);
+}
+
+}  // namespace
+}  // namespace rectpart

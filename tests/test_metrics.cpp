@@ -1,0 +1,128 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/theory.hpp"
+#include "testing_util.hpp"
+
+namespace rectpart {
+namespace {
+
+TEST(LowerBound, AverageAndMaxCell) {
+  LoadMatrix a(2, 2, 1);
+  a(1, 1) = 9;  // total 12
+  const PrefixSum2D ps(a);
+  EXPECT_EQ(lower_bound_lmax(ps, 4), 9);   // max cell dominates ceil(12/4)=3
+  EXPECT_EQ(lower_bound_lmax(ps, 1), 12);  // average dominates
+  EXPECT_EQ(lower_bound_lmax(ps, 5), 9);
+}
+
+TEST(LowerBound, CeilingOfAverage) {
+  LoadMatrix a(1, 3, 1);  // total 3
+  const PrefixSum2D ps(a);
+  EXPECT_EQ(lower_bound_lmax(ps, 2), 2);  // ceil(3/2)
+}
+
+TEST(Imbalance, Definition) {
+  EXPECT_DOUBLE_EQ(imbalance_of(10, 40, 4), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance_of(15, 40, 4), 0.5);
+  EXPECT_DOUBLE_EQ(imbalance_of(0, 0, 4), 0.0);
+}
+
+TEST(CommStats, TwoHalves) {
+  // 4x4 split into left/right halves: the cut crosses 4 horizontal edges.
+  Partition p;
+  p.rects = {Rect{0, 4, 0, 2}, Rect{0, 4, 2, 4}};
+  const CommStats s = comm_stats(p, 4, 4);
+  EXPECT_EQ(s.total_volume, 4);
+  EXPECT_EQ(s.max_per_proc, 4);
+  EXPECT_EQ(s.half_perimeter_sum, (4 + 2) * 2);
+}
+
+TEST(CommStats, QuadrantsShareFourBoundaries) {
+  Partition p;
+  p.rects = {Rect{0, 2, 0, 2}, Rect{0, 2, 2, 4}, Rect{2, 4, 0, 2},
+             Rect{2, 4, 2, 4}};
+  const CommStats s = comm_stats(p, 4, 4);
+  // Each of the 4 internal boundaries crosses 2 edges.
+  EXPECT_EQ(s.total_volume, 8);
+  EXPECT_EQ(s.max_per_proc, 4);
+}
+
+TEST(CommStats, SingleRectHasNoTraffic) {
+  Partition p;
+  p.rects = {Rect{0, 5, 0, 5}};
+  const CommStats s = comm_stats(p, 5, 5);
+  EXPECT_EQ(s.total_volume, 0);
+  EXPECT_EQ(s.max_per_proc, 0);
+}
+
+TEST(CommStats, EmptyRectsContributeNothing) {
+  Partition p;
+  p.rects = {Rect{0, 2, 0, 4}, Rect{2, 4, 0, 4}, Rect{}};
+  const CommStats s = comm_stats(p, 4, 4);
+  EXPECT_EQ(s.total_volume, 4);
+}
+
+TEST(CommStats, VolumeBoundedByHalfPerimeterSum) {
+  // Sanity on a finer partition: cut edges never exceed twice the
+  // half-perimeter sum.
+  Partition p;
+  for (int x = 0; x < 4; ++x)
+    for (int y = 0; y < 4; ++y) p.rects.push_back(Rect{x, x + 1, y, y + 1});
+  const CommStats s = comm_stats(p, 4, 4);
+  EXPECT_EQ(s.total_volume, 24);  // all internal edges are cut
+  EXPECT_LE(s.total_volume, 2 * s.half_perimeter_sum);
+}
+
+TEST(Theory, JagPqRatioFormula) {
+  // (1 + d P/n1)(1 + d Q/n2) with d=1, P=Q=4, n=16: (1.25)^2.
+  EXPECT_DOUBLE_EQ(theory::jag_pq_heur_ratio(1.0, 16, 16, 4, 4), 1.5625);
+}
+
+TEST(Theory, JagPqOptimalPBalancesSquare) {
+  EXPECT_DOUBLE_EQ(theory::jag_pq_heur_optimal_p(100, 100, 64), 8.0);
+  // Elongated matrices shift stripes toward the long dimension.
+  EXPECT_GT(theory::jag_pq_heur_optimal_p(400, 100, 64), 8.0);
+}
+
+TEST(Theory, JagMRatioFormula) {
+  const double r = theory::jag_m_heur_ratio(1.0, 100, 100, 100, 10);
+  // m/(m-P)(1 + d/n2) + d m/(P n2) (1 + d P/n1)
+  const double expect =
+      100.0 / 90.0 * (1.0 + 0.01) + 1.0 * 100.0 / (10 * 100) * (1.0 + 0.1);
+  EXPECT_DOUBLE_EQ(r, expect);
+}
+
+TEST(Theory, Theorem4MinimizesTheorem3) {
+  // The closed-form optimum must be no worse than its neighbours.
+  const double delta = 1.2;
+  const int n1 = 514, n2 = 514, m = 800;
+  const double pstar = theory::jag_m_heur_optimal_p(delta, n2, m);
+  const int p0 = static_cast<int>(pstar);
+  const double at = theory::jag_m_heur_ratio(delta, n1, n2, m, p0);
+  for (const int p : {p0 - 5, p0 - 1, p0 + 1, p0 + 5}) {
+    if (p < 1 || p >= m) continue;
+    EXPECT_LE(at,
+              theory::jag_m_heur_ratio(delta, n1, n2, m, p) + 1e-2);
+  }
+}
+
+TEST(Theory, Theorem2MinimizesTheorem1) {
+  const double delta = 1.5;
+  const int n1 = 256, n2 = 512, m = 100;
+  const double pstar = theory::jag_pq_heur_optimal_p(n1, n2, m);
+  auto ratio = [&](double p) {
+    return (1.0 + delta * p / n1) * (1.0 + delta * (m / p) / n2);
+  };
+  EXPECT_LE(ratio(pstar), ratio(pstar * 0.8) + 1e-9);
+  EXPECT_LE(ratio(pstar), ratio(pstar * 1.25) + 1e-9);
+}
+
+TEST(Theory, DirectCutBound) {
+  EXPECT_DOUBLE_EQ(theory::direct_cut_bound(100, 7, 4), 32.0);
+  EXPECT_DOUBLE_EQ(theory::direct_cut_ratio(2.0, 100, 10), 1.2);
+}
+
+}  // namespace
+}  // namespace rectpart

@@ -1,0 +1,220 @@
+// Unit tests for the individual 1-D algorithms: DirectCut, Recursive
+// Bisection, the Manne–Olstad DP, and the Probe machinery.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "oned/oned.hpp"
+#include "testing_util.hpp"
+
+namespace rectpart::oned {
+namespace {
+
+using rectpart::testing::brute_force_1d;
+using rectpart::testing::random_weights;
+
+PrefixOracle make_oracle(const std::vector<std::int64_t>& prefix) {
+  return PrefixOracle(prefix);
+}
+
+TEST(Cuts, WellFormedChecks) {
+  Cuts c({0, 2, 5, 5, 9});
+  EXPECT_TRUE(c.well_formed(9));
+  EXPECT_FALSE(c.well_formed(10));
+  EXPECT_EQ(c.parts(), 4);
+  EXPECT_EQ(c.begin_of(1), 2);
+  EXPECT_EQ(c.end_of(1), 5);
+  EXPECT_FALSE(Cuts({0, 3, 2, 9}).well_formed(9));
+  EXPECT_FALSE(Cuts({1, 9}).well_formed(9));
+}
+
+TEST(Cuts, BottleneckComputesMaxIntervalLoad) {
+  const auto p = prefix_of(std::vector<std::int64_t>{2, 2, 2, 10, 1});
+  EXPECT_EQ(bottleneck(make_oracle(p), Cuts({0, 3, 5})), 11);
+  EXPECT_EQ(bottleneck(make_oracle(p), Cuts({0, 4, 5})), 16);
+}
+
+TEST(DirectCut, RespectsClassicalGuarantee) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto w = random_weights(60, 1, 30, seed);
+    const auto p = prefix_of(w);
+    const PrefixOracle o(p);
+    const std::int64_t total = o.total();
+    const std::int64_t wmax = max_singleton(o);
+    for (const int m : {1, 2, 3, 7, 16, 59}) {
+      const Cuts cuts = direct_cut(o, m);
+      ASSERT_TRUE(cuts.well_formed(60));
+      ASSERT_EQ(cuts.parts(), m);
+      EXPECT_LE(bottleneck(o, cuts), total / m + wmax)
+          << "seed=" << seed << " m=" << m;
+    }
+  }
+}
+
+TEST(DirectCut, SingleProcessorTakesEverything) {
+  const auto p = prefix_of(std::vector<std::int64_t>{1, 2, 3});
+  const Cuts cuts = direct_cut(make_oracle(p), 1);
+  EXPECT_EQ(cuts.pos, (std::vector<int>{0, 3}));
+}
+
+TEST(DirectCut, MoreProcessorsThanElements) {
+  const auto p = prefix_of(std::vector<std::int64_t>{5, 5});
+  const Cuts cuts = direct_cut(make_oracle(p), 5);
+  EXPECT_TRUE(cuts.well_formed(2));
+  EXPECT_EQ(cuts.parts(), 5);
+  EXPECT_EQ(bottleneck(make_oracle(p), cuts), 5);
+}
+
+TEST(DirectCut, AllZeros) {
+  const auto p = prefix_of(std::vector<std::int64_t>(10, 0));
+  const Cuts cuts = direct_cut(make_oracle(p), 3);
+  EXPECT_TRUE(cuts.well_formed(10));
+  EXPECT_EQ(bottleneck(make_oracle(p), cuts), 0);
+}
+
+TEST(RecursiveBisection, RespectsClassicalGuarantee) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto w = random_weights(64, 1, 25, seed + 7);
+    const auto p = prefix_of(w);
+    const PrefixOracle o(p);
+    const std::int64_t total = o.total();
+    const std::int64_t wmax = max_singleton(o);
+    for (const int m : {1, 2, 4, 5, 9, 32}) {
+      const Cuts cuts = recursive_bisection(o, m);
+      ASSERT_TRUE(cuts.well_formed(64));
+      ASSERT_EQ(cuts.parts(), m);
+      EXPECT_LE(bottleneck(o, cuts), total / m + wmax);
+    }
+  }
+}
+
+TEST(RecursiveBisection, PowerOfTwoOnUniformIsPerfect) {
+  const auto p = prefix_of(std::vector<std::int64_t>(32, 4));
+  const Cuts cuts = recursive_bisection(make_oracle(p), 8);
+  EXPECT_EQ(bottleneck(make_oracle(p), cuts), 16);  // 32*4/8
+}
+
+TEST(RecursiveBisection, OddProcessorCounts) {
+  const auto w = random_weights(50, 1, 10, 3);
+  const auto p = prefix_of(w);
+  const PrefixOracle o(p);
+  const Cuts cuts = recursive_bisection(o, 7);
+  EXPECT_TRUE(cuts.well_formed(50));
+  EXPECT_EQ(cuts.parts(), 7);
+}
+
+TEST(DpOptimal, MatchesBruteForceOnSmallInstances) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const int n = 3 + static_cast<int>(seed % 6);
+    const auto w = random_weights(n, 0, 15, seed);
+    const auto p = prefix_of(w);
+    const PrefixOracle o(p);
+    for (int m = 1; m <= std::min(n + 1, 5); ++m) {
+      const Cuts cuts = dp_optimal(o, m);
+      ASSERT_TRUE(cuts.well_formed(n));
+      ASSERT_EQ(bottleneck(o, cuts), brute_force_1d(w, m))
+          << "seed=" << seed << " n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(DpOptimal, RejectsHugeTables) {
+  const auto p = prefix_of(std::vector<std::int64_t>(1 << 16, 1));
+  EXPECT_THROW((void)dp_optimal(make_oracle(p), 1 << 16), std::length_error);
+}
+
+TEST(Probe, FeasibilityMatchesOptimal) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const auto w = random_weights(30, 0, 12, seed + 30);
+    const auto p = prefix_of(w);
+    const PrefixOracle o(p);
+    for (const int m : {1, 2, 3, 5, 8}) {
+      const std::int64_t opt = bottleneck(o, dp_optimal(o, m));
+      EXPECT_TRUE(probe(o, m, opt));
+      if (opt > 0) {
+        EXPECT_FALSE(probe(o, m, opt - 1));
+      }
+    }
+  }
+}
+
+TEST(Probe, WritesGreedyCutsOnSuccess) {
+  const auto p = prefix_of(std::vector<std::int64_t>{3, 3, 3, 3});
+  Cuts cuts;
+  ASSERT_TRUE(probe(make_oracle(p), 2, 6, &cuts));
+  EXPECT_TRUE(cuts.well_formed(4));
+  EXPECT_EQ(bottleneck(make_oracle(p), cuts), 6);
+}
+
+TEST(Probe, FailsWhenSingleElementOverflows) {
+  const auto p = prefix_of(std::vector<std::int64_t>{1, 100, 1});
+  EXPECT_FALSE(probe(make_oracle(p), 3, 99));
+  EXPECT_TRUE(probe(make_oracle(p), 3, 100));
+}
+
+TEST(Probe, NegativeBudgetOrNoProcessorsInfeasible) {
+  const auto p = prefix_of(std::vector<std::int64_t>{1});
+  EXPECT_FALSE(probe(make_oracle(p), 1, -1));
+  EXPECT_FALSE(probe(make_oracle(p), 0, 100));
+}
+
+TEST(Probe, ZeroBudgetFeasibleOnlyForZeroLoad) {
+  const auto z = prefix_of(std::vector<std::int64_t>(4, 0));
+  EXPECT_TRUE(probe(make_oracle(z), 1, 0));
+  const auto nz = prefix_of(std::vector<std::int64_t>{0, 1, 0});
+  EXPECT_FALSE(probe(make_oracle(nz), 2, 0));
+}
+
+TEST(MinPartsWithin, MatchesGreedyReference) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto w = random_weights(25, 0, 9, seed + 60);
+    const auto p = prefix_of(w);
+    const PrefixOracle o(p);
+    for (const std::int64_t b : {0L, 3L, 9L, 20L, 300L}) {
+      // Reference: linear greedy.
+      std::optional<int> expected;
+      {
+        int pos = 0, parts = 0;
+        bool ok = true;
+        while (pos < 25) {
+          if (o.load(pos, pos + 1) > b) {
+            ok = false;
+            break;
+          }
+          int j = pos;
+          while (j < 25 && o.load(pos, j + 1) <= b) ++j;
+          pos = j;
+          ++parts;
+        }
+        if (ok) expected = parts;
+      }
+      const auto got = min_parts_within(o, 0, 25, b, 1000);
+      ASSERT_EQ(got.has_value(), expected.has_value()) << "b=" << b;
+      if (expected) {
+        ASSERT_EQ(*got, *expected) << "b=" << b;
+      }
+    }
+  }
+}
+
+TEST(MinPartsWithin, HonorsCap) {
+  const auto p = prefix_of(std::vector<std::int64_t>{5, 5, 5, 5});
+  const PrefixOracle o(p);
+  EXPECT_EQ(min_parts_within(o, 0, 4, 5, 4), std::optional<int>(4));
+  EXPECT_EQ(min_parts_within(o, 0, 4, 5, 3), std::nullopt);
+}
+
+TEST(MinPartsWithin, SubrangeOnly) {
+  const auto p = prefix_of(std::vector<std::int64_t>{100, 1, 1, 100});
+  const PrefixOracle o(p);
+  EXPECT_EQ(min_parts_within(o, 1, 3, 2, 10), std::optional<int>(1));
+}
+
+TEST(AllToFirst, ShapesCorrectly) {
+  const Cuts c = all_to_first(7, 3);
+  EXPECT_EQ(c.pos, (std::vector<int>{0, 7, 7, 7}));
+  EXPECT_TRUE(c.well_formed(7));
+}
+
+}  // namespace
+}  // namespace rectpart::oned

@@ -1,0 +1,160 @@
+// Cross-validation of the exact 1-D solvers: Nicol's search, NicolPlus, the
+// integer parametric bisection, and the DP must agree with each other and
+// with brute force, on plain arrays and on non-prefix oracles.
+#include <gtest/gtest.h>
+
+#include "oned/oned.hpp"
+#include "testing_util.hpp"
+
+namespace rectpart::oned {
+namespace {
+
+using rectpart::testing::brute_force_1d;
+using rectpart::testing::random_weights;
+
+struct ExactCase {
+  int n;
+  int m;
+  std::int64_t lo;
+  std::int64_t hi;
+  std::uint64_t seed;
+};
+
+class ExactSolvers : public ::testing::TestWithParam<ExactCase> {};
+
+TEST_P(ExactSolvers, AllFourAgree) {
+  const ExactCase& c = GetParam();
+  const auto w = random_weights(c.n, c.lo, c.hi, c.seed);
+  const auto p = prefix_of(w);
+  const PrefixOracle o(p);
+
+  const OptResult dp_like = bisect_probe(o, c.m);
+  const OptResult nic = nicol_search(o, c.m);
+  const OptResult nicp = nicol_plus(o, c.m);
+  const std::int64_t dp = bottleneck(o, dp_optimal(o, c.m));
+
+  EXPECT_EQ(nic.bottleneck, dp);
+  EXPECT_EQ(nicp.bottleneck, dp);
+  EXPECT_EQ(dp_like.bottleneck, dp);
+
+  // The witness cuts must achieve the claimed bottleneck.
+  EXPECT_TRUE(nic.cuts.well_formed(c.n));
+  EXPECT_TRUE(nicp.cuts.well_formed(c.n));
+  EXPECT_TRUE(dp_like.cuts.well_formed(c.n));
+  EXPECT_EQ(bottleneck(o, nic.cuts), dp);
+  EXPECT_EQ(bottleneck(o, nicp.cuts), dp);
+  EXPECT_EQ(bottleneck(o, dp_like.cuts), dp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, ExactSolvers,
+    ::testing::Values(
+        ExactCase{1, 1, 1, 9, 0}, ExactCase{5, 1, 1, 9, 1},
+        ExactCase{5, 5, 1, 9, 2}, ExactCase{8, 3, 0, 9, 3},
+        ExactCase{12, 4, 0, 20, 4}, ExactCase{16, 2, 1, 100, 5},
+        ExactCase{16, 7, 1, 100, 6}, ExactCase{25, 6, 0, 3, 7},
+        ExactCase{25, 12, 5, 5, 8}, ExactCase{33, 9, 0, 50, 9},
+        ExactCase{40, 10, 1, 1000, 10}, ExactCase{64, 8, 0, 7, 11},
+        ExactCase{64, 63, 1, 9, 12}, ExactCase{100, 13, 1, 40, 13},
+        ExactCase{100, 99, 0, 12, 14}, ExactCase{128, 21, 1, 8, 15},
+        ExactCase{200, 17, 0, 99, 16}, ExactCase{256, 32, 1, 13, 17},
+        ExactCase{31, 31, 0, 9, 18}, ExactCase{31, 40, 1, 9, 19}));
+
+TEST(ExactSolversEdge, MoreProcessorsThanElements) {
+  const auto w = random_weights(6, 1, 20, 99);
+  const auto p = prefix_of(w);
+  const PrefixOracle o(p);
+  const std::int64_t wmax = max_singleton(o);
+  for (const int m : {6, 7, 10}) {
+    EXPECT_EQ(nicol_plus(o, m).bottleneck, wmax);
+    EXPECT_EQ(bisect_probe(o, m).bottleneck, wmax);
+  }
+}
+
+TEST(ExactSolversEdge, BruteForceAgreementTiny) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const int n = 2 + static_cast<int>(seed % 7);
+    const auto w = random_weights(n, 0, 12, seed + 500);
+    const auto p = prefix_of(w);
+    const PrefixOracle o(p);
+    for (int m = 1; m <= 4; ++m) {
+      const std::int64_t expect = brute_force_1d(w, m);
+      ASSERT_EQ(nicol_search(o, m).bottleneck, expect)
+          << "seed=" << seed << " m=" << m;
+      ASSERT_EQ(nicol_plus(o, m).bottleneck, expect);
+      ASSERT_EQ(bisect_probe(o, m).bottleneck, expect);
+    }
+  }
+}
+
+TEST(ExactSolversEdge, AllZerosGiveZeroBottleneck) {
+  const auto p = prefix_of(std::vector<std::int64_t>(12, 0));
+  const PrefixOracle o(p);
+  EXPECT_EQ(nicol_plus(o, 4).bottleneck, 0);
+  EXPECT_EQ(bisect_probe(o, 4).bottleneck, 0);
+}
+
+TEST(ExactSolversEdge, LeadingAndTrailingZeros) {
+  const auto p =
+      prefix_of(std::vector<std::int64_t>{0, 0, 9, 1, 1, 9, 0, 0, 0});
+  const PrefixOracle o(p);
+  const std::int64_t dp = bottleneck(o, dp_optimal(o, 3));
+  EXPECT_EQ(nicol_plus(o, 3).bottleneck, dp);
+  EXPECT_EQ(nicol_search(o, 3).bottleneck, dp);
+}
+
+TEST(ExactSolversEdge, SingleHeavyElementDominates) {
+  const auto p = prefix_of(std::vector<std::int64_t>{1, 1, 1000, 1, 1});
+  const PrefixOracle o(p);
+  // m = 2: the heavy element sits in one half together with two units.
+  EXPECT_EQ(nicol_plus(o, 2).bottleneck, 1002);
+  // m >= 3: the heavy element can be isolated.
+  EXPECT_EQ(nicol_plus(o, 3).bottleneck, 1000);
+  EXPECT_EQ(nicol_plus(o, 5).bottleneck, 1000);
+}
+
+TEST(ExactSolversEdge, SuppliedBoundsRespected) {
+  const auto w = random_weights(50, 1, 30, 123);
+  const auto p = prefix_of(w);
+  const PrefixOracle o(p);
+  const OptResult free_run = bisect_probe(o, 6);
+  // Passing the true optimum as both bounds must converge immediately.
+  const OptResult pinned =
+      bisect_probe(o, 6, free_run.bottleneck, free_run.bottleneck);
+  EXPECT_EQ(pinned.bottleneck, free_run.bottleneck);
+}
+
+/// Oracle with the max-over-stripes structure used by RECT-NICOL: checks the
+/// exact solvers work on non-additive monotone oracles.
+class MaxOfTwoOracle {
+ public:
+  MaxOfTwoOracle(std::vector<std::int64_t> pa, std::vector<std::int64_t> pb)
+      : pa_(std::move(pa)), pb_(std::move(pb)) {}
+  [[nodiscard]] int size() const {
+    return static_cast<int>(pa_.size()) - 1;
+  }
+  [[nodiscard]] std::int64_t load(int i, int j) const {
+    if (i >= j) return 0;
+    return std::max(pa_[j] - pa_[i], pb_[j] - pb_[i]);
+  }
+
+ private:
+  std::vector<std::int64_t> pa_, pb_;
+};
+
+TEST(ExactSolversOracle, MaxOfTwoStripesAgainstDp) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto wa = random_weights(20, 0, 9, seed);
+    const auto wb = random_weights(20, 0, 9, seed + 1000);
+    MaxOfTwoOracle o(prefix_of(wa), prefix_of(wb));
+    for (const int m : {1, 2, 3, 5}) {
+      const std::int64_t dp = bottleneck(o, dp_optimal(o, m));
+      ASSERT_EQ(nicol_search(o, m).bottleneck, dp) << "seed=" << seed;
+      ASSERT_EQ(nicol_plus(o, m).bottleneck, dp) << "seed=" << seed;
+      ASSERT_EQ(bisect_probe(o, m).bottleneck, dp) << "seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rectpart::oned

@@ -1,0 +1,132 @@
+// Tests for heterogeneous-processor 1-D partitioning.
+#include <gtest/gtest.h>
+
+#include "oned/hetero.hpp"
+#include "oned/oned.hpp"
+#include "testing_util.hpp"
+
+namespace rectpart::oned {
+namespace {
+
+using rectpart::testing::random_weights;
+
+/// Brute-force reference: enumerate all cut placements, score by makespan.
+double brute_force_hetero(const std::vector<std::int64_t>& w,
+                          const std::vector<int>& speeds) {
+  const int n = static_cast<int>(w.size());
+  const int m = static_cast<int>(speeds.size());
+  std::vector<std::int64_t> prefix(n + 1, 0);
+  for (int i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + w[i];
+  double best = 1e300;
+  std::vector<int> cuts(m + 1, 0);
+  cuts[m] = n;
+  auto rec = [&](auto&& self, int part, int from) -> void {
+    if (part == m - 1) {
+      double mk = 0;
+      cuts[m - 1] = from;  // already set by caller; keep explicit
+      for (int p = 0; p < m; ++p) {
+        const std::int64_t load = prefix[cuts[p + 1]] - prefix[cuts[p]];
+        if (speeds[p] == 0) {
+          if (load > 0) return;  // infeasible assignment
+          continue;
+        }
+        mk = std::max(mk, static_cast<double>(load) / speeds[p]);
+      }
+      best = std::min(best, mk);
+      return;
+    }
+    for (int k = from; k <= n; ++k) {
+      cuts[part + 1] = k;
+      self(self, part + 1, k);
+    }
+  };
+  if (m == 1) return static_cast<double>(prefix[n]) / speeds[0];
+  rec(rec, 0, 0);
+  return best;
+}
+
+TEST(HeteroProbe, EqualSpeedsMatchHomogeneousProbe) {
+  const auto w = random_weights(30, 0, 9, 1);
+  const auto p = prefix_of(w);
+  const PrefixOracle o(p);
+  const std::vector<int> speeds(4, 1);
+  for (const std::int64_t b : {5L, 20L, 60L, 1000L}) {
+    // Budget W with speed_sum 4 gives per-processor cap floor(W/4).
+    EXPECT_EQ(hetero_probe(o, speeds, 4 * b), probe(o, 4, b)) << b;
+  }
+}
+
+TEST(HeteroBisect, MatchesBruteForceOnSmallInstances) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const int n = 4 + static_cast<int>(seed % 4);
+    const auto wv = random_weights(n, 0, 9, seed + 10);
+    const auto p = prefix_of(wv);
+    const PrefixOracle o(p);
+    const std::vector<std::vector<int>> speed_sets = {
+        {1, 1}, {3, 1}, {1, 2, 4}, {2, 2, 1}};
+    for (const auto& speeds : speed_sets) {
+      const HeteroResult r = hetero_bisect(o, speeds);
+      const double expect = brute_force_hetero(wv, speeds);
+      ASSERT_TRUE(r.cuts.well_formed(n));
+      // The bisected solution must achieve the brute-force makespan within
+      // the floor-rounding granularity of one load unit per speed unit.
+      EXPECT_LE(r.makespan, expect + 1.0) << "seed=" << seed;
+      EXPECT_GE(r.makespan + 1e-9, expect) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(HeteroBisect, FastProcessorTakesProportionallyMore) {
+  std::vector<std::int64_t> w(100, 10);
+  const auto p = prefix_of(w);
+  const PrefixOracle o(p);
+  const std::vector<int> speeds = {3, 1};
+  const HeteroResult r = hetero_bisect(o, speeds);
+  const std::int64_t fast_load = o.load(r.cuts.begin_of(0), r.cuts.end_of(0));
+  const std::int64_t slow_load = o.load(r.cuts.begin_of(1), r.cuts.end_of(1));
+  EXPECT_GT(fast_load, 2 * slow_load);
+  EXPECT_EQ(fast_load + slow_load, 1000);
+}
+
+TEST(HeteroBisect, ZeroSpeedProcessorsGetNothing) {
+  const auto w = random_weights(20, 1, 9, 3);
+  const auto p = prefix_of(w);
+  const PrefixOracle o(p);
+  const std::vector<int> speeds = {1, 0, 1};
+  const HeteroResult r = hetero_bisect(o, speeds);
+  ASSERT_TRUE(r.cuts.well_formed(20));
+  EXPECT_EQ(o.load(r.cuts.begin_of(1), r.cuts.end_of(1)), 0);
+}
+
+TEST(HeteroBisect, AllZeroSpeedsDegradeGracefully) {
+  const auto w = random_weights(5, 1, 9, 4);
+  const auto p = prefix_of(w);
+  const PrefixOracle o(p);
+  const std::vector<int> speeds = {0, 0};
+  const HeteroResult r = hetero_bisect(o, speeds);
+  EXPECT_EQ(r.budget, 0);
+}
+
+TEST(HeteroBisect, SingleProcessor) {
+  const auto w = random_weights(12, 1, 9, 5);
+  const auto p = prefix_of(w);
+  const PrefixOracle o(p);
+  const std::vector<int> speeds = {4};
+  const HeteroResult r = hetero_bisect(o, speeds);
+  EXPECT_DOUBLE_EQ(r.makespan, static_cast<double>(o.total()) / 4.0);
+}
+
+TEST(HeteroBisect, MakespanNeverBelowSpeedProportionalBound) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto w = random_weights(50, 1, 20, seed + 60);
+    const auto p = prefix_of(w);
+    const PrefixOracle o(p);
+    const std::vector<int> speeds = {1, 2, 3, 4};
+    const HeteroResult r = hetero_bisect(o, speeds);
+    const double bound = static_cast<double>(o.total()) / 10.0;  // sum = 10
+    EXPECT_GE(r.makespan + 1e-9, bound) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rectpart::oned

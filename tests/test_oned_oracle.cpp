@@ -1,0 +1,108 @@
+#include "oned/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_util.hpp"
+
+namespace rectpart::oned {
+namespace {
+
+using rectpart::testing::random_weights;
+
+TEST(PrefixOracle, LoadsMatchDirectSums) {
+  const std::vector<std::int64_t> w{3, 1, 4, 1, 5, 9, 2, 6};
+  const auto p = prefix_of(w);
+  const PrefixOracle o(p);
+  EXPECT_EQ(o.size(), 8);
+  EXPECT_EQ(o.total(), 31);
+  EXPECT_EQ(o.load(0, 8), 31);
+  EXPECT_EQ(o.load(0, 0), 0);
+  EXPECT_EQ(o.load(2, 5), 4 + 1 + 5);
+  EXPECT_EQ(o.load(5, 5), 0);
+  EXPECT_EQ(o.load(7, 8), 6);
+}
+
+TEST(PrefixOracle, EmptyAndInvertedIntervalsAreZero) {
+  const auto p = prefix_of(std::vector<std::int64_t>{1, 2, 3});
+  const PrefixOracle o(p);
+  EXPECT_EQ(o.load(2, 2), 0);
+  EXPECT_EQ(o.load(2, 1), 0);
+}
+
+TEST(MaxSingleton, FindsLargestElement) {
+  const auto p = prefix_of(std::vector<std::int64_t>{4, 9, 2, 9, 1});
+  EXPECT_EQ(max_singleton(PrefixOracle(p)), 9);
+}
+
+TEST(MaxSingleton, AllZeros) {
+  const auto p = prefix_of(std::vector<std::int64_t>(5, 0));
+  EXPECT_EQ(max_singleton(PrefixOracle(p)), 0);
+}
+
+// Linear-scan references for the galloping searches.
+int ref_max_end_within(const PrefixOracle& o, int i, std::int64_t budget) {
+  int j = i;
+  while (j < o.size() && o.load(i, j + 1) <= budget) ++j;
+  return j;
+}
+
+int ref_min_end_reaching(const PrefixOracle& o, int i, std::int64_t target) {
+  for (int j = i; j <= o.size(); ++j)
+    if (o.load(i, j) >= target) return j;
+  return o.size() + 1;
+}
+
+TEST(GallopSearch, MaxEndWithinMatchesLinearScan) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto w = random_weights(40, 0, 20, seed);
+    const auto p = prefix_of(w);
+    const PrefixOracle o(p);
+    for (int i = 0; i < 40; ++i) {
+      for (const std::int64_t budget : {0L, 1L, 5L, 17L, 100L, 10000L}) {
+        if (o.load(i, i) > budget) continue;
+        ASSERT_EQ(max_end_within(o, i, i, budget),
+                  ref_max_end_within(o, i, budget))
+            << "seed=" << seed << " i=" << i << " budget=" << budget;
+      }
+    }
+  }
+}
+
+TEST(GallopSearch, MaxEndWithinHandlesZeroRuns) {
+  // Zeros after position 1 must all be absorbed under any budget.
+  const auto p = prefix_of(std::vector<std::int64_t>{5, 0, 0, 0, 3});
+  const PrefixOracle o(p);
+  EXPECT_EQ(max_end_within(o, 0, 0, 5), 4);
+  EXPECT_EQ(max_end_within(o, 0, 0, 8), 5);
+  EXPECT_EQ(max_end_within(o, 1, 1, 0), 4);
+}
+
+TEST(GallopSearch, MinEndReachingMatchesLinearScan) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto w = random_weights(40, 0, 20, seed + 50);
+    const auto p = prefix_of(w);
+    const PrefixOracle o(p);
+    for (int i = 0; i < 40; i += 3) {
+      for (const std::int64_t target : {0L, 1L, 7L, 23L, 150L, 10000L}) {
+        ASSERT_EQ(min_end_reaching(o, i, i, target),
+                  ref_min_end_reaching(o, i, target))
+            << "seed=" << seed << " i=" << i << " target=" << target;
+      }
+    }
+  }
+}
+
+TEST(GallopSearch, MinEndReachingUnreachableReturnsNPlusOne) {
+  const auto p = prefix_of(std::vector<std::int64_t>{1, 1, 1});
+  const PrefixOracle o(p);
+  EXPECT_EQ(min_end_reaching(o, 0, 0, 100), 4);
+}
+
+TEST(GallopSearch, MinEndReachingZeroTargetIsImmediate) {
+  const auto p = prefix_of(std::vector<std::int64_t>{1, 1, 1});
+  const PrefixOracle o(p);
+  EXPECT_EQ(min_end_reaching(o, 1, 1, 0), 1);
+}
+
+}  // namespace
+}  // namespace rectpart::oned

@@ -1,0 +1,89 @@
+// Tests for the Miguet-Pierson style local refinement.
+#include <gtest/gtest.h>
+
+#include "oned/oned.hpp"
+#include "testing_util.hpp"
+
+namespace rectpart::oned {
+namespace {
+
+using rectpart::testing::random_weights;
+
+TEST(Refine, NeverWorseThanDirectCut) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto w = random_weights(80, 0, 50, seed);
+    const auto p = prefix_of(w);
+    const PrefixOracle o(p);
+    for (const int m : {2, 3, 7, 16, 40}) {
+      const std::int64_t dc = bottleneck(o, direct_cut(o, m));
+      const Cuts refined = direct_cut_refined(o, m);
+      ASSERT_TRUE(refined.well_formed(80));
+      ASSERT_EQ(refined.parts(), m);
+      EXPECT_LE(bottleneck(o, refined), dc)
+          << "seed=" << seed << " m=" << m;
+    }
+  }
+}
+
+TEST(Refine, NeverBelowOptimum) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto w = random_weights(40, 1, 30, seed + 100);
+    const auto p = prefix_of(w);
+    const PrefixOracle o(p);
+    for (const int m : {2, 4, 9}) {
+      const std::int64_t opt = nicol_plus(o, m).bottleneck;
+      EXPECT_GE(bottleneck(o, direct_cut_refined(o, m)), opt);
+    }
+  }
+}
+
+TEST(Refine, OftenClosesMostOfTheGap) {
+  // Aggregate over instances: the refined bottleneck's average gap to the
+  // optimum must be well below DirectCut's.
+  double dc_gap = 0, refined_gap = 0;
+  int cases = 0;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const auto w = random_weights(120, 1, 99, seed + 200);
+    const auto p = prefix_of(w);
+    const PrefixOracle o(p);
+    for (const int m : {4, 8, 16}) {
+      const double opt =
+          static_cast<double>(nicol_plus(o, m).bottleneck);
+      dc_gap += static_cast<double>(bottleneck(o, direct_cut(o, m))) / opt;
+      refined_gap +=
+          static_cast<double>(bottleneck(o, direct_cut_refined(o, m))) / opt;
+      ++cases;
+    }
+  }
+  EXPECT_LT(refined_gap / cases, dc_gap / cases);
+}
+
+TEST(Refine, FixedPointOnAlreadyOptimalCuts) {
+  const auto p = prefix_of(std::vector<std::int64_t>{4, 4, 4, 4});
+  const PrefixOracle o(p);
+  Cuts cuts({0, 2, 4});
+  EXPECT_FALSE(refine_sweep(o, cuts));
+  EXPECT_EQ(cuts.pos, (std::vector<int>{0, 2, 4}));
+}
+
+TEST(Refine, SweepImprovesSkewedCuts) {
+  const auto p = prefix_of(std::vector<std::int64_t>{9, 1, 1, 1, 1, 1});
+  const PrefixOracle o(p);
+  Cuts skewed({0, 4, 6});  // loads 12 / 2
+  const Cuts refined = refine_cuts(o, skewed);
+  EXPECT_LT(bottleneck(o, refined), 12);
+}
+
+TEST(Refine, HandlesDegenerateInputs) {
+  const auto p = prefix_of(std::vector<std::int64_t>{5});
+  const PrefixOracle o(p);
+  EXPECT_EQ(bottleneck(o, direct_cut_refined(o, 1)), 5);
+  EXPECT_EQ(bottleneck(o, direct_cut_refined(o, 3)), 5);
+
+  const auto z = prefix_of(std::vector<std::int64_t>(6, 0));
+  const PrefixOracle oz(z);
+  EXPECT_EQ(bottleneck(oz, direct_cut_refined(oz, 3)), 0);
+}
+
+}  // namespace
+}  // namespace rectpart::oned

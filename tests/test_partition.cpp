@@ -1,0 +1,143 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_util.hpp"
+
+namespace rectpart {
+namespace {
+
+using testing::random_matrix;
+
+Partition quadrants() {
+  // 4x4 domain split into four 2x2 quadrants.
+  Partition p;
+  p.rects = {Rect{0, 2, 0, 2}, Rect{0, 2, 2, 4}, Rect{2, 4, 0, 2},
+             Rect{2, 4, 2, 4}};
+  return p;
+}
+
+TEST(Partition, LoadsAndMaxLoad) {
+  LoadMatrix a(4, 4, 1);
+  a(0, 0) = 10;
+  const PrefixSum2D ps(a);
+  const Partition p = quadrants();
+  const auto loads = p.loads(ps);
+  ASSERT_EQ(loads.size(), 4u);
+  EXPECT_EQ(loads[0], 13);  // 10 + 3 ones
+  EXPECT_EQ(loads[1], 4);
+  EXPECT_EQ(p.max_load(ps), 13);
+}
+
+TEST(Partition, ImbalanceDefinition) {
+  LoadMatrix a(4, 4, 1);  // total 16, m=4 -> avg 4
+  const PrefixSum2D ps(a);
+  EXPECT_DOUBLE_EQ(quadrants().imbalance(ps), 0.0);
+  LoadMatrix b(4, 4, 1);
+  b(0, 0) = 5;  // total 20, avg 5, quadrant 0 load 8
+  const PrefixSum2D psb(b);
+  EXPECT_DOUBLE_EQ(quadrants().imbalance(psb), 8.0 / 5.0 - 1.0);
+}
+
+TEST(Partition, OwnerLookup) {
+  const Partition p = quadrants();
+  EXPECT_EQ(p.owner(0, 0), 0);
+  EXPECT_EQ(p.owner(1, 3), 1);
+  EXPECT_EQ(p.owner(3, 1), 2);
+  EXPECT_EQ(p.owner(2, 2), 3);
+  EXPECT_EQ(p.owner(4, 0), -1);
+}
+
+TEST(Validate, AcceptsQuadrants) {
+  EXPECT_TRUE(validate_pairwise(quadrants(), 4, 4));
+  EXPECT_TRUE(validate_paint(quadrants(), 4, 4));
+  EXPECT_TRUE(validate(quadrants(), 4, 4));
+}
+
+TEST(Validate, AcceptsEmptyRectangles) {
+  Partition p = quadrants();
+  p.rects.push_back(Rect{});
+  p.rects.push_back(Rect{3, 3, 0, 4});
+  EXPECT_TRUE(validate_pairwise(p, 4, 4));
+  EXPECT_TRUE(validate_paint(p, 4, 4));
+}
+
+TEST(Validate, RejectsOverlap) {
+  Partition p = quadrants();
+  p.rects[1] = Rect{0, 2, 1, 3};  // collides with rect 0
+  const auto r1 = validate_pairwise(p, 4, 4);
+  const auto r2 = validate_paint(p, 4, 4);
+  EXPECT_FALSE(r1);
+  EXPECT_FALSE(r2);
+  EXPECT_NE(r1.message.find("collide"), std::string::npos);
+}
+
+TEST(Validate, RejectsHole) {
+  Partition p = quadrants();
+  p.rects.pop_back();
+  EXPECT_FALSE(validate_pairwise(p, 4, 4));
+  EXPECT_FALSE(validate_paint(p, 4, 4));
+}
+
+TEST(Validate, RejectsEscape) {
+  Partition p = quadrants();
+  p.rects[3] = Rect{2, 5, 2, 4};  // pokes out of the domain
+  const auto r = validate_pairwise(p, 4, 4);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.message.find("escapes"), std::string::npos);
+}
+
+TEST(Validate, RejectsInvertedRect) {
+  Partition p = quadrants();
+  p.rects[0] = Rect{2, 0, 0, 2};
+  EXPECT_FALSE(validate_pairwise(p, 4, 4));
+}
+
+TEST(Validate, RejectsDoubleCoverWithMatchingArea) {
+  // Two rects overlap and one cell is uncovered: area identity fails or the
+  // painting detects the duplicate, in both testers.
+  Partition p;
+  p.rects = {Rect{0, 1, 0, 2}, Rect{0, 1, 1, 3}, Rect{0, 1, 3, 4}};
+  EXPECT_FALSE(validate_pairwise(p, 1, 4));
+  EXPECT_FALSE(validate_paint(p, 1, 4));
+}
+
+TEST(Validate, PairwiseAndPaintAgreeOnRandomizedMutations) {
+  // Start from a valid 3-column partition and apply random corruptions; the
+  // two exact testers must always return the same verdict.
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    Partition p;
+    p.rects = {Rect{0, 5, 0, 2}, Rect{0, 5, 2, 3}, Rect{0, 5, 3, 7}};
+    // Corrupt one coordinate of one rectangle by +-1 half the time.
+    if (rng.uniform_int(0, 1) == 1) {
+      Rect& r = p.rects[rng.uniform_int(0, 2)];
+      int* coords[4] = {&r.x0, &r.x1, &r.y0, &r.y1};
+      *coords[rng.uniform_int(0, 3)] +=
+          rng.uniform_int(0, 1) == 0 ? -1 : 1;
+    }
+    const bool a = static_cast<bool>(validate_pairwise(p, 5, 7));
+    const bool b = static_cast<bool>(validate_paint(p, 5, 7));
+    ASSERT_EQ(a, b) << "trial " << trial;
+  }
+}
+
+TEST(Validate, SingleRectWholeDomain) {
+  Partition p;
+  p.rects = {Rect{0, 6, 0, 9}};
+  EXPECT_TRUE(validate(p, 6, 9));
+}
+
+TEST(Validate, DispatcherPicksCheaperTest) {
+  // Just exercises both paths of validate(); verdicts must match the
+  // dedicated testers.
+  Partition p = quadrants();
+  EXPECT_TRUE(validate(p, 4, 4));
+  Partition many;
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x) many.rects.push_back(Rect{x, x + 1, y, y + 1});
+  EXPECT_TRUE(validate(many, 4, 4));  // m^2 = 256 > 16 cells -> paint path
+}
+
+}  // namespace
+}  // namespace rectpart

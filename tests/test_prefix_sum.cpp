@@ -1,0 +1,134 @@
+#include "prefix/prefix_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_util.hpp"
+
+namespace rectpart {
+namespace {
+
+using testing::naive_load;
+using testing::random_matrix;
+
+TEST(PrefixSum2D, TotalMatchesNaiveSum) {
+  const LoadMatrix a = random_matrix(7, 5, 0, 100, 1);
+  const PrefixSum2D ps(a);
+  EXPECT_EQ(ps.total(), naive_load(a, 0, 7, 0, 5));
+}
+
+TEST(PrefixSum2D, RectangleQueriesMatchNaive) {
+  const LoadMatrix a = random_matrix(9, 11, 0, 50, 2);
+  const PrefixSum2D ps(a);
+  for (int x0 = 0; x0 <= 9; ++x0)
+    for (int x1 = x0; x1 <= 9; ++x1)
+      for (int y0 = 0; y0 <= 11; ++y0)
+        for (int y1 = y0; y1 <= 11; ++y1)
+          ASSERT_EQ(ps.load(x0, x1, y0, y1), naive_load(a, x0, x1, y0, y1))
+              << x0 << " " << x1 << " " << y0 << " " << y1;
+}
+
+TEST(PrefixSum2D, EmptyRangesAreZero) {
+  const LoadMatrix a = random_matrix(4, 4, 1, 9, 3);
+  const PrefixSum2D ps(a);
+  EXPECT_EQ(ps.load(2, 2, 0, 4), 0);
+  EXPECT_EQ(ps.load(0, 4, 3, 3), 0);
+  EXPECT_EQ(ps.load(3, 1, 0, 4), 0);  // inverted treated as empty
+}
+
+TEST(PrefixSum2D, RectOverloadAgrees) {
+  const LoadMatrix a = random_matrix(6, 6, 0, 20, 4);
+  const PrefixSum2D ps(a);
+  const Rect r{1, 5, 2, 6};
+  EXPECT_EQ(ps.load(r), ps.load(1, 5, 2, 6));
+}
+
+TEST(PrefixSum2D, RowAndColLoads) {
+  const LoadMatrix a = random_matrix(5, 7, 0, 9, 5);
+  const PrefixSum2D ps(a);
+  EXPECT_EQ(ps.row_load(1, 4), naive_load(a, 1, 4, 0, 7));
+  EXPECT_EQ(ps.col_load(2, 6), naive_load(a, 0, 5, 2, 6));
+}
+
+TEST(PrefixSum2D, MaxCell) {
+  LoadMatrix a(3, 3, 1);
+  a(2, 1) = 77;
+  EXPECT_EQ(PrefixSum2D(a).max_cell(), 77);
+}
+
+TEST(PrefixSum2D, ProjectionPrefixes) {
+  const LoadMatrix a = random_matrix(4, 6, 0, 9, 6);
+  const PrefixSum2D ps(a);
+  const auto rows = ps.row_projection_prefix();
+  const auto cols = ps.col_projection_prefix();
+  ASSERT_EQ(rows.size(), 5u);
+  ASSERT_EQ(cols.size(), 7u);
+  EXPECT_EQ(rows.front(), 0);
+  EXPECT_EQ(cols.front(), 0);
+  EXPECT_EQ(rows.back(), ps.total());
+  EXPECT_EQ(cols.back(), ps.total());
+  for (int x = 0; x < 4; ++x)
+    EXPECT_EQ(rows[x + 1] - rows[x], naive_load(a, x, x + 1, 0, 6));
+  for (int y = 0; y < 6; ++y)
+    EXPECT_EQ(cols[y + 1] - cols[y], naive_load(a, 0, 4, y, y + 1));
+}
+
+TEST(PrefixSum2D, TransposeSwapsQueries) {
+  const LoadMatrix a = random_matrix(5, 8, 0, 30, 7);
+  const PrefixSum2D ps(a);
+  const PrefixSum2D t = ps.transpose();
+  EXPECT_EQ(t.rows(), 8);
+  EXPECT_EQ(t.cols(), 5);
+  EXPECT_EQ(t.total(), ps.total());
+  EXPECT_EQ(t.max_cell(), ps.max_cell());
+  for (int x0 = 0; x0 <= 5; ++x0)
+    for (int x1 = x0; x1 <= 5; ++x1)
+      for (int y0 = 0; y0 <= 8; ++y0)
+        for (int y1 = y0; y1 <= 8; ++y1)
+          ASSERT_EQ(ps.load(x0, x1, y0, y1), t.load(y0, y1, x0, x1));
+}
+
+TEST(PrefixSum2D, DoubleTransposeIsIdentity) {
+  const LoadMatrix a = random_matrix(6, 3, 0, 12, 8);
+  const PrefixSum2D ps(a);
+  const PrefixSum2D tt = ps.transpose().transpose();
+  for (int x = 0; x <= 6; ++x)
+    for (int y = 0; y <= 3; ++y) ASSERT_EQ(ps.at(x, y), tt.at(x, y));
+}
+
+TEST(PrefixSum2D, SingleCellMatrix) {
+  LoadMatrix a(1, 1, 42);
+  const PrefixSum2D ps(a);
+  EXPECT_EQ(ps.total(), 42);
+  EXPECT_EQ(ps.load(0, 1, 0, 1), 42);
+  EXPECT_EQ(ps.max_cell(), 42);
+}
+
+TEST(PrefixSum2D, LargeValuesDoNotOverflow) {
+  // 64 cells of ~1e15 sum to ~6.4e16, well within int64.
+  LoadMatrix a(8, 8, 1'000'000'000'000'000LL);
+  const PrefixSum2D ps(a);
+  EXPECT_EQ(ps.total(), 64'000'000'000'000'000LL);
+}
+
+TEST(PrefixSum2D, RandomizedPropertySweep) {
+  // Many shapes and seeds; spot-check random rectangles against the naive sum.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const int n1 = 1 + static_cast<int>(seed % 13);
+    const int n2 = 1 + static_cast<int>((seed * 7) % 17);
+    const LoadMatrix a = random_matrix(n1, n2, 0, 1000, seed + 100);
+    const PrefixSum2D ps(a);
+    Rng rng(seed);
+    for (int trial = 0; trial < 50; ++trial) {
+      int x0 = static_cast<int>(rng.uniform_int(0, n1));
+      int x1 = static_cast<int>(rng.uniform_int(0, n1));
+      int y0 = static_cast<int>(rng.uniform_int(0, n2));
+      int y1 = static_cast<int>(rng.uniform_int(0, n2));
+      if (x0 > x1) std::swap(x0, x1);
+      if (y0 > y1) std::swap(y0, y1);
+      ASSERT_EQ(ps.load(x0, x1, y0, y1), naive_load(a, x0, x1, y0, y1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rectpart

@@ -1,0 +1,72 @@
+#include "core/rect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rectpart {
+namespace {
+
+TEST(Rect, DimensionsAndArea) {
+  const Rect r{1, 4, 2, 7};
+  EXPECT_EQ(r.width(), 3);
+  EXPECT_EQ(r.height(), 5);
+  EXPECT_EQ(r.area(), 15);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Rect, EmptyWhenDegenerate) {
+  EXPECT_TRUE((Rect{2, 2, 0, 5}.empty()));
+  EXPECT_TRUE((Rect{0, 5, 3, 3}.empty()));
+  EXPECT_TRUE((Rect{}.empty()));
+  EXPECT_EQ((Rect{2, 2, 0, 5}).area(), 0);
+}
+
+TEST(Rect, IntersectionBasic) {
+  const Rect a{0, 4, 0, 4};
+  const Rect b{2, 6, 2, 6};
+  const Rect c{4, 8, 0, 4};  // shares only the edge x = 4
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(c.intersects(a));
+}
+
+TEST(Rect, EmptyNeverIntersects) {
+  const Rect empty{3, 3, 0, 9};
+  const Rect full{0, 9, 0, 9};
+  EXPECT_FALSE(empty.intersects(full));
+  EXPECT_FALSE(full.intersects(empty));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer{0, 10, 0, 10};
+  const Rect inner{2, 5, 3, 7};
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_TRUE(inner.contains(Rect{4, 4, 0, 99}));  // empty is contained
+}
+
+TEST(Rect, ContainsPoint) {
+  const Rect r{1, 3, 1, 3};
+  EXPECT_TRUE(r.contains(1, 1));
+  EXPECT_TRUE(r.contains(2, 2));
+  EXPECT_FALSE(r.contains(3, 2));  // half-open upper bound
+  EXPECT_FALSE(r.contains(0, 1));
+}
+
+TEST(Rect, HalfPerimeter) {
+  EXPECT_EQ((Rect{0, 3, 0, 4}).half_perimeter(), 7);
+  EXPECT_EQ((Rect{5, 5, 0, 4}).half_perimeter(), 0);  // empty
+}
+
+TEST(Rect, ToStringIsReadable) {
+  EXPECT_EQ((Rect{1, 2, 3, 4}).to_string(), "[1,2)x[3,4)");
+}
+
+TEST(Rect, EqualityIsMemberwise) {
+  EXPECT_EQ((Rect{1, 2, 3, 4}), (Rect{1, 2, 3, 4}));
+  EXPECT_NE((Rect{1, 2, 3, 4}), (Rect{1, 2, 3, 5}));
+}
+
+}  // namespace
+}  // namespace rectpart

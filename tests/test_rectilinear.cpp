@@ -1,0 +1,143 @@
+#include "rectilinear/rectilinear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "oned/oned.hpp"
+#include "testing_util.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace rectpart {
+namespace {
+
+using testing::random_matrix;
+
+TEST(ChooseGrid, SquareNumbersSplitEvenly) {
+  EXPECT_EQ(choose_grid(16), (std::pair<int, int>{4, 4}));
+  EXPECT_EQ(choose_grid(100), (std::pair<int, int>{10, 10}));
+  EXPECT_EQ(choose_grid(1), (std::pair<int, int>{1, 1}));
+}
+
+TEST(ChooseGrid, NonSquaresPickNearestDivisor) {
+  EXPECT_EQ(choose_grid(12), (std::pair<int, int>{3, 4}));
+  EXPECT_EQ(choose_grid(18), (std::pair<int, int>{3, 6}));
+  EXPECT_EQ(choose_grid(7), (std::pair<int, int>{1, 7}));  // prime
+}
+
+TEST(UniformCuts, EvenSplit) {
+  const oned::Cuts c = uniform_cuts(8, 4);
+  EXPECT_EQ(c.pos, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(UniformCuts, UnevenSplitDiffersByAtMostOne) {
+  const oned::Cuts c = uniform_cuts(10, 3);
+  EXPECT_TRUE(c.well_formed(10));
+  for (int p = 0; p < 3; ++p) {
+    const int w = c.end_of(p) - c.begin_of(p);
+    EXPECT_GE(w, 3);
+    EXPECT_LE(w, 4);
+  }
+}
+
+TEST(RectUniform, ProducesValidGridPartition) {
+  const LoadMatrix a = random_matrix(12, 15, 0, 9, 1);
+  const PrefixSum2D ps(a);
+  const Partition p = rect_uniform(ps, 6);
+  EXPECT_EQ(p.m(), 6);
+  EXPECT_TRUE(validate(p, 12, 15));
+}
+
+TEST(RectUniform, BalancesAreaNotLoad) {
+  // All the load in one corner: uniform still cuts the index space evenly.
+  LoadMatrix a(8, 8, 1);
+  a(0, 0) = 1000;
+  const PrefixSum2D ps(a);
+  const Partition p = rect_uniform(ps, 4, 4);
+  for (const Rect& r : p.rects) EXPECT_EQ(r.area(), 4);
+}
+
+TEST(GridMaxLoad, MatchesPartitionMaxLoad) {
+  const LoadMatrix a = random_matrix(10, 10, 0, 20, 2);
+  const PrefixSum2D ps(a);
+  const auto rc = uniform_cuts(10, 2);
+  const auto cc = uniform_cuts(10, 5);
+  EXPECT_EQ(grid_max_load(ps, rc, cc), grid_partition(rc, cc).max_load(ps));
+}
+
+TEST(StripeMaxOracle, IsMaxOverStripes) {
+  const LoadMatrix a = random_matrix(6, 8, 0, 9, 3);
+  const PrefixSum2D ps(a);
+  const std::vector<int> cuts{0, 2, 6};  // two row stripes
+  const StripeMaxOracle o(ps, cuts, /*stripes_are_rows=*/true);
+  EXPECT_EQ(o.size(), 8);
+  for (int i = 0; i <= 8; ++i)
+    for (int j = i; j <= 8; ++j)
+      ASSERT_EQ(o.load(i, j),
+                std::max(ps.load(0, 2, i, j), ps.load(2, 6, i, j)));
+}
+
+TEST(StripeMaxOracle, ColumnStripesSymmetric) {
+  const LoadMatrix a = random_matrix(7, 5, 0, 9, 4);
+  const PrefixSum2D ps(a);
+  const std::vector<int> cuts{0, 3, 5};
+  const StripeMaxOracle o(ps, cuts, /*stripes_are_rows=*/false);
+  EXPECT_EQ(o.size(), 7);
+  EXPECT_EQ(o.load(1, 4),
+            std::max(ps.load(1, 4, 0, 3), ps.load(1, 4, 3, 5)));
+}
+
+TEST(RectNicol, ValidAndNoWorseThanUniform) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const LoadMatrix a = gen_peak(40, 40, seed);
+    const PrefixSum2D ps(a);
+    for (const int m : {4, 9, 16}) {
+      const Partition nic = rect_nicol(ps, m);
+      ASSERT_TRUE(validate(nic, 40, 40));
+      ASSERT_EQ(nic.m(), m);
+      const Partition uni = rect_uniform(ps, m);
+      EXPECT_LE(nic.max_load(ps), uni.max_load(ps))
+          << "seed=" << seed << " m=" << m;
+      EXPECT_GE(nic.max_load(ps), lower_bound_lmax(ps, m));
+    }
+  }
+}
+
+TEST(RectNicol, ExplicitGridShape) {
+  const LoadMatrix a = random_matrix(20, 30, 1, 9, 5);
+  const PrefixSum2D ps(a);
+  RectNicolOptions opt;
+  opt.p = 2;
+  opt.q = 6;
+  const Partition p = rect_nicol(ps, 12, opt);
+  EXPECT_EQ(p.m(), 12);
+  EXPECT_TRUE(validate(p, 20, 30));
+}
+
+TEST(RectNicol, SingleProcessor) {
+  const LoadMatrix a = random_matrix(5, 5, 1, 9, 6);
+  const PrefixSum2D ps(a);
+  const Partition p = rect_nicol(ps, 1);
+  EXPECT_EQ(p.m(), 1);
+  EXPECT_EQ(p.max_load(ps), ps.total());
+}
+
+TEST(RectNicol, UniformMatrixNearPerfect) {
+  LoadMatrix a(16, 16, 10);
+  const PrefixSum2D ps(a);
+  const Partition p = rect_nicol(ps, 16);
+  // A 4x4 grid on a uniform 16x16 matrix can be perfectly balanced.
+  EXPECT_EQ(p.max_load(ps), ps.total() / 16);
+}
+
+TEST(RectNicol, DeterministicAcrossRuns) {
+  const LoadMatrix a = gen_multipeak(30, 30, 3, 7);
+  const PrefixSum2D ps(a);
+  const Partition p1 = rect_nicol(ps, 9);
+  const Partition p2 = rect_nicol(ps, 9);
+  EXPECT_EQ(p1.rects.size(), p2.rects.size());
+  for (std::size_t i = 0; i < p1.rects.size(); ++i)
+    EXPECT_EQ(p1.rects[i], p2.rects[i]);
+}
+
+}  // namespace
+}  // namespace rectpart

@@ -1,0 +1,70 @@
+#include "core/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing_util.hpp"
+
+namespace rectpart {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { register_builtin_partitioners(); }
+};
+
+TEST_F(RegistryTest, AllPaperAlgorithmsRegistered) {
+  const auto names = partitioner_names();
+  for (const char* expected :
+       {"rect-uniform", "rect-nicol", "jag-pq-heur", "jag-pq-heur-hor",
+        "jag-pq-heur-ver", "jag-pq-opt", "jag-m-heur", "jag-m-heur-hor",
+        "jag-m-heur-ver", "jag-m-opt", "hier-rb", "hier-rb-load",
+        "hier-rb-dist", "hier-rb-hor", "hier-rb-ver", "hier-relaxed",
+        "hier-relaxed-load", "hier-relaxed-dist", "hier-relaxed-hor",
+        "hier-relaxed-ver", "hier-opt", "spiral-opt"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing " << expected;
+  }
+}
+
+TEST_F(RegistryTest, UnknownNameThrows) {
+  EXPECT_THROW((void)make_partitioner("no-such-algorithm"),
+               std::out_of_range);
+}
+
+TEST_F(RegistryTest, DuplicateRegistrationThrows) {
+  EXPECT_THROW(
+      register_partitioner("rect-uniform", []() {
+        return std::unique_ptr<Partitioner>{};
+      }),
+      std::invalid_argument);
+}
+
+TEST_F(RegistryTest, RepeatedBuiltinRegistrationIsIdempotent) {
+  register_builtin_partitioners();
+  register_builtin_partitioners();
+  SUCCEED();
+}
+
+TEST_F(RegistryTest, InstancesReportTheirNames) {
+  for (const char* name : {"rect-nicol", "jag-m-heur", "hier-rb"}) {
+    EXPECT_EQ(make_partitioner(name)->name(), name);
+  }
+}
+
+TEST_F(RegistryTest, EveryRegisteredAlgorithmProducesValidPartitions) {
+  const LoadMatrix a = testing::random_matrix(16, 16, 0, 9, 1);
+  const PrefixSum2D ps(a);
+  for (const std::string& name : partitioner_names()) {
+    const auto algo = make_partitioner(name);
+    for (const int m : {1, 4, 9}) {
+      const Partition p = algo->run(ps, m);
+      ASSERT_EQ(p.m(), m) << name;
+      ASSERT_TRUE(validate(p, 16, 16)) << name << " m=" << m;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rectpart

@@ -1,0 +1,115 @@
+// Tests for the simulated stencil executor.
+#include "simulator/stencil_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.hpp"
+#include "testing_util.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace rectpart {
+namespace {
+
+struct Registered {
+  Registered() { register_builtin_partitioners(); }
+};
+const Registered registered;
+
+Partition halves(int n) {
+  Partition p;
+  p.rects = {Rect{0, n, 0, n / 2}, Rect{0, n, n / 2, n}};
+  return p;
+}
+
+TEST(NeighborTable, TwoHalvesShareOneBoundary) {
+  const auto table = neighbor_table(halves(8), 8, 8);
+  ASSERT_EQ(table.size(), 2u);
+  ASSERT_EQ(table[0].size(), 1u);
+  EXPECT_EQ(table[0][0].first, 1);
+  EXPECT_EQ(table[0][0].second, 8);  // 8 cut edges along the column boundary
+  EXPECT_EQ(table[1][0].first, 0);
+  EXPECT_EQ(table[1][0].second, 8);
+}
+
+TEST(NeighborTable, QuadrantsHaveTwoOrThreeNeighbors) {
+  Partition p;
+  p.rects = {Rect{0, 2, 0, 2}, Rect{0, 2, 2, 4}, Rect{2, 4, 0, 2},
+             Rect{2, 4, 2, 4}};
+  const auto table = neighbor_table(p, 4, 4);
+  // 4-adjacency only: diagonal quadrants are not neighbors.
+  for (const auto& row : table) EXPECT_EQ(row.size(), 2u);
+}
+
+TEST(NeighborTable, EmptyRectsHaveNoNeighbors) {
+  Partition p = halves(4);
+  p.rects.push_back(Rect{});
+  const auto table = neighbor_table(p, 4, 4);
+  EXPECT_TRUE(table[2].empty());
+}
+
+TEST(SimulateStep, HandComputableTwoHalves) {
+  LoadMatrix a(8, 8, 100);
+  const PrefixSum2D ps(a);
+  MachineModel machine;
+  machine.compute_rate = 1000;  // 3200 load per half -> 3.2 s
+  machine.latency = 0.5;
+  machine.bandwidth = 16;  // 8 boundary cells -> 0.5 s
+  const StepTiming t = simulate_step(halves(8), ps, machine);
+  EXPECT_DOUBLE_EQ(t.max_compute, 3.2);
+  EXPECT_DOUBLE_EQ(t.max_comm, 0.5 + 0.5);
+  EXPECT_DOUBLE_EQ(t.makespan, 3.2 + 1.0);
+  EXPECT_DOUBLE_EQ(t.serial_time, 6.4);
+  EXPECT_EQ(t.max_neighbors, 1);
+  EXPECT_NEAR(t.speedup(), 6.4 / 4.2, 1e-12);
+  EXPECT_NEAR(t.efficiency(2), 6.4 / 4.2 / 2, 1e-12);
+}
+
+TEST(SimulateStep, SingleProcessorHasNoComm) {
+  LoadMatrix a(6, 6, 10);
+  const PrefixSum2D ps(a);
+  Partition p;
+  p.rects = {Rect{0, 6, 0, 6}};
+  const StepTiming t = simulate_step(p, ps);
+  EXPECT_DOUBLE_EQ(t.max_comm, 0.0);
+  EXPECT_DOUBLE_EQ(t.makespan, t.serial_time);
+  EXPECT_DOUBLE_EQ(t.speedup(), 1.0);
+}
+
+TEST(SimulateStep, BetterBalanceGivesBetterSpeedup) {
+  const LoadMatrix a = gen_peak(64, 64, 3);
+  const PrefixSum2D ps(a);
+  const Partition good = make_partitioner("hier-relaxed")->run(ps, 16);
+  const Partition naive = make_partitioner("rect-uniform")->run(ps, 16);
+  const StepTiming tg = simulate_step(good, ps);
+  const StepTiming tn = simulate_step(naive, ps);
+  EXPECT_GT(tg.speedup(), tn.speedup());
+}
+
+TEST(SimulateStep, ZeroLatencyZeroBoundaryReducesToLoadBalance) {
+  const LoadMatrix a = testing::random_matrix(16, 16, 1, 9, 4);
+  const PrefixSum2D ps(a);
+  MachineModel machine;
+  machine.latency = 0;
+  machine.bandwidth = 1e30;  // communication free
+  const Partition p = make_partitioner("jag-m-heur")->run(ps, 8);
+  const StepTiming t = simulate_step(p, ps, machine);
+  EXPECT_NEAR(t.makespan,
+              static_cast<double>(p.max_load(ps)) / machine.compute_rate,
+              1e-15);
+}
+
+TEST(SimulateStep, SpeedupBoundedByProcessorCount) {
+  const LoadMatrix a = gen_multipeak(48, 48, 3, 5);
+  const PrefixSum2D ps(a);
+  for (const char* algo : {"jag-m-heur", "hier-rb", "rect-uniform"}) {
+    for (const int m : {4, 16, 64}) {
+      const Partition p = make_partitioner(algo)->run(ps, m);
+      const StepTiming t = simulate_step(p, ps);
+      EXPECT_LE(t.speedup(), m + 1e-9) << algo << " m=" << m;
+      EXPECT_GE(t.speedup(), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rectpart

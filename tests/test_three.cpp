@@ -1,0 +1,209 @@
+// Tests for the 3-D substrate: Matrix3, PrefixSum3D, boxes, partitions, and
+// the 3-D partitioners.
+#include <gtest/gtest.h>
+
+#include "three/algorithms3.hpp"
+#include "three/box.hpp"
+#include "three/matrix3.hpp"
+#include "three/partition3.hpp"
+#include "three/prefix_sum3.hpp"
+#include "util/rng.hpp"
+
+namespace rectpart {
+namespace {
+
+LoadMatrix3 random_cube(int n1, int n2, int n3, std::uint64_t seed) {
+  Rng rng(seed);
+  LoadMatrix3 a(n1, n2, n3);
+  for (auto& v : a) v = rng.uniform_int(0, 50);
+  return a;
+}
+
+std::int64_t naive_load(const LoadMatrix3& a, const Box& b) {
+  std::int64_t s = 0;
+  for (int x = b.x0; x < b.x1; ++x)
+    for (int y = b.y0; y < b.y1; ++y)
+      for (int z = b.z0; z < b.z1; ++z) s += a(x, y, z);
+  return s;
+}
+
+TEST(Matrix3, BasicsAndLayout) {
+  LoadMatrix3 a(2, 3, 4, 7);
+  EXPECT_EQ(a.dim1(), 2);
+  EXPECT_EQ(a.dim2(), 3);
+  EXPECT_EQ(a.dim3(), 4);
+  EXPECT_EQ(a.size(), 24u);
+  a(1, 2, 3) = 9;
+  EXPECT_EQ(a(1, 2, 3), 9);
+  EXPECT_THROW(LoadMatrix3(-1, 1, 1), std::invalid_argument);
+}
+
+TEST(Matrix3, AccumulateAlongEachAxis) {
+  LoadMatrix3 a(2, 3, 4, 0);
+  a(0, 1, 2) = 5;
+  a(1, 1, 2) = 7;
+  const LoadMatrix m0 = accumulate_along(a, 0);  // (y, z)
+  EXPECT_EQ(m0.rows(), 3);
+  EXPECT_EQ(m0.cols(), 4);
+  EXPECT_EQ(m0(1, 2), 12);
+  const LoadMatrix m1 = accumulate_along(a, 1);  // (x, z)
+  EXPECT_EQ(m1.rows(), 2);
+  EXPECT_EQ(m1(0, 2), 5);
+  EXPECT_EQ(m1(1, 2), 7);
+  const LoadMatrix m2 = accumulate_along(a, 2);  // (x, y)
+  EXPECT_EQ(m2.cols(), 3);
+  EXPECT_EQ(m2(0, 1), 5);
+  EXPECT_THROW((void)accumulate_along(a, 3), std::invalid_argument);
+}
+
+TEST(Matrix3, AccumulationPreservesTotal) {
+  const LoadMatrix3 a = random_cube(5, 6, 7, 1);
+  std::int64_t total = 0;
+  for (const auto v : a) total += v;
+  for (int axis = 0; axis < 3; ++axis)
+    EXPECT_EQ(compute_stats(accumulate_along(a, axis)).total, total);
+}
+
+TEST(Box, GeometryBasics) {
+  const Box b{0, 2, 1, 4, 2, 5};
+  EXPECT_EQ(b.volume(), 2 * 3 * 3);
+  EXPECT_EQ(b.half_surface(), 2 * 3 + 3 * 3 + 3 * 2);
+  EXPECT_TRUE(b.contains(1, 3, 4));
+  EXPECT_FALSE(b.contains(2, 3, 4));
+  EXPECT_TRUE((Box{1, 1, 0, 4, 0, 4}).empty());
+  EXPECT_TRUE(b.intersects(Box{1, 3, 3, 5, 4, 6}));
+  EXPECT_FALSE(b.intersects(Box{2, 3, 0, 4, 0, 4}));
+}
+
+TEST(PrefixSum3D, MatchesNaiveOnAllBoxes) {
+  const LoadMatrix3 a = random_cube(4, 5, 3, 2);
+  const PrefixSum3D ps(a);
+  for (int x0 = 0; x0 <= 4; ++x0)
+    for (int x1 = x0; x1 <= 4; ++x1)
+      for (int y0 = 0; y0 <= 5; ++y0)
+        for (int y1 = y0; y1 <= 5; ++y1)
+          for (int z0 = 0; z0 <= 3; ++z0)
+            for (int z1 = z0; z1 <= 3; ++z1)
+              ASSERT_EQ(ps.load(x0, x1, y0, y1, z0, z1),
+                        naive_load(a, Box{x0, x1, y0, y1, z0, z1}));
+}
+
+TEST(PrefixSum3D, TotalsAndMaxCell) {
+  LoadMatrix3 a(3, 3, 3, 1);
+  a(2, 0, 1) = 44;
+  const PrefixSum3D ps(a);
+  EXPECT_EQ(ps.total(), 26 + 44);
+  EXPECT_EQ(ps.max_cell(), 44);
+}
+
+TEST(PrefixSum3D, Dim1Projection) {
+  const LoadMatrix3 a = random_cube(6, 4, 4, 3);
+  const PrefixSum3D ps(a);
+  const auto p = ps.dim1_projection_prefix();
+  ASSERT_EQ(p.size(), 7u);
+  EXPECT_EQ(p.back(), ps.total());
+  for (int x = 0; x < 6; ++x)
+    EXPECT_EQ(p[x + 1] - p[x], ps.load(x, x + 1, 0, 4, 0, 4));
+}
+
+TEST(Validate3, AcceptsOctants) {
+  Partition3 p;
+  for (int i = 0; i < 8; ++i)
+    p.boxes.push_back(Box{(i & 1) * 2, (i & 1) * 2 + 2, ((i >> 1) & 1) * 2,
+                          ((i >> 1) & 1) * 2 + 2, ((i >> 2) & 1) * 2,
+                          ((i >> 2) & 1) * 2 + 2});
+  EXPECT_TRUE(validate3(p, 4, 4, 4));
+}
+
+TEST(Validate3, RejectsOverlapAndHoles) {
+  Partition3 p;
+  p.boxes = {Box{0, 4, 0, 4, 0, 2}, Box{0, 4, 0, 4, 1, 4}};
+  EXPECT_FALSE(validate3(p, 4, 4, 4));  // volume mismatch catches it
+  p.boxes = {Box{0, 4, 0, 4, 0, 2}};
+  EXPECT_FALSE(validate3(p, 4, 4, 4));
+}
+
+TEST(ChooseGrid3, CubesAndFallbacks) {
+  EXPECT_EQ(choose_grid3(8), (std::tuple<int, int, int>{2, 2, 2}));
+  EXPECT_EQ(choose_grid3(27), (std::tuple<int, int, int>{3, 3, 3}));
+  EXPECT_EQ(choose_grid3(12), (std::tuple<int, int, int>{2, 2, 3}));
+  EXPECT_EQ(choose_grid3(7), (std::tuple<int, int, int>{1, 1, 7}));
+}
+
+TEST(RectUniform3, ValidAndAreaBalanced) {
+  const LoadMatrix3 a = random_cube(8, 8, 8, 4);
+  const PrefixSum3D ps(a);
+  const Partition3 p = rect_uniform3(ps, 8);
+  EXPECT_EQ(p.m(), 8);
+  EXPECT_TRUE(validate3(p, 8, 8, 8));
+  for (const Box& b : p.boxes) EXPECT_EQ(b.volume(), 64);
+}
+
+TEST(JagMHeur3, ValidAcrossProcessorCounts) {
+  const LoadMatrix3 a = random_cube(10, 12, 8, 5);
+  const PrefixSum3D ps(a);
+  for (const int m : {1, 2, 5, 8, 13, 27}) {
+    const Partition3 p = jag_m_heur3(ps, m);
+    ASSERT_EQ(p.m(), m);
+    const auto v = validate3(p, 10, 12, 8);
+    ASSERT_TRUE(v) << "m=" << m << ": " << v.message;
+    EXPECT_GE(p.max_load(ps), lower_bound_lmax3(ps, m));
+  }
+}
+
+TEST(JagMHeur3, BeatsUniformOnSkewedLoad) {
+  LoadMatrix3 a(12, 12, 12, 1);
+  for (int y = 0; y < 12; ++y)
+    for (int z = 0; z < 12; ++z) a(0, y, z) = 100;
+  const PrefixSum3D ps(a);
+  EXPECT_LT(jag_m_heur3(ps, 8).max_load(ps),
+            rect_uniform3(ps, 8).max_load(ps));
+}
+
+TEST(HierRb3, ValidAndPerfectOnUniformPowersOfTwo) {
+  LoadMatrix3 a(8, 8, 8, 2);
+  const PrefixSum3D ps(a);
+  for (const int m : {2, 4, 8, 16}) {
+    const Partition3 p = hier_rb3(ps, m);
+    ASSERT_TRUE(validate3(p, 8, 8, 8)) << "m=" << m;
+    EXPECT_EQ(p.max_load(ps), ps.total() / m);
+  }
+}
+
+TEST(HierRb3, DistVariantValid) {
+  const LoadMatrix3 a = random_cube(9, 5, 13, 6);
+  const PrefixSum3D ps(a);
+  Hier3Options opt;
+  opt.load_rule = false;
+  const Partition3 p = hier_rb3(ps, 7, opt);
+  EXPECT_TRUE(validate3(p, 9, 5, 13));
+}
+
+TEST(HierRelaxed3, ValidAndCompetitive) {
+  const LoadMatrix3 a = random_cube(10, 10, 10, 7);
+  const PrefixSum3D ps(a);
+  for (const int m : {3, 6, 11}) {
+    const Partition3 p = hier_relaxed3(ps, m);
+    ASSERT_TRUE(validate3(p, 10, 10, 10)) << "m=" << m;
+    EXPECT_GE(p.max_load(ps), lower_bound_lmax3(ps, m));
+  }
+}
+
+TEST(Algorithms3, ImbalanceConsistentWithLoads) {
+  const LoadMatrix3 a = random_cube(6, 6, 6, 8);
+  const PrefixSum3D ps(a);
+  const Partition3 p = hier_rb3(ps, 4);
+  const auto loads = p.loads(ps);
+  std::int64_t sum = 0, lmax = 0;
+  for (const auto l : loads) {
+    sum += l;
+    lmax = std::max(lmax, l);
+  }
+  EXPECT_EQ(sum, ps.total());
+  EXPECT_EQ(lmax, p.max_load(ps));
+  EXPECT_NEAR(p.imbalance(ps),
+              static_cast<double>(lmax) / (ps.total() / 4.0) - 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rectpart

@@ -1,0 +1,106 @@
+#include "workloads/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rectpart {
+namespace {
+
+TEST(Uniform, ValuesInRangeAndDeltaClose) {
+  const LoadMatrix a = gen_uniform(64, 64, 1.5, 1);
+  const LoadStats s = compute_stats(a);
+  EXPECT_GE(s.min, 1000);
+  EXPECT_LE(s.max, 1500);
+  EXPECT_LE(s.delta(), 1.5);
+  EXPECT_GT(s.delta(), 1.3);  // near-saturated on 4096 samples
+  EXPECT_EQ(s.nonzero, 64 * 64);
+}
+
+TEST(Uniform, DeltaOneIsConstant) {
+  const LoadMatrix a = gen_uniform(8, 8, 1.0, 2);
+  for (const auto v : a) EXPECT_EQ(v, 1000);
+}
+
+TEST(Uniform, RejectsDeltaBelowOne) {
+  EXPECT_THROW((void)gen_uniform(4, 4, 0.9, 1), std::invalid_argument);
+}
+
+TEST(Uniform, DeterministicInSeed) {
+  EXPECT_EQ(gen_uniform(16, 16, 1.2, 7), gen_uniform(16, 16, 1.2, 7));
+  EXPECT_FALSE(gen_uniform(16, 16, 1.2, 7) == gen_uniform(16, 16, 1.2, 8));
+}
+
+TEST(Diagonal, LoadConcentratesOnDiagonal) {
+  const LoadMatrix a = gen_diagonal(64, 64, 3);
+  // Average load on the diagonal band must dominate the far corners.
+  std::int64_t on_diag = 0, off_diag = 0;
+  for (int i = 0; i < 64; ++i) {
+    on_diag += a(i, i);
+    off_diag += a(i, 63 - i);
+  }
+  EXPECT_GT(on_diag, 4 * off_diag);
+}
+
+TEST(Diagonal, NonSquareSupported) {
+  const LoadMatrix a = gen_diagonal(32, 64, 4);
+  EXPECT_EQ(a.rows(), 32);
+  EXPECT_EQ(a.cols(), 64);
+  EXPECT_GT(compute_stats(a).total, 0);
+}
+
+TEST(Peak, MassNearThePeak) {
+  const LoadMatrix a = gen_peak(64, 64, 5);
+  // Locate the heaviest cell; a small window around it must hold far more
+  // than an equal-sized window in the opposite corner.
+  int bx = 0, by = 0;
+  for (int x = 0; x < 64; ++x)
+    for (int y = 0; y < 64; ++y)
+      if (a(x, y) > a(bx, by)) {
+        bx = x;
+        by = y;
+      }
+  std::int64_t near = 0;
+  for (int x = std::max(0, bx - 2); x < std::min(64, bx + 3); ++x)
+    for (int y = std::max(0, by - 2); y < std::min(64, by + 3); ++y)
+      near += a(x, y);
+  std::int64_t far = 0;
+  const int fx = 63 - bx, fy = 63 - by;
+  for (int x = std::max(0, fx - 2); x < std::min(64, fx + 3); ++x)
+    for (int y = std::max(0, fy - 2); y < std::min(64, fy + 3); ++y)
+      far += a(x, y);
+  EXPECT_GT(near, 2 * far);
+}
+
+TEST(Peak, DifferentSeedsMoveThePeak) {
+  const LoadMatrix a = gen_peak(32, 32, 1);
+  const LoadMatrix b = gen_peak(32, 32, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MultiPeak, RequiresAtLeastOnePeak) {
+  EXPECT_THROW((void)gen_multipeak(8, 8, 0, 1), std::invalid_argument);
+}
+
+TEST(MultiPeak, Deterministic) {
+  EXPECT_EQ(gen_multipeak(24, 24, 3, 9), gen_multipeak(24, 24, 3, 9));
+}
+
+TEST(MakeSynthetic, DispatchesAllFamilies) {
+  for (const char* f : {"uniform", "diagonal", "peak", "multipeak"}) {
+    const LoadMatrix a = make_synthetic(f, 16, 16, 1);
+    EXPECT_EQ(a.rows(), 16) << f;
+    EXPECT_GT(compute_stats(a).total, 0) << f;
+  }
+}
+
+TEST(MakeSynthetic, UnknownFamilyThrows) {
+  EXPECT_THROW((void)make_synthetic("sawtooth", 8, 8, 1),
+               std::invalid_argument);
+}
+
+TEST(MakeSynthetic, UniformHonorsDelta) {
+  const LoadMatrix a = make_synthetic("uniform", 32, 32, 1, 2.0);
+  EXPECT_LE(compute_stats(a).max, 2000);
+}
+
+}  // namespace
+}  // namespace rectpart

@@ -1,0 +1,73 @@
+// Shared helpers for the rectpart test suite: brute-force references and
+// random-instance builders.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "prefix/prefix_sum.hpp"
+#include "util/rng.hpp"
+
+namespace rectpart::testing {
+
+/// Exhaustive optimal 1-D bottleneck: tries every cut placement.  O(n^m) —
+/// reference for tiny instances only.
+inline std::int64_t brute_force_1d(const std::vector<std::int64_t>& w, int m) {
+  const int n = static_cast<int>(w.size());
+  std::vector<std::int64_t> prefix(n + 1, 0);
+  for (int i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + w[i];
+
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  // Recursive enumeration of cut positions (non-decreasing).
+  std::vector<int> cuts(m + 1, 0);
+  cuts[m] = n;
+  auto rec = [&](auto&& self, int part, int from) -> void {
+    if (part == m - 1) {
+      std::int64_t lmax = prefix[n] - prefix[from];
+      for (int p = 0; p < m - 1; ++p)
+        lmax = std::max(lmax, prefix[cuts[p + 1]] - prefix[cuts[p]]);
+      best = std::min(best, lmax);
+      return;
+    }
+    for (int k = from; k <= n; ++k) {
+      cuts[part + 1] = k;
+      self(self, part + 1, k);
+    }
+  };
+  if (m == 1) return prefix[n];
+  rec(rec, 0, 0);
+  return best;
+}
+
+/// Random weight vector with values in [lo, hi].
+inline std::vector<std::int64_t> random_weights(int n, std::int64_t lo,
+                                                std::int64_t hi,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> w(n);
+  for (auto& v : w) v = rng.uniform_int(lo, hi);
+  return w;
+}
+
+/// Random load matrix with values in [lo, hi].
+inline LoadMatrix random_matrix(int n1, int n2, std::int64_t lo,
+                                std::int64_t hi, std::uint64_t seed) {
+  Rng rng(seed);
+  LoadMatrix a(n1, n2);
+  for (auto& v : a) v = rng.uniform_int(lo, hi);
+  return a;
+}
+
+/// Naive rectangle load (direct summation) for prefix-sum cross-checks.
+inline std::int64_t naive_load(const LoadMatrix& a, int x0, int x1, int y0,
+                               int y1) {
+  std::int64_t sum = 0;
+  for (int x = x0; x < x1; ++x)
+    for (int y = y0; y < y1; ++y) sum += a(x, y);
+  return sum;
+}
+
+}  // namespace rectpart::testing
