@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace rectpart;
   const Flags flags(argc, argv);
+  bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int iteration = static_cast<int>(flags.get_int("iteration", 20000));
 

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace rectpart;
   register_builtin_partitioners();
   const Flags flags(argc, argv);
+  bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int n = static_cast<int>(flags.get_int("n", full ? 40 : 28));
 

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace rectpart;
   register_builtin_partitioners();
   const Flags flags(argc, argv);
+  bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int m = static_cast<int>(flags.get_int("m", 1024));
   const std::string algo = flags.get_string("algo", "jag-m-heur");

@@ -7,9 +7,16 @@
 //     reports and whether this run reproduced it.
 // Default sweeps finish in seconds on a laptop core; set RECTPART_FULL=1 for
 // the paper-scale sweeps.
+//
+// Benches additionally emit machine-readable BENCH_<name>.json records (one
+// JSON array of {algorithm, instance, m, threads, ms, imbalance} objects)
+// so successive PRs can track the performance trajectory; see BenchJson.
+// All binaries accept --threads=N (default: RECTPART_THREADS, then hardware
+// concurrency) to size the global execution layer.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -18,10 +25,19 @@
 #include "core/partitioner.hpp"
 #include "picmag/picmag.hpp"
 #include "util/flags.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace rectpart::bench {
+
+/// Applies the --threads flag (0 / absent = RECTPART_THREADS env, then
+/// hardware concurrency) to the global execution layer; returns the
+/// effective width.  Call once, right after parsing flags.
+inline int init_threads(const Flags& flags) {
+  set_threads(static_cast<int>(flags.get_int("threads", 0)));
+  return num_threads();
+}
 
 /// Square processor counts, the paper's sweep ("most square numbers between
 /// 16 and 10,000").  Default: a geometric subset; full: every (4k)^2 grid.
@@ -35,11 +51,15 @@ inline std::vector<int> square_m_sweep(bool full) {
   return ms;
 }
 
-/// PIC-MAG iteration sweep (paper: every 500 up to 33,500).
+/// PIC-MAG iteration sweep (paper: every 500 up to 33,500).  The final
+/// 33,500 snapshot is always included even when the stride does not land on
+/// it — the laptop-scale stride of 2500 otherwise stops at 32,500 and
+/// silently truncates the Fig 8/11/12 time axis.
 inline std::vector<int> iteration_sweep(bool full) {
   std::vector<int> its;
   const int stride = full ? 500 : 2500;
   for (int it = 0; it <= 33500; it += stride) its.push_back(it);
+  if (its.back() != 33500) its.push_back(33500);
   return its;
 }
 
@@ -64,6 +84,62 @@ inline RunResult run_algorithm(const Partitioner& algo, const PrefixSum2D& ps,
   return r;
 }
 
+/// Collects benchmark records and writes them as BENCH_<name>.json (a JSON
+/// array in the working directory) on destruction.  Writing is skipped when
+/// RECTPART_BENCH_JSON is set to a falsy value ("0", "off", ...), so wrapper
+/// scripts can disable the side files.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    const char* v = std::getenv("RECTPART_BENCH_JSON");
+    enabled_ = v == nullptr || (std::string(v) != "0" &&
+                                std::string(v) != "off" &&
+                                std::string(v) != "false");
+  }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  /// Appends one record; `threads` defaults to the current global width.
+  void record(const std::string& algorithm, const std::string& instance,
+              int m, double ms, double imbalance, int threads = 0) {
+    if (!enabled_) return;
+    if (threads <= 0) threads = num_threads();
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"algorithm\": \"%s\", \"instance\": \"%s\", "
+                  "\"m\": %d, \"threads\": %d, \"ms\": %.6f, "
+                  "\"imbalance\": %.9f}",
+                  algorithm.c_str(), instance.c_str(), m, threads, ms,
+                  imbalance);
+    rows_.emplace_back(buf);
+  }
+
+  /// Convenience overload for run_algorithm results.
+  void record(const std::string& algorithm, const std::string& instance,
+              int m, const RunResult& r) {
+    record(algorithm, instance, m, r.ms, r.imbalance);
+  }
+
+  ~BenchJson() {
+    if (!enabled_ || rows_.empty()) return;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    std::fputs("]\n", f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  bool enabled_ = true;
+  std::vector<std::string> rows_;
+};
+
 /// Prints the standard provenance header.
 inline void print_header(const std::string& figure, const std::string& what,
                          const std::string& instance, bool full) {
@@ -71,6 +147,7 @@ inline void print_header(const std::string& figure, const std::string& what,
   std::printf("# instance: %s\n", instance.c_str());
   std::printf("# scale: %s (set RECTPART_FULL=1 for the paper-scale sweep)\n",
               full ? "FULL (paper)" : "default (laptop)");
+  std::printf("# threads: %d\n", num_threads());
 }
 
 /// Prints the qualitative expectation and a measured verdict line.

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace rectpart;
   const Flags flags(argc, argv);
+  bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int n = static_cast<int>(flags.get_int("n", full ? 1024 : 512));
   const std::uint64_t seed = flags.get_int("seed", 1);

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace rectpart;
   register_builtin_partitioners();
   const Flags flags(argc, argv);
+  bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int n = static_cast<int>(flags.get_int("n", 512));
   const double delta = flags.get_double("delta", 1.2);
@@ -37,6 +38,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> cols{"m"};
   for (const char* algo : kAlgos) cols.emplace_back(algo);
   Table table(cols);
+  bench::BenchJson json("fig06_runtime");
+  const std::string instance =
+      std::to_string(n) + "x" + std::to_string(n) + "-uniform";
 
   double uniform_ms = 0, relaxed_ms = 0;
   for (const int m : bench::square_m_sweep(full)) {
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
       }
       const auto algo = make_partitioner(name);
       const auto r = bench::run_algorithm(*algo, ps, m);
+      json.record(name, instance, m, r);
       table.cell(r.ms);
       if (std::string(name) == "rect-uniform") uniform_ms = r.ms;
       if (std::string(name) == "hier-relaxed") relaxed_ms = r.ms;

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace rectpart;
   const Flags flags(argc, argv);
+  bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int n = static_cast<int>(flags.get_int("n", 514));
   const int m = static_cast<int>(flags.get_int("m", 800));

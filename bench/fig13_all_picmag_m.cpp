@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace rectpart;
   register_builtin_partitioners();
   const Flags flags(argc, argv);
+  bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int iteration = static_cast<int>(flags.get_int("iteration", 20000));
 
@@ -28,14 +29,17 @@ int main(int argc, char** argv) {
   std::vector<std::string> cols{"m"};
   for (const char* algo : kAlgos) cols.emplace_back(algo);
   Table table(cols);
+  bench::BenchJson json("fig13_all_picmag_m");
+  const std::string instance = "picmag-512x512-it" + std::to_string(iteration);
 
   double proposed_wins = 0, rows = 0;
   for (const int m : bench::square_m_sweep(full)) {
     table.row().cell(m);
     double best_existing = 1e30, best_proposed = 1e30;
     for (const char* name : kAlgos) {
-      const double imbal =
-          bench::run_algorithm(*make_partitioner(name), ps, m).imbalance;
+      const auto r = bench::run_algorithm(*make_partitioner(name), ps, m);
+      json.record(name, instance, m, r);
+      const double imbal = r.imbalance;
       table.cell(imbal);
       const std::string n = name;
       if (n == "hier-relaxed" || n == "jag-m-heur")

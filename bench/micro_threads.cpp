@@ -1,0 +1,135 @@
+// Thread-scaling microbenchmark for the deterministic parallel execution
+// layer: PrefixSum2D construction/transpose and the parallelized
+// partitioners at increasing rectpart::set_threads() widths.
+//
+// Besides timing, this harness *checks the determinism contract*: every
+// parallel partition must be bit-identical to the threads=1 baseline, and
+// every prefix array must match cell for cell.  A "DIVERGED" verdict means
+// a scheduling-dependent reduction sneaked into a hot path.
+//
+// Emits BENCH_micro_threads.json with one record per (workload, threads)
+// so successive PRs can track the scaling trajectory; the speedup column
+// is what the roadmap's ">= 2.5x at 8 threads" target reads from (only
+// meaningful on a machine that actually has the cores).
+#include "bench_common.hpp"
+#include "workloads/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rectpart;
+  register_builtin_partitioners();
+  const Flags flags(argc, argv);
+  const bool full = full_scale_requested();
+  const int n = static_cast<int>(flags.get_int("n", full ? 4096 : 1024));
+  const int m = static_cast<int>(flags.get_int("m", 1024));
+  const int reps = static_cast<int>(flags.get_int("reps", full ? 5 : 3));
+
+  bench::print_header(
+      "micro_threads", "thread scaling of the parallel execution layer",
+      std::to_string(n) + "x" + std::to_string(n) + " Uniform, m=" +
+          std::to_string(m),
+      full);
+  std::printf("# times in milliseconds (best of %d); speedup vs threads=1\n",
+              reps);
+
+  const LoadMatrix a = gen_uniform(n, n, 1.2, 4);
+
+  std::vector<int> widths{1, 2, 4, 8};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 8) widths.push_back(hw);
+
+  // Bare names resolve to the both-orientation -BEST variants, which is
+  // where parallel_invoke earns its keep.
+  const char* kAlgos[] = {"hier-rb", "hier-relaxed", "jag-m-opt",
+                          "jag-pq-opt", "jag-m-heur"};
+
+  bench::BenchJson json("micro_threads");
+  std::vector<std::string> cols{"workload"};
+  for (const int t : widths) cols.emplace_back("t" + std::to_string(t));
+  cols.emplace_back("speedup");
+  Table table(cols);
+
+  bool deterministic = true;
+
+  // One workload = a named closure timed at every width; the result of the
+  // threads=1 run is the reference the wider runs are compared against.
+  auto run_workload = [&](const std::string& name,
+                          const std::function<double()>& once,
+                          const std::function<bool()>& matches_baseline) {
+    table.row().cell(name);
+    double base_ms = 0;
+    double last_ms = 0;
+    for (const int t : widths) {
+      set_threads(t);
+      double best = 0;
+      for (int r = 0; r < reps; ++r) {
+        const double ms = once();
+        if (r == 0 || ms < best) best = ms;
+      }
+      if (t != 1 && !matches_baseline()) {
+        deterministic = false;
+        std::printf("# DIVERGED: %s at threads=%d\n", name.c_str(), t);
+      }
+      if (t == 1) base_ms = best;
+      last_ms = best;
+      table.cell(best);
+      json.record(name, std::to_string(n) + "x" + std::to_string(n), m, best,
+                  0.0, t);
+    }
+    table.cell(last_ms > 0 ? base_ms / last_ms : 0.0);
+    set_threads(1);
+  };
+
+  // Prefix-sum construction and transpose: compare the full bordered array.
+  {
+    set_threads(1);
+    const PrefixSum2D ref(a);
+    const PrefixSum2D ref_t = ref.transpose();
+    PrefixSum2D got;
+    auto equal = [&](const PrefixSum2D& x, const PrefixSum2D& y) {
+      if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
+      for (int i = 0; i <= x.rows(); ++i)
+        for (int j = 0; j <= x.cols(); ++j)
+          if (x.at(i, j) != y.at(i, j)) return false;
+      return x.max_cell() == y.max_cell();
+    };
+    run_workload(
+        "prefix-build",
+        [&] {
+          WallTimer timer;
+          got = PrefixSum2D(a);
+          return timer.milliseconds();
+        },
+        [&] { return equal(got, ref); });
+    run_workload(
+        "prefix-transpose",
+        [&] {
+          WallTimer timer;
+          got = ref.transpose();
+          return timer.milliseconds();
+        },
+        [&] { return equal(got, ref_t); });
+  }
+
+  const PrefixSum2D ps(a);
+  for (const char* name : kAlgos) {
+    const auto algo = make_partitioner(name);
+    set_threads(1);
+    const Partition ref = algo->run(ps, m);
+    Partition got;
+    run_workload(
+        name,
+        [&] {
+          WallTimer timer;
+          got = algo->run(ps, m);
+          return timer.milliseconds();
+        },
+        [&] { return got.rects == ref.rects; });
+  }
+
+  table.print(std::cout);
+  bench::print_shape(
+      "parallel runs are bit-identical to sequential and speed up with "
+      "threads (>= 2.5x at 8 threads on an 8-core machine)",
+      deterministic);
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "io/pgm.hpp"
 #include "mesh/mesh.hpp"
 #include "util/flags.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "workloads/synthetic.hpp"
@@ -36,11 +37,16 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: %s [--input=FILE | --family=NAME --n=N] --m=M\n"
         "          [--algo=NAME] [--out=FILE.csv] [--image=FILE.pgm]\n"
-        "          [--seed=S] [--delta=D] [--list] [--help]\n"
-        "families: uniform diagonal peak multipeak slac\n",
+        "          [--seed=S] [--delta=D] [--threads=T] [--list] [--help]\n"
+        "families: uniform diagonal peak multipeak slac\n"
+        "threads: 0 = RECTPART_THREADS env, then hardware concurrency;\n"
+        "         the partition is identical at every thread count\n",
         flags.program().c_str());
     return 0;
   }
+
+  // Size the global execution layer before any prefix-sum construction.
+  set_threads(static_cast<int>(flags.get_int("threads", 0)));
 
   LoadMatrix load;
   const std::string input = flags.get_string("input", "");
@@ -83,6 +89,7 @@ int main(int argc, char** argv) {
                             : "undefined");
   std::printf("algorithm  : %s   (%.3f ms)\n", algo->name().c_str(), ms);
   std::printf("processors : %d\n", m);
+  std::printf("threads    : %d\n", num_threads());
   std::printf("max load   : %lld (lower bound %lld)\n",
               static_cast<long long>(part.max_load(ps)),
               static_cast<long long>(lower_bound_lmax(ps, m)));

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full build + test cycle, then a ThreadSanitizer
+# build of the parallel execution layer's own suites (thread-pool stress and
+# per-algorithm determinism).  Run from the repository root:
+#
+#     scripts/tier1.sh [jobs]
+#
+# The TSan stage is what catches scheduling races the plain suite can miss;
+# it rebuilds into build-tsan/ so the primary build tree stays untouched.
+set -euo pipefail
+
+jobs=${1:-$(nproc)}
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+
+echo "== tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "$jobs")
+
+echo "== tier-1: ThreadSanitizer (thread pool + determinism suites) =="
+cmake -B build-tsan -S . -DRECTPART_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs" --target test_parallel test_util
+build-tsan/tests/test_parallel
+build-tsan/tests/test_util --gtest_filter='ThreadPool*'
+
+echo "== tier-1: OK =="

@@ -35,6 +35,9 @@ namespace {
 ValidationResult fail(std::string msg) { return {false, std::move(msg)}; }
 
 ValidationResult check_bounds_and_area(const Partition& p, int n1, int n2) {
+  // The accumulation must stay in int64 end to end: a single rectangle of a
+  // 65536 x 65536 domain already has 2^32 cells, past what 32-bit math
+  // holds (Rect::area() widens before its multiply for the same reason).
   std::int64_t area = 0;
   for (std::size_t i = 0; i < p.rects.size(); ++i) {
     const Rect& r = p.rects[i];

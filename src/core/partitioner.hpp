@@ -19,6 +19,12 @@ namespace rectpart {
 ///
 /// Implementations are stateless with respect to the instance: run() may be
 /// called concurrently on different prefix-sum views.
+///
+/// Determinism contract: run() must return a bit-identical partition for a
+/// given (ps, m) regardless of the global rectpart::set_threads() width.
+/// Built-in algorithms parallelize internally through util/parallel.hpp,
+/// whose primitives preserve this invariant (the determinism suite in
+/// tests/test_parallel.cpp checks every registered name at 1 vs 8 threads).
 class Partitioner {
  public:
   virtual ~Partitioner() = default;

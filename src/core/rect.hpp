@@ -46,8 +46,13 @@ struct Rect {
   }
 
   /// Half-perimeter in cells; used by the communication-volume metrics.
+  /// Widened before the addition so coordinate spans near INT_MAX cannot
+  /// overflow the intermediate (the sum of two int extents does not fit in
+  /// int in general, even though each extent does).
   [[nodiscard]] std::int64_t half_perimeter() const {
-    return empty() ? 0 : width() + height();
+    return empty() ? 0
+                   : static_cast<std::int64_t>(width()) +
+                         static_cast<std::int64_t>(height());
   }
 
   friend bool operator==(const Rect&, const Rect&) = default;

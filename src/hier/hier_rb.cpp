@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hier/hier.hpp"
+#include "util/parallel.hpp"
 
 namespace rectpart {
 
@@ -72,10 +73,18 @@ CutChoice best_cut_cols(const PrefixSum2D& ps, const Rect& r, int ml, int mr) {
   return c;
 }
 
+/// Below this subtree size the per-node work (two binary searches) is too
+/// small to amortize a task spawn; recurse sequentially.
+constexpr int kSpawnMinProcs = 32;
+
+/// Writes the subtree's rectangles into out[0 .. m).  The left subtree owns
+/// slots [0, ml) and the right [ml, m) — the depth-first output order of the
+/// sequential recursion — so parallel subtrees write disjoint slots and the
+/// result is bit-identical at any thread count.
 void rb_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
-                HierVariant variant, std::vector<Rect>& out) {
+                HierVariant variant, Rect* out) {
   if (m == 1) {
-    out.push_back(r);
+    *out = r;
     return;
   }
   const int ml = m / 2;
@@ -119,17 +128,23 @@ void rb_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
     a.y1 = choice.pos;
     b.y0 = choice.pos;
   }
-  rb_recurse(ps, a, ml, depth + 1, variant, out);
-  rb_recurse(ps, b, mr, depth + 1, variant, out);
+  if (m >= kSpawnMinProcs && execution_pool() != nullptr) {
+    parallel_invoke(
+        [&]() { rb_recurse(ps, a, ml, depth + 1, variant, out); },
+        [&]() { rb_recurse(ps, b, mr, depth + 1, variant, out + ml); });
+  } else {
+    rb_recurse(ps, a, ml, depth + 1, variant, out);
+    rb_recurse(ps, b, mr, depth + 1, variant, out + ml);
+  }
 }
 
 }  // namespace
 
 Partition hier_rb(const PrefixSum2D& ps, int m, const HierOptions& opt) {
   Partition part;
-  part.rects.reserve(m);
+  part.rects.assign(m, Rect{});
   rb_recurse(ps, Rect{0, ps.rows(), 0, ps.cols()}, m, 0, opt.variant,
-             part.rects);
+             part.rects.data());
   return part;
 }
 

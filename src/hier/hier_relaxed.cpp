@@ -4,10 +4,17 @@
 // the relaxed objective max(L1/j, L2/(m-j)) — i.e. the DP recursion with the
 // recursive calls replaced by average loads — and recurses on the winner.
 // Complexity O(m^2 log max(n1, n2)).
+//
+// Parallel structure (util/parallel.hpp): the j-sweep at a node reduces
+// per-j candidates with an explicit total-order key, and the two child
+// recursions fork as tasks writing disjoint output slots, so the partition
+// is bit-identical at any thread count.
 #include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "hier/hier.hpp"
+#include "util/parallel.hpp"
 
 namespace rectpart {
 
@@ -19,6 +26,18 @@ struct NodeChoice {
   int j = 1;  // processors for the first part
   long double score = std::numeric_limits<long double>::infinity();
 };
+
+/// Total order matching the sequential sweep (j ascending, rows before
+/// columns, cut position ascending, strict-improvement updates): the overall
+/// winner is the minimum by (score, j, dimension, position).  Reducing per-j
+/// results with this key gives the same choice in any grouping, which is
+/// what makes the parallel j-sweep deterministic.
+bool better(const NodeChoice& a, const NodeChoice& b) {
+  if (a.score != b.score) return a.score < b.score;
+  if (a.j != b.j) return a.j < b.j;
+  if (a.cut_rows != b.cut_rows) return a.cut_rows;
+  return a.pos < b.pos;
+}
 
 /// For a fixed dimension and processor split j : (m-j), the relaxed score is
 /// minimized at the crossing of L1*(m-j) and L2*j; returns the better of the
@@ -44,10 +63,15 @@ void consider_dim(LeftFn left, RightFn right, int lo0, int hi0, int m, int j,
   }
 }
 
+/// Below these sizes the spawn/reduction overhead dominates the node work;
+/// fall back to the sequential sweep/recursion.
+constexpr int kParallelSweepMinProcs = 64;
+constexpr int kSpawnMinProcs = 32;
+
 void relaxed_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
-                     HierVariant variant, std::vector<Rect>& out) {
+                     HierVariant variant, Rect* out) {
   if (m == 1) {
-    out.push_back(r);
+    *out = r;
     return;
   }
 
@@ -69,8 +93,7 @@ void relaxed_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
       break;
   }
 
-  NodeChoice best;
-  for (int j = 1; j < m; ++j) {
+  const auto eval_j = [&](int j, NodeChoice& best) {
     if (try_rows) {
       consider_dim([&](int k) { return ps.load(r.x0, k, r.y0, r.y1); },
                    [&](int k) { return ps.load(k, r.x1, r.y0, r.y1); }, r.x0,
@@ -81,6 +104,19 @@ void relaxed_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
                    [&](int k) { return ps.load(r.x0, r.x1, k, r.y1); }, r.y0,
                    r.y1, m, j, /*cut_rows=*/false, best);
     }
+  };
+
+  NodeChoice best;
+  if (m >= kParallelSweepMinProcs && execution_pool() != nullptr) {
+    // Independent per-j candidates, then an ordered reduction by `better`.
+    std::vector<NodeChoice> per_j(m - 1);
+    parallel_for(m - 1, [&](std::size_t i) {
+      eval_j(static_cast<int>(i) + 1, per_j[i]);
+    });
+    for (const NodeChoice& c : per_j)
+      if (better(c, best)) best = c;
+  } else {
+    for (int j = 1; j < m; ++j) eval_j(j, best);
   }
 
   Rect a = r, b = r;
@@ -91,17 +127,28 @@ void relaxed_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
     a.y1 = best.pos;
     b.y0 = best.pos;
   }
-  relaxed_recurse(ps, a, best.j, depth + 1, variant, out);
-  relaxed_recurse(ps, b, m - best.j, depth + 1, variant, out);
+  // Left subtree owns out[0, best.j), right owns out[best.j, m) — the
+  // sequential depth-first output order, so the fork writes disjoint slots.
+  if (m >= kSpawnMinProcs && execution_pool() != nullptr) {
+    parallel_invoke(
+        [&]() { relaxed_recurse(ps, a, best.j, depth + 1, variant, out); },
+        [&]() {
+          relaxed_recurse(ps, b, m - best.j, depth + 1, variant,
+                          out + best.j);
+        });
+  } else {
+    relaxed_recurse(ps, a, best.j, depth + 1, variant, out);
+    relaxed_recurse(ps, b, m - best.j, depth + 1, variant, out + best.j);
+  }
 }
 
 }  // namespace
 
 Partition hier_relaxed(const PrefixSum2D& ps, int m, const HierOptions& opt) {
   Partition part;
-  part.rects.reserve(m);
+  part.rects.assign(m, Rect{});
   relaxed_recurse(ps, Rect{0, ps.rows(), 0, ps.cols()}, m, 0, opt.variant,
-                  part.rects);
+                  part.rects.data());
   return part;
 }
 

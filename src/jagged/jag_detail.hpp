@@ -8,13 +8,16 @@
 #include "core/partition.hpp"
 #include "oned/cuts.hpp"
 #include "prefix/prefix_sum.hpp"
+#include "util/parallel.hpp"
 
 namespace rectpart::jag_detail {
 
 /// Runs a rows-as-main-dimension algorithm under the requested orientation:
 /// kVertical transposes the instance (and the result back); kBest evaluates
-/// both and keeps the partition with the smaller maximum load, preferring
-/// horizontal on ties.
+/// both — as two independent tasks on the execution layer — and keeps the
+/// partition with the smaller maximum load, preferring horizontal on ties.
+/// Both orientations are always fully computed before the comparison, so the
+/// result is identical at any thread count.
 template <typename F>
 [[nodiscard]] Partition with_orientation(const PrefixSum2D& ps,
                                          Orientation orient, F&& run_hor) {
@@ -22,8 +25,9 @@ template <typename F>
   const PrefixSum2D t = ps.transpose();
   if (orient == Orientation::kVertical)
     return transpose_partition(run_hor(t));
-  Partition hor = run_hor(ps);
-  Partition ver = transpose_partition(run_hor(t));
+  Partition hor, ver;
+  parallel_invoke([&]() { ver = transpose_partition(run_hor(t)); },
+                  [&]() { hor = run_hor(ps); });
   return ver.max_load(ps) < hor.max_load(ps) ? std::move(ver)
                                              : std::move(hor);
 }

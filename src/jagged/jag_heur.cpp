@@ -9,6 +9,7 @@
 #include "jagged/jagged.hpp"
 #include "oned/oned.hpp"
 #include "rectilinear/rectilinear.hpp"
+#include "util/parallel.hpp"
 
 namespace rectpart {
 
@@ -32,12 +33,13 @@ Partition pq_heur_hor(const PrefixSum2D& ps, int m, int p) {
   const oned::Cuts row_cuts =
       oned::nicol_plus(oned::PrefixOracle(row_prefix), p).cuts;
 
-  std::vector<oned::Cuts> col_cuts;
-  col_cuts.reserve(p);
-  for (int s = 0; s < p; ++s) {
-    StripeColsOracle stripe(ps, row_cuts.begin_of(s), row_cuts.end_of(s));
-    col_cuts.push_back(oned::nicol_plus(stripe, q).cuts);
-  }
+  // Per-stripe optimal 1-D solves are independent; fan them out.
+  std::vector<oned::Cuts> col_cuts(p);
+  parallel_for(p, [&](std::size_t s) {
+    StripeColsOracle stripe(ps, row_cuts.begin_of(static_cast<int>(s)),
+                            row_cuts.end_of(static_cast<int>(s)));
+    col_cuts[s] = oned::nicol_plus(stripe, q).cuts;
+  });
   return jag_detail::assemble_jagged(row_cuts, col_cuts, m);
 }
 
@@ -152,14 +154,17 @@ Partition m_heur_hor(const PrefixSum2D& ps, int m, int p, Allotment rule) {
 
   const std::vector<int> q = allot_processors(stripe_loads, m, rule);
 
-  std::vector<oned::Cuts> col_cuts;
-  col_cuts.reserve(p);
-  for (int s = 0; s < p; ++s) {
-    StripeColsOracle stripe(ps, row_cuts.begin_of(s), row_cuts.end_of(s));
-    // allot_processors guarantees q[s] >= 1 whenever p <= m.
+  // allot_processors guarantees q[s] >= 1 whenever p <= m.
+  for (int s = 0; s < p; ++s)
     if (q[s] < 1) throw std::logic_error("jag_m_heur: unpopulated stripe");
-    col_cuts.push_back(oned::nicol_plus(stripe, q[s]).cuts);
-  }
+
+  // Per-stripe optimal 1-D solves are independent; fan them out.
+  std::vector<oned::Cuts> col_cuts(p);
+  parallel_for(p, [&](std::size_t s) {
+    StripeColsOracle stripe(ps, row_cuts.begin_of(static_cast<int>(s)),
+                            row_cuts.end_of(static_cast<int>(s)));
+    col_cuts[s] = oned::nicol_plus(stripe, q[s]).cuts;
+  });
   return jag_detail::assemble_jagged(row_cuts, col_cuts, m);
 }
 

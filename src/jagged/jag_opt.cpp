@@ -22,16 +22,89 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "jagged/jag_detail.hpp"
 #include "jagged/jagged.hpp"
 #include "oned/oned.hpp"
 #include "rectilinear/rectilinear.hpp"
+#include "util/parallel.hpp"
 
 namespace rectpart {
 
 namespace {
+
+/// Smallest B in [lb, ub] satisfying an antitone feasibility predicate
+/// (feasible(ub) must hold).  Sequential bisection when the execution layer
+/// is sequential; otherwise each round evaluates several interior candidates
+/// concurrently and keeps the tightest bracket.  Both searches converge to
+/// the unique minimal feasible value, so the result is thread-count
+/// independent.
+template <typename Pred>
+std::int64_t min_feasible(std::int64_t lb, std::int64_t ub,
+                          const Pred& feasible) {
+  const int lanes = std::min(num_threads(), 8);
+  if (lanes <= 1 || execution_pool() == nullptr) {
+    while (lb < ub) {
+      const std::int64_t mid = lb + (ub - lb) / 2;
+      if (feasible(mid))
+        ub = mid;
+      else
+        lb = mid + 1;
+    }
+    return lb;
+  }
+  while (lb < ub) {
+    const std::int64_t width = ub - lb;
+    // Strictly increasing candidates inside (lb, ub); a k-way round cuts
+    // the bracket by a factor of k+1 instead of 2.
+    std::vector<std::int64_t> cand;
+    cand.reserve(lanes);
+    for (int i = 1; i <= lanes; ++i) {
+      std::int64_t c = lb + width * i / (lanes + 1);
+      if (!cand.empty() && c <= cand.back()) c = cand.back() + 1;
+      if (c >= ub) break;
+      cand.push_back(c);
+    }
+    if (cand.empty()) cand.push_back(lb);
+    std::vector<char> ok(cand.size(), 0);
+    parallel_for(cand.size(),
+                 [&](std::size_t i) { ok[i] = feasible(cand[i]) ? 1 : 0; });
+    std::size_t first = cand.size();
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      if (ok[i]) {
+        first = i;
+        break;
+      }
+    }
+    if (first == cand.size()) {
+      lb = cand.back() + 1;
+    } else {
+      ub = cand[first];
+      if (first > 0) lb = cand[first - 1] + 1;
+    }
+  }
+  return lb;
+}
+
+/// Optimal 1-D column cuts for each recorded stripe — the independent Opt1D
+/// evaluations, fanned out across stripes.
+struct StripeTask {
+  int begin = 0;
+  int end = 0;
+  int procs = 0;
+};
+
+std::vector<oned::Cuts> solve_stripes(const PrefixSum2D& ps,
+                                      const std::vector<StripeTask>& tasks) {
+  std::vector<oned::Cuts> col_cuts(tasks.size());
+  parallel_for(tasks.size(), [&](std::size_t s) {
+    StripeColsOracle stripe(ps, tasks[s].begin, tasks[s].end);
+    col_cuts[s] = oned::nicol_plus(stripe, tasks[s].procs).cuts;
+  });
+  return col_cuts;
+}
 
 /// Minimum number of column intervals of load <= B covering stripe [a, b),
 /// or nullopt when impossible or when the count would exceed `cap`.
@@ -102,27 +175,19 @@ Partition pq_opt_hor(const PrefixSum2D& ps, int m, int p) {
   JaggedOptions heur_opt;
   heur_opt.stripes = p;
   heur_opt.orientation = Orientation::kHorizontal;
-  std::int64_t ub = jag_pq_heur(ps, m, heur_opt).max_load(ps);
+  const std::int64_t ub = jag_pq_heur(ps, m, heur_opt).max_load(ps);
 
-  while (lb < ub) {
-    const std::int64_t mid = lb + (ub - lb) / 2;
-    if (pq_feasible(ps, p, q, mid, nullptr))
-      ub = mid;
-    else
-      lb = mid + 1;
-  }
+  const std::int64_t best = min_feasible(
+      lb, ub, [&](std::int64_t b) { return pq_feasible(ps, p, q, b, nullptr); });
 
   oned::Cuts row_cuts;
-  if (!pq_feasible(ps, p, q, lb, &row_cuts))
+  if (!pq_feasible(ps, p, q, best, &row_cuts))
     throw std::logic_error("jag_pq_opt: optimum not feasible (bug)");
 
-  std::vector<oned::Cuts> col_cuts;
-  col_cuts.reserve(p);
-  for (int s = 0; s < p; ++s) {
-    StripeColsOracle stripe(ps, row_cuts.begin_of(s), row_cuts.end_of(s));
-    col_cuts.push_back(oned::nicol_plus(stripe, q).cuts);
-  }
-  return jag_detail::assemble_jagged(row_cuts, col_cuts, m);
+  std::vector<StripeTask> tasks(p);
+  for (int s = 0; s < p; ++s)
+    tasks[s] = {row_cuts.begin_of(s), row_cuts.end_of(s), q};
+  return jag_detail::assemble_jagged(row_cuts, solve_stripes(ps, tasks), m);
 }
 
 // ------------------------------------------------------------------- m-way
@@ -198,36 +263,32 @@ Partition m_opt_extract(const PrefixSum2D& ps, int m, std::int64_t B) {
     throw std::logic_error("jag_m_opt: optimum not feasible (bug)");
 
   oned::Cuts row_cuts;
-  std::vector<oned::Cuts> col_cuts;
   row_cuts.pos.push_back(0);
+  std::vector<StripeTask> tasks;
   int s = 0;
   const int n1 = ps.rows();
   while (s < n1) {
     const int e = probe.choice_e[s];
     const int c = probe.choice_c[s];
     row_cuts.pos.push_back(e);
-    StripeColsOracle stripe(ps, s, e);
-    col_cuts.push_back(oned::nicol_plus(stripe, c).cuts);
+    tasks.push_back({s, e, c});
     s = e;
   }
-  return jag_detail::assemble_jagged(row_cuts, col_cuts, m);
+  return jag_detail::assemble_jagged(row_cuts, solve_stripes(ps, tasks), m);
 }
 
 std::int64_t m_opt_bottleneck_hor(const PrefixSum2D& ps, int m) {
-  std::int64_t lb = lower_bound_lmax(ps, m);
+  const std::int64_t lb = lower_bound_lmax(ps, m);
   JaggedOptions heur_opt;
   heur_opt.orientation = Orientation::kHorizontal;
-  std::int64_t ub = jag_m_heur(ps, m, heur_opt).max_load(ps);
+  const std::int64_t ub = jag_m_heur(ps, m, heur_opt).max_load(ps);
 
-  while (lb < ub) {
-    const std::int64_t mid = lb + (ub - lb) / 2;
-    MWayProbe probe(ps, m, mid);
-    if (probe.run())
-      ub = mid;
-    else
-      lb = mid + 1;
-  }
-  return lb;
+  // Each candidate bottleneck gets its own MWayProbe, so the concurrent
+  // rounds of min_feasible share nothing but the immutable prefix array.
+  return min_feasible(lb, ub, [&](std::int64_t b) {
+    MWayProbe candidate(ps, m, b);
+    return candidate.run();
+  });
 }
 
 }  // namespace
@@ -253,7 +314,10 @@ std::int64_t jag_m_opt_bottleneck(const PrefixSum2D& ps, int m,
   if (orient == Orientation::kHorizontal) return m_opt_bottleneck_hor(ps, m);
   const PrefixSum2D t = ps.transpose();
   if (orient == Orientation::kVertical) return m_opt_bottleneck_hor(t, m);
-  return std::min(m_opt_bottleneck_hor(ps, m), m_opt_bottleneck_hor(t, m));
+  std::int64_t hor = 0, ver = 0;
+  parallel_invoke([&]() { ver = m_opt_bottleneck_hor(t, m); },
+                  [&]() { hor = m_opt_bottleneck_hor(ps, m); });
+  return std::min(hor, ver);
 }
 
 }  // namespace rectpart

@@ -2,38 +2,78 @@
 
 #include <algorithm>
 
+#include "util/parallel.hpp"
+
 namespace rectpart {
+
+namespace {
+
+/// Splits [0, n) into `parts` balanced contiguous blocks; returns the
+/// boundaries (size parts + 1).  Deterministic for fixed (n, parts).
+std::vector<int> block_bounds(int n, int parts) {
+  parts = std::clamp(parts, 1, std::max(1, n));
+  std::vector<int> b(static_cast<std::size_t>(parts) + 1);
+  for (int i = 0; i <= parts; ++i)
+    b[i] = static_cast<int>(static_cast<std::int64_t>(n) * i / parts);
+  return b;
+}
+
+}  // namespace
 
 PrefixSum2D::PrefixSum2D(const LoadMatrix& a) : n1_(a.rows()), n2_(a.cols()) {
   const std::size_t stride = static_cast<std::size_t>(n2_) + 1;
   ps_.assign((static_cast<std::size_t>(n1_) + 1) * stride, 0);
+  if (n1_ == 0 || n2_ == 0) return;
 
-  // Phase 1: per-row horizontal prefix of the raw values, written into the
-  // interior of ps_ (offset by the zero border).  Rows are independent.
-  std::int64_t max_cell = 0;
-#ifdef _OPENMP
-#pragma omp parallel for reduction(max : max_cell) schedule(static)
-#endif
-  for (int x = 0; x < n1_; ++x) {
-    std::int64_t run = 0;
-    std::int64_t* out = ps_.data() + static_cast<std::size_t>(x + 1) * stride;
-    for (int y = 0; y < n2_; ++y) {
-      const std::int64_t v = a(x, y);
-      max_cell = std::max(max_cell, v);
-      run += v;
-      out[y + 1] = run;
+  // Two-pass tiled construction.  Pass 1 scans rows (horizontal prefixes),
+  // pass 2 scans columns (vertical accumulation); within each pass the
+  // blocks are independent, so both parallelize over the global execution
+  // layer.  Every cell's value is produced by the same chain of integer
+  // additions regardless of the block grid, so the array is bit-identical
+  // at any thread count.
+  const int threads = num_threads();
+
+  // Pass 1: per-row horizontal prefix of the raw values, written into the
+  // interior of ps_ (offset by the zero border).  Rows are independent; the
+  // per-block cell maxima combine into max_cell_ sequentially (max is
+  // associative and commutative, so the grouping is invisible).
+  const std::vector<int> row_blocks = block_bounds(n1_, threads);
+  const int nrb = static_cast<int>(row_blocks.size()) - 1;
+  std::vector<std::int64_t> block_max(nrb, 0);
+  parallel_for(nrb, [&](std::size_t bl) {
+    std::int64_t mx = 0;
+    for (int x = row_blocks[bl]; x < row_blocks[bl + 1]; ++x) {
+      std::int64_t run = 0;
+      std::int64_t* out =
+          ps_.data() + static_cast<std::size_t>(x + 1) * stride;
+      for (int y = 0; y < n2_; ++y) {
+        const std::int64_t v = a(x, y);
+        mx = std::max(mx, v);
+        run += v;
+        out[y + 1] = run;
+      }
     }
-  }
-  max_cell_ = max_cell;
+    block_max[bl] = mx;
+  });
+  max_cell_ = *std::max_element(block_max.begin(), block_max.end());
 
-  // Phase 2: vertical accumulation down each column.  The row-major layout
-  // makes a row-by-row sweep cache-friendly; the loop carries a dependency
-  // across x, so it stays sequential (it is a single streaming pass).
-  for (int x = 1; x <= n1_; ++x) {
-    const std::int64_t* prev = ps_.data() + static_cast<std::size_t>(x - 1) * stride;
-    std::int64_t* cur = ps_.data() + static_cast<std::size_t>(x) * stride;
-    for (int y = 1; y <= n2_; ++y) cur[y] += prev[y];
-  }
+  // Pass 2: vertical accumulation down each column, tiled into column
+  // blocks.  Each block sweeps all rows over its own column range — the
+  // loop-carried dependency is across x, which stays inside the block's
+  // sequential sweep, while distinct column ranges never touch the same
+  // cell.
+  const std::vector<int> col_blocks = block_bounds(n2_, threads);
+  const int ncb = static_cast<int>(col_blocks.size()) - 1;
+  parallel_for(ncb, [&](std::size_t bl) {
+    const int y0 = col_blocks[bl] + 1;
+    const int y1 = col_blocks[bl + 1] + 1;
+    for (int x = 1; x <= n1_; ++x) {
+      const std::int64_t* prev =
+          ps_.data() + static_cast<std::size_t>(x - 1) * stride;
+      std::int64_t* cur = ps_.data() + static_cast<std::size_t>(x) * stride;
+      for (int y = y0; y < y1; ++y) cur[y] += prev[y];
+    }
+  });
 }
 
 PrefixSum2D PrefixSum2D::from_prefix(int n1, int n2,
@@ -54,9 +94,15 @@ PrefixSum2D PrefixSum2D::transpose() const {
   t.max_cell_ = max_cell_;
   const std::size_t stride_t = static_cast<std::size_t>(t.n2_) + 1;
   t.ps_.assign((static_cast<std::size_t>(t.n1_) + 1) * stride_t, 0);
-  for (int x = 0; x <= t.n1_; ++x)
-    for (int y = 0; y <= t.n2_; ++y)
-      t.ps_[static_cast<std::size_t>(x) * stride_t + y] = at(y, x);
+  // Each output row is an independent strided gather from this array;
+  // parallelize over balanced row blocks of the transposed view.
+  const std::vector<int> blocks = block_bounds(t.n1_ + 1, num_threads());
+  const int nb = static_cast<int>(blocks.size()) - 1;
+  parallel_for(nb, [&](std::size_t bl) {
+    for (int x = blocks[bl]; x < blocks[bl + 1]; ++x)
+      for (int y = 0; y <= t.n2_; ++y)
+        t.ps_[static_cast<std::size_t>(x) * stride_t + y] = at(y, x);
+  });
   return t;
 }
 

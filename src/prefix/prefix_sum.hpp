@@ -19,8 +19,10 @@ namespace rectpart {
 /// ps(x, y) stores the sum of all cells in rows [0, x) x columns [0, y), so
 /// load of rows [a, b) x columns [c, d) is
 ///     ps(b,d) - ps(a,d) - ps(b,c) + ps(a,c).
-/// Construction is a single pass over the matrix (OpenMP-parallel across rows
-/// for the column-accumulation phase when enabled).
+/// Construction is a two-pass tiled scheme over the global execution layer
+/// (util/parallel.hpp): a parallel pass of independent row scans, then a
+/// parallel pass of independent column-block scans.  The array is
+/// bit-identical at any rectpart::set_threads() width.
 class PrefixSum2D {
  public:
   PrefixSum2D() = default;

@@ -1,0 +1,75 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "util/flags.hpp"
+
+namespace rectpart {
+
+namespace {
+
+// Readers (every parallel region, every recursion node that asks "may I
+// spawn?") are lock-free; the mutex serializes (re)configuration only.
+std::mutex g_mutex;
+std::atomic<int> g_threads{0};  // 0 = not yet resolved
+std::atomic<ThreadPool*> g_pool_ptr{nullptr};
+std::unique_ptr<ThreadPool> g_pool_owner;  // guarded by g_mutex
+
+int resolve_default() {
+  const std::int64_t env = env_int("RECTPART_THREADS", 0);
+  if (env >= 1) return static_cast<int>(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Applies a resolved count; caller holds g_mutex.
+void apply_locked(int n) {
+  if (n < 1) n = 1;
+  if (n == g_threads.load(std::memory_order_relaxed)) return;
+  g_pool_ptr.store(nullptr, std::memory_order_release);
+  g_pool_owner.reset();  // joins old workers before the new width is visible
+  if (n > 1) {
+    g_pool_owner = std::make_unique<ThreadPool>(static_cast<std::size_t>(n));
+    g_pool_ptr.store(g_pool_owner.get(), std::memory_order_release);
+  }
+  g_threads.store(n, std::memory_order_release);
+}
+
+void ensure_init() {
+  if (g_threads.load(std::memory_order_acquire) != 0) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_threads.load(std::memory_order_relaxed) == 0)
+    apply_locked(resolve_default());
+}
+
+}  // namespace
+
+void set_threads(int n) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  apply_locked(n <= 0 ? resolve_default() : n);
+}
+
+int num_threads() {
+  ensure_init();
+  return g_threads.load(std::memory_order_acquire);
+}
+
+ThreadPool* execution_pool() {
+  ensure_init();
+  return g_pool_ptr.load(std::memory_order_acquire);
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& f) {
+  ThreadPool* pool = execution_pool();
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+  pool->parallel_for(n, f);
+}
+
+}  // namespace rectpart

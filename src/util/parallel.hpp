@@ -1,0 +1,96 @@
+// Global deterministic parallel execution layer.
+//
+// The partitioning hot paths (PrefixSum2D construction/transpose, the
+// jagged parametric engines, the hierarchical recursions, the -BEST
+// orientation pairs) fan work out through the primitives below instead of
+// owning threads themselves.  One process-wide knob controls the width:
+//
+//     rectpart::set_threads(n);      // API
+//     RECTPART_THREADS=n             // environment (read on first use)
+//     --threads=n                    // CLI (benches/examples forward it)
+//
+// Invariant: every algorithm produces a bit-identical partition at any
+// thread count.  The primitives guarantee this structurally —
+//
+//  * parallel_for(n, f): each index is claimed by exactly one thread and
+//    f(i) depends only on i, so the result is independent of scheduling;
+//  * parallel_invoke(a, b): both closures run to completion on disjoint
+//    state before the join returns, so ordering cannot leak;
+//  * reductions in the algorithms combine per-index results with
+//    associative, commutative, total-order operators (min by an explicit
+//    tie-breaking key, max, sum of integers) so lane grouping is invisible.
+//
+// The layer is reentrant: tasks may call parallel_for / parallel_invoke
+// freely (see util/thread_pool.hpp for why that cannot deadlock).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace rectpart {
+
+/// Sets the global thread count.  n <= 0 resolves the default: the
+/// RECTPART_THREADS environment variable when set, otherwise the hardware
+/// concurrency.  Recreates the shared pool; do not call while partitioning
+/// runs are in flight on other threads.
+void set_threads(int n);
+
+/// The current global thread count (>= 1).  Resolves the default on first
+/// use, so it never returns an uninitialized value.
+[[nodiscard]] int num_threads();
+
+/// The shared pool, or nullptr when running sequentially (threads == 1).
+[[nodiscard]] ThreadPool* execution_pool();
+
+/// Runs f(i) for i in [0, n) on the shared pool (inline when sequential).
+/// Deterministic for pure-per-index work; see the header comment.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
+
+/// Runs `a` and `b` as independent tasks and returns when both are done
+/// (`b` on the calling thread, `a` on the pool when one is available).
+/// While waiting for `a`, the caller helps drain the pool queue, so
+/// recursive fork/join (divide-and-conquer) cannot deadlock.  Exceptions
+/// from either closure are rethrown; `a`'s wins when both throw.
+template <typename FA, typename FB>
+void parallel_invoke(FA&& a, FB&& b) {
+  ThreadPool* pool = execution_pool();
+  if (pool == nullptr) {
+    a();
+    b();
+    return;
+  }
+  std::future<void> fut;
+  try {
+    fut = pool->submit([&a]() { a(); });
+  } catch (...) {  // stopped pool: degrade to sequential
+    a();
+    b();
+    return;
+  }
+  // The join below must complete even when `b` throws: the submitted task
+  // captures `a` (and through it this frame) by reference, so unwinding
+  // before `a` finished would leave a live task over a dead frame.
+  std::exception_ptr b_error;
+  try {
+    b();
+  } catch (...) {
+    b_error = std::current_exception();
+  }
+  // Help-join: run queued tasks while `a` is not done.  Blocking only
+  // happens when the queue is empty, i.e. `a` is executing on a worker.
+  while (fut.wait_for(std::chrono::seconds(0)) !=
+         std::future_status::ready) {
+    if (!pool->try_run_one()) {
+      fut.wait();
+      break;
+    }
+  }
+  fut.get();  // rethrows a's exception, which wins over b's
+  if (b_error) std::rethrow_exception(b_error);
+}
+
+}  // namespace rectpart

@@ -1,9 +1,20 @@
-// A small fixed-size thread pool with a parallel_for helper.
+// A small fixed-size thread pool with a reentrant parallel_for helper.
 //
-// The partitioning algorithms themselves are sequential (as in the paper),
-// but the experiment harness parallelizes across independent runs — the
-// -BEST variants try both orientations, and figure sweeps evaluate many
-// (algorithm, m) pairs on the same immutable prefix-sum array.
+// This is the substrate of the deterministic parallel execution layer
+// (util/parallel.hpp): the partitioning hot paths fan work out through it,
+// so two properties are load-bearing:
+//
+//  * Reentrancy.  parallel_for may be called from inside a pool task (the
+//    hierarchical algorithms recurse, the jagged extraction runs inside a
+//    -BEST orientation task).  The calling thread always participates by
+//    claiming indices from the shared atomic counter, and the join waits
+//    only for *claimed* iterations — never for queued-but-unstarted lane
+//    tasks — so a worker calling parallel_for can never deadlock waiting
+//    for a lane that no free worker will ever run.
+//
+//  * Loud shutdown.  submit() on a stopped pool throws instead of silently
+//    enqueueing a task that will never run (the old behaviour left callers
+//    blocked on a future that never became ready).
 #pragma once
 
 #include <condition_variable>
@@ -21,7 +32,8 @@ namespace rectpart {
 /// returns a future for completion/exception propagation.
 class ThreadPool {
  public:
-  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (which itself falls back to 1 when the hardware cannot be queried).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -29,6 +41,8 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task; the returned future rethrows any exception it threw.
+  /// Throws std::runtime_error when the pool has been shut down — a silently
+  /// dropped task would leave the caller waiting on the future forever.
   template <typename F>
   std::future<void> submit(F&& f) {
     auto task =
@@ -36,6 +50,9 @@ class ThreadPool {
     std::future<void> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_)
+        throw std::runtime_error(
+            "ThreadPool::submit called on a stopped pool");
       queue_.emplace([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -43,8 +60,24 @@ class ThreadPool {
   }
 
   /// Runs f(i) for i in [0, n), distributing indices across the pool and
-  /// blocking until all complete.  Exceptions from any index are rethrown.
+  /// blocking until all complete.  The calling thread participates (it claims
+  /// indices from the same shared counter), so this is safe to call from
+  /// inside a pool task.  Exceptions are rethrown on the caller; when several
+  /// indices throw, the exception of the smallest index wins (deterministic).
+  /// On a stopped pool the loop runs inline on the caller.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
+
+  /// Pops and runs one queued task on the calling thread; returns false when
+  /// the queue is empty.  Join loops use this to help drain the pool instead
+  /// of blocking while runnable work exists (fork/join without deadlock).
+  bool try_run_one();
+
+  /// Joins the workers; idempotent.  Queued tasks are drained before the
+  /// workers exit; later submit() calls throw.
+  void shutdown();
+
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const;
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 

@@ -17,6 +17,24 @@ Partition quadrants() {
   return p;
 }
 
+TEST(Validate, HugeDomainAreaAccumulatesInInt64) {
+  // 65536 x 65536: the domain has 2^32 cells, so a 32-bit area accumulator
+  // would wrap to 0 and accept partitions that leave the domain uncovered.
+  // Use the pairwise validator — painting this domain would need 16 GB.
+  const int n = 65536;
+  Partition p;
+  p.rects = {Rect{0, n / 2, 0, n}, Rect{n / 2, n, 0, n / 2},
+             Rect{n / 2, n, n / 2, n}};
+  EXPECT_TRUE(validate_pairwise(p, n, n));
+
+  // Drop one quadrant: the deficit (2^30 cells) must be detected, not lost
+  // to 32-bit wraparound.
+  p.rects.pop_back();
+  const auto r = validate_pairwise(p, n, n);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.message.find("areas sum to"), std::string::npos);
+}
+
 TEST(Partition, LoadsAndMaxLoad) {
   LoadMatrix a(4, 4, 1);
   a(0, 0) = 10;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 namespace rectpart {
 namespace {
 
@@ -57,6 +60,21 @@ TEST(Rect, ContainsPoint) {
 TEST(Rect, HalfPerimeter) {
   EXPECT_EQ((Rect{0, 3, 0, 4}).half_perimeter(), 7);
   EXPECT_EQ((Rect{5, 5, 0, 4}).half_perimeter(), 0);  // empty
+}
+
+TEST(Rect, HugeCoordinatesDoNotOverflow) {
+  // A 65536 x 65536 domain: the cell count (2^32) exceeds what 32-bit math
+  // holds, and width + height of a near-INT_MAX-span rectangle exceeds INT_MAX.
+  const int n = 65536;
+  const Rect whole{0, n, 0, n};
+  EXPECT_EQ(whole.area(), std::int64_t{4294967296});  // 2^32
+  EXPECT_EQ(whole.half_perimeter(), std::int64_t{131072});
+
+  const int big = std::numeric_limits<int>::max() - 1;
+  const Rect span{0, big, 0, big};
+  EXPECT_EQ(span.half_perimeter(), 2 * static_cast<std::int64_t>(big));
+  EXPECT_EQ(span.area(),
+            static_cast<std::int64_t>(big) * static_cast<std::int64_t>(big));
 }
 
 TEST(Rect, ToStringIsReadable) {
