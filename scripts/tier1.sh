@@ -22,8 +22,15 @@ echo "== tier-1: ctest =="
 
 echo "== tier-1: ThreadSanitizer (thread pool + determinism suites) =="
 cmake -B build-tsan -S . -DRECTPART_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$jobs" --target test_parallel test_util
+cmake --build build-tsan -j "$jobs" \
+  --target test_parallel test_util test_picmag test_picmag3 test_jagged_opt
 build-tsan/tests/test_parallel
 build-tsan/tests/test_util --gtest_filter='ThreadPool*'
+# The threaded simulator and stripe-DP suites, forced to a multi-thread pool
+# (the container may report a single CPU, which would otherwise degrade the
+# whole run to sequential and hide every race from TSan).
+RECTPART_THREADS=4 build-tsan/tests/test_picmag
+RECTPART_THREADS=4 build-tsan/tests/test_picmag3
+RECTPART_THREADS=4 build-tsan/tests/test_jagged_opt
 
 echo "== tier-1: OK =="

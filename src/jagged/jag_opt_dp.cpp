@@ -2,53 +2,36 @@
 // (Section 3.2), kept as the fidelity reference for the parametric engines in
 // jag_opt.cpp.  These are exact but carry the high polynomial complexity the
 // paper reports (15 minutes for 961 processors on a 512x512 matrix), so the
-// test suite runs them on small instances only.
+// test suite runs them on small instances only.  The candidate sweeps fan out
+// on the shared parallel layer (util/parallel.hpp) and stay bit-identical at
+// any thread count: per-lane bests are pure, and the reductions replay the
+// sequential first-strict-min-wins order.
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
-#include <limits>
 #include <stdexcept>
-#include <unordered_map>
+#include <string>
+#include <vector>
 
 #include "jagged/jag_detail.hpp"
 #include "jagged/jagged.hpp"
+#include "jagged/stripe_opt_cache.hpp"
 #include "oned/oned.hpp"
 #include "rectilinear/rectilinear.hpp"
+#include "util/parallel.hpp"
 
 namespace rectpart {
 
 namespace {
 
-constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
-
-/// Memoized optimal 1-D bottleneck of stripe rows [a, b) with x processors.
-class StripeOptCache {
- public:
-  explicit StripeOptCache(const PrefixSum2D& ps) : ps_(ps) {}
-
-  std::int64_t opt(int a, int b, int x) {
-    if (a >= b) return 0;
-    if (x <= 0) return kInf;
-    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 40) |
-                              (static_cast<std::uint64_t>(b) << 16) |
-                              static_cast<std::uint64_t>(x);
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-    StripeColsOracle o(ps_, a, b);
-    const std::int64_t v = oned::nicol_plus(o, x).bottleneck;
-    memo_.emplace(key, v);
-    return v;
-  }
-
- private:
-  const PrefixSum2D& ps_;
-  std::unordered_map<std::uint64_t, std::int64_t> memo_;
-};
+constexpr std::int64_t kInf = kStripeInf;
 
 /// The 1-D oracle whose interval load is the *optimal* Q-way column
 /// bottleneck of the stripe — plugging it into Nicol's exact 1-D search
 /// yields the optimal P x Q-way jagged partition ([2] built on [9]).
 class StripeOptOracle {
  public:
-  StripeOptOracle(StripeOptCache& cache, int n1, int q)
+  StripeOptOracle(const StripeOptCache& cache, int n1, int q)
       : cache_(cache), n1_(n1), q_(q) {}
 
   [[nodiscard]] int size() const { return n1_; }
@@ -57,49 +40,69 @@ class StripeOptOracle {
   }
 
  private:
-  StripeOptCache& cache_;
+  const StripeOptCache& cache_;
   int n1_;
   int q_;
 };
 
 Partition pq_opt_dp_hor(const PrefixSum2D& ps, int m, int p) {
-  if (m % p != 0)
-    throw std::invalid_argument("jag_pq_opt_dp: stripes must divide m");
   const int q = m / p;
   StripeOptCache cache(ps);
   StripeOptOracle oracle(cache, ps.rows(), q);
   const oned::OptResult res = oned::nicol_search(oracle, p);
 
-  std::vector<oned::Cuts> col_cuts;
-  col_cuts.reserve(p);
-  for (int s = 0; s < p; ++s) {
-    StripeColsOracle stripe(ps, res.cuts.begin_of(s), res.cuts.end_of(s));
-    col_cuts.push_back(oned::nicol_plus(stripe, q).cuts);
-  }
+  // The stripes are fixed by the search above, so their Q-way column solves
+  // are independent.
+  std::vector<oned::Cuts> col_cuts(p);
+  parallel_for(static_cast<std::size_t>(p), [&](std::size_t s) {
+    const int si = static_cast<int>(s);
+    StripeColsOracle stripe(ps, res.cuts.begin_of(si), res.cuts.end_of(si));
+    col_cuts[s] = oned::nicol_plus(stripe, q).cuts;
+  });
   return jag_detail::assemble_jagged(res.cuts, col_cuts, m);
 }
 
 /// The paper's m-way recursion
 ///   Lmax(i, q) = min_{k < i, 1 <= x <= q} max(Lmax(k, q - x), 1D(k, i, x))
 /// with memoization and the bi-monotonic binary search over k.
+///
+/// Concurrency: the per-x candidate sweep of each state fans out on
+/// parallel_for.  The memo is an atomic array — a state's value is published
+/// with a release store after its choice pair is stored, and lanes racing on
+/// the same unsolved state recompute it independently; the DP is a pure
+/// function of the instance, so the duplicates write identical values and
+/// the race is benign.  Each lane's (value, k) best is deterministic, and
+/// the final reduction walks lanes in ascending x with a strict <, which
+/// replays exactly the sequential sweep's first-min-wins choice — so value,
+/// choice_k and choice_x are bit-identical at any thread count.
 class MWayDp {
  public:
   MWayDp(const PrefixSum2D& ps, int m)
-      : ps_(ps), m_(m), n1_(ps.rows()), cache_(ps) {
-    value_.assign(static_cast<std::size_t>(n1_ + 1) * (m_ + 1), -1);
-    choice_k_.assign(value_.size(), 0);
-    choice_x_.assign(value_.size(), 0);
+      : ps_(ps),
+        m_(m),
+        n1_(ps.rows()),
+        cache_(ps),
+        value_(static_cast<std::size_t>(n1_ + 1) * (m_ + 1)),
+        choice_k_(value_.size()),
+        choice_x_(value_.size()) {
+    for (auto& v : value_) v.store(-1, std::memory_order_relaxed);
   }
 
   std::int64_t solve(int i, int q) {
     if (i == 0) return 0;
     if (q == 0) return kInf;
-    std::int64_t& slot = value_[idx(i, q)];
-    if (slot >= 0) return slot;
+    const std::size_t slot = idx(i, q);
+    {
+      const std::int64_t cached = value_[slot].load(std::memory_order_acquire);
+      if (cached >= 0) return cached;
+    }
 
-    std::int64_t best = kInf;
-    int best_k = 0, best_x = q;
-    for (int x = 1; x <= q; ++x) {
+    // Each lane x finds its own best (value, k) pair; lanes only read memo
+    // state and the stripe cache, both safe under concurrent access.
+    std::vector<std::int64_t> lane_best(static_cast<std::size_t>(q), kInf);
+    std::vector<int> lane_k(static_cast<std::size_t>(q), 0);
+    parallel_for(static_cast<std::size_t>(q), [&](std::size_t lane) {
+      const int x = static_cast<int>(lane) + 1;
       // For fixed x: solve(k, q-x) is non-decreasing in k and the stripe
       // optimum 1D(k, i, x) is non-increasing, so the minimum of their max
       // sits at the crossing point.
@@ -115,16 +118,25 @@ class MWayDp {
         const std::int64_t a = solve(k, q - x);
         const std::int64_t b = cache_.opt(k, i, x);
         const std::int64_t cand = a > b ? a : b;
-        if (cand < best) {
-          best = cand;
-          best_k = k;
-          best_x = x;
+        if (cand < lane_best[lane]) {
+          lane_best[lane] = cand;
+          lane_k[lane] = k;
         }
       }
+    });
+
+    std::int64_t best = kInf;
+    int best_k = 0, best_x = q;
+    for (int x = 1; x <= q; ++x) {
+      if (lane_best[x - 1] < best) {
+        best = lane_best[x - 1];
+        best_k = lane_k[x - 1];
+        best_x = x;
+      }
     }
-    slot = best;
-    choice_k_[idx(i, q)] = best_k;
-    choice_x_[idx(i, q)] = best_x;
+    choice_k_[slot].store(best_k, std::memory_order_relaxed);
+    choice_x_[slot].store(best_x, std::memory_order_relaxed);
+    value_[slot].store(best, std::memory_order_release);
     return best;
   }
 
@@ -132,26 +144,28 @@ class MWayDp {
     std::vector<std::pair<int, int>> stripes;  // (start, procs), reversed
     int i = n1_, q = m_;
     while (i > 0) {
-      const int k = choice_k_[idx(i, q)];
-      const int x = choice_x_[idx(i, q)];
+      const int k = choice_k_[idx(i, q)].load(std::memory_order_relaxed);
+      const int x = choice_x_[idx(i, q)].load(std::memory_order_relaxed);
       stripes.emplace_back(k, x);
       i = k;
       q -= x;
     }
+    std::reverse(stripes.begin(), stripes.end());
+    // Stripe s spans [stripes[s].first, stripes[s+1].first) and gets
+    // stripes[s].second processors; the per-stripe 1-D solves are
+    // independent, so they fan out.
     oned::Cuts row_cuts;
-    std::vector<oned::Cuts> col_cuts;
     row_cuts.pos.push_back(0);
-    for (auto it = stripes.rbegin(); it != stripes.rend(); ++it) {
-      const int start = it->first;
-      const int procs = it->second;
-      (void)start;
-      const int a = row_cuts.pos.back();
-      const int b =
-          (it + 1 == stripes.rend()) ? n1_ : (it + 1)->first;
-      row_cuts.pos.push_back(b);
+    for (std::size_t s = 1; s < stripes.size(); ++s)
+      row_cuts.pos.push_back(stripes[s].first);
+    row_cuts.pos.push_back(n1_);
+    std::vector<oned::Cuts> col_cuts(stripes.size());
+    parallel_for(stripes.size(), [&](std::size_t s) {
+      const int a = row_cuts.pos[s];
+      const int b = row_cuts.pos[s + 1];
       StripeColsOracle stripe(ps_, a, b);
-      col_cuts.push_back(oned::nicol_plus(stripe, procs).cuts);
-    }
+      col_cuts[s] = oned::nicol_plus(stripe, stripes[s].second).cuts;
+    });
     return jag_detail::assemble_jagged(row_cuts, col_cuts, m_);
   }
 
@@ -164,9 +178,9 @@ class MWayDp {
   int m_;
   int n1_;
   StripeOptCache cache_;
-  std::vector<std::int64_t> value_;
-  std::vector<int> choice_k_;
-  std::vector<int> choice_x_;
+  std::vector<std::atomic<std::int64_t>> value_;
+  std::vector<std::atomic<int>> choice_k_;
+  std::vector<std::atomic<int>> choice_x_;
 };
 
 }  // namespace
@@ -175,6 +189,12 @@ Partition jag_pq_opt_dp(const PrefixSum2D& ps, int m,
                         const JaggedOptions& opt) {
   int p = opt.stripes;
   if (p <= 0) p = choose_grid(m).first;
+  if (m % p != 0)
+    throw std::invalid_argument(
+        "jag_pq_opt_dp" + orientation_suffix(opt.orientation) + ": stripe "
+        "count P = " + std::to_string(p) + " must divide m = " +
+        std::to_string(m) + " (every stripe gets Q = m/P processors); pass "
+        "JaggedOptions::stripes = a divisor of m, or 0 for the default grid");
   return jag_detail::with_orientation(
       ps, opt.orientation,
       [m, p](const PrefixSum2D& view) { return pq_opt_dp_hor(view, m, p); });

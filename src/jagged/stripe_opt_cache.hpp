@@ -1,0 +1,93 @@
+// Memoized optimal 1-D stripe bottlenecks for the paper's jagged dynamic
+// programs (jag_opt_dp.cpp), shared here so the regression tests can exercise
+// the cache directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+
+#include "jagged/jagged.hpp"
+#include "oned/oned.hpp"
+#include "prefix/prefix_sum.hpp"
+#include "util/rng.hpp"
+
+namespace rectpart {
+
+/// "Impossible" sentinel of the stripe DPs: large enough to dominate every
+/// real bottleneck, small enough that max() chains cannot overflow.
+inline constexpr std::int64_t kStripeInf =
+    std::numeric_limits<std::int64_t>::max() / 4;
+
+/// Memoized optimal 1-D bottleneck of stripe rows [a, b) with x processors.
+///
+/// Concurrency-safe: the DP's parallel candidate sweeps probe stripes from
+/// several lanes at once, so the memo is sharded into mutex-striped hash
+/// maps (lookups lock one shard briefly; the nicol_plus solve itself runs
+/// outside any lock).  Values are pure functions of the key, so two lanes
+/// racing on the same miss compute the same number and the duplicate insert
+/// is benign — results stay deterministic at any thread count.
+///
+/// The key keeps (a, b) and x in separate 64-bit words, which cannot alias
+/// for any int-ranged inputs.  (A previous packing shifted a<<40 | b<<16 | x
+/// into one word, so x >= 2^16 or b >= 2^24 silently collided with another
+/// stripe's entry and returned its bottleneck.)
+class StripeOptCache {
+ public:
+  explicit StripeOptCache(const PrefixSum2D& ps) : ps_(ps) {}
+
+  std::int64_t opt(int a, int b, int x) const {
+    if (a >= b) return 0;
+    if (x <= 0) return kStripeInf;
+    const Key key{(static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+                   << 32) |
+                      static_cast<std::uint32_t>(b),
+                  static_cast<std::uint64_t>(x)};
+    Shard& shard = shards_[shard_of(key)];
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.memo.find(key);
+      if (it != shard.memo.end()) return it->second;
+    }
+    StripeColsOracle o(ps_, a, b);
+    const std::int64_t v = oned::nicol_plus(o, x).bottleneck;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.memo.emplace(key, v);
+    }
+    return v;
+  }
+
+ private:
+  struct Key {
+    std::uint64_t ab;  // (a << 32) | b — collision-free for int inputs
+    std::uint64_t x;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(
+          splitmix_mix(k.ab ^ (k.x * 0x9e3779b97f4a7c15ULL)));
+    }
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<Key, std::int64_t, KeyHash> memo;
+  };
+
+  static constexpr std::size_t kShards = 64;
+
+  [[nodiscard]] std::size_t shard_of(const Key& k) const {
+    return KeyHash{}(k) % kShards;
+  }
+
+  const PrefixSum2D& ps_;
+  mutable std::array<Shard, kShards> shards_;
+};
+
+}  // namespace rectpart

@@ -26,6 +26,13 @@ namespace rectpart::oned {
 ///  * load(i, j)  — load of the half-open interval [i, j), 0 when i >= j;
 /// and the monotonicity law load(i,j) <= load(i',j') whenever
 /// [i,j) is contained in [i',j').
+///
+/// Both calls are taken through a const reference, and the parallel layer
+/// relies on that const meaning *thread-safe*: the 2-D engines probe one
+/// oracle from several lanes at once, so load()/size() must be safe to call
+/// concurrently (pure lookups, or internally synchronized memoization as in
+/// StripeOptCache) and must return the same value for the same arguments
+/// regardless of interleaving.
 template <typename O>
 concept IntervalOracle = requires(const O& o, int i, int j) {
   { o.size() } -> std::convertible_to<int>;

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/parallel.hpp"
 
 namespace rectpart {
 
@@ -14,135 +18,197 @@ constexpr double kDipoleX = 0.55;
 constexpr double kDipoleY = 0.5;
 constexpr double kSoftening = 3e-3;  // avoids the field singularity
 
+// Static particle-block sizes for the parallel push and deposition.  They are
+// fixed constants, NOT functions of the thread count: the deposition merges
+// per-block tiles in block-index order, so the block decomposition is part of
+// the instance identity (changing either constant changes the floating-point
+// summation order and hence the deposited matrix).
+constexpr std::size_t kPushBlock = 2048;
+constexpr std::size_t kDepositBlock = 8192;
+
+std::size_t block_count(std::size_t n, std::size_t block) {
+  return (n + block - 1) / block;
+}
+
 }  // namespace
 
 PicMagSimulator::PicMagSimulator(const PicMagConfig& config)
-    : config_(config), rng_(config.seed) {
+    : config_(config) {
   if (config_.n1 <= 1 || config_.n2 <= 1)
     throw std::invalid_argument("picmag: grid must be at least 2x2");
   if (config_.particles < 1)
     throw std::invalid_argument("picmag: need at least one particle");
-  px_.resize(config_.particles);
-  py_.resize(config_.particles);
-  vx_.resize(config_.particles);
-  vy_.resize(config_.particles);
+  const std::size_t n = static_cast<std::size_t>(config_.particles);
+  px_.resize(n);
+  py_.resize(n);
+  vx_.resize(n);
+  vy_.resize(n);
+  draws_.assign(n, 0);
   // Initial state: the wind already fills the whole domain, so the first
   // snapshots are near-uniform (as in the early PIC-MAG iterations) and
-  // structure develops as particles interact with the dipole.
-  for (std::size_t i = 0; i < px_.size(); ++i) {
-    px_[i] = rng_.uniform_real();
-    py_[i] = rng_.uniform_real();
-    vx_[i] = config_.wind_speed + config_.thermal_jitter * rng_.normal();
-    vy_[i] = config_.thermal_jitter * rng_.normal();
-  }
+  // structure develops as particles interact with the dipole.  Each particle
+  // seeds itself from its own counter-based stream.
+  const std::size_t blocks = block_count(n, kPushBlock);
+  parallel_for(blocks, [&](std::size_t blk) {
+    const std::size_t lo = blk * kPushBlock;
+    const std::size_t hi = std::min(n, lo + kPushBlock);
+    for (std::size_t i = lo; i < hi; ++i) {
+      CounterRng rng(config_.seed, i, draws_[i]);
+      px_[i] = rng.uniform_real();
+      py_[i] = rng.uniform_real();
+      vx_[i] = config_.wind_speed + config_.thermal_jitter * rng.normal();
+      vy_[i] = config_.thermal_jitter * rng.normal();
+      draws_[i] = rng.counter();
+    }
+  });
 }
 
 void PicMagSimulator::inject(std::size_t i) {
   // Fresh solar wind enters at the low-x edge with the bulk speed plus a
-  // thermal spread.
+  // thermal spread.  The draws resume particle i's own stream, so injection
+  // order across particles cannot leak into the instance.
+  CounterRng rng(config_.seed, i, draws_[i]);
   px_[i] = 0.0;
-  py_[i] = rng_.uniform_real();
-  vx_[i] = config_.wind_speed + config_.thermal_jitter * rng_.normal();
-  vy_[i] = config_.thermal_jitter * rng_.normal();
+  py_[i] = rng.uniform_real();
+  vx_[i] = config_.wind_speed + config_.thermal_jitter * rng.normal();
+  vy_[i] = config_.thermal_jitter * rng.normal();
+  draws_[i] = rng.counter();
 }
 
 void PicMagSimulator::step() {
   const double mu = config_.dipole_strength;
-  for (std::size_t i = 0; i < px_.size(); ++i) {
-    // Out-of-plane dipole-like field: |B| ~ mu / r^3 (softened).  The Boris
-    // half-angle rotation preserves speed, so particles gyrate tightly near
-    // the dipole and stream freely far from it — producing the pile-up in
-    // front and the evacuated wake behind.
-    const double dx = px_[i] - kDipoleX;
-    const double dy = py_[i] - kDipoleY;
-    const double r2 = dx * dx + dy * dy + kSoftening;
-    const double omega = mu / (r2 * std::sqrt(r2));  // rotation angle per step
-    const double t = std::clamp(omega, -1.5, 1.5);   // limit the kick
-    const double s = 2.0 * t / (1.0 + t * t);
-    // Boris rotation in 2-D: v' = v + (v + v x t) x s with B along +z.
-    const double wx = vx_[i] + vy_[i] * t;
-    const double wy = vy_[i] - vx_[i] * t;
-    vx_[i] += wy * s;
-    vy_[i] -= wx * s;
+  const std::size_t n = px_.size();
+  const std::size_t blocks = block_count(n, kPushBlock);
+  // Every particle touches only its own state (position, velocity, draw
+  // counter), so the blocks are independent and the push is deterministic at
+  // any thread count.
+  parallel_for(blocks, [&](std::size_t blk) {
+    const std::size_t lo = blk * kPushBlock;
+    const std::size_t hi = std::min(n, lo + kPushBlock);
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Out-of-plane dipole-like field: |B| ~ mu / r^3 (softened).  The Boris
+      // half-angle rotation preserves speed, so particles gyrate tightly near
+      // the dipole and stream freely far from it — producing the pile-up in
+      // front and the evacuated wake behind.
+      const double dx = px_[i] - kDipoleX;
+      const double dy = py_[i] - kDipoleY;
+      const double r2 = dx * dx + dy * dy + kSoftening;
+      const double omega = mu / (r2 * std::sqrt(r2));  // rotation per step
+      const double t = std::clamp(omega, -1.5, 1.5);   // limit the kick
+      const double s = 2.0 * t / (1.0 + t * t);
+      // Boris rotation in 2-D: v' = v + (v + v x t) x s with B along +z.
+      const double wx = vx_[i] + vy_[i] * t;
+      const double wy = vy_[i] - vx_[i] * t;
+      vx_[i] += wy * s;
+      vy_[i] -= wx * s;
 
-    px_[i] += vx_[i];
-    py_[i] += vy_[i];
+      px_[i] += vx_[i];
+      py_[i] += vy_[i];
 
-    // Periodic in y (flank boundaries), re-injection in x: anything leaving
-    // downstream or swept back upstream re-enters with the wind.
-    if (py_[i] < 0.0) py_[i] += 1.0;
-    if (py_[i] >= 1.0) py_[i] -= 1.0;
-    if (px_[i] >= 1.0 || px_[i] < 0.0) inject(i);
-  }
+      // Periodic in y (flank boundaries), re-injection in x: anything
+      // leaving downstream or swept back upstream re-enters with the wind.
+      if (py_[i] < 0.0) py_[i] += 1.0;
+      if (py_[i] >= 1.0) py_[i] -= 1.0;
+      if (px_[i] >= 1.0 || px_[i] < 0.0) inject(i);
+    }
+  });
 }
 
 LoadMatrix PicMagSimulator::deposit() const {
   const int n1 = config_.n1;
   const int n2 = config_.n2;
-  // Cloud-in-cell deposition of particle weights onto the grid.
+  const std::size_t n = px_.size();
+  // Cloud-in-cell deposition of particle weights onto the grid.  The scatter
+  // has cross-particle write conflicts, so each static block deposits into a
+  // private tile; the tiles are then merged per cell in block-index order —
+  // a fixed floating-point summation order, independent of the thread count.
+  const std::size_t blocks = block_count(n, kDepositBlock);
+  std::vector<Matrix<double>> tiles(blocks);
+  parallel_for(blocks, [&](std::size_t blk) {
+    Matrix<double> tile(n1, n2, 0.0);
+    const std::size_t lo = blk * kDepositBlock;
+    const std::size_t hi = std::min(n, lo + kDepositBlock);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double gx = px_[i] * (n1 - 1);
+      const double gy = py_[i] * (n2 - 1);
+      const int x0 = std::clamp(static_cast<int>(gx), 0, n1 - 2);
+      const int y0 = std::clamp(static_cast<int>(gy), 0, n2 - 2);
+      const double fx = gx - x0;
+      const double fy = gy - y0;
+      tile(x0, y0) += (1 - fx) * (1 - fy);
+      tile(x0 + 1, y0) += fx * (1 - fy);
+      tile(x0, y0 + 1) += (1 - fx) * fy;
+      tile(x0 + 1, y0 + 1) += fx * fy;
+    }
+    tiles[blk] = std::move(tile);
+  });
   Matrix<double> density(n1, n2, 0.0);
-  for (std::size_t i = 0; i < px_.size(); ++i) {
-    const double gx = px_[i] * (n1 - 1);
-    const double gy = py_[i] * (n2 - 1);
-    const int x0 = std::clamp(static_cast<int>(gx), 0, n1 - 2);
-    const int y0 = std::clamp(static_cast<int>(gy), 0, n2 - 2);
-    const double fx = gx - x0;
-    const double fy = gy - y0;
-    density(x0, y0) += (1 - fx) * (1 - fy);
-    density(x0 + 1, y0) += fx * (1 - fy);
-    density(x0, y0 + 1) += (1 - fx) * fy;
-    density(x0 + 1, y0 + 1) += fx * fy;
-  }
+  parallel_for(static_cast<std::size_t>(n1), [&](std::size_t x) {
+    for (int y = 0; y < n2; ++y) {
+      double sum = 0;
+      for (std::size_t b = 0; b < blocks; ++b)
+        sum += tiles[b](static_cast<int>(x), y);
+      density(static_cast<int>(x), y) = sum;
+    }
+  });
   // The paper's 2-D PIC-MAG instances are 3-D particle distributions
   // *accumulated* along one dimension, which averages away single-cell shot
   // noise.  A separable box filter models that accumulation; without it a
-  // lone cell catching a few extra macro-particles dominates Delta.
+  // lone cell catching a few extra macro-particles dominates Delta.  Each
+  // pass writes a disjoint row/column per index, so both are parallel.
   constexpr int kAccumRadius = 2;
-  {
-    Matrix<double> tmp(n1, n2, 0.0);
-    for (int x = 0; x < n1; ++x) {
-      for (int y = 0; y < n2; ++y) {
-        double sum = 0;
-        int cnt = 0;
-        for (int dy = -kAccumRadius; dy <= kAccumRadius; ++dy) {
-          const int yy = y + dy;
-          if (yy < 0 || yy >= n2) continue;
-          sum += density(x, yy);
-          ++cnt;
-        }
-        tmp(x, y) = sum / cnt;
-      }
-    }
+  Matrix<double> tmp(n1, n2, 0.0);
+  parallel_for(static_cast<std::size_t>(n1), [&](std::size_t xi) {
+    const int x = static_cast<int>(xi);
     for (int y = 0; y < n2; ++y) {
-      for (int x = 0; x < n1; ++x) {
-        double sum = 0;
-        int cnt = 0;
-        for (int dx = -kAccumRadius; dx <= kAccumRadius; ++dx) {
-          const int xx = x + dx;
-          if (xx < 0 || xx >= n1) continue;
-          sum += tmp(xx, y);
-          ++cnt;
-        }
-        density(x, y) = sum / cnt;
+      double sum = 0;
+      int cnt = 0;
+      for (int dy = -kAccumRadius; dy <= kAccumRadius; ++dy) {
+        const int yy = y + dy;
+        if (yy < 0 || yy >= n2) continue;
+        sum += density(x, yy);
+        ++cnt;
       }
+      tmp(x, y) = sum / cnt;
     }
-  }
+  });
+  parallel_for(static_cast<std::size_t>(n2), [&](std::size_t yi) {
+    const int y = static_cast<int>(yi);
+    for (int x = 0; x < n1; ++x) {
+      double sum = 0;
+      int cnt = 0;
+      for (int dx = -kAccumRadius; dx <= kAccumRadius; ++dx) {
+        const int xx = x + dx;
+        if (xx < 0 || xx >= n1) continue;
+        sum += tmp(xx, y);
+        ++cnt;
+      }
+      density(x, y) = sum / cnt;
+    }
+  });
   // Cost model: base field-solve cost everywhere (the matrix has no zeros,
   // matching the real PIC-MAG instances) plus a per-particle cost.  The
   // per-particle coefficient is expressed relative to the mean density so
   // the resulting Delta is insensitive to the particle count.
   const double per_particle =
       config_.particle_weight * static_cast<double>(config_.base_cost) *
-      static_cast<double>(n1) * n2 / static_cast<double>(px_.size());
+      static_cast<double>(n1) * n2 / static_cast<double>(n);
   LoadMatrix load(n1, n2);
-  for (int x = 0; x < n1; ++x)
+  parallel_for(static_cast<std::size_t>(n1), [&](std::size_t xi) {
+    const int x = static_cast<int>(xi);
     for (int y = 0; y < n2; ++y)
       load(x, y) = config_.base_cost +
                    static_cast<std::int64_t>(per_particle * density(x, y));
+  });
   return load;
 }
 
 LoadMatrix PicMagSimulator::snapshot_at(int iteration) {
+  if (iteration < 0 || iteration % kSnapshotStride != 0)
+    throw std::invalid_argument(
+        "picmag: snapshot iteration " + std::to_string(iteration) +
+        " is not a multiple of the snapshot stride " +
+        std::to_string(kSnapshotStride));
   if (iteration < iteration_)
     throw std::invalid_argument(
         "picmag: snapshots must be requested in non-decreasing iteration "
@@ -151,7 +217,7 @@ LoadMatrix PicMagSimulator::snapshot_at(int iteration) {
   const int current = iteration_ / kSnapshotStride;
   for (int w = current; w < target; ++w)
     for (int s = 0; s < config_.substeps_per_snapshot; ++s) step();
-  iteration_ = target * kSnapshotStride;
+  iteration_ = iteration;
   return deposit();
 }
 

@@ -51,9 +51,11 @@ class PicMagSimulator {
   /// Paper-iteration stride between snapshots.
   static constexpr int kSnapshotStride = 500;
 
-  /// Advances the simulation to the requested paper iteration (rounded down
-  /// to the snapshot stride) and returns the cost matrix at that time.
-  /// Iterations must be non-decreasing across calls.
+  /// Advances the simulation to the requested paper iteration and returns
+  /// the cost matrix at that time.  Iterations must be non-negative
+  /// multiples of kSnapshotStride (anything else throws: silently flooring
+  /// to the previous snapshot used to hand back a stale deposit) and
+  /// non-decreasing across calls.
   [[nodiscard]] LoadMatrix snapshot_at(int iteration);
 
   /// Current paper iteration.
@@ -75,7 +77,13 @@ class PicMagSimulator {
   PicMagConfig config_;
   int iteration_ = 0;
   std::vector<double> px_, py_, vx_, vy_;
-  Rng rng_;
+  /// Per-particle draw counters of the counter-based RNG streams
+  /// (util/rng.hpp CounterRng): particle i's stream is keyed on
+  /// (config_.seed, i) and resumes from draws_[i], so seeding and
+  /// re-injection draws are independent of every other particle — the push
+  /// can run particles in parallel and stay bit-identical at any thread
+  /// count.
+  std::vector<std::uint64_t> draws_;
 };
 
 }  // namespace rectpart

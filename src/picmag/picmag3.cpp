@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/parallel.hpp"
 
 namespace rectpart {
 
@@ -13,108 +17,160 @@ constexpr double kDipoleY = 0.5;
 constexpr double kDipoleZ = 0.5;
 constexpr double kSoftening = 6e-3;  // softens the field singularity (r^2)
 
+// Fixed particle-block sizes for the parallel push and deposition (NOT a
+// function of the thread count: the deposition merges per-block tiles in
+// block-index order, so the decomposition is part of the instance identity).
+constexpr std::size_t kPushBlock = 2048;
+constexpr std::size_t kDepositBlock = 16384;
+
+std::size_t block_count(std::size_t n, std::size_t block) {
+  return (n + block - 1) / block;
+}
+
 }  // namespace
 
 PicMag3Simulator::PicMag3Simulator(const PicMag3Config& config)
-    : config_(config), rng_(config.seed) {
+    : config_(config) {
   if (config_.n1 <= 1 || config_.n2 <= 1 || config_.n3 <= 1)
     throw std::invalid_argument("picmag3: grid must be at least 2x2x2");
   if (config_.particles < 1)
     throw std::invalid_argument("picmag3: need at least one particle");
-  const std::size_t n = config_.particles;
+  const std::size_t n = static_cast<std::size_t>(config_.particles);
   px_.resize(n);
   py_.resize(n);
   pz_.resize(n);
   vx_.resize(n);
   vy_.resize(n);
   vz_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    px_[i] = rng_.uniform_real();
-    py_[i] = rng_.uniform_real();
-    pz_[i] = rng_.uniform_real();
-    vx_[i] = config_.wind_speed + config_.thermal_jitter * rng_.normal();
-    vy_[i] = config_.thermal_jitter * rng_.normal();
-    vz_[i] = config_.thermal_jitter * rng_.normal();
-  }
+  draws_.assign(n, 0);
+  const std::size_t blocks = block_count(n, kPushBlock);
+  parallel_for(blocks, [&](std::size_t blk) {
+    const std::size_t lo = blk * kPushBlock;
+    const std::size_t hi = std::min(n, lo + kPushBlock);
+    for (std::size_t i = lo; i < hi; ++i) {
+      CounterRng rng(config_.seed, i, draws_[i]);
+      px_[i] = rng.uniform_real();
+      py_[i] = rng.uniform_real();
+      pz_[i] = rng.uniform_real();
+      vx_[i] = config_.wind_speed + config_.thermal_jitter * rng.normal();
+      vy_[i] = config_.thermal_jitter * rng.normal();
+      vz_[i] = config_.thermal_jitter * rng.normal();
+      draws_[i] = rng.counter();
+    }
+  });
 }
 
 void PicMag3Simulator::inject(std::size_t i) {
+  CounterRng rng(config_.seed, i, draws_[i]);
   px_[i] = 0.0;
-  py_[i] = rng_.uniform_real();
-  pz_[i] = rng_.uniform_real();
-  vx_[i] = config_.wind_speed + config_.thermal_jitter * rng_.normal();
-  vy_[i] = config_.thermal_jitter * rng_.normal();
-  vz_[i] = config_.thermal_jitter * rng_.normal();
+  py_[i] = rng.uniform_real();
+  pz_[i] = rng.uniform_real();
+  vx_[i] = config_.wind_speed + config_.thermal_jitter * rng.normal();
+  vy_[i] = config_.thermal_jitter * rng.normal();
+  vz_[i] = config_.thermal_jitter * rng.normal();
+  draws_[i] = rng.counter();
 }
 
 void PicMag3Simulator::step() {
   const double mu = config_.dipole_strength;
-  for (std::size_t i = 0; i < px_.size(); ++i) {
-    // Dipole field with moment along +z:
-    //   B = mu * (3 (mhat.rhat) rhat - mhat) / r^3   (softened).
-    const double rx = px_[i] - kDipoleX;
-    const double ry = py_[i] - kDipoleY;
-    const double rz = pz_[i] - kDipoleZ;
-    const double r2 = rx * rx + ry * ry + rz * rz + kSoftening;
-    const double inv_r = 1.0 / std::sqrt(r2);
-    const double inv_r3 = inv_r / r2;
-    const double mdotr = rz * inv_r;  // mhat . rhat
-    double tx = mu * inv_r3 * (3.0 * mdotr * rx * inv_r);
-    double ty = mu * inv_r3 * (3.0 * mdotr * ry * inv_r);
-    double tz = mu * inv_r3 * (3.0 * mdotr * rz * inv_r - 1.0);
-    // Limit the rotation angle per step for stability near the core.
-    const double tmag = std::sqrt(tx * tx + ty * ty + tz * tz);
-    if (tmag > 1.5) {
-      const double scale = 1.5 / tmag;
-      tx *= scale;
-      ty *= scale;
-      tz *= scale;
+  const std::size_t n = px_.size();
+  const std::size_t blocks = block_count(n, kPushBlock);
+  // Particles touch only their own state (and their own RNG stream), so the
+  // blocks are independent and the push is deterministic at any width.
+  parallel_for(blocks, [&](std::size_t blk) {
+    const std::size_t lo = blk * kPushBlock;
+    const std::size_t hi = std::min(n, lo + kPushBlock);
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Dipole field with moment along +z:
+      //   B = mu * (3 (mhat.rhat) rhat - mhat) / r^3   (softened).
+      const double rx = px_[i] - kDipoleX;
+      const double ry = py_[i] - kDipoleY;
+      const double rz = pz_[i] - kDipoleZ;
+      const double r2 = rx * rx + ry * ry + rz * rz + kSoftening;
+      const double inv_r = 1.0 / std::sqrt(r2);
+      const double inv_r3 = inv_r / r2;
+      const double mdotr = rz * inv_r;  // mhat . rhat
+      double tx = mu * inv_r3 * (3.0 * mdotr * rx * inv_r);
+      double ty = mu * inv_r3 * (3.0 * mdotr * ry * inv_r);
+      double tz = mu * inv_r3 * (3.0 * mdotr * rz * inv_r - 1.0);
+      // Limit the rotation angle per step for stability near the core.
+      const double tmag = std::sqrt(tx * tx + ty * ty + tz * tz);
+      if (tmag > 1.5) {
+        const double scale = 1.5 / tmag;
+        tx *= scale;
+        ty *= scale;
+        tz *= scale;
+      }
+      // Boris rotation: w = v + v x t;  v += w x s,  s = 2 t / (1 + |t|^2).
+      const double t2 = tx * tx + ty * ty + tz * tz;
+      const double sf = 2.0 / (1.0 + t2);
+      const double sx = tx * sf, sy = ty * sf, sz = tz * sf;
+      const double wx = vx_[i] + (vy_[i] * tz - vz_[i] * ty);
+      const double wy = vy_[i] + (vz_[i] * tx - vx_[i] * tz);
+      const double wz = vz_[i] + (vx_[i] * ty - vy_[i] * tx);
+      vx_[i] += wy * sz - wz * sy;
+      vy_[i] += wz * sx - wx * sz;
+      vz_[i] += wx * sy - wy * sx;
+
+      px_[i] += vx_[i];
+      py_[i] += vy_[i];
+      pz_[i] += vz_[i];
+
+      if (py_[i] < 0.0) py_[i] += 1.0;
+      if (py_[i] >= 1.0) py_[i] -= 1.0;
+      if (pz_[i] < 0.0) pz_[i] += 1.0;
+      if (pz_[i] >= 1.0) pz_[i] -= 1.0;
+      if (px_[i] >= 1.0 || px_[i] < 0.0) inject(i);
     }
-    // Boris rotation: w = v + v x t;  v += w x s,  s = 2 t / (1 + |t|^2).
-    const double t2 = tx * tx + ty * ty + tz * tz;
-    const double sf = 2.0 / (1.0 + t2);
-    const double sx = tx * sf, sy = ty * sf, sz = tz * sf;
-    const double wx = vx_[i] + (vy_[i] * tz - vz_[i] * ty);
-    const double wy = vy_[i] + (vz_[i] * tx - vx_[i] * tz);
-    const double wz = vz_[i] + (vx_[i] * ty - vy_[i] * tx);
-    vx_[i] += wy * sz - wz * sy;
-    vy_[i] += wz * sx - wx * sz;
-    vz_[i] += wx * sy - wy * sx;
-
-    px_[i] += vx_[i];
-    py_[i] += vy_[i];
-    pz_[i] += vz_[i];
-
-    if (py_[i] < 0.0) py_[i] += 1.0;
-    if (py_[i] >= 1.0) py_[i] -= 1.0;
-    if (pz_[i] < 0.0) pz_[i] += 1.0;
-    if (pz_[i] >= 1.0) pz_[i] -= 1.0;
-    if (px_[i] >= 1.0 || px_[i] < 0.0) inject(i);
-  }
+  });
 }
 
 LoadMatrix3 PicMag3Simulator::deposit() const {
   const int n1 = config_.n1, n2 = config_.n2, n3 = config_.n3;
+  const std::size_t n = px_.size();
+  // Cloud-in-cell scatter into per-block private tiles, merged per cell in
+  // block-index order — a fixed floating-point summation order, so the
+  // deposit is bit-identical at any thread count.
+  const std::size_t blocks = block_count(n, kDepositBlock);
+  std::vector<Matrix3<double>> tiles(blocks);
+  parallel_for(blocks, [&](std::size_t blk) {
+    Matrix3<double> tile(n1, n2, n3, 0.0);
+    const std::size_t lo = blk * kDepositBlock;
+    const std::size_t hi = std::min(n, lo + kDepositBlock);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double gx = px_[i] * (n1 - 1);
+      const double gy = py_[i] * (n2 - 1);
+      const double gz = pz_[i] * (n3 - 1);
+      const int x0 = std::clamp(static_cast<int>(gx), 0, n1 - 2);
+      const int y0 = std::clamp(static_cast<int>(gy), 0, n2 - 2);
+      const int z0 = std::clamp(static_cast<int>(gz), 0, n3 - 2);
+      const double fx = gx - x0, fy = gy - y0, fz = gz - z0;
+      for (int dx = 0; dx <= 1; ++dx)
+        for (int dy = 0; dy <= 1; ++dy)
+          for (int dz = 0; dz <= 1; ++dz)
+            tile(x0 + dx, y0 + dy, z0 + dz) +=
+                (dx ? fx : 1 - fx) * (dy ? fy : 1 - fy) * (dz ? fz : 1 - fz);
+    }
+    tiles[blk] = std::move(tile);
+  });
   Matrix3<double> density(n1, n2, n3, 0.0);
-  for (std::size_t i = 0; i < px_.size(); ++i) {
-    const double gx = px_[i] * (n1 - 1);
-    const double gy = py_[i] * (n2 - 1);
-    const double gz = pz_[i] * (n3 - 1);
-    const int x0 = std::clamp(static_cast<int>(gx), 0, n1 - 2);
-    const int y0 = std::clamp(static_cast<int>(gy), 0, n2 - 2);
-    const int z0 = std::clamp(static_cast<int>(gz), 0, n3 - 2);
-    const double fx = gx - x0, fy = gy - y0, fz = gz - z0;
-    for (int dx = 0; dx <= 1; ++dx)
-      for (int dy = 0; dy <= 1; ++dy)
-        for (int dz = 0; dz <= 1; ++dz)
-          density(x0 + dx, y0 + dy, z0 + dz) +=
-              (dx ? fx : 1 - fx) * (dy ? fy : 1 - fy) * (dz ? fz : 1 - fz);
-  }
+  parallel_for(static_cast<std::size_t>(n1), [&](std::size_t xi) {
+    const int x = static_cast<int>(xi);
+    for (int y = 0; y < n2; ++y)
+      for (int z = 0; z < n3; ++z) {
+        double sum = 0;
+        for (std::size_t b = 0; b < blocks; ++b) sum += tiles[b](x, y, z);
+        density(x, y, z) = sum;
+      }
+  });
   // Separable box filter (radius 1) along each axis: the shot-noise
-  // smoothing; in 3-D one pass per axis suffices for the Delta band.
+  // smoothing; in 3-D one pass per axis suffices for the Delta band.  Each
+  // pass writes the slab x == xi only (reads are on the previous array), so
+  // the x fan-out is race-free and pure per index.
   auto blur_axis = [&](int axis) {
     Matrix3<double> tmp(n1, n2, n3, 0.0);
-    for (int x = 0; x < n1; ++x)
+    parallel_for(static_cast<std::size_t>(n1), [&](std::size_t xi) {
+      const int x = static_cast<int>(xi);
       for (int y = 0; y < n2; ++y)
         for (int z = 0; z < n3; ++z) {
           double sum = 0;
@@ -131,7 +187,8 @@ LoadMatrix3 PicMag3Simulator::deposit() const {
           }
           tmp(x, y, z) = sum / cnt;
         }
-    density = tmp;
+    });
+    density = std::move(tmp);
   };
   blur_axis(0);
   blur_axis(1);
@@ -140,18 +197,25 @@ LoadMatrix3 PicMag3Simulator::deposit() const {
   const double per_particle = config_.particle_weight *
                               static_cast<double>(config_.base_cost) *
                               static_cast<double>(n1) * n2 * n3 /
-                              static_cast<double>(px_.size());
+                              static_cast<double>(n);
   LoadMatrix3 load(n1, n2, n3);
-  for (int x = 0; x < n1; ++x)
+  parallel_for(static_cast<std::size_t>(n1), [&](std::size_t xi) {
+    const int x = static_cast<int>(xi);
     for (int y = 0; y < n2; ++y)
       for (int z = 0; z < n3; ++z)
         load(x, y, z) =
             config_.base_cost +
             static_cast<std::int64_t>(per_particle * density(x, y, z));
+  });
   return load;
 }
 
 LoadMatrix3 PicMag3Simulator::snapshot_at(int iteration) {
+  if (iteration < 0 || iteration % kSnapshotStride != 0)
+    throw std::invalid_argument(
+        "picmag3: snapshot iteration " + std::to_string(iteration) +
+        " is not a multiple of the snapshot stride " +
+        std::to_string(kSnapshotStride));
   if (iteration < iteration_)
     throw std::invalid_argument(
         "picmag3: snapshots must be requested in non-decreasing order");
@@ -159,7 +223,7 @@ LoadMatrix3 PicMag3Simulator::snapshot_at(int iteration) {
   const int current = iteration_ / kSnapshotStride;
   for (int w = current; w < target; ++w)
     for (int s = 0; s < config_.substeps_per_snapshot; ++s) step();
-  iteration_ = target * kSnapshotStride;
+  iteration_ = iteration;
   return deposit();
 }
 

@@ -35,7 +35,9 @@ class PicMag3Simulator {
 
   static constexpr int kSnapshotStride = 500;
 
-  /// 3-D cost matrix at the given paper iteration (non-decreasing calls).
+  /// 3-D cost matrix at the given paper iteration.  Iterations must be
+  /// non-negative multiples of kSnapshotStride (anything else throws) and
+  /// non-decreasing across calls.
   [[nodiscard]] LoadMatrix3 snapshot_at(int iteration);
 
   /// The paper's 2-D pipeline: 3-D snapshot accumulated along `axis`
@@ -56,7 +58,10 @@ class PicMag3Simulator {
   PicMag3Config config_;
   int iteration_ = 0;
   std::vector<double> px_, py_, pz_, vx_, vy_, vz_;
-  Rng rng_;
+  /// Per-particle draw counters of the counter-based RNG streams; see the
+  /// 2-D simulator (picmag.hpp) for why this makes the parallel push
+  /// bit-identical at any thread count.
+  std::vector<std::uint64_t> draws_;
 };
 
 }  // namespace rectpart

@@ -14,16 +14,20 @@
 
 namespace rectpart {
 
+/// SplitMix64's avalanche finalizer (Stafford mix13): bijective on 64 bits.
+[[nodiscard]] constexpr std::uint64_t splitmix_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// SplitMix64: used to expand a user seed into xoshiro's 256-bit state.
 class SplitMix64 {
  public:
   explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
 
   std::uint64_t next() {
-    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    return splitmix_mix(state_ += 0x9e3779b97f4a7c15ULL);
   }
 
  private:
@@ -101,6 +105,70 @@ class Rng {
   }
 
   std::uint64_t state_[4]{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Counter-based stream generator: draw d of stream k under seed s is the
+/// pure function splitmix_mix(key(s, k) + (d+1) * gamma) — a SplitMix64
+/// sequence whose state is an explicit counter instead of hidden mutation.
+///
+/// This is what makes the PIC-MAG particle push parallelizable without
+/// losing reproducibility: each particle owns stream k = particle index, the
+/// simulator persists the per-stream draw counter, and a (re)injection
+/// resumes the stream from that counter.  The values a particle sees depend
+/// only on (seed, particle, draws so far), never on the order in which
+/// *other* particles hit the boundary — so any thread interleaving produces
+/// the same instance.
+class CounterRng {
+ public:
+  CounterRng(std::uint64_t seed, std::uint64_t stream,
+             std::uint64_t counter = 0)
+      : key_(splitmix_mix(splitmix_mix(seed + 0x9e3779b97f4a7c15ULL) +
+                          stream)),
+        counter_(counter) {}
+
+  /// Draws consumed so far; persist this to resume the stream later.
+  [[nodiscard]] std::uint64_t counter() const { return counter_; }
+
+  /// Raw 64 uniformly random bits (advances the counter by one).
+  std::uint64_t next_u64() {
+    return splitmix_mix(key_ + (++counter_) * 0x9e3779b97f4a7c15ULL);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_real() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform_real();
+  }
+
+  /// Standard normal variate (Marsaglia polar method).  The spare of each
+  /// accepted pair lives only as long as this object, so callers drawing
+  /// several normals per event should do so through one CounterRng instance.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform_real(-1.0, 1.0);
+      v = uniform_real(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t counter_;
   bool have_spare_ = false;
   double spare_ = 0.0;
 };

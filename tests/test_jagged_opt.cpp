@@ -3,8 +3,11 @@
 // respect the solution-class containments.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/metrics.hpp"
 #include "jagged/jagged.hpp"
+#include "jagged/stripe_opt_cache.hpp"
 #include "testing_util.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -138,6 +141,40 @@ TEST(JagMOpt, VerticalOrientationValid) {
   ver.orientation = Orientation::kVertical;
   const Partition p = jag_m_opt(ps, 6, ver);
   EXPECT_TRUE(validate(p, 9, 14));
+}
+
+TEST(StripeOptCacheTest, MemoKeysDoNotAlias) {
+  // The memo key used to pack (a << 40) | (b << 16) | x into one word, so
+  // opt(0, 1, 65537) and opt(0, 2, 1) hashed to the same slot: whichever was
+  // asked first poisoned the other with its bottleneck.  The keys must stay
+  // distinct for any x.
+  const LoadMatrix a = random_matrix(4, 6, 1, 9, 17);
+  const PrefixSum2D ps(a);
+  StripeOptCache cache(ps);
+  const std::int64_t row0_max = cache.opt(0, 1, 65537);  // old alias partner
+  const std::int64_t two_rows_total = cache.opt(0, 2, 1);
+  EXPECT_EQ(two_rows_total, ps.load(0, 2, 0, ps.cols()));
+  // Strictly positive matrix: one cell of row 0 can never carry two rows.
+  EXPECT_LT(row0_max, two_rows_total);
+  // A fresh cache (no aliasing candidate inserted first) must agree.
+  StripeOptCache fresh(ps);
+  EXPECT_EQ(fresh.opt(0, 2, 1), two_rows_total);
+}
+
+TEST(JagPqOptDp, DivisibilityErrorIsActionable) {
+  const LoadMatrix a = random_matrix(8, 8, 1, 9, 42);
+  const PrefixSum2D ps(a);
+  JaggedOptions o = hor();
+  o.stripes = 2;  // 2 does not divide m = 7
+  try {
+    (void)jag_pq_opt_dp(ps, 7, o);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("P = 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("m = 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("-hor"), std::string::npos) << msg;
+  }
 }
 
 TEST(JagOpt, OptBeatsOrMatchesHeurOnPaperFamilies) {

@@ -15,6 +15,9 @@
 #include <vector>
 
 #include "core/partitioner.hpp"
+#include "jagged/jagged.hpp"
+#include "picmag/picmag.hpp"
+#include "picmag/picmag3.hpp"
 #include "testing_util.hpp"
 #include "util/thread_pool.hpp"
 
@@ -327,6 +330,112 @@ TEST(Determinism, EveryAlgorithmMatchesSequentialOnFuzzedInstances) {
       }
     }
   }
+}
+
+TEST(Determinism, PicMagSnapshotsBitIdenticalAcrossThreadCounts) {
+  // The push draws per-particle RNG streams and the deposit merges per-block
+  // tiles in block-index order, so a snapshot must not depend on the width.
+  PicMagConfig c;
+  c.n1 = 48;
+  c.n2 = 48;
+  c.particles = 6000;
+  c.substeps_per_snapshot = 5;
+  set_threads(1);
+  PicMagSimulator seq(c);
+  const LoadMatrix seq_a = seq.snapshot_at(0);
+  const LoadMatrix seq_b = seq.snapshot_at(3000);
+  set_threads(8);
+  PicMagSimulator par(c);
+  const LoadMatrix par_a = par.snapshot_at(0);
+  const LoadMatrix par_b = par.snapshot_at(3000);
+  set_threads(1);
+  ASSERT_EQ(seq_a, par_a);
+  ASSERT_EQ(seq_b, par_b);
+}
+
+TEST(Determinism, PicMag3SnapshotsBitIdenticalAcrossThreadCounts) {
+  PicMag3Config c;
+  c.n1 = 24;
+  c.n2 = 24;
+  c.n3 = 10;
+  c.particles = 6000;
+  c.substeps_per_snapshot = 4;
+  set_threads(1);
+  PicMag3Simulator seq(c);
+  const LoadMatrix3 seq_a = seq.snapshot_at(2000);
+  set_threads(8);
+  PicMag3Simulator par(c);
+  const LoadMatrix3 par_a = par.snapshot_at(2000);
+  set_threads(1);
+  ASSERT_EQ(seq_a, par_a);
+}
+
+TEST(Determinism, JaggedDpsBitIdenticalAcrossThreadCounts) {
+  // The DP reference solvers are not in the partitioner registry, so the
+  // registered-algorithm sweep above does not cover them; their candidate
+  // sweeps and memo races must still replay the sequential choices exactly.
+  JaggedOptions hor;
+  hor.orientation = Orientation::kHorizontal;
+  JaggedOptions best;
+  best.orientation = Orientation::kBest;
+  for (const auto& a : fuzz_instances()) {
+    const PrefixSum2D ps(a);
+    for (const int m : {4, 6, 9}) {
+      set_threads(1);
+      const Partition seq_m = jag_m_opt_dp(ps, m, hor);
+      const Partition seq_pq = jag_pq_opt_dp(ps, m, best);
+      set_threads(8);
+      const Partition par_m = jag_m_opt_dp(ps, m, hor);
+      const Partition par_pq = jag_pq_opt_dp(ps, m, best);
+      set_threads(1);
+      ASSERT_EQ(seq_m.rects, par_m.rects) << "jag_m_opt_dp m=" << m;
+      ASSERT_EQ(seq_pq.rects, par_pq.rects) << "jag_pq_opt_dp m=" << m;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden hashes: the counter-based particle streams are part of the repo's
+// instance identity.
+
+/// FNV-1a over the little-endian bytes of every cell.
+template <typename M>
+std::uint64_t fnv1a(const M& m) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::int64_t cell : m) {
+    const auto v = static_cast<std::uint64_t>(cell);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+TEST(GoldenStreams, PicMagSnapshotHashesArePinned) {
+  // Pins the (seed, particle_id, draw_counter) stream layout, the Boris
+  // push order and the block-merge summation order.  A mismatch means the
+  // PIC-MAG instances were silently regenerated: deliberate changes must
+  // update these constants and the EXPERIMENTS.md note.
+  PicMagConfig c;
+  c.n1 = 48;
+  c.n2 = 48;
+  c.particles = 6000;
+  c.substeps_per_snapshot = 5;
+  PicMagSimulator sim(c);
+  EXPECT_EQ(fnv1a(sim.snapshot_at(0)), 0x06b4dc3d469f8c92ULL);
+  EXPECT_EQ(fnv1a(sim.snapshot_at(2500)), 0xee1c0ea7f2d68e83ULL);
+}
+
+TEST(GoldenStreams, PicMag3SnapshotHashIsPinned) {
+  PicMag3Config c;
+  c.n1 = 24;
+  c.n2 = 24;
+  c.n3 = 10;
+  c.particles = 6000;
+  c.substeps_per_snapshot = 4;
+  PicMag3Simulator sim(c);
+  EXPECT_EQ(fnv1a(sim.snapshot_at(1500)), 0xf6639301e175b824ULL);
 }
 
 }  // namespace

@@ -29,8 +29,20 @@ TEST(PicMag, SnapshotShapeAndStride) {
   EXPECT_EQ(a.rows(), 64);
   EXPECT_EQ(a.cols(), 64);
   EXPECT_EQ(sim.iteration(), 0);
-  (void)sim.snapshot_at(1499);  // rounds down to 1000
-  EXPECT_EQ(sim.iteration(), 1000);
+  (void)sim.snapshot_at(3 * PicMagSimulator::kSnapshotStride);
+  EXPECT_EQ(sim.iteration(), 1500);
+}
+
+TEST(PicMag, RejectsOffStrideIterations) {
+  // snapshot_at used to floor 1499 to the previous snapshot and silently hand
+  // back a stale deposit; now anything off the 500-iteration grid throws.
+  PicMagSimulator sim(small_config());
+  EXPECT_THROW((void)sim.snapshot_at(1499), std::invalid_argument);
+  EXPECT_THROW((void)sim.snapshot_at(1), std::invalid_argument);
+  EXPECT_THROW((void)sim.snapshot_at(-500), std::invalid_argument);
+  EXPECT_EQ(sim.iteration(), 0);  // rejected requests do not advance time
+  (void)sim.snapshot_at(1500);
+  EXPECT_EQ(sim.iteration(), 1500);
 }
 
 TEST(PicMag, IterationsMustBeMonotone) {

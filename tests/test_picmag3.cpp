@@ -33,9 +33,20 @@ TEST(PicMag3, SnapshotShapeAndStride) {
   EXPECT_EQ(a.dim1(), 32);
   EXPECT_EQ(a.dim2(), 32);
   EXPECT_EQ(a.dim3(), 12);
-  (void)sim.snapshot_at(1700);
+  (void)sim.snapshot_at(1500);
   EXPECT_EQ(sim.iteration(), 1500);
   EXPECT_THROW((void)sim.snapshot_at(1000), std::invalid_argument);
+}
+
+TEST(PicMag3, RejectsOffStrideIterations) {
+  // Off-stride requests used to floor to the previous snapshot and hand back
+  // a stale deposit; now they throw and leave the clock untouched.
+  PicMag3Simulator sim(small_config());
+  EXPECT_THROW((void)sim.snapshot_at(1700), std::invalid_argument);
+  EXPECT_THROW((void)sim.snapshot_at(-500), std::invalid_argument);
+  EXPECT_EQ(sim.iteration(), 0);
+  (void)sim.snapshot_at(2000);
+  EXPECT_EQ(sim.iteration(), 2000);
 }
 
 TEST(PicMag3, StrictlyPositiveCells) {
