@@ -23,6 +23,8 @@
 
 #include "core/metrics.hpp"
 #include "core/partitioner.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "picmag/picmag.hpp"
 #include "util/flags.hpp"
 #include "util/parallel.hpp"
@@ -70,17 +72,21 @@ struct RunResult {
   double imbalance = 0;
   double ms = 0;
   std::int64_t lmax = 0;
+  obs::CounterSnapshot counters;  // work done by this run (delta, not total)
 };
 
-/// Runs one registered algorithm and evaluates it.
+/// Runs one registered algorithm and evaluates it.  The work counters
+/// captured by the RunContext ride along in the result, so benches can emit
+/// them next to the timings.
 inline RunResult run_algorithm(const Partitioner& algo, const PrefixSum2D& ps,
                                int m) {
-  WallTimer timer;
-  const Partition p = algo.run(ps, m);
+  RunContext ctx;
+  const Partition p = algo.run(ps, m, ctx);
   RunResult r;
-  r.ms = timer.milliseconds();
+  r.ms = ctx.ms;
   r.lmax = p.max_load(ps);
   r.imbalance = imbalance_of(r.lmax, ps.total(), m);
+  r.counters = ctx.counters;
   return r;
 }
 
@@ -101,24 +107,31 @@ class BenchJson {
   BenchJson& operator=(const BenchJson&) = delete;
 
   /// Appends one record; `threads` defaults to the current global width.
+  /// When `counters` is given, the record grows a "counters" object with the
+  /// run's work counts (see obs::CounterSnapshot::to_json).
   void record(const std::string& algorithm, const std::string& instance,
-              int m, double ms, double imbalance, int threads = 0) {
+              int m, double ms, double imbalance, int threads = 0,
+              const obs::CounterSnapshot* counters = nullptr) {
     if (!enabled_) return;
     if (threads <= 0) threads = num_threads();
     char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "  {\"algorithm\": \"%s\", \"instance\": \"%s\", "
                   "\"m\": %d, \"threads\": %d, \"ms\": %.6f, "
-                  "\"imbalance\": %.9f}",
+                  "\"imbalance\": %.9f",
                   algorithm.c_str(), instance.c_str(), m, threads, ms,
                   imbalance);
-    rows_.emplace_back(buf);
+    std::string row(buf);
+    if (counters != nullptr)
+      row += ", \"counters\": " + counters->to_json();
+    row += "}";
+    rows_.push_back(std::move(row));
   }
 
-  /// Convenience overload for run_algorithm results.
+  /// Convenience overload for run_algorithm results (carries the counters).
   void record(const std::string& algorithm, const std::string& instance,
               int m, const RunResult& r) {
-    record(algorithm, instance, m, r.ms, r.imbalance);
+    record(algorithm, instance, m, r.ms, r.imbalance, 0, &r.counters);
   }
 
   ~BenchJson() {
@@ -138,6 +151,64 @@ class BenchJson {
   std::string name_;
   bool enabled_ = true;
   std::vector<std::string> rows_;
+};
+
+/// Handles the shared observability flags:
+///   --trace=out.json  record spans for the whole binary, write on exit
+///   --counters        print the process-wide counter totals on exit
+/// Construct once right after parsing flags; destruction (end of main) writes
+/// the trace file and/or the counter table.  With -DRECTPART_OBS=0 both
+/// flags still parse but report that observability is compiled out.
+class ObsSession {
+ public:
+  explicit ObsSession(const Flags& flags)
+      : trace_path_(flags.get_string("trace", "")),
+        print_counters_(flags.has("counters")) {
+#if RECTPART_OBS_ENABLED
+    if (!trace_path_.empty()) {
+      obs::trace_reset();
+      obs::trace_enable(true);
+    }
+#else
+    if (!trace_path_.empty() || print_counters_)
+      std::fprintf(stderr,
+                   "# observability compiled out (RECTPART_OBS=0); "
+                   "--trace/--counters ignored\n");
+#endif
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+#if RECTPART_OBS_ENABLED
+    if (print_counters_) {
+      const obs::CounterSnapshot s = obs::counters_snapshot();
+      std::printf("# counters (process totals):\n");
+      for (int i = 0; i < obs::kCounterCount; ++i) {
+        const auto c = static_cast<obs::Counter>(i);
+        std::printf("#   %-26s %12llu%s\n", obs::counter_name(c),
+                    static_cast<unsigned long long>(s[c]),
+                    obs::counter_scheduling_dependent(c)
+                        ? "  (scheduling-dependent)"
+                        : "");
+      }
+    }
+    if (!trace_path_.empty()) {
+      obs::trace_enable(false);
+      if (obs::trace_write_json(trace_path_))
+        std::printf("# trace: %zu spans -> %s\n", obs::trace_event_count(),
+                    trace_path_.c_str());
+      else
+        std::fprintf(stderr, "# trace: FAILED to write %s\n",
+                     trace_path_.c_str());
+    }
+#endif
+  }
+
+ private:
+  std::string trace_path_;
+  bool print_counters_ = false;
 };
 
 /// Prints the standard provenance header.

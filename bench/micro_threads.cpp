@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace rectpart;
   register_builtin_partitioners();
   const Flags flags(argc, argv);
+  bench::ObsSession obs_session(flags);
   const bool full = full_scale_requested();
   const int n = static_cast<int>(flags.get_int("n", full ? 4096 : 1024));
   const int m = static_cast<int>(flags.get_int("m", 1024));
@@ -61,11 +62,17 @@ int main(int argc, char** argv) {
     double last_ms = 0;
     for (const int t : widths) {
       set_threads(t);
+      const obs::CounterSnapshot before = obs::counters_snapshot();
       double best = 0;
       for (int r = 0; r < reps; ++r) {
         const double ms = once();
         if (r == 0 || ms < best) best = ms;
       }
+      // Work done by all `reps` repetitions at this width; the
+      // thread-invariant counters therefore scale linearly with reps while
+      // staying identical across widths.
+      const obs::CounterSnapshot work =
+          obs::counters_snapshot().delta_since(before);
       if (t != 1 && !matches_baseline()) {
         deterministic = false;
         std::printf("# DIVERGED: %s at threads=%d\n", name.c_str(), t);
@@ -74,7 +81,7 @@ int main(int argc, char** argv) {
       last_ms = best;
       table.cell(best);
       json.record(name, std::to_string(n) + "x" + std::to_string(n), m, best,
-                  0.0, t);
+                  0.0, t, &work);
     }
     table.cell(last_ms > 0 ? base_ms / last_ms : 0.0);
     set_threads(1);
@@ -187,6 +194,19 @@ int main(int argc, char** argv) {
   }
 
   table.print(std::cout);
+#if RECTPART_OBS_ENABLED
+  // Execution-layer scheduling stats for the whole run: how many iterations
+  // the pools handed out and the deepest queue any pool reached.  These are
+  // scheduling-dependent by nature (see DESIGN.md §observability).
+  {
+    const obs::CounterSnapshot s = obs::counters_snapshot();
+    std::printf("# pool: tasks_claimed=%llu queue_high_watermark=%llu\n",
+                static_cast<unsigned long long>(
+                    s[obs::Counter::kPoolTasksClaimed]),
+                static_cast<unsigned long long>(
+                    s[obs::Counter::kPoolQueueHighWatermark]));
+  }
+#endif
   bench::print_shape(
       "parallel runs are bit-identical to sequential and speed up with "
       "threads (>= 2.5x at 8 threads on an 8-core machine)",

@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
   const PrefixSum2D ps(load);
   const std::int64_t lb = lower_bound_lmax(ps, m);
 
-  Table table({"algorithm", "imbalance", "vs_lower_bound", "time_ms",
-               "comm_volume"});
+  Table table({"algorithm", "family", "kind", "paper", "imbalance",
+               "vs_lower_bound", "time_ms", "comm_volume"});
   for (const std::string& name : partitioner_names()) {
     const bool is_variant = name.find("-hor") != std::string::npos ||
                             name.find("-ver") != std::string::npos ||
@@ -79,8 +79,12 @@ int main(int argc, char** argv) {
                    verdict.message.c_str());
       return 1;
     }
+    const PartitionerInfo& info = partitioner_info(name);
     table.row()
         .cell(name)
+        .cell(info.family)
+        .cell(info.kind())
+        .cell(info.paper_section.empty() ? "-" : info.paper_section)
         .cell(part.imbalance(ps))
         .cell(static_cast<double>(part.max_load(ps)) /
               static_cast<double>(lb))

@@ -4,7 +4,7 @@
 // instance.  Output: the partition as CSV, optional PGM rendering, and an
 // evaluation summary on stdout.
 //
-//   ./rectpart_cli --input=load.txt --m=100 --algo=jag-m-heur \
+//   ./rectpart_cli --input=load.txt --m=100 --algo=jag-m-heur
 //                  --out=partition.csv --image=partition.pgm
 //   ./rectpart_cli --family=multipeak --n=512 --m=256 --algo=hier-relaxed
 //   ./rectpart_cli --list            (print registered algorithms)
@@ -14,6 +14,8 @@
 #include "core/metrics.hpp"
 #include "core/partitioner.hpp"
 #include "io/matrix_io.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "io/partition_io.hpp"
 #include "io/pgm.hpp"
 #include "mesh/mesh.hpp"
@@ -29,24 +31,49 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
 
   if (flags.get_bool("list", false)) {
-    for (const std::string& name : partitioner_names())
-      std::printf("%s\n", name.c_str());
+    Table table({"algorithm", "family", "kind", "paper"});
+    for (const std::string& name : partitioner_names()) {
+      const PartitionerInfo& info = partitioner_info(name);
+      table.row()
+          .cell(name)
+          .cell(info.family)
+          .cell(info.kind())
+          .cell(info.paper_section.empty() ? "-" : info.paper_section);
+    }
+    table.print(std::cout);
     return 0;
   }
   if (flags.get_bool("help", false)) {
     std::printf(
         "usage: %s [--input=FILE | --family=NAME --n=N] --m=M\n"
         "          [--algo=NAME] [--out=FILE.csv] [--image=FILE.pgm]\n"
-        "          [--seed=S] [--delta=D] [--threads=T] [--list] [--help]\n"
+        "          [--seed=S] [--delta=D] [--threads=T]\n"
+        "          [--counters] [--trace=FILE.json] [--list] [--help]\n"
         "families: uniform diagonal peak multipeak slac\n"
         "threads: 0 = RECTPART_THREADS env, then hardware concurrency;\n"
-        "         the partition is identical at every thread count\n",
+        "         the partition is identical at every thread count\n"
+        "counters: print the run's work counters (probe calls, DP cells...)\n"
+        "trace: record spans, write chrome://tracing JSON on exit\n",
         flags.program().c_str());
     return 0;
   }
 
   // Size the global execution layer before any prefix-sum construction.
   set_threads(static_cast<int>(flags.get_int("threads", 0)));
+
+  const std::string trace_path = flags.get_string("trace", "");
+  const bool want_counters = flags.has("counters");
+#if RECTPART_OBS_ENABLED
+  if (!trace_path.empty()) {
+    obs::trace_reset();
+    obs::trace_enable(true);
+  }
+#else
+  if (!trace_path.empty() || want_counters)
+    std::fprintf(stderr,
+                 "observability compiled out (RECTPART_OBS=0); "
+                 "--trace/--counters ignored\n");
+#endif
 
   LoadMatrix load;
   const std::string input = flags.get_string("input", "");
@@ -72,9 +99,9 @@ int main(int argc, char** argv) {
   const auto algo = make_partitioner(algo_name);
 
   const PrefixSum2D ps(load);
-  WallTimer timer;
-  const Partition part = algo->run(ps, m);
-  const double ms = timer.milliseconds();
+  RunContext ctx;
+  const Partition part = algo->run(ps, m, ctx);
+  const double ms = ctx.ms;
 
   const auto verdict = validate(part, ps.rows(), ps.cols());
   if (!verdict) {
@@ -98,6 +125,29 @@ int main(int argc, char** argv) {
   std::printf("comm volume: %lld total, %lld max per processor\n",
               static_cast<long long>(cs.total_volume),
               static_cast<long long>(cs.max_per_proc));
+
+#if RECTPART_OBS_ENABLED
+  if (want_counters) {
+    // The RunContext carries the delta for this run only, not process totals.
+    std::printf("counters   :\n");
+    for (int i = 0; i < obs::kCounterCount; ++i) {
+      const auto c = static_cast<obs::Counter>(i);
+      std::printf("  %-26s %12llu%s\n", obs::counter_name(c),
+                  static_cast<unsigned long long>(ctx.counters[c]),
+                  obs::counter_scheduling_dependent(c)
+                      ? "  (scheduling-dependent)"
+                      : "");
+    }
+  }
+  if (!trace_path.empty()) {
+    obs::trace_enable(false);
+    if (obs::trace_write_json(trace_path))
+      std::printf("trace      -> %s (%zu spans)\n", trace_path.c_str(),
+                  obs::trace_event_count());
+    else
+      std::fprintf(stderr, "trace: FAILED to write %s\n", trace_path.c_str());
+  }
+#endif
 
   const std::string out = flags.get_string("out", "");
   if (!out.empty()) {

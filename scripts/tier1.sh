@@ -20,6 +20,29 @@ cmake --build build -j "$jobs"
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j "$jobs")
 
+echo "== tier-1: observability (counters + trace export) =="
+# One real bench run with both observability sinks active; both output files
+# must be machine-valid JSON (Perfetto loads the trace, the BENCH records
+# carry per-(workload, width) work counters).
+obs_dir=$(mktemp -d)
+(cd "$obs_dir" &&
+ "$root"/build/bench/micro_threads --n=256 --m=64 --reps=1 \
+   --trace=trace.json --counters >/dev/null)
+python3 -m json.tool "$obs_dir/trace.json" >/dev/null
+python3 -m json.tool "$obs_dir/BENCH_micro_threads.json" >/dev/null
+grep -q '"counters"' "$obs_dir/BENCH_micro_threads.json"
+grep -q '"traceEvents"' "$obs_dir/trace.json"
+rm -rf "$obs_dir"
+
+echo "== tier-1: RECTPART_OBS=0 (spans/counters compile to no-ops) =="
+# The disabled build must compile the instrumented tree cleanly and still
+# pass the observability suite (its counter assertions self-gate).
+cmake -B build-noobs -S . -DRECTPART_OBS=0 >/dev/null
+cmake --build build-noobs -j "$jobs" --target test_obs rectpart_cli
+build-noobs/tests/test_obs
+build-noobs/examples/rectpart_cli --family=peak --n=64 --m=16 \
+  --algo=jag-m-heur --counters >/dev/null
+
 echo "== tier-1: ThreadSanitizer (thread pool + determinism suites) =="
 cmake -B build-tsan -S . -DRECTPART_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" \

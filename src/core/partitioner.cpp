@@ -1,15 +1,24 @@
 #include "core/partitioner.hpp"
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 #include <stdexcept>
+
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
 
 namespace rectpart {
 
 namespace {
 
-std::map<std::string, PartitionerFactory>& registry() {
-  static std::map<std::string, PartitionerFactory> r;
+struct RegistryEntry {
+  PartitionerFactory factory;
+  PartitionerInfo info;
+};
+
+std::map<std::string, RegistryEntry>& registry() {
+  static std::map<std::string, RegistryEntry> r;
   return r;
 }
 
@@ -18,12 +27,85 @@ std::mutex& registry_mutex() {
   return m;
 }
 
+/// Classic Levenshtein distance, used to suggest a registered name for a
+/// typo'd lookup.  The registry holds ~30 short names, so the quadratic
+/// table is nothing.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+/// Caller holds registry_mutex.  Ties break lexicographically (map order).
+std::string closest_name_locked(const std::string& name) {
+  std::string best;
+  std::size_t best_d = std::string::npos;
+  for (const auto& [candidate, entry] : registry()) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_d) {
+      best_d = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+[[noreturn]] void throw_unknown_locked(const std::string& name) {
+  std::string msg = "unknown partitioner '" + name + "'";
+  const std::string suggestion = closest_name_locked(name);
+  if (!suggestion.empty())
+    msg += "; did you mean '" + suggestion +
+           "'? (partitioner_names() lists all registered algorithms)";
+  throw std::out_of_range(msg);
+}
+
 }  // namespace
+
+Partition Partitioner::run(const PrefixSum2D& ps, int m) const {
+  RunContext ctx;
+  return run(ps, m, ctx);
+}
+
+Partition Partitioner::run(const PrefixSum2D& ps, int m,
+                           RunContext& ctx) const {
+  if (ctx.deadline_expired())
+    throw DeadlineExceeded("partitioner '" + name() +
+                           "': deadline expired before the run started");
+#if RECTPART_OBS_ENABLED
+  const obs::CounterSnapshot before = obs::counters_snapshot();
+  obs::Span span(obs::trace_enabled() ? name() : std::string());
+#endif
+  WallTimer timer;
+  Partition p = run_impl(ps, m, ctx);
+  ctx.ms += timer.milliseconds();
+#if RECTPART_OBS_ENABLED
+  ctx.counters.merge(obs::counters_snapshot().delta_since(before));
+#endif
+  return p;
+}
 
 void register_partitioner(const std::string& name,
                           PartitionerFactory factory) {
+  register_partitioner(name, std::move(factory),
+                       PartitionerInfo{name, "custom", false, ""});
+}
+
+void register_partitioner(const std::string& name, PartitionerFactory factory,
+                          PartitionerInfo info) {
+  info.name = name;
   std::lock_guard<std::mutex> lock(registry_mutex());
-  const auto [it, inserted] = registry().emplace(name, std::move(factory));
+  const auto [it, inserted] = registry().emplace(
+      name, RegistryEntry{std::move(factory), std::move(info)});
   (void)it;
   if (!inserted)
     throw std::invalid_argument("partitioner '" + name +
@@ -35,18 +117,24 @@ std::unique_ptr<Partitioner> make_partitioner(const std::string& name) {
   {
     std::lock_guard<std::mutex> lock(registry_mutex());
     const auto it = registry().find(name);
-    if (it == registry().end())
-      throw std::out_of_range("unknown partitioner '" + name + "'");
-    factory = it->second;
+    if (it == registry().end()) throw_unknown_locked(name);
+    factory = it->second.factory;
   }
   return factory();
+}
+
+PartitionerInfo partitioner_info(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(name);
+  if (it == registry().end()) throw_unknown_locked(name);
+  return it->second.info;
 }
 
 std::vector<std::string> partitioner_names() {
   std::lock_guard<std::mutex> lock(registry_mutex());
   std::vector<std::string> names;
   names.reserve(registry().size());
-  for (const auto& [name, factory] : registry()) names.push_back(name);
+  for (const auto& [name, entry] : registry()) names.push_back(name);
   return names;
 }
 

@@ -2,7 +2,9 @@
 //
 // The registry is how examples and figure harnesses refer to algorithms:
 // every algorithm variant evaluated in the paper registers itself under the
-// paper's name in lower case (e.g. "jag-m-heur-best", "hier-rb-load").
+// paper's name in lower case (e.g. "jag-m-heur-best", "hier-rb-load"),
+// together with PartitionerInfo metadata (family, exact/heuristic, paper
+// section) that --list style harnesses print.
 #pragma once
 
 #include <functional>
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "core/partition.hpp"
+#include "obs/run_context.hpp"
 #include "prefix/prefix_sum.hpp"
 
 namespace rectpart {
@@ -25,6 +28,13 @@ namespace rectpart {
 /// Built-in algorithms parallelize internally through util/parallel.hpp,
 /// whose primitives preserve this invariant (the determinism suite in
 /// tests/test_parallel.cpp checks every registered name at 1 vs 8 threads).
+///
+/// Observability: both run() overloads funnel through the same path, so a
+/// caller that wants per-run work counters passes a RunContext and reads
+/// ctx.counters / ctx.ms afterwards; a caller that does not is untouched.
+/// Subclasses implement run_impl() — the base class owns the counter capture
+/// and the deadline refusal, so instrumentation is uniform across all
+/// registered algorithms.
 class Partitioner {
  public:
   virtual ~Partitioner() = default;
@@ -32,21 +42,79 @@ class Partitioner {
   /// Registry name, e.g. "jag-m-heur-best".
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Partition the matrix behind `ps` into m rectangles.
+  /// Default-forwarding overload: runs with a fresh RunContext (no deadline;
+  /// the collected stats are discarded).  Bit-identical to the RunContext
+  /// overload below — the context only observes.
+  [[nodiscard]] Partition run(const PrefixSum2D& ps, int m) const;
+
+  /// Partition the matrix behind `ps` into m rectangles, capturing the run's
+  /// work-counter delta and wall time into `ctx` and honouring its deadline
+  /// (throws DeadlineExceeded when it has already passed).
   /// Requires m >= 1; the returned partition has exactly m rectangles
   /// (possibly some empty) and is valid for ps.rows() x ps.cols().
-  [[nodiscard]] virtual Partition run(const PrefixSum2D& ps, int m) const = 0;
+  [[nodiscard]] Partition run(const PrefixSum2D& ps, int m,
+                              RunContext& ctx) const;
+
+ protected:
+  /// The algorithm itself.  `ctx` is the caller's context (default-forwarded
+  /// runs get a fresh one); implementations may poll ctx.deadline_expired()
+  /// at safe points but must not write the stats fields — the base class
+  /// fills those.
+  [[nodiscard]] virtual Partition run_impl(const PrefixSum2D& ps, int m,
+                                           RunContext& ctx) const = 0;
 };
 
 using PartitionerFactory = std::function<std::unique_ptr<Partitioner>()>;
 
-/// Registers a factory under a unique name; throws on duplicates.
+/// Adapts a callable to the Partitioner interface.  Fn is a std::function
+/// (not a raw function pointer) so option structs like JaggedOptions /
+/// HierOptions can be captured directly — no per-option template shims.
+/// This is the class behind every registry entry; client code registering
+/// its own algorithm uses it the same way (see register_builtins.cpp).
+class LambdaPartitioner final : public Partitioner {
+ public:
+  using Fn = std::function<Partition(const PrefixSum2D&, int, RunContext&)>;
+
+  LambdaPartitioner(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ protected:
+  [[nodiscard]] Partition run_impl(const PrefixSum2D& ps, int m,
+                                   RunContext& ctx) const override {
+    return fn_(ps, m, ctx);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+/// Registry metadata printed by `rectpart_cli --list` and compare_all.
+struct PartitionerInfo {
+  std::string name;
+  std::string family;  ///< "rectilinear", "jagged", "hierarchical", ...
+  bool exact = false;  ///< exact solver (true) or heuristic (false)
+  std::string paper_section;  ///< e.g. "3.2.2"; empty when not from the paper
+
+  [[nodiscard]] const char* kind() const { return exact ? "exact" : "heur"; }
+};
+
+/// Registers a factory under a unique name; throws on duplicates.  The
+/// two-argument form records placeholder metadata (family "custom").
 void register_partitioner(const std::string& name, PartitionerFactory factory);
+void register_partitioner(const std::string& name, PartitionerFactory factory,
+                          PartitionerInfo info);
 
 /// Instantiates a registered partitioner; throws std::out_of_range for
-/// unknown names.
+/// unknown names, naming the closest registered name in the message.
 [[nodiscard]] std::unique_ptr<Partitioner> make_partitioner(
     const std::string& name);
+
+/// Metadata of a registered partitioner; throws like make_partitioner for
+/// unknown names.
+[[nodiscard]] PartitionerInfo partitioner_info(const std::string& name);
 
 /// All registered names in lexicographic order.
 [[nodiscard]] std::vector<std::string> partitioner_names();

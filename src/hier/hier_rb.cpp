@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "hier/hier.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace rectpart {
@@ -83,6 +85,7 @@ constexpr int kSpawnMinProcs = 32;
 /// result is bit-identical at any thread count.
 void rb_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
                 HierVariant variant, Rect* out) {
+  RECTPART_COUNT(kHierNodes, 1);
   if (m == 1) {
     *out = r;
     return;
@@ -141,6 +144,7 @@ void rb_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
 }  // namespace
 
 Partition hier_rb(const PrefixSum2D& ps, int m, const HierOptions& opt) {
+  RECTPART_SPAN("hier-rb");
   Partition part;
   part.rects.assign(m, Rect{});
   rb_recurse(ps, Rect{0, ps.rows(), 0, ps.cols()}, m, 0, opt.variant,

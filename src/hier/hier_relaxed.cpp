@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "hier/hier.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace rectpart {
@@ -70,6 +72,7 @@ constexpr int kSpawnMinProcs = 32;
 
 void relaxed_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
                      HierVariant variant, Rect* out) {
+  RECTPART_COUNT(kHierNodes, 1);
   if (m == 1) {
     *out = r;
     return;
@@ -145,6 +148,7 @@ void relaxed_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
 }  // namespace
 
 Partition hier_relaxed(const PrefixSum2D& ps, int m, const HierOptions& opt) {
+  RECTPART_SPAN("hier-relaxed");
   Partition part;
   part.rects.assign(m, Rect{});
   relaxed_recurse(ps, Rect{0, ps.rows(), 0, ps.cols()}, m, 0, opt.variant,

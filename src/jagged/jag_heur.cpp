@@ -7,6 +7,7 @@
 
 #include "jagged/jag_detail.hpp"
 #include "jagged/jagged.hpp"
+#include "obs/trace.hpp"
 #include "oned/oned.hpp"
 #include "rectilinear/rectilinear.hpp"
 #include "util/parallel.hpp"
@@ -25,6 +26,7 @@ int default_mway_stripes(int m, int n1) {
 }
 
 Partition pq_heur_hor(const PrefixSum2D& ps, int m, int p) {
+  RECTPART_SPAN("jag-pq-heur");
   if (m % p != 0)
     throw std::invalid_argument("jag_pq_heur: stripes must divide m");
   const int q = m / p;
@@ -144,6 +146,7 @@ std::vector<int> allot_processors(const std::vector<std::int64_t>& loads,
 }
 
 Partition m_heur_hor(const PrefixSum2D& ps, int m, int p, Allotment rule) {
+  RECTPART_SPAN("jag-m-heur");
   const auto row_prefix = ps.row_projection_prefix();
   const oned::Cuts row_cuts =
       oned::nicol_plus(oned::PrefixOracle(row_prefix), p).cuts;

@@ -27,6 +27,7 @@
 #include "core/metrics.hpp"
 #include "jagged/jag_detail.hpp"
 #include "jagged/jagged.hpp"
+#include "obs/trace.hpp"
 #include "oned/oned.hpp"
 #include "rectilinear/rectilinear.hpp"
 #include "util/parallel.hpp"
@@ -167,6 +168,7 @@ bool pq_feasible(const PrefixSum2D& ps, int p, int q, std::int64_t B,
 }
 
 Partition pq_opt_hor(const PrefixSum2D& ps, int m, int p) {
+  RECTPART_SPAN("jag-pq-opt");
   if (m % p != 0)
     throw std::invalid_argument("jag_pq_opt: stripes must divide m");
   const int q = m / p;
@@ -304,6 +306,7 @@ Partition jag_pq_opt(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
 Partition jag_m_opt(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
   return jag_detail::with_orientation(
       ps, opt.orientation, [m](const PrefixSum2D& view) {
+        RECTPART_SPAN("jag-m-opt");
         const std::int64_t b = m_opt_bottleneck_hor(view, m);
         return m_opt_extract(view, m, b);
       });

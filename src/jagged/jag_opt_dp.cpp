@@ -16,6 +16,8 @@
 #include "jagged/jag_detail.hpp"
 #include "jagged/jagged.hpp"
 #include "jagged/stripe_opt_cache.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "oned/oned.hpp"
 #include "rectilinear/rectilinear.hpp"
 #include "util/parallel.hpp"
@@ -46,6 +48,7 @@ class StripeOptOracle {
 };
 
 Partition pq_opt_dp_hor(const PrefixSum2D& ps, int m, int p) {
+  RECTPART_SPAN("jag-pq-opt-dp");
   const int q = m / p;
   StripeOptCache cache(ps);
   StripeOptOracle oracle(cache, ps.rows(), q);
@@ -96,6 +99,11 @@ class MWayDp {
       const std::int64_t cached = value_[slot].load(std::memory_order_acquire);
       if (cached >= 0) return cached;
     }
+    // Counts state *evaluations*, not distinct states: lanes racing on the
+    // same unsolved state each count one, so the value is a (scheduling-
+    // dependent) measure of the duplicated work the lock-free memo trades
+    // for — exactly what the work-stealing decision needs to see.
+    RECTPART_COUNT(kMWayDpCells, 1);
 
     // Each lane x finds its own best (value, k) pair; lanes only read memo
     // state and the stripe cache, both safe under concurrent access.
@@ -204,6 +212,7 @@ Partition jag_m_opt_dp(const PrefixSum2D& ps, int m,
                        const JaggedOptions& opt) {
   return jag_detail::with_orientation(
       ps, opt.orientation, [m](const PrefixSum2D& view) {
+        RECTPART_SPAN("jag-m-opt-dp");
         MWayDp dp(view, m);
         dp.solve(view.rows(), m);
         return dp.extract();

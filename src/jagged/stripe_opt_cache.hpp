@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "jagged/jagged.hpp"
+#include "obs/counters.hpp"
 #include "oned/oned.hpp"
 #include "prefix/prefix_sum.hpp"
 #include "util/rng.hpp"
@@ -47,14 +48,18 @@ class StripeOptCache {
                   static_cast<std::uint64_t>(x)};
     Shard& shard = shards_[shard_of(key)];
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      const std::unique_lock<std::mutex> lock = lock_shard(shard);
       const auto it = shard.memo.find(key);
-      if (it != shard.memo.end()) return it->second;
+      if (it != shard.memo.end()) {
+        RECTPART_COUNT(kStripeCacheHits, 1);
+        return it->second;
+      }
     }
+    RECTPART_COUNT(kStripeCacheMisses, 1);
     StripeColsOracle o(ps_, a, b);
     const std::int64_t v = oned::nicol_plus(o, x).bottleneck;
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      const std::unique_lock<std::mutex> lock = lock_shard(shard);
       shard.memo.emplace(key, v);
     }
     return v;
@@ -79,6 +84,18 @@ class StripeOptCache {
     std::mutex mutex;
     std::unordered_map<Key, std::int64_t, KeyHash> memo;
   };
+
+  /// Locks the shard, counting the acquisitions that actually had to wait —
+  /// the "shard contention" work counter that tells us whether 64 shards
+  /// are still enough as the DP sweeps get wider.
+  static std::unique_lock<std::mutex> lock_shard(Shard& shard) {
+    std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      RECTPART_COUNT(kStripeCacheContention, 1);
+      lock.lock();
+    }
+    return lock;
+  }
 
   static constexpr std::size_t kShards = 64;
 

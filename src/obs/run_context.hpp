@@ -1,0 +1,59 @@
+// RunContext: the per-run observability context threaded through the
+// Partitioner API (core/partitioner.hpp).
+//
+// A RunContext is a stats sink plus an optional deadline.  Partitioner::run
+// captures the counter activity of each run into ctx.counters (a delta of
+// the global work counters, merged across runs sharing the context) and
+// accumulates wall time in ctx.ms, so harnesses get per-run work metrics
+// without touching the global registry themselves.
+//
+// The deadline is cooperative: Partitioner::run refuses to start once it has
+// passed (throwing DeadlineExceeded), and long-running implementations may
+// poll deadline_expired() at safe points.  Deadlines trade the determinism
+// contract for bounded latency — a run cut short by wall clock is not
+// bit-reproducible — so nothing sets one by default.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+#include "obs/counters.hpp"
+
+namespace rectpart {
+
+/// Thrown by Partitioner::run when the context's deadline has passed.
+struct DeadlineExceeded : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class RunContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RunContext() = default;
+
+  /// Context whose deadline is `timeout` from now.
+  [[nodiscard]] static RunContext with_deadline(Clock::duration timeout) {
+    RunContext ctx;
+    ctx.deadline = Clock::now() + timeout;
+    return ctx;
+  }
+
+  /// Absolute cooperative deadline; nullopt (the default) means none.
+  std::optional<Clock::time_point> deadline;
+
+  /// Work-counter activity of every run executed with this context: sums
+  /// accumulate across runs, watermarks keep the maximum.  With
+  /// -DRECTPART_OBS=0 this stays all-zero.
+  obs::CounterSnapshot counters;
+
+  /// Total wall time (milliseconds) of the runs executed with this context.
+  double ms = 0;
+
+  [[nodiscard]] bool deadline_expired() const {
+    return deadline.has_value() && Clock::now() >= *deadline;
+  }
+};
+
+}  // namespace rectpart

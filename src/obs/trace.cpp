@@ -1,0 +1,137 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rectpart::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_enabled{false};
+
+/// Nanoseconds since the process-wide trace epoch (latched on first use, so
+/// every thread's timestamps share one origin).
+std::uint64_t now_ns() {
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+struct Event {
+  std::string name;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+/// Per-thread event buffer; like the counter blocks, buffers are retired
+/// (kept, with a dead owner) when their thread exits so no events are lost.
+struct Buffer {
+  std::uint32_t tid;
+  std::vector<Event> events;
+  std::mutex mutex;  // owner appends; reset/export drain concurrently
+};
+
+std::mutex& buffers_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<std::unique_ptr<Buffer>>& buffers() {
+  static auto* b = new std::vector<std::unique_ptr<Buffer>>();
+  return *b;
+}
+
+Buffer& local_buffer() {
+  thread_local Buffer* t_buffer = nullptr;
+  if (t_buffer == nullptr) {
+    auto owned = std::make_unique<Buffer>();
+    t_buffer = owned.get();
+    std::lock_guard<std::mutex> lock(buffers_mutex());
+    owned->tid = static_cast<std::uint32_t>(buffers().size());
+    buffers().push_back(std::move(owned));
+  }
+  return *t_buffer;
+}
+
+}  // namespace
+
+bool trace_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void trace_enable(bool on) {
+  now_ns();  // latch the epoch before the first span can observe it
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void trace_reset() {
+  std::lock_guard<std::mutex> lock(buffers_mutex());
+  for (const auto& b : buffers()) {
+    std::lock_guard<std::mutex> inner(b->mutex);
+    b->events.clear();
+  }
+}
+
+std::size_t trace_event_count() {
+  std::lock_guard<std::mutex> lock(buffers_mutex());
+  std::size_t n = 0;
+  for (const auto& b : buffers()) {
+    std::lock_guard<std::mutex> inner(b->mutex);
+    n += b->events.size();
+  }
+  return n;
+}
+
+void Span::begin(const char* name) {
+  name_ = name;
+  start_ns_ = now_ns();
+  armed_ = true;
+}
+
+void Span::end() {
+  const std::uint64_t dur = now_ns() - start_ns_;
+  Buffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(Event{std::move(name_), start_ns_, dur});
+}
+
+bool trace_write_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"traceEvents\": [", f);
+  bool first = true;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mutex());
+    for (const auto& b : buffers()) {
+      std::lock_guard<std::mutex> inner(b->mutex);
+      for (const Event& e : b->events) {
+        // Escape the name defensively; span names are normally literals
+        // without special characters.
+        std::string name;
+        name.reserve(e.name.size());
+        for (const char c : e.name) {
+          if (c == '"' || c == '\\') name.push_back('\\');
+          if (static_cast<unsigned char>(c) >= 0x20) name.push_back(c);
+        }
+        std::fprintf(f,
+                     "%s\n  {\"name\": \"%s\", \"cat\": \"rectpart\", "
+                     "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                     "\"pid\": 1, \"tid\": %u}",
+                     first ? "" : ",", name.c_str(),
+                     static_cast<double>(e.start_ns) / 1e3,
+                     static_cast<double>(e.dur_ns) / 1e3, b->tid);
+        first = false;
+      }
+    }
+  }
+  std::fputs("\n], \"displayTimeUnit\": \"ms\"}\n", f);
+  return std::fclose(f) == 0;
+}
+
+}  // namespace rectpart::obs

@@ -1,0 +1,77 @@
+// Scoped span tracing exported as chrome://tracing JSON.
+//
+// Hot functions mark themselves with RECTPART_SPAN("jag-pq-opt-dp"); when
+// tracing is enabled (CLI/bench flag --trace=out.json) every span records a
+// begin/end pair into a per-thread buffer, and trace_write_json() merges the
+// buffers into a Trace Event Format file that chrome://tracing and Perfetto
+// load directly.  When tracing is disabled a span costs one relaxed atomic
+// load; with -DRECTPART_OBS=0 the macro vanishes entirely.
+//
+// Span names should be string literals (they are copied only when a trace is
+// being recorded, so dynamic names are allowed but allocate per span).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/counters.hpp"  // for RECTPART_OBS_ENABLED
+
+namespace rectpart::obs {
+
+/// Whether spans currently record events.
+[[nodiscard]] bool trace_enabled();
+
+/// Turns recording on/off.  Enabling does not clear previously recorded
+/// events; call trace_reset() for a fresh trace.
+void trace_enable(bool on);
+
+/// Drops every buffered event.
+void trace_reset();
+
+/// Number of completed spans buffered so far (in-flight spans excluded).
+[[nodiscard]] std::size_t trace_event_count();
+
+/// Writes the buffered events as Trace Event Format JSON:
+///   {"traceEvents": [{"name": ..., "ph": "X", "ts": ..., "dur": ...,
+///                     "pid": 1, "tid": ...}, ...],
+///    "displayTimeUnit": "ms"}
+/// Timestamps are microseconds since the first event of the process.
+/// Returns false when the file cannot be written.
+bool trace_write_json(const std::string& path);
+
+/// RAII span.  Construction samples the clock only when tracing is enabled;
+/// destruction completes the event into the calling thread's buffer.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (trace_enabled()) begin(name);
+  }
+  explicit Span(const std::string& name) {
+    if (trace_enabled()) begin(name.c_str());
+  }
+  ~Span() {
+    if (armed_) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace rectpart::obs
+
+#if RECTPART_OBS_ENABLED
+#define RECTPART_OBS_CONCAT2(a, b) a##b
+#define RECTPART_OBS_CONCAT(a, b) RECTPART_OBS_CONCAT2(a, b)
+#define RECTPART_SPAN(name) \
+  ::rectpart::obs::Span RECTPART_OBS_CONCAT(rectpart_span_, __LINE__) { name }
+#else
+#define RECTPART_SPAN(name) ((void)0)
+#endif

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "obs/counters.hpp"
 #include "oned/cuts.hpp"
 #include "oned/oracle.hpp"
 
@@ -22,6 +23,7 @@ namespace rectpart::oned {
 template <IntervalOracle O>
 [[nodiscard]] bool probe_suffix(const O& o, int from, int m, std::int64_t B,
                                 Cuts* out = nullptr) {
+  RECTPART_COUNT(kOnedProbeCalls, 1);
   if (B < 0 || m <= 0) return false;
   const int n = o.size();
   if (out) {
@@ -52,6 +54,7 @@ template <IntervalOracle O>
 template <IntervalOracle O>
 [[nodiscard]] std::optional<int> min_parts_within(const O& o, int from, int to,
                                                   std::int64_t B, int cap) {
+  RECTPART_COUNT(kOnedProbeCalls, 1);
   if (B < 0) return std::nullopt;
   int pos = from;
   int parts = 0;

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace rectpart {
@@ -85,6 +87,7 @@ void PicMagSimulator::step() {
   parallel_for(blocks, [&](std::size_t blk) {
     const std::size_t lo = blk * kPushBlock;
     const std::size_t hi = std::min(n, lo + kPushBlock);
+    RECTPART_COUNT(kPicmagParticlesPushed, hi - lo);
     for (std::size_t i = lo; i < hi; ++i) {
       // Out-of-plane dipole-like field: |B| ~ mu / r^3 (softened).  The Boris
       // half-angle rotation preserves speed, so particles gyrate tightly near
@@ -115,6 +118,7 @@ void PicMagSimulator::step() {
 }
 
 LoadMatrix PicMagSimulator::deposit() const {
+  RECTPART_SPAN("picmag-deposit");
   const int n1 = config_.n1;
   const int n2 = config_.n2;
   const std::size_t n = px_.size();
@@ -215,8 +219,11 @@ LoadMatrix PicMagSimulator::snapshot_at(int iteration) {
         "order");
   const int target = iteration / kSnapshotStride;
   const int current = iteration_ / kSnapshotStride;
-  for (int w = current; w < target; ++w)
-    for (int s = 0; s < config_.substeps_per_snapshot; ++s) step();
+  {
+    RECTPART_SPAN("picmag-push");
+    for (int w = current; w < target; ++w)
+      for (int s = 0; s < config_.substeps_per_snapshot; ++s) step();
+  }
   iteration_ = iteration;
   return deposit();
 }

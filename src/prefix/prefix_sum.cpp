@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace rectpart {
@@ -21,6 +22,7 @@ std::vector<int> block_bounds(int n, int parts) {
 }  // namespace
 
 PrefixSum2D::PrefixSum2D(const LoadMatrix& a) : n1_(a.rows()), n2_(a.cols()) {
+  RECTPART_SPAN("prefix-build");
   const std::size_t stride = static_cast<std::size_t>(n2_) + 1;
   ps_.assign((static_cast<std::size_t>(n1_) + 1) * stride, 0);
   if (n1_ == 0 || n2_ == 0) return;

@@ -1,8 +1,11 @@
 // Registration of every algorithm variant evaluated in the paper under its
-// Section 4.1 name (lower-cased).  The unsuffixed aliases follow the paper's
-// Section 4.2 conclusions: "hier-rb" means HIER-RB-LOAD, "hier-relaxed"
-// means HIER-RELAXED-LOAD, and the jagged names mean their -BEST variants.
+// Section 4.1 name (lower-cased), with PartitionerInfo metadata (family,
+// exact/heuristic, paper section).  The unsuffixed aliases follow the
+// paper's Section 4.2 conclusions: "hier-rb" means HIER-RB-LOAD,
+// "hier-relaxed" means HIER-RELAXED-LOAD, and the jagged names mean their
+// -BEST variants.
 #include <atomic>
+#include <utility>
 
 #include "core/partitioner.hpp"
 #include "hier/hier.hpp"
@@ -14,41 +17,34 @@ namespace rectpart {
 
 namespace {
 
-/// Adapts a plain callable to the Partitioner interface.
-class LambdaPartitioner final : public Partitioner {
- public:
-  using Fn = Partition (*)(const PrefixSum2D&, int);
-
-  LambdaPartitioner(std::string name, Fn fn)
-      : name_(std::move(name)), fn_(fn) {}
-
-  [[nodiscard]] std::string name() const override { return name_; }
-  [[nodiscard]] Partition run(const PrefixSum2D& ps, int m) const override {
-    return fn_(ps, m);
-  }
-
- private:
-  std::string name_;
-  Fn fn_;
-};
-
-void add(const std::string& name, LambdaPartitioner::Fn fn) {
-  register_partitioner(name, [name, fn]() {
-    return std::make_unique<LambdaPartitioner>(name, fn);
-  });
+void add(const std::string& name, const std::string& family, bool exact,
+         const std::string& paper_section, LambdaPartitioner::Fn fn) {
+  register_partitioner(
+      name,
+      [name, fn = std::move(fn)]() {
+        return std::make_unique<LambdaPartitioner>(name, fn);
+      },
+      PartitionerInfo{name, family, exact, paper_section});
 }
 
-template <Orientation O>
-JaggedOptions jag_opts() {
+/// Most built-ins ignore the RunContext (the base class captures their
+/// counters regardless); this adapts the common (ps, m) shape.
+template <typename F>
+LambdaPartitioner::Fn no_ctx(F f) {
+  return [f = std::move(f)](const PrefixSum2D& ps, int m, RunContext&) {
+    return f(ps, m);
+  };
+}
+
+JaggedOptions jag_opts(Orientation o) {
   JaggedOptions opt;
-  opt.orientation = O;
+  opt.orientation = o;
   return opt;
 }
 
-template <HierVariant V>
-HierOptions hier_opts() {
+HierOptions hier_opts(HierVariant v) {
   HierOptions opt;
-  opt.variant = V;
+  opt.variant = v;
   return opt;
 }
 
@@ -59,91 +55,70 @@ void register_builtin_partitioners() {
   if (done.exchange(true)) return;
 
   // Rectilinear (Section 3.1).
-  add("rect-uniform",
-      [](const PrefixSum2D& ps, int m) { return rect_uniform(ps, m); });
-  add("rect-nicol",
-      [](const PrefixSum2D& ps, int m) { return rect_nicol(ps, m); });
+  add("rect-uniform", "rectilinear", false, "3.1",
+      no_ctx([](const PrefixSum2D& ps, int m) { return rect_uniform(ps, m); }));
+  add("rect-nicol", "rectilinear", false, "3.1",
+      no_ctx([](const PrefixSum2D& ps, int m) { return rect_nicol(ps, m); }));
 
-  // P x Q-way jagged (Section 3.2.1).
-  add("jag-pq-heur-hor", [](const PrefixSum2D& ps, int m) {
-    return jag_pq_heur(ps, m, jag_opts<Orientation::kHorizontal>());
-  });
-  add("jag-pq-heur-ver", [](const PrefixSum2D& ps, int m) {
-    return jag_pq_heur(ps, m, jag_opts<Orientation::kVertical>());
-  });
-  add("jag-pq-heur", [](const PrefixSum2D& ps, int m) {
-    return jag_pq_heur(ps, m, jag_opts<Orientation::kBest>());
-  });
-  add("jag-pq-opt-hor", [](const PrefixSum2D& ps, int m) {
-    return jag_pq_opt(ps, m, jag_opts<Orientation::kHorizontal>());
-  });
-  add("jag-pq-opt-ver", [](const PrefixSum2D& ps, int m) {
-    return jag_pq_opt(ps, m, jag_opts<Orientation::kVertical>());
-  });
-  add("jag-pq-opt", [](const PrefixSum2D& ps, int m) {
-    return jag_pq_opt(ps, m, jag_opts<Orientation::kBest>());
-  });
+  // P x Q-way jagged (Section 3.2.1).  The options are captured values, so
+  // each variant is one registration instead of one template instantiation.
+  const auto add_jagged = [](const std::string& name, bool exact,
+                             const std::string& section, auto algo,
+                             Orientation o) {
+    add(name, "jagged", exact, section,
+        no_ctx([algo, opt = jag_opts(o)](const PrefixSum2D& ps, int m) {
+          return algo(ps, m, opt);
+        }));
+  };
+  add_jagged("jag-pq-heur-hor", false, "3.2.1", jag_pq_heur,
+             Orientation::kHorizontal);
+  add_jagged("jag-pq-heur-ver", false, "3.2.1", jag_pq_heur,
+             Orientation::kVertical);
+  add_jagged("jag-pq-heur", false, "3.2.1", jag_pq_heur, Orientation::kBest);
+  add_jagged("jag-pq-opt-hor", true, "3.2.1", jag_pq_opt,
+             Orientation::kHorizontal);
+  add_jagged("jag-pq-opt-ver", true, "3.2.1", jag_pq_opt,
+             Orientation::kVertical);
+  add_jagged("jag-pq-opt", true, "3.2.1", jag_pq_opt, Orientation::kBest);
 
   // m-way jagged (Section 3.2.2).
-  add("jag-m-heur-hor", [](const PrefixSum2D& ps, int m) {
-    return jag_m_heur(ps, m, jag_opts<Orientation::kHorizontal>());
-  });
-  add("jag-m-heur-ver", [](const PrefixSum2D& ps, int m) {
-    return jag_m_heur(ps, m, jag_opts<Orientation::kVertical>());
-  });
-  add("jag-m-heur", [](const PrefixSum2D& ps, int m) {
-    return jag_m_heur(ps, m, jag_opts<Orientation::kBest>());
-  });
-  add("jag-m-heur-auto", [](const PrefixSum2D& ps, int m) {
-    return jag_m_heur_auto(ps, m, jag_opts<Orientation::kBest>());
-  });
-  add("jag-m-opt-hor", [](const PrefixSum2D& ps, int m) {
-    return jag_m_opt(ps, m, jag_opts<Orientation::kHorizontal>());
-  });
-  add("jag-m-opt-ver", [](const PrefixSum2D& ps, int m) {
-    return jag_m_opt(ps, m, jag_opts<Orientation::kVertical>());
-  });
-  add("jag-m-opt", [](const PrefixSum2D& ps, int m) {
-    return jag_m_opt(ps, m, jag_opts<Orientation::kBest>());
-  });
+  add_jagged("jag-m-heur-hor", false, "3.2.2", jag_m_heur,
+             Orientation::kHorizontal);
+  add_jagged("jag-m-heur-ver", false, "3.2.2", jag_m_heur,
+             Orientation::kVertical);
+  add_jagged("jag-m-heur", false, "3.2.2", jag_m_heur, Orientation::kBest);
+  add_jagged("jag-m-heur-auto", false, "3.2.2", jag_m_heur_auto,
+             Orientation::kBest);
+  add_jagged("jag-m-opt-hor", true, "3.2.2", jag_m_opt,
+             Orientation::kHorizontal);
+  add_jagged("jag-m-opt-ver", true, "3.2.2", jag_m_opt,
+             Orientation::kVertical);
+  add_jagged("jag-m-opt", true, "3.2.2", jag_m_opt, Orientation::kBest);
 
   // Hierarchical bipartitions (Section 3.3).
-  add("hier-rb-load", [](const PrefixSum2D& ps, int m) {
-    return hier_rb(ps, m, hier_opts<HierVariant::kLoad>());
-  });
-  add("hier-rb-dist", [](const PrefixSum2D& ps, int m) {
-    return hier_rb(ps, m, hier_opts<HierVariant::kDist>());
-  });
-  add("hier-rb-hor", [](const PrefixSum2D& ps, int m) {
-    return hier_rb(ps, m, hier_opts<HierVariant::kHor>());
-  });
-  add("hier-rb-ver", [](const PrefixSum2D& ps, int m) {
-    return hier_rb(ps, m, hier_opts<HierVariant::kVer>());
-  });
-  add("hier-rb", [](const PrefixSum2D& ps, int m) {
-    return hier_rb(ps, m, hier_opts<HierVariant::kLoad>());
-  });
-  add("hier-relaxed-load", [](const PrefixSum2D& ps, int m) {
-    return hier_relaxed(ps, m, hier_opts<HierVariant::kLoad>());
-  });
-  add("hier-relaxed-dist", [](const PrefixSum2D& ps, int m) {
-    return hier_relaxed(ps, m, hier_opts<HierVariant::kDist>());
-  });
-  add("hier-relaxed-hor", [](const PrefixSum2D& ps, int m) {
-    return hier_relaxed(ps, m, hier_opts<HierVariant::kHor>());
-  });
-  add("hier-relaxed-ver", [](const PrefixSum2D& ps, int m) {
-    return hier_relaxed(ps, m, hier_opts<HierVariant::kVer>());
-  });
-  add("hier-relaxed", [](const PrefixSum2D& ps, int m) {
-    return hier_relaxed(ps, m, hier_opts<HierVariant::kLoad>());
-  });
-  add("hier-opt",
-      [](const PrefixSum2D& ps, int m) { return hier_opt(ps, m); });
+  const auto add_hier = [](const std::string& name, auto algo,
+                           HierVariant v) {
+    add(name, "hierarchical", false, "3.3",
+        no_ctx([algo, opt = hier_opts(v)](const PrefixSum2D& ps, int m) {
+          return algo(ps, m, opt);
+        }));
+  };
+  add_hier("hier-rb-load", hier_rb, HierVariant::kLoad);
+  add_hier("hier-rb-dist", hier_rb, HierVariant::kDist);
+  add_hier("hier-rb-hor", hier_rb, HierVariant::kHor);
+  add_hier("hier-rb-ver", hier_rb, HierVariant::kVer);
+  add_hier("hier-rb", hier_rb, HierVariant::kLoad);
+  add_hier("hier-relaxed-load", hier_relaxed, HierVariant::kLoad);
+  add_hier("hier-relaxed-dist", hier_relaxed, HierVariant::kDist);
+  add_hier("hier-relaxed-hor", hier_relaxed, HierVariant::kHor);
+  add_hier("hier-relaxed-ver", hier_relaxed, HierVariant::kVer);
+  add_hier("hier-relaxed", hier_relaxed, HierVariant::kLoad);
+  add("hier-opt", "hierarchical", true, "3.3",
+      no_ctx([](const PrefixSum2D& ps, int m) { return hier_opt(ps, m); }));
 
   // More general recursive schemes (Section 3.4, Figure 1(e)).
-  add("spiral-opt",
-      [](const PrefixSum2D& ps, int m) { return spiral_opt(ps, m); });
+  add("spiral-opt", "recursive", true, "3.4",
+      no_ctx([](const PrefixSum2D& ps, int m) { return spiral_opt(ps, m); }));
 }
 
 }  // namespace rectpart

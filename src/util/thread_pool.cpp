@@ -94,9 +94,11 @@ void ThreadPool::parallel_for(std::size_t n,
   // returned must not touch the (dead) callable, and it never does — the
   // counter is exhausted by then, so the pointer is never dereferenced.
   const auto drain = [](State& s, const std::function<void(std::size_t)>* fn) {
+    std::uint64_t claimed = 0;
     for (;;) {
       const std::size_t i = s.next.fetch_add(1);
-      if (i >= s.n) return;
+      if (i >= s.n) break;
+      ++claimed;
       try {
         (*fn)(i);
       } catch (...) {
@@ -111,6 +113,9 @@ void ThreadPool::parallel_for(std::size_t n,
         s.cv.notify_all();
       }
     }
+    // Per-lane batch add: how iterations distribute across claimants is the
+    // scheduling signal micro_threads reports (see DESIGN.md §observability).
+    RECTPART_COUNT(kPoolTasksClaimed, claimed);
   };
 
   // Fan out lanes, then join the loop from the calling thread.  Lanes are

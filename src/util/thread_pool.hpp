@@ -26,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/counters.hpp"
+
 namespace rectpart {
 
 /// Fixed-size worker pool.  Tasks are arbitrary `void()` callables; submit()
@@ -54,6 +56,9 @@ class ThreadPool {
         throw std::runtime_error(
             "ThreadPool::submit called on a stopped pool");
       queue_.emplace([task]() { (*task)(); });
+      // The deepest queue ever observed: the roadmap's work-stealing-deque
+      // decision hinges on whether this shared queue actually backs up.
+      RECTPART_COUNT_MAX(kPoolQueueHighWatermark, queue_.size());
     }
     cv_.notify_one();
     return fut;

@@ -1,0 +1,354 @@
+// Observability layer: counter semantics (merge/delta/watermark), the
+// thread-count invariance of the deterministic work counters, RunContext
+// capture through the Partitioner API, and the chrome://tracing JSON export.
+//
+// Counter-value assertions only hold when the layer is compiled in, so they
+// are gated on RECTPART_OBS_ENABLED; the structural tests (snapshot algebra,
+// JSON shape) run in both configurations — with RECTPART_OBS=0 the snapshots
+// simply stay zero, which the algebra handles.
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/partitioner.hpp"
+#include "jagged/jagged.hpp"
+#include "obs/run_context.hpp"
+#include "obs/trace.hpp"
+#include "testing_util.hpp"
+#include "util/parallel.hpp"
+
+namespace rectpart {
+namespace {
+
+using obs::Counter;
+using obs::CounterSnapshot;
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON validator: accepts exactly the RFC 8259
+// grammar (objects, arrays, strings with escapes, numbers, literals).  The
+// trace test only needs a yes/no answer, not a DOM.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0)
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_)
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+      ++pos_;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_builtin_partitioners();
+    set_threads(1);
+  }
+  void TearDown() override { set_threads(1); }
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot algebra: pure value semantics, independent of RECTPART_OBS.
+
+TEST_F(ObsTest, SnapshotDeltaSubtractsSumsAndKeepsWatermarks) {
+  CounterSnapshot before, after;
+  before.v[static_cast<int>(Counter::kOnedProbeCalls)] = 100;
+  after.v[static_cast<int>(Counter::kOnedProbeCalls)] = 142;
+  before.v[static_cast<int>(Counter::kPoolQueueHighWatermark)] = 9;
+  after.v[static_cast<int>(Counter::kPoolQueueHighWatermark)] = 7;
+
+  const CounterSnapshot d = after.delta_since(before);
+  EXPECT_EQ(d[Counter::kOnedProbeCalls], 42u);
+  // A watermark cannot be un-observed: the delta carries the later value.
+  EXPECT_EQ(d[Counter::kPoolQueueHighWatermark], 7u);
+}
+
+TEST_F(ObsTest, SnapshotMergeAddsSumsAndMaxesWatermarks) {
+  CounterSnapshot a, b;
+  a.v[static_cast<int>(Counter::kMWayDpCells)] = 10;
+  b.v[static_cast<int>(Counter::kMWayDpCells)] = 5;
+  a.v[static_cast<int>(Counter::kPoolQueueHighWatermark)] = 3;
+  b.v[static_cast<int>(Counter::kPoolQueueHighWatermark)] = 8;
+
+  a.merge(b);
+  EXPECT_EQ(a[Counter::kMWayDpCells], 15u);
+  EXPECT_EQ(a[Counter::kPoolQueueHighWatermark], 8u);
+}
+
+TEST_F(ObsTest, CounterMetadataIsConsistent) {
+  for (int i = 0; i < obs::kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    ASSERT_NE(obs::counter_name(c), nullptr);
+    EXPECT_GT(std::string(obs::counter_name(c)).size(), 0u);
+    // The only watermark today is the pool queue depth; watermarks are by
+    // nature scheduling-dependent.
+    if (obs::counter_is_watermark(c)) {
+      EXPECT_TRUE(obs::counter_scheduling_dependent(c))
+          << obs::counter_name(c);
+    }
+  }
+}
+
+TEST_F(ObsTest, SnapshotJsonIsValidAndNamesEveryCounter) {
+  CounterSnapshot s;
+  for (int i = 0; i < obs::kCounterCount; ++i)
+    s.v[i] = static_cast<std::uint64_t>(i) * 7 + 1;
+  const std::string json = s.to_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  for (int i = 0; i < obs::kCounterCount; ++i) {
+    const std::string key =
+        '"' + std::string(obs::counter_name(static_cast<Counter>(i))) + '"';
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live counting through the Partitioner API.
+
+#if RECTPART_OBS_ENABLED
+
+TEST_F(ObsTest, RunContextCapturesWorkOfTheRun) {
+  const LoadMatrix a = testing::random_matrix(32, 32, 1, 9, 11);
+  const PrefixSum2D ps(a);
+  const auto algo = make_partitioner("jag-m-heur");
+
+  RunContext ctx;
+  (void)algo->run(ps, 16, ctx);
+  // A jagged heuristic cannot place its cuts without probing 1-D solutions.
+  EXPECT_GT(ctx.counters[Counter::kOnedProbeCalls], 0u);
+  EXPECT_GE(ctx.ms, 0.0);
+
+  // The context accumulates across runs.
+  const std::uint64_t after_one = ctx.counters[Counter::kOnedProbeCalls];
+  (void)algo->run(ps, 16, ctx);
+  EXPECT_GE(ctx.counters[Counter::kOnedProbeCalls], 2 * after_one);
+}
+
+TEST_F(ObsTest, CountersResetZeroesTheTotals) {
+  const LoadMatrix a = testing::random_matrix(16, 16, 1, 9, 3);
+  const PrefixSum2D ps(a);
+  (void)make_partitioner("jag-m-heur")->run(ps, 8);
+  EXPECT_GT(obs::counters_snapshot()[Counter::kOnedProbeCalls], 0u);
+
+  obs::counters_reset();
+  const CounterSnapshot zero = obs::counters_snapshot();
+  for (int i = 0; i < obs::kCounterCount; ++i)
+    EXPECT_EQ(zero.v[i], 0u) << obs::counter_name(static_cast<Counter>(i));
+}
+
+// The determinism contract fixes the *partition* at any thread count; the
+// deterministic counters extend it to the work performed.  Only algorithms
+// whose control flow is thread-invariant qualify: the opt engines size
+// internal candidate sets by num_threads() (see jag_opt.cpp min_feasible),
+// so their probe counts legitimately differ — DESIGN.md §observability.
+TEST_F(ObsTest, DeterministicCountersAreThreadCountInvariant) {
+  const LoadMatrix a = testing::random_matrix(48, 48, 0, 9, 23);
+  const PrefixSum2D ps(a);
+
+  for (const char* name :
+       {"rect-nicol", "jag-pq-heur", "jag-m-heur", "hier-rb",
+        "hier-relaxed"}) {
+    const auto algo = make_partitioner(name);
+
+    set_threads(1);
+    RunContext seq;
+    const Partition p1 = algo->run(ps, 12, seq);
+
+    set_threads(8);
+    RunContext par;
+    const Partition p8 = algo->run(ps, 12, par);
+    set_threads(1);
+
+    ASSERT_EQ(p1.rects, p8.rects) << name;
+    for (int i = 0; i < obs::kCounterCount; ++i) {
+      const auto c = static_cast<Counter>(i);
+      if (obs::counter_scheduling_dependent(c)) continue;
+      EXPECT_EQ(seq.counters[c], par.counters[c])
+          << name << ": " << obs::counter_name(c);
+    }
+  }
+}
+
+TEST_F(ObsTest, DpAndCacheCountersFireOnTheDpEngines) {
+  // The DP reference solvers (jag_opt_dp.cpp) are library functions, not
+  // registry entries, so measure them through the global snapshot.
+  const LoadMatrix a = testing::random_matrix(24, 24, 1, 9, 5);
+  const PrefixSum2D ps(a);
+
+  const CounterSnapshot before = obs::counters_snapshot();
+  JaggedOptions hor;
+  hor.orientation = Orientation::kHorizontal;
+  (void)jag_m_opt_dp(ps, 8, hor);
+  const CounterSnapshot work = obs::counters_snapshot().delta_since(before);
+  EXPECT_GT(work[Counter::kMWayDpCells], 0u);
+  EXPECT_GT(work[Counter::kStripeCacheMisses], 0u);
+}
+
+#endif  // RECTPART_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Span tracing.  The export path works in both builds (with RECTPART_OBS=0
+// the file is a valid trace with zero events).
+
+TEST_F(ObsTest, TraceExportsValidChromeTracingJson) {
+  obs::trace_reset();
+  obs::trace_enable(true);
+
+  const LoadMatrix a = testing::random_matrix(24, 24, 1, 9, 9);
+  const PrefixSum2D ps(a);
+  (void)make_partitioner("jag-m-heur")->run(ps, 8);
+  (void)make_partitioner("hier-relaxed")->run(ps, 8);
+
+  obs::trace_enable(false);
+  const std::string path =
+      ::testing::TempDir() + "rectpart_test_trace.json";
+  ASSERT_TRUE(obs::trace_write_json(path));
+
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(JsonValidator(text).valid()) << text.substr(0, 400);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+#if RECTPART_OBS_ENABLED
+  EXPECT_GT(obs::trace_event_count(), 0u);
+  // Partitioner::run opens a span named after the algorithm.
+  EXPECT_NE(text.find("jag-m-heur"), std::string::npos);
+  EXPECT_NE(text.find("hier-relaxed"), std::string::npos);
+#endif
+  std::remove(path.c_str());
+  obs::trace_reset();
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothing) {
+  obs::trace_reset();
+  ASSERT_FALSE(obs::trace_enabled());
+  const LoadMatrix a = testing::random_matrix(16, 16, 1, 9, 2);
+  const PrefixSum2D ps(a);
+  (void)make_partitioner("jag-m-heur")->run(ps, 4);
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rectpart

@@ -33,6 +33,41 @@ TEST_F(RegistryTest, UnknownNameThrows) {
                std::out_of_range);
 }
 
+TEST_F(RegistryTest, UnknownNameSuggestsClosestRegisteredName) {
+  // A one-character typo of "jag-m-heur" must suggest the real name.
+  try {
+    (void)make_partitioner("jag-m-heurr");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("jag-m-heurr"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("jag-m-heur"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(RegistryTest, InfoPopulatedForEveryBuiltin) {
+  for (const std::string& name : partitioner_names()) {
+    // Skip names other tests in this binary register (shuffle-safe).
+    if (name.rfind("test-", 0) == 0) continue;
+    const PartitionerInfo info = partitioner_info(name);
+    EXPECT_EQ(info.name, name);
+    EXPECT_FALSE(info.family.empty()) << name;
+    // Built-ins carry real metadata, not the 2-arg placeholder.
+    EXPECT_NE(info.family, "custom") << name;
+    EXPECT_FALSE(info.paper_section.empty()) << name;
+  }
+  EXPECT_THROW((void)partitioner_info("no-such-algorithm"),
+               std::out_of_range);
+}
+
+TEST_F(RegistryTest, InfoKindMatchesNamingConvention) {
+  EXPECT_STREQ(partitioner_info("jag-m-opt").kind(), "exact");
+  EXPECT_STREQ(partitioner_info("jag-m-heur").kind(), "heur");
+  EXPECT_STREQ(partitioner_info("hier-opt").kind(), "exact");
+  EXPECT_STREQ(partitioner_info("hier-relaxed").kind(), "heur");
+}
+
 TEST_F(RegistryTest, DuplicateRegistrationThrows) {
   EXPECT_THROW(
       register_partitioner("rect-uniform", []() {
@@ -64,6 +99,58 @@ TEST_F(RegistryTest, EveryRegisteredAlgorithmProducesValidPartitions) {
       ASSERT_TRUE(validate(p, 16, 16)) << name << " m=" << m;
     }
   }
+}
+
+TEST_F(RegistryTest, DefaultOverloadForwardsBitIdentically) {
+  // run(ps, m) must be run(ps, m, ctx) with the stats thrown away — the
+  // context only observes.  Checked for every registered algorithm.
+  const LoadMatrix a = testing::random_matrix(20, 20, 0, 9, 7);
+  const PrefixSum2D ps(a);
+  for (const std::string& name : partitioner_names()) {
+    const auto algo = make_partitioner(name);
+    const Partition plain = algo->run(ps, 6);
+    RunContext ctx;
+    const Partition with_ctx = algo->run(ps, 6, ctx);
+    EXPECT_EQ(plain.rects, with_ctx.rects) << name;
+    EXPECT_GE(ctx.ms, 0.0) << name;
+  }
+}
+
+TEST_F(RegistryTest, ExpiredDeadlineRefusesToRun) {
+  const LoadMatrix a = testing::random_matrix(16, 16, 0, 9, 1);
+  const PrefixSum2D ps(a);
+  const auto algo = make_partitioner("jag-m-heur");
+  RunContext ctx = RunContext::with_deadline(std::chrono::seconds(-1));
+  EXPECT_TRUE(ctx.deadline_expired());
+  EXPECT_THROW((void)algo->run(ps, 4, ctx), DeadlineExceeded);
+  // A generous deadline does not interfere.
+  RunContext ok = RunContext::with_deadline(std::chrono::hours(1));
+  EXPECT_NO_THROW((void)algo->run(ps, 4, ok));
+}
+
+TEST_F(RegistryTest, CapturingLambdaRegistersWithoutShims) {
+  // The point of the std::function-based LambdaPartitioner: closures with
+  // captured options register directly.  Registered state is process-global,
+  // so the name is unique to this test.
+  static bool registered = false;
+  const std::string name = "test-registry-capturing-lambda";
+  if (!registered) {
+    registered = true;
+    const int captured_m_cap = 3;
+    register_partitioner(name, [name, captured_m_cap]() {
+      return std::make_unique<LambdaPartitioner>(
+          name,
+          [captured_m_cap](const PrefixSum2D& ps, int m, RunContext& ctx) {
+            return make_partitioner("rect-uniform")
+                ->run(ps, std::min(m, captured_m_cap), ctx);
+          });
+    });
+  }
+  const LoadMatrix a = testing::random_matrix(12, 12, 0, 9, 3);
+  const PrefixSum2D ps(a);
+  const Partition p = make_partitioner(name)->run(ps, 2);
+  EXPECT_EQ(p.m(), 2);
+  EXPECT_EQ(partitioner_info(name).family, "custom");
 }
 
 }  // namespace
