@@ -8,11 +8,15 @@
 // Default sweeps finish in seconds on a laptop core; set RECTPART_FULL=1 for
 // the paper-scale sweeps.
 //
-// Benches additionally emit machine-readable BENCH_<name>.json records (one
-// JSON array of {algorithm, instance, m, threads, ms, imbalance} objects)
-// so successive PRs can track the performance trajectory; see BenchJson.
-// All binaries accept --threads=N (default: RECTPART_THREADS, then hardware
-// concurrency) to size the global execution layer.
+// Benches additionally emit machine-readable BENCH_<name>.json records
+// (schema v2: a provenance header plus {algorithm, instance, m, threads,
+// reps, ms, ms_min, ms_mad, imbalance, counters} objects) so successive PRs
+// can track the performance trajectory; see util/bench_json.hpp for the
+// writer and tools/benchstat for the validator/differ that gates the
+// trajectory in tier-1.  All binaries accept --threads=N (default:
+// RECTPART_THREADS, then hardware concurrency) to size the global execution
+// layer, and --reps=R to repeat each timed workload and report
+// min/median/MAD statistics.
 #pragma once
 
 #include <cstdio>
@@ -26,6 +30,7 @@
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "picmag/picmag.hpp"
+#include "util/bench_json.hpp"
 #include "util/flags.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -70,87 +75,70 @@ inline PicMagConfig picmag_config() { return PicMagConfig{}; }
 
 struct RunResult {
   double imbalance = 0;
-  double ms = 0;
+  double ms = 0;      // median over reps (a single run: that run's time)
+  double ms_min = 0;  // fastest repetition
+  double ms_mad = 0;  // median absolute deviation of the repetitions
+  int reps = 1;
   std::int64_t lmax = 0;
-  obs::CounterSnapshot counters;  // work done by this run (delta, not total)
+  obs::CounterSnapshot counters;  // final repetition's delta, not total
+
+  [[nodiscard]] RepStats stats() const {
+    RepStats s;
+    s.reps = reps;
+    s.min = ms_min;
+    s.median = ms;
+    s.mad = ms_mad;
+    return s;
+  }
 };
 
-/// Runs one registered algorithm and evaluates it.  The work counters
-/// captured by the RunContext ride along in the result, so benches can emit
-/// them next to the timings.
-inline RunResult run_algorithm(const Partitioner& algo, const PrefixSum2D& ps,
-                               int m) {
-  RunContext ctx;
-  const Partition p = algo.run(ps, m, ctx);
+/// Runs one registered algorithm `reps` times and evaluates it.  Timing
+/// statistics cover every repetition; the work counters are the *final*
+/// repetition's delta so records stay comparable across files with
+/// different --reps (for the deterministic counters every repetition is
+/// identical anyway).
+inline RunResult run_algorithm_reps(const Partitioner& algo,
+                                    const PrefixSum2D& ps, int m, int reps) {
+  if (reps < 1) reps = 1;
   RunResult r;
-  r.ms = ctx.ms;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  Partition p;
+  for (int i = 0; i < reps; ++i) {
+    RunContext ctx;  // fresh context: ctx.ms / ctx.counters are per-run
+    p = algo.run(ps, m, ctx);
+    samples.push_back(ctx.ms);
+    if (i + 1 == reps) r.counters = ctx.counters;
+  }
+  const RepStats stats = RepStats::of(std::move(samples));
+  r.reps = stats.reps;
+  r.ms = stats.median;
+  r.ms_min = stats.min;
+  r.ms_mad = stats.mad;
   r.lmax = p.max_load(ps);
   r.imbalance = imbalance_of(r.lmax, ps.total(), m);
-  r.counters = ctx.counters;
   return r;
 }
 
-/// Collects benchmark records and writes them as BENCH_<name>.json (a JSON
-/// array in the working directory) on destruction.  Writing is skipped when
-/// RECTPART_BENCH_JSON is set to a falsy value ("0", "off", ...), so wrapper
-/// scripts can disable the side files.
-class BenchJson {
+/// Single-repetition convenience wrapper.
+inline RunResult run_algorithm(const Partitioner& algo, const PrefixSum2D& ps,
+                               int m) {
+  return run_algorithm_reps(algo, ps, m, 1);
+}
+
+/// The shared v2 writer (util/bench_json.hpp) plus the harness-side
+/// convenience overload for run_algorithm / run_algorithm_reps results.
+class BenchJson : public rectpart::BenchJson {
  public:
-  explicit BenchJson(std::string name) : name_(std::move(name)) {
-    const char* v = std::getenv("RECTPART_BENCH_JSON");
-    enabled_ = v == nullptr || (std::string(v) != "0" &&
-                                std::string(v) != "off" &&
-                                std::string(v) != "false");
-  }
+  using rectpart::BenchJson::BenchJson;
+  using rectpart::BenchJson::record;
 
-  BenchJson(const BenchJson&) = delete;
-  BenchJson& operator=(const BenchJson&) = delete;
-
-  /// Appends one record; `threads` defaults to the current global width.
-  /// When `counters` is given, the record grows a "counters" object with the
-  /// run's work counts (see obs::CounterSnapshot::to_json).
-  void record(const std::string& algorithm, const std::string& instance,
-              int m, double ms, double imbalance, int threads = 0,
-              const obs::CounterSnapshot* counters = nullptr) {
-    if (!enabled_) return;
-    if (threads <= 0) threads = num_threads();
-    char buf[512];
-    std::snprintf(buf, sizeof(buf),
-                  "  {\"algorithm\": \"%s\", \"instance\": \"%s\", "
-                  "\"m\": %d, \"threads\": %d, \"ms\": %.6f, "
-                  "\"imbalance\": %.9f",
-                  algorithm.c_str(), instance.c_str(), m, threads, ms,
-                  imbalance);
-    std::string row(buf);
-    if (counters != nullptr)
-      row += ", \"counters\": " + counters->to_json();
-    row += "}";
-    rows_.push_back(std::move(row));
-  }
-
-  /// Convenience overload for run_algorithm results (carries the counters).
+  /// Records a run result (repetition statistics + counters ride along).
   void record(const std::string& algorithm, const std::string& instance,
               int m, const RunResult& r) {
-    record(algorithm, instance, m, r.ms, r.imbalance, 0, &r.counters);
+    record_stats(algorithm, instance, m, r.stats(), r.imbalance, 0,
+                 &r.counters);
   }
-
-  ~BenchJson() {
-    if (!enabled_ || rows_.empty()) return;
-    const std::string path = "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return;
-    std::fputs("[\n", f);
-    for (std::size_t i = 0; i < rows_.size(); ++i)
-      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
-                   i + 1 < rows_.size() ? "," : "");
-    std::fputs("]\n", f);
-    std::fclose(f);
-  }
-
- private:
-  std::string name_;
-  bool enabled_ = true;
-  std::vector<std::string> rows_;
 };
 
 /// Handles the shared observability flags:

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int n = static_cast<int>(flags.get_int("n", 512));
+  const int reps = static_cast<int>(flags.get_int("reps", 1));
   const double delta = flags.get_double("delta", 1.2);
 
   bench::print_header("Figure 6", "runtime of all algorithms vs m",
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
         continue;
       }
       const auto algo = make_partitioner(name);
-      const auto r = bench::run_algorithm(*algo, ps, m);
+      const auto r = bench::run_algorithm_reps(*algo, ps, m, reps);
       json.record(name, instance, m, r);
       table.cell(r.ms);
       if (std::string(name) == "rect-uniform") uniform_ms = r.ms;

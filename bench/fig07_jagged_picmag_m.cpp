@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int iteration = static_cast<int>(flags.get_int("iteration", 30000));
+  const int reps = static_cast<int>(flags.get_int("reps", 1));
   // The paper stops the optimal m-way DP at 1,000 processors for cost; our
   // engine matches that cap by default.
   const int m_opt_cap =
@@ -32,24 +33,25 @@ int main(int argc, char** argv) {
       full);
 
   Table table({"m", "jag-pq-heur", "jag-pq-opt", "jag-m-heur", "jag-m-opt"});
+  bench::BenchJson json("fig07_jagged_picmag_m");
+  const std::string instance =
+      "picmag-512x512-it" + std::to_string(iteration);
+  const auto measured = [&](const char* name, int m) {
+    const auto r =
+        bench::run_algorithm_reps(*make_partitioner(name), ps, m, reps);
+    json.record(name, instance, m, r);
+    return r.imbalance;
+  };
   double mheur_beats_pq = 0, rows_large = 0;
   bool mopt_below_mheur = true;
   for (const int m : bench::square_m_sweep(full)) {
     table.row().cell(m);
-    const double pq_heur =
-        bench::run_algorithm(*make_partitioner("jag-pq-heur"), ps, m)
-            .imbalance;
-    const double pq_opt =
-        bench::run_algorithm(*make_partitioner("jag-pq-opt"), ps, m)
-            .imbalance;
-    const double m_heur =
-        bench::run_algorithm(*make_partitioner("jag-m-heur"), ps, m)
-            .imbalance;
+    const double pq_heur = measured("jag-pq-heur", m);
+    const double pq_opt = measured("jag-pq-opt", m);
+    const double m_heur = measured("jag-m-heur", m);
     table.cell(pq_heur).cell(pq_opt).cell(m_heur);
     if (m <= m_opt_cap) {
-      const double m_opt =
-          bench::run_algorithm(*make_partitioner("jag-m-opt"), ps, m)
-              .imbalance;
+      const double m_opt = measured("jag-m-opt", m);
       table.cell(m_opt);
       if (m_opt > m_heur + 1e-12) mopt_below_mheur = false;
     } else {

@@ -13,25 +13,28 @@ int main(int argc, char** argv) {
   bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int m = static_cast<int>(flags.get_int("m", 6400));
+  const int reps = static_cast<int>(flags.get_int("reps", 1));
 
   bench::print_header("Figure 8", "jagged schemes over simulation time",
                       "PIC-MAG 512x512, m = " + std::to_string(m), full);
 
   PicMagSimulator sim(bench::picmag_config());
   Table table({"iteration", "jag-pq-heur", "jag-pq-opt", "jag-m-heur"});
+  bench::BenchJson json("fig08_jagged_picmag_time");
   double m_wins = 0, rows = 0;
   for (const int it : bench::iteration_sweep(full)) {
     const LoadMatrix a = sim.snapshot_at(it);
     const PrefixSum2D ps(a);
-    const double pq_heur =
-        bench::run_algorithm(*make_partitioner("jag-pq-heur"), ps, m)
-            .imbalance;
-    const double pq_opt =
-        bench::run_algorithm(*make_partitioner("jag-pq-opt"), ps, m)
-            .imbalance;
-    const double m_heur =
-        bench::run_algorithm(*make_partitioner("jag-m-heur"), ps, m)
-            .imbalance;
+    const std::string instance = "picmag-512x512-it" + std::to_string(it);
+    const auto measured = [&](const char* name) {
+      const auto r =
+          bench::run_algorithm_reps(*make_partitioner(name), ps, m, reps);
+      json.record(name, instance, m, r);
+      return r.imbalance;
+    };
+    const double pq_heur = measured("jag-pq-heur");
+    const double pq_opt = measured("jag-pq-opt");
+    const double m_heur = measured("jag-m-heur");
     table.row().cell(it).cell(pq_heur).cell(pq_opt).cell(m_heur);
     rows += 1;
     m_wins += m_heur <= std::min(pq_heur, pq_opt) + 1e-12 ? 1 : 0;

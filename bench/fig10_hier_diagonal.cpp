@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int n = static_cast<int>(flags.get_int("n", full ? 4096 : 1024));
+  const int reps = static_cast<int>(flags.get_int("reps", 1));
   const std::uint64_t seed = flags.get_int("seed", 3);
 
   bench::print_header("Figure 10", "HIER-RB vs HIER-RELAXED",
@@ -25,13 +26,19 @@ int main(int argc, char** argv) {
   const PrefixSum2D ps(a);
 
   Table table({"m", "hier-rb", "hier-relaxed"});
+  bench::BenchJson json("fig10_hier_diagonal");
+  const std::string instance = std::to_string(n) + "x" + std::to_string(n) +
+                               "-diagonal-s" + std::to_string(seed);
+  const auto measured = [&](const char* name, int m) {
+    const auto r =
+        bench::run_algorithm_reps(*make_partitioner(name), ps, m, reps);
+    json.record(name, instance, m, r);
+    return r.imbalance;
+  };
   double rb_sum = 0, relaxed_sum = 0;
   for (const int m : bench::square_m_sweep(full)) {
-    const double rb =
-        bench::run_algorithm(*make_partitioner("hier-rb"), ps, m).imbalance;
-    const double relaxed =
-        bench::run_algorithm(*make_partitioner("hier-relaxed"), ps, m)
-            .imbalance;
+    const double rb = measured("hier-rb", m);
+    const double relaxed = measured("hier-relaxed", m);
     table.row().cell(m).cell(rb).cell(relaxed);
     rb_sum += rb;
     relaxed_sum += relaxed;

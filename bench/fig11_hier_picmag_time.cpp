@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int m = static_cast<int>(flags.get_int("m", 400));
+  const int reps = static_cast<int>(flags.get_int("reps", 1));
 
   bench::print_header("Figure 11", "hierarchical methods over simulation "
                                    "time",
@@ -21,16 +22,21 @@ int main(int argc, char** argv) {
 
   PicMagSimulator sim(bench::picmag_config());
   Table table({"iteration", "hier-rb", "hier-relaxed"});
+  bench::BenchJson json("fig11_hier_picmag_time");
   double relaxed_wins = 0, rows = 0;
   std::vector<double> relaxed_series;
   for (const int it : bench::iteration_sweep(full)) {
     const LoadMatrix a = sim.snapshot_at(it);
     const PrefixSum2D ps(a);
-    const double rb =
-        bench::run_algorithm(*make_partitioner("hier-rb"), ps, m).imbalance;
-    const double relaxed =
-        bench::run_algorithm(*make_partitioner("hier-relaxed"), ps, m)
-            .imbalance;
+    const std::string instance = "picmag-512x512-it" + std::to_string(it);
+    const auto measured = [&](const char* name) {
+      const auto r =
+          bench::run_algorithm_reps(*make_partitioner(name), ps, m, reps);
+      json.record(name, instance, m, r);
+      return r.imbalance;
+    };
+    const double rb = measured("hier-rb");
+    const double relaxed = measured("hier-relaxed");
     table.row().cell(it).cell(rb).cell(relaxed);
     relaxed_series.push_back(relaxed);
     rows += 1;

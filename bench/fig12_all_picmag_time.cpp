@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int m = static_cast<int>(flags.get_int("m", full ? 9216 : 2304));
+  const int reps = static_cast<int>(flags.get_int("reps", 1));
 
   bench::print_header("Figure 12", "all heuristics over simulation time",
                       "PIC-MAG 512x512, m = " + std::to_string(m), full);
@@ -25,15 +26,19 @@ int main(int argc, char** argv) {
   Table table(cols);
 
   PicMagSimulator sim(bench::picmag_config());
+  bench::BenchJson json("fig12_all_picmag_time");
   double m_heur_wins = 0, rows = 0;
   for (const int it : bench::iteration_sweep(full)) {
     const LoadMatrix a = sim.snapshot_at(it);
     const PrefixSum2D ps(a);
+    const std::string instance = "picmag-512x512-it" + std::to_string(it);
     table.row().cell(it);
     double m_heur = 0, best_other = 1e30;
     for (const char* name : kAlgos) {
-      const double imbal =
-          bench::run_algorithm(*make_partitioner(name), ps, m).imbalance;
+      const auto r =
+          bench::run_algorithm_reps(*make_partitioner(name), ps, m, reps);
+      json.record(name, instance, m, r);
+      const double imbal = r.imbalance;
       table.cell(imbal);
       if (std::string(name) == "jag-m-heur")
         m_heur = imbal;

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int iteration = static_cast<int>(flags.get_int("iteration", 20000));
+  const int reps = static_cast<int>(flags.get_int("reps", 1));
 
   PicMagSimulator sim(bench::picmag_config());
   const LoadMatrix a = sim.snapshot_at(iteration);
@@ -37,7 +38,8 @@ int main(int argc, char** argv) {
     table.row().cell(m);
     double best_existing = 1e30, best_proposed = 1e30;
     for (const char* name : kAlgos) {
-      const auto r = bench::run_algorithm(*make_partitioner(name), ps, m);
+      const auto r =
+          bench::run_algorithm_reps(*make_partitioner(name), ps, m, reps);
       json.record(name, instance, m, r);
       const double imbal = r.imbalance;
       table.cell(imbal);

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   bench::init_threads(flags);
   const bool full = full_scale_requested();
   const int n = static_cast<int>(flags.get_int("n", 512));
+  const int reps = static_cast<int>(flags.get_int("reps", 1));
 
   const LoadMatrix a = gen_slac(n, n);
   const PrefixSum2D ps(a);
@@ -31,14 +32,19 @@ int main(int argc, char** argv) {
   std::vector<std::string> cols{"m"};
   for (const char* algo : kAlgos) cols.emplace_back(algo);
   Table table(cols);
+  bench::BenchJson json("fig14_slac");
+  const std::string instance =
+      "slac-" + std::to_string(n) + "x" + std::to_string(n);
 
   double hier_wins = 0, rows = 0, relaxed_under_rb = 0;
   for (const int m : bench::square_m_sweep(full)) {
     table.row().cell(m);
     double best_hier = 1e30, best_other = 1e30, rb = 0, relaxed = 0;
     for (const char* name : kAlgos) {
-      const double imbal =
-          bench::run_algorithm(*make_partitioner(name), ps, m).imbalance;
+      const auto r =
+          bench::run_algorithm_reps(*make_partitioner(name), ps, m, reps);
+      json.record(name, instance, m, r);
+      const double imbal = r.imbalance;
       table.cell(imbal);
       const std::string algo = name;
       if (algo == "hier-rb") rb = imbal;

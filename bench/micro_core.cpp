@@ -1,83 +1,134 @@
-// Microbenchmarks of the core substrate (google-benchmark): prefix-sum
-// construction and queries, transposition, the two validity tests, and the
-// communication-volume evaluation.
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the core substrate and the partitioner families, on
+// the in-house reps harness: prefix-sum construction/queries/transpose, the
+// two validity tests, the communication-volume evaluation, and one run per
+// registered algorithm family.
+//
+// Every workload is repeated --reps times (default 3) and lands in
+// BENCH_micro_core.json as a schema-v2 record with min/median/MAD timing
+// statistics plus the final repetition's work-counter delta.  With a pinned
+// --seed and --threads=1 the scheduling-independent counters are bit-exact
+// run to run, which is what scripts/bench_gate.sh diffs against the
+// checked-in baseline (bench/baselines/) via tools/benchstat — the
+// machine-noise-free regression gate the 1-CPU CI container can enforce.
+#include <functional>
 
-#include "core/metrics.hpp"
-#include "core/partition.hpp"
-#include "hier/hier.hpp"
-#include "prefix/prefix_sum.hpp"
+#include "bench_common.hpp"
 #include "workloads/synthetic.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace rectpart;
+  register_builtin_partitioners();
+  const Flags flags(argc, argv);
+  bench::ObsSession obs_session(flags);
+  bench::init_threads(flags);
+  const bool full = full_scale_requested();
+  const int n = static_cast<int>(flags.get_int("n", full ? 1024 : 512));
+  const int m = static_cast<int>(flags.get_int("m", 64));
+  const int reps = static_cast<int>(flags.get_int("reps", 3));
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", 1));
+  const double delta = flags.get_double("delta", 1.2);
 
-using namespace rectpart;
+  const std::string instance = std::to_string(n) + "x" + std::to_string(n) +
+                               "-uniform-s" + std::to_string(seed);
+  bench::print_header("micro_core",
+                      "core substrate + partitioner microbenchmarks",
+                      instance + ", m=" + std::to_string(m), full);
+  std::printf("# times in milliseconds (median of %d; min and MAD beside)\n",
+              reps);
 
-void BM_PrefixBuild(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const LoadMatrix a = gen_uniform(n, n, 1.2, 1);
-  for (auto _ : state) {
-    PrefixSum2D ps(a);
-    benchmark::DoNotOptimize(ps.total());
+  const LoadMatrix a = gen_uniform(n, n, delta, seed);
+  const PrefixSum2D ps(a);
+
+  bench::BenchJson json("micro_core");
+  Table table({"workload", "reps", "ms", "ms_min", "ms_mad", "imbalance"});
+
+  // A raw (non-partitioner) workload: time `once` reps times, capture the
+  // final repetition's counter delta, and emit one record.
+  const auto time_workload = [&](const std::string& name,
+                                 const std::function<double()>& once) {
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    obs::CounterSnapshot last;
+    for (int r = 0; r < reps; ++r) {
+      const obs::CounterSnapshot before = obs::counters_snapshot();
+      samples.push_back(once());
+      last = obs::counters_snapshot().delta_since(before);
+    }
+    const RepStats st = RepStats::of(std::move(samples));
+    json.record_stats(name, instance, 0, st, 0.0, 0, &last);
+    table.row()
+        .cell(name)
+        .cell(st.reps)
+        .cell(st.median)
+        .cell(st.min)
+        .cell(st.mad)
+        .cell(0.0);
+  };
+
+  // --- Substrate: prefix sums, validity tests, communication volume. ---
+  time_workload("prefix-build", [&] {
+    WallTimer t;
+    const PrefixSum2D built(a);
+    return built.total() >= 0 ? t.milliseconds() : 0.0;
+  });
+  time_workload("prefix-transpose", [&] {
+    WallTimer t;
+    const PrefixSum2D tr = ps.transpose();
+    return tr.total() >= 0 ? t.milliseconds() : 0.0;
+  });
+  time_workload("rect-queries", [&] {
+    // A deterministic stride over rectangle loads; the accumulator keeps
+    // the loop from being optimized away.
+    std::int64_t acc = 0;
+    WallTimer t;
+    int x = 0;
+    for (int q = 0; q < 100000; ++q) {
+      x = (x + 37) % n;
+      acc += ps.load(x / 2, n - x / 3, x / 4, n - 1 - x / 5);
+    }
+    return acc != -1 ? t.milliseconds() : 0.0;
+  });
+  {
+    const Partition sample = make_partitioner("hier-rb")->run(ps, m);
+    time_workload("validate-pairwise", [&] {
+      WallTimer t;
+      return validate_pairwise(sample, n, n) ? t.milliseconds() : -1.0;
+    });
+    time_workload("validate-paint", [&] {
+      WallTimer t;
+      return validate_paint(sample, n, n) ? t.milliseconds() : -1.0;
+    });
+    time_workload("comm-stats", [&] {
+      WallTimer t;
+      const CommStats cs = comm_stats(sample, n, n);
+      return cs.total_volume >= 0 ? t.milliseconds() : 0.0;
+    });
   }
-  state.SetItemsProcessed(state.iterations() * n * n);
-}
-BENCHMARK(BM_PrefixBuild)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
 
-void BM_PrefixTranspose(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const PrefixSum2D ps(gen_uniform(n, n, 1.2, 2));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ps.transpose());
+  // --- One run per family: heuristics and the parametric exact engines.
+  // At a pinned width their work counters are deterministic, so these rows
+  // are the substance of the baseline gate. ---
+  const char* kAlgos[] = {"rect-uniform", "rect-nicol",  "hier-rb",
+                          "hier-relaxed", "jag-m-heur",  "jag-pq-heur",
+                          "jag-m-opt",    "jag-pq-opt"};
+  for (const char* name : kAlgos) {
+    const auto algo = make_partitioner(name);
+    const bench::RunResult r = bench::run_algorithm_reps(*algo, ps, m, reps);
+    json.record(name, instance, m, r);
+    table.row()
+        .cell(name)
+        .cell(r.reps)
+        .cell(r.ms)
+        .cell(r.ms_min)
+        .cell(r.ms_mad)
+        .cell(r.imbalance);
   }
+
+  table.print(std::cout);
+  bench::print_shape(
+      "prefix construction dominates the substrate; heuristics partition in "
+      "milliseconds and the parametric engines stay within interactive cost",
+      true);
+  return 0;
 }
-BENCHMARK(BM_PrefixTranspose)->Arg(512)->Arg(1024);
-
-void BM_RectQueries(benchmark::State& state) {
-  const int n = 1024;
-  const PrefixSum2D ps(gen_uniform(n, n, 1.2, 3));
-  int x = 0;
-  for (auto _ : state) {
-    x = (x + 37) & 1023;
-    benchmark::DoNotOptimize(ps.load(x / 2, n - x / 3, x / 4, n - 1 - x / 5));
-  }
-}
-BENCHMARK(BM_RectQueries);
-
-Partition sample_partition(const PrefixSum2D& ps, int m) {
-  return hier_rb(ps, m);
-}
-
-void BM_ValidatePairwise(benchmark::State& state) {
-  const int m = static_cast<int>(state.range(0));
-  const PrefixSum2D ps(gen_uniform(512, 512, 1.2, 4));
-  const Partition p = sample_partition(ps, m);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(validate_pairwise(p, 512, 512));
-  }
-}
-BENCHMARK(BM_ValidatePairwise)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_ValidatePaint(benchmark::State& state) {
-  const int m = static_cast<int>(state.range(0));
-  const PrefixSum2D ps(gen_uniform(512, 512, 1.2, 5));
-  const Partition p = sample_partition(ps, m);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(validate_paint(p, 512, 512));
-  }
-}
-BENCHMARK(BM_ValidatePaint)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_CommStats(benchmark::State& state) {
-  const int m = static_cast<int>(state.range(0));
-  const PrefixSum2D ps(gen_uniform(512, 512, 1.2, 6));
-  const Partition p = sample_partition(ps, m);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(comm_stats(p, 512, 512));
-  }
-}
-BENCHMARK(BM_CommStats)->Arg(64)->Arg(1024);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -62,26 +62,27 @@ int main(int argc, char** argv) {
     double last_ms = 0;
     for (const int t : widths) {
       set_threads(t);
-      const obs::CounterSnapshot before = obs::counters_snapshot();
-      double best = 0;
+      std::vector<double> samples;
+      samples.reserve(static_cast<std::size_t>(reps));
+      obs::CounterSnapshot work;
       for (int r = 0; r < reps; ++r) {
-        const double ms = once();
-        if (r == 0 || ms < best) best = ms;
+        const obs::CounterSnapshot before = obs::counters_snapshot();
+        samples.push_back(once());
+        // Final repetition's delta: the thread-invariant counters are
+        // identical every repetition, so the record does not depend on
+        // --reps and stays diffable across trajectories.
+        work = obs::counters_snapshot().delta_since(before);
       }
-      // Work done by all `reps` repetitions at this width; the
-      // thread-invariant counters therefore scale linearly with reps while
-      // staying identical across widths.
-      const obs::CounterSnapshot work =
-          obs::counters_snapshot().delta_since(before);
+      const RepStats stats = RepStats::of(std::move(samples));
       if (t != 1 && !matches_baseline()) {
         deterministic = false;
         std::printf("# DIVERGED: %s at threads=%d\n", name.c_str(), t);
       }
-      if (t == 1) base_ms = best;
-      last_ms = best;
-      table.cell(best);
-      json.record(name, std::to_string(n) + "x" + std::to_string(n), m, best,
-                  0.0, t, &work);
+      if (t == 1) base_ms = stats.min;
+      last_ms = stats.min;
+      table.cell(stats.min);
+      json.record_stats(name, std::to_string(n) + "x" + std::to_string(n), m,
+                        stats, 0.0, t, &work);
     }
     table.cell(last_ms > 0 ? base_ms / last_ms : 0.0);
     set_threads(1);

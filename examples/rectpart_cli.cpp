@@ -19,6 +19,7 @@
 #include "io/partition_io.hpp"
 #include "io/pgm.hpp"
 #include "mesh/mesh.hpp"
+#include "util/bench_json.hpp"
 #include "util/flags.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -48,12 +49,15 @@ int main(int argc, char** argv) {
         "usage: %s [--input=FILE | --family=NAME --n=N] --m=M\n"
         "          [--algo=NAME] [--out=FILE.csv] [--image=FILE.pgm]\n"
         "          [--seed=S] [--delta=D] [--threads=T]\n"
-        "          [--counters] [--trace=FILE.json] [--list] [--help]\n"
+        "          [--counters] [--trace=FILE.json] [--bench-json=NAME]\n"
+        "          [--list] [--help]\n"
         "families: uniform diagonal peak multipeak slac\n"
         "threads: 0 = RECTPART_THREADS env, then hardware concurrency;\n"
         "         the partition is identical at every thread count\n"
         "counters: print the run's work counters (probe calls, DP cells...)\n"
-        "trace: record spans, write chrome://tracing JSON on exit\n",
+        "trace: record spans, write chrome://tracing JSON on exit\n"
+        "bench-json: append this run as a record to BENCH_NAME.json,\n"
+        "            comparable with `benchstat diff` across sessions\n",
         flags.program().c_str());
     return 0;
   }
@@ -76,6 +80,7 @@ int main(int argc, char** argv) {
 #endif
 
   LoadMatrix load;
+  std::string instance_label;
   const std::string input = flags.get_string("input", "");
   if (!input.empty()) {
     // Binary files carry the RPM1 magic; fall back to the text reader.
@@ -84,6 +89,9 @@ int main(int argc, char** argv) {
     } catch (const std::exception&) {
       load = load_matrix_text(input);
     }
+    const std::size_t slash = input.find_last_of('/');
+    instance_label =
+        slash == std::string::npos ? input : input.substr(slash + 1);
   } else {
     const std::string family = flags.get_string("family", "peak");
     const int n = static_cast<int>(flags.get_int("n", 512));
@@ -92,6 +100,8 @@ int main(int argc, char** argv) {
                ? gen_slac(n, n)
                : make_synthetic(family, n, n, seed,
                                 flags.get_double("delta", 1.2));
+    instance_label = family + "-" + std::to_string(n) + "x" +
+                     std::to_string(n) + "-s" + std::to_string(seed);
   }
 
   const int m = static_cast<int>(flags.get_int("m", 64));
@@ -125,6 +135,17 @@ int main(int argc, char** argv) {
   std::printf("comm volume: %lld total, %lld max per processor\n",
               static_cast<long long>(cs.total_volume),
               static_cast<long long>(cs.max_per_proc));
+
+  const std::string bench_name = flags.get_string("bench-json", "");
+  if (!bench_name.empty()) {
+    // Append mode: repeated CLI sessions accumulate a trajectory in one
+    // BENCH file, keyed so benchstat can diff like-for-like runs.
+    BenchJson json(bench_name, /*append=*/true);
+    json.record(algo_name, instance_label, m, ms, part.imbalance(ps),
+                num_threads(), &ctx.counters);
+    std::printf("bench      -> BENCH_%s.json (%zu records)\n",
+                bench_name.c_str(), json.size());
+  }
 
 #if RECTPART_OBS_ENABLED
   if (want_counters) {

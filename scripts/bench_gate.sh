@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Counter-baseline gate for the BENCH trajectory.
+#
+#     scripts/bench_gate.sh [--regen] [build-dir]
+#
+# Re-runs the pinned-seed benchmark configurations below and diffs the fresh
+# BENCH files against the checked-in baselines under bench/baselines/ with
+# `benchstat diff`.  The diff's hard gate is exact equality on the
+# scheduling-independent counters (oned_probe_calls, hier_nodes,
+# picmag_particles_pushed): those are bit-exact for a pinned seed at
+# --threads=1 on any machine, so a mismatch means the algorithms did
+# different work — a real behavioural change, not noise.  Wall-clock columns
+# are reported but never gated here (no --ms-gate): a 1-CPU CI container is
+# not a timing environment.
+#
+# After an *intentional* change to the partitioning work (new pruning rule,
+# different probe order, ...), regenerate and commit the baselines:
+#
+#     scripts/bench_gate.sh --regen
+#     git add bench/baselines/ && git commit
+set -euo pipefail
+
+regen=0
+build=build
+for arg in "$@"; do
+  case "$arg" in
+    --regen) regen=1 ;;
+    -h|--help)
+      sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) build=$arg ;;
+  esac
+done
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+benchstat=$root/$build/tools/benchstat
+baselines=$root/bench/baselines
+for bin in "$benchstat" "$root/$build/bench/micro_core" \
+           "$root/$build/bench/fig06_runtime"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_gate: missing $bin (build first: cmake --build $build -j)" >&2
+    exit 2
+  fi
+done
+
+# Pinned-seed, single-thread configurations.  --threads=1 also sidesteps the
+# opt-engine exemption: jag-m-opt / jag-pq-opt size their candidate sets by
+# num_threads(), so only a pinned width yields comparable counters.
+run_micro_core() {
+  "$root/$build/bench/micro_core" --n=256 --m=64 --reps=2 --seed=1 \
+    --threads=1 >/dev/null
+}
+run_fig06_runtime() {
+  "$root/$build/bench/fig06_runtime" --n=128 --m-opt-cap=256 --threads=1 \
+    >/dev/null
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+status=0
+for name in micro_core fig06_runtime; do
+  (cd "$tmp" && "run_$name")
+  fresh=$tmp/BENCH_$name.json
+  base=$baselines/BENCH_$name.json
+  if [[ $regen -eq 1 ]]; then
+    cp "$fresh" "$base"
+    echo "bench_gate: regenerated $base"
+  elif [[ ! -f "$base" ]]; then
+    echo "bench_gate: no baseline $base (run with --regen to create)" >&2
+    status=1
+  else
+    echo "== bench_gate: $name =="
+    "$benchstat" diff "$base" "$fresh" || status=1
+  fi
+done
+exit $status

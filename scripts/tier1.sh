@@ -23,16 +23,23 @@ echo "== tier-1: ctest =="
 echo "== tier-1: observability (counters + trace export) =="
 # One real bench run with both observability sinks active; both output files
 # must be machine-valid JSON (Perfetto loads the trace, the BENCH records
-# carry per-(workload, width) work counters).
+# carry per-(workload, width) work counters).  Validation uses the in-tree
+# benchstat binary — tier-1 has no Python dependency.
 obs_dir=$(mktemp -d)
 (cd "$obs_dir" &&
  "$root"/build/bench/micro_threads --n=256 --m=64 --reps=1 \
    --trace=trace.json --counters >/dev/null)
-python3 -m json.tool "$obs_dir/trace.json" >/dev/null
-python3 -m json.tool "$obs_dir/BENCH_micro_threads.json" >/dev/null
+"$root"/build/tools/benchstat --validate "$obs_dir/trace.json" \
+  "$obs_dir/BENCH_micro_threads.json"
 grep -q '"counters"' "$obs_dir/BENCH_micro_threads.json"
 grep -q '"traceEvents"' "$obs_dir/trace.json"
 rm -rf "$obs_dir"
+
+echo "== tier-1: bench gate (deterministic counter baselines) =="
+# Pinned-seed single-thread reruns of micro_core and fig06 diffed against
+# bench/baselines/ — exact equality on scheduling-independent counters,
+# wall-clock never gated.  See scripts/bench_gate.sh --help.
+scripts/bench_gate.sh
 
 echo "== tier-1: RECTPART_OBS=0 (spans/counters compile to no-ops) =="
 # The disabled build must compile the instrumented tree cleanly and still

@@ -1,0 +1,108 @@
+// BENCH_<name>.json emission: the machine-readable benchmark trajectory.
+//
+// Schema v2 (consumed and gated by tools/benchstat, see DESIGN.md
+// §observability):
+//
+//   {
+//     "schema": 2,
+//     "name": "<harness>",
+//     "provenance": {
+//       "git_sha": "...", "build": "Release", "obs_enabled": true,
+//       "threads": N, "timestamp": "YYYY-MM-DDTHH:MM:SSZ",
+//       "deterministic_counters": ["oned_probe_calls", ...]
+//     },
+//     "records": [
+//       {"algorithm": "...", "instance": "...", "m": M, "threads": T,
+//        "reps": R, "ms": <median>, "ms_min": ..., "ms_mad": ...,
+//        "imbalance": ..., "counters": {...}}, ...
+//     ]
+//   }
+//
+// "ms" is the median over R warm repetitions, "ms_min" the fastest, and
+// "ms_mad" the median absolute deviation — the noise scale benchstat's soft
+// timing gate reads.  "counters" is the work-counter delta of the final
+// repetition, so records are comparable across files regardless of R.
+// Records from single-shot call sites carry reps=1, ms_mad=0.
+//
+// Lives in rectpart_util (not the bench tree) so rectpart_cli and tests can
+// append comparable records to the same trajectory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace rectpart {
+
+/// Repetition statistics of one timed workload: min / median / MAD over
+/// `reps` warm runs.
+struct RepStats {
+  int reps = 1;
+  double min = 0;
+  double median = 0;
+  double mad = 0;
+
+  /// Computes the statistics from raw per-repetition samples (ms).
+  [[nodiscard]] static RepStats of(std::vector<double> samples);
+};
+
+/// Collects benchmark records and writes BENCH_<name>.json (in the working
+/// directory) on destruction.  Writing is skipped when RECTPART_BENCH_JSON
+/// is set to a falsy value ("0", "off", "false"); a failed write is
+/// reported on stderr with the path and errno — records must never vanish
+/// silently under CI.
+class BenchJson {
+ public:
+  /// When `append` is true and the destination already holds a BENCH file
+  /// (v1 array or v2 object), its records are loaded first so this session
+  /// extends the trajectory instead of truncating it.
+  explicit BenchJson(std::string name, bool append = false);
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  ~BenchJson();
+
+  /// Appends one single-repetition record; `threads` defaults to the
+  /// current global width.  When `counters` is given the record carries the
+  /// run's work-counter delta.
+  void record(const std::string& algorithm, const std::string& instance,
+              int m, double ms, double imbalance, int threads = 0,
+              const obs::CounterSnapshot* counters = nullptr);
+
+  /// Appends one record with full repetition statistics.
+  void record_stats(const std::string& algorithm, const std::string& instance,
+                    int m, const RepStats& ms, double imbalance,
+                    int threads = 0,
+                    const obs::CounterSnapshot* counters = nullptr);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// Drops every recorded row so the destructor writes nothing.  For call
+  /// sites that rendered the document themselves (tests, dry runs).
+  void discard() { rows_.clear(); }
+
+  /// Destination path ("BENCH_<name>.json" in the working directory).
+  [[nodiscard]] std::string path() const;
+
+  /// The complete v2 document as text (what the destructor writes).
+  [[nodiscard]] std::string render() const;
+
+  /// Writes the document to `path`; returns false (and reports on stderr)
+  /// on IO failure.  The destructor calls write_to(path()).
+  bool write_to(const std::string& path) const;
+
+ private:
+  std::string name_;
+  bool enabled_ = true;
+  std::vector<std::string> rows_;  // pre-rendered record objects
+};
+
+/// The compile-time provenance stamped into every BENCH file: configure-time
+/// git SHA and CMake build type ("unknown" outside a git checkout).
+[[nodiscard]] const char* bench_git_sha();
+[[nodiscard]] const char* bench_build_type();
+
+}  // namespace rectpart

@@ -1,0 +1,491 @@
+#include "util/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace rectpart {
+
+namespace {
+
+// Deep enough for any artifact we emit (traces nest 3 levels, BENCH files
+// 4) while keeping adversarial "[[[[..." inputs from exhausting the stack.
+constexpr int kMaxDepth = 128;
+
+struct Parser {
+  std::string_view s;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool at_end() const { return pos >= s.size(); }
+  [[nodiscard]] char peek() const { return s[pos]; }
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) {
+      std::ostringstream os;
+      os << msg << " at offset " << pos;
+      error = os.str();
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = s[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos;
+      else
+        break;
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s.substr(pos, lit.size()) != lit)
+      return fail("invalid literal");
+    pos += lit.size();
+    return true;
+  }
+
+  // Decodes the 4 hex digits after \u; returns -1 on malformed input.
+  int parse_hex4() {
+    if (pos + 4 > s.size()) return -1;
+    int v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = s[pos + static_cast<std::size_t>(i)];
+      int d;
+      if (c >= '0' && c <= '9')
+        d = c - '0';
+      else if (c >= 'a' && c <= 'f')
+        d = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F')
+        d = c - 'A' + 10;
+      else
+        return -1;
+      v = v * 16 + d;
+    }
+    pos += 4;
+    return v;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (at_end() || peek() != '"') return fail("expected string");
+    ++pos;
+    out.clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(s[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos;
+        continue;
+      }
+      ++pos;
+      if (at_end()) return fail("unterminated escape");
+      const char e = s[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          const int hi = parse_hex4();
+          if (hi < 0) return fail("invalid \\u escape");
+          std::uint32_t cp = static_cast<std::uint32_t>(hi);
+          if (hi >= 0xD800 && hi <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow immediately.
+            if (pos + 2 > s.size() || s[pos] != '\\' || s[pos + 1] != 'u')
+              return fail("unpaired surrogate");
+            pos += 2;
+            const int lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              return fail("unpaired surrogate");
+            cp = 0x10000 + ((static_cast<std::uint32_t>(hi) - 0xD800) << 10) +
+                 (static_cast<std::uint32_t>(lo) - 0xDC00);
+          } else if (hi >= 0xDC00 && hi <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos;
+    bool is_double = false;
+    if (!at_end() && peek() == '-') ++pos;
+    if (at_end()) return fail("truncated number");
+    if (peek() == '0') {
+      ++pos;
+      if (!at_end() && peek() >= '0' && peek() <= '9')
+        return fail("leading zero in number");
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    } else {
+      return fail("invalid number");
+    }
+    if (!at_end() && peek() == '.') {
+      is_double = true;
+      ++pos;
+      if (at_end() || peek() < '0' || peek() > '9')
+        return fail("truncated fraction");
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      is_double = true;
+      ++pos;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos;
+      if (at_end() || peek() < '0' || peek() > '9')
+        return fail("truncated exponent");
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    const std::string token(s.substr(start, pos - start));
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        out = JsonValue::make_int(static_cast<std::int64_t>(v));
+        return true;
+      }
+      // Magnitude beyond int64: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("invalid number");
+    if (std::isinf(d)) return fail("number out of range");
+    out = JsonValue::make_double(d);
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case '{': {
+        ++pos;
+        out = JsonValue::make_object();
+        skip_ws();
+        if (!at_end() && peek() == '}') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (at_end() || peek() != ':') return fail("expected ':'");
+          ++pos;
+          JsonValue v;
+          if (!parse_value(v, depth + 1)) return false;
+          out.members().emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (at_end()) return fail("unterminated object");
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (peek() == '}') {
+            ++pos;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos;
+        out = JsonValue::make_array();
+        skip_ws();
+        if (!at_end() && peek() == ']') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          JsonValue v;
+          if (!parse_value(v, depth + 1)) return false;
+          out.items().push_back(std::move(v));
+          skip_ws();
+          if (at_end()) return fail("unterminated array");
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (peek() == ']') {
+            ++pos;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"': {
+        std::string str;
+        if (!parse_string(str)) return false;
+        out = JsonValue::make_string(std::move(str));
+        return true;
+      }
+      case 't':
+        if (!consume_literal("true")) return false;
+        out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return false;
+        out = JsonValue::make_bool(false);
+        return true;
+      case 'n':
+        if (!consume_literal("null")) return false;
+        out = JsonValue::make_null();
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+};
+
+void serialize_to(const JsonValue& v, std::string& out, bool pretty,
+                  int indent) {
+  const auto newline_indent = [&](int level) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(level) * 2, ' ');
+  };
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(v.as_int()));
+      out += buf;
+      break;
+    }
+    case JsonValue::Type::kDouble: {
+      const double d = v.as_double();
+      if (std::isnan(d) || std::isinf(d)) {
+        out += "null";  // JSON has no NaN/Inf; null is the lossless-ish out.
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      // Prefer the shortest representation that round-trips.
+      for (int prec = 1; prec < 17; ++prec) {
+        char tryb[40];
+        std::snprintf(tryb, sizeof(tryb), "%.*g", prec, d);
+        if (std::strtod(tryb, nullptr) == d) {
+          std::memcpy(buf, tryb, sizeof(tryb));
+          break;
+        }
+      }
+      out += buf;
+      break;
+    }
+    case JsonValue::Type::kString:
+      out.push_back('"');
+      out += json_escape(v.as_string());
+      out.push_back('"');
+      break;
+    case JsonValue::Type::kArray: {
+      out.push_back('[');
+      const auto& items = v.items();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline_indent(indent + 1);
+        serialize_to(items[i], out, pretty, indent + 1);
+      }
+      if (!items.empty()) newline_indent(indent);
+      out.push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out.push_back('{');
+      const auto& members = v.members();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline_indent(indent + 1);
+        out.push_back('"');
+        out += json_escape(members[i].first);
+        out += pretty ? "\": " : "\":";
+        serialize_to(members[i].second, out, pretty, indent + 1);
+      }
+      if (!members.empty()) newline_indent(indent);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_int(std::int64_t i) {
+  JsonValue v;
+  v.type_ = Type::kInt;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::make_double(double d) {
+  JsonValue v;
+  v.type_ = Type::kDouble;
+  v.double_ = d;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const Member& m : members_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+std::int64_t JsonValue::get_int(std::string_view key, std::int64_t def) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_int() : def;
+}
+
+double JsonValue::get_double(std::string_view key, double def) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : def;
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  const std::string& def) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : def;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error) {
+  Parser p{text, 0, {}};
+  JsonValue v;
+  if (!p.parse_value(v, 0)) {
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (!p.at_end()) {
+    p.fail("trailing garbage after document");
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<JsonValue> json_parse_file(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot open";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    if (error != nullptr) *error = path + ": read error";
+    return std::nullopt;
+  }
+  std::string err;
+  auto v = json_parse(buf.str(), &err);
+  if (!v && error != nullptr) *error = path + ": " + err;
+  return v;
+}
+
+std::string json_serialize(const JsonValue& v, bool pretty) {
+  std::string out;
+  serialize_to(v, out, pretty, 0);
+  return out;
+}
+
+}  // namespace rectpart

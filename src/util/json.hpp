@@ -1,0 +1,110 @@
+// Minimal JSON value model, parser, and serializer.
+//
+// Purpose-built to round-trip the repository's own machine-readable
+// artifacts — BENCH_<name>.json benchmark records and chrome://tracing span
+// exports — without a third-party dependency.  The parser accepts exactly
+// the RFC 8259 grammar (objects, arrays, strings with full escape handling,
+// numbers, true/false/null); it rejects trailing commas, leading zeros,
+// unpaired surrogates, and trailing garbage, and it bounds nesting depth so
+// malformed input cannot overflow the stack.
+//
+// Numbers keep their integer-ness: a token with no fraction or exponent
+// that fits std::int64_t parses as kInt, so 64-bit work counters survive a
+// parse → compare cycle bit-exactly (doubles would truncate above 2^53).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rectpart {
+
+/// A parsed JSON document node.  Object members keep insertion order (the
+/// writer emits counters in enum order; diffs want to preserve that).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_int(std::int64_t i);
+  static JsonValue make_double(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array();
+  static JsonValue make_object();
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  [[nodiscard]] bool is_int() const { return type_ == Type::kInt; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const {
+    return type_ == Type::kDouble ? static_cast<std::int64_t>(double_) : int_;
+  }
+  [[nodiscard]] double as_double() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+  [[nodiscard]] std::vector<JsonValue>& items() { return items_; }
+  [[nodiscard]] const std::vector<Member>& members() const { return members_; }
+  [[nodiscard]] std::vector<Member>& members() { return members_; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.  RFC 8259 leaves duplicate-key semantics open; we keep the
+  /// first, which makes the behaviour deterministic.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// find() chains for the common "object has int/string/..." accesses.
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(std::string_view key, double def) const;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       const std::string& def) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Escapes `s` for embedding inside a JSON string literal (no surrounding
+/// quotes): quote, backslash, and control characters per RFC 8259.  Shared
+/// by every JSON writer in the tree so hand-built rows cannot silently emit
+/// invalid documents.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Parses a complete JSON document.  On failure returns std::nullopt and,
+/// when `error` is non-null, a message with the byte offset of the problem.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text,
+                                                  std::string* error = nullptr);
+
+/// Reads and parses a whole file; IO failures are reported through `error`
+/// just like syntax errors.
+[[nodiscard]] std::optional<JsonValue> json_parse_file(
+    const std::string& path, std::string* error = nullptr);
+
+/// Serializes compactly (no added whitespace except `pretty` indentation).
+/// Integers print exactly; doubles use shortest-round-trip formatting.
+[[nodiscard]] std::string json_serialize(const JsonValue& v,
+                                         bool pretty = false);
+
+}  // namespace rectpart

@@ -1,0 +1,165 @@
+// util/json: the in-tree RFC 8259 parser/serializer behind BENCH files and
+// benchstat.  Exercises the grammar edges that matter for those consumers —
+// 64-bit counter integrity, full escape handling, bounded nesting, and hard
+// rejection of almost-JSON (trailing garbage, leading zeros, bad escapes).
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+
+namespace rectpart {
+namespace {
+
+std::optional<JsonValue> parse_ok(const std::string& text) {
+  std::string err;
+  auto v = json_parse(text, &err);
+  EXPECT_TRUE(v.has_value()) << text << " -> " << err;
+  return v;
+}
+
+void expect_reject(const std::string& text) {
+  std::string err;
+  const auto v = json_parse(text, &err);
+  EXPECT_FALSE(v.has_value()) << "accepted: " << text;
+  EXPECT_FALSE(err.empty()) << "no diagnostic for: " << text;
+}
+
+TEST(Json, Literals) {
+  EXPECT_TRUE(parse_ok("null")->is_null());
+  EXPECT_TRUE(parse_ok("true")->as_bool());
+  EXPECT_FALSE(parse_ok("false")->as_bool());
+  expect_reject("tru");
+  expect_reject("nul");
+  expect_reject("True");
+}
+
+TEST(Json, IntegersStayIntegers) {
+  EXPECT_EQ(parse_ok("0")->as_int(), 0);
+  EXPECT_EQ(parse_ok("-7")->as_int(), -7);
+  // Above 2^53 a double would silently round; counters must not.
+  const std::int64_t big = (std::int64_t{1} << 53) + 1;
+  const auto v = parse_ok(std::to_string(big));
+  EXPECT_TRUE(v->is_int());
+  EXPECT_EQ(v->as_int(), big);
+  const auto vmax =
+      parse_ok(std::to_string(std::numeric_limits<std::int64_t>::max()));
+  EXPECT_EQ(vmax->as_int(), std::numeric_limits<std::int64_t>::max());
+  const auto vmin =
+      parse_ok(std::to_string(std::numeric_limits<std::int64_t>::min()));
+  EXPECT_EQ(vmin->as_int(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Json, NumberEdgeCases) {
+  EXPECT_DOUBLE_EQ(parse_ok("1.5")->as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_ok("-2.5e-3")->as_double(), -2.5e-3);
+  EXPECT_DOUBLE_EQ(parse_ok("1E6")->as_double(), 1e6);
+  EXPECT_DOUBLE_EQ(parse_ok("0.0")->as_double(), 0.0);
+  // Integer overflow beyond int64 degrades to double, not garbage.
+  const auto huge = parse_ok("99999999999999999999");
+  EXPECT_TRUE(huge->is_number());
+  EXPECT_FALSE(huge->is_int());
+  expect_reject("01");      // leading zero
+  expect_reject("-01");
+  expect_reject(".5");      // no leading digit
+  expect_reject("1.");      // no fraction digits
+  expect_reject("1e");      // no exponent digits
+  expect_reject("+1");
+  expect_reject("0x10");
+  expect_reject("NaN");
+  expect_reject("Infinity");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\/d\b\f\n\r\t")")->as_string(),
+            "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(parse_ok(R"("Aé")")->as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 as UTF-8.
+  EXPECT_EQ(parse_ok(R"("😀")")->as_string(), "\xf0\x9f\x98\x80");
+  expect_reject(R"("\ud83d")");        // unpaired high surrogate
+  expect_reject(R"("\ude00")");        // lone low surrogate
+  expect_reject(R"("\x41")");          // invalid escape
+  expect_reject(R"("\u00g1")");        // bad hex digit
+  expect_reject("\"unterminated");
+  expect_reject("\"raw\ncontrol\"");   // unescaped control character
+}
+
+TEST(Json, ContainersPreserveOrderAndFirstDuplicate) {
+  const auto v = parse_ok(R"({"b": 1, "a": 2, "b": 3, "nested": [1, [2]]})");
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->members().size(), 4u);
+  EXPECT_EQ(v->members()[0].first, "b");
+  EXPECT_EQ(v->members()[1].first, "a");
+  EXPECT_EQ(v->find("b")->as_int(), 1);  // first duplicate wins
+  EXPECT_EQ(v->get_int("a", -1), 2);
+  EXPECT_EQ(v->get_int("missing", -1), -1);
+  const JsonValue* nested = v->find("nested");
+  ASSERT_TRUE(nested != nullptr && nested->is_array());
+  EXPECT_EQ(nested->items()[1].items()[0].as_int(), 2);
+}
+
+TEST(Json, MalformedStructures) {
+  expect_reject("");
+  expect_reject("   ");
+  expect_reject("{");
+  expect_reject("[1, 2");
+  expect_reject("[1, 2,]");           // trailing comma
+  expect_reject(R"({"a": 1,})");
+  expect_reject(R"({"a" 1})");        // missing colon
+  expect_reject(R"({a: 1})");         // unquoted key
+  expect_reject("[1] garbage");       // trailing garbage
+  expect_reject("[1][2]");            // two documents
+  expect_reject("]");
+}
+
+TEST(Json, NestingDepthIsBounded) {
+  const auto nest = [](int depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  EXPECT_TRUE(json_parse(nest(100)).has_value());
+  // Deep enough to smash the stack if the parser did not bound recursion.
+  expect_reject(nest(100000));
+}
+
+TEST(Json, EscapeRoundTrip) {
+  const std::string nasty = "quote\" back\\slash /slash \x01\x1f\n\ttail";
+  std::string doc = "\"";
+  doc += json_escape(nasty);
+  doc += '"';
+  const auto v = parse_ok(doc);
+  EXPECT_EQ(v->as_string(), nasty);
+}
+
+TEST(Json, SerializeRoundTrip) {
+  const std::string doc =
+      R"({"s": "a\"b", "i": 9007199254740993, "d": 0.125, "n": null,)"
+      R"( "arr": [true, false, {"k": -1}]})";
+  const auto v = parse_ok(doc);
+  const auto again = parse_ok(json_serialize(*v));
+  EXPECT_EQ(again->find("s")->as_string(), "a\"b");
+  EXPECT_EQ(again->find("i")->as_int(), 9007199254740993);
+  EXPECT_DOUBLE_EQ(again->find("d")->as_double(), 0.125);
+  EXPECT_TRUE(again->find("n")->is_null());
+  EXPECT_EQ(again->find("arr")->items()[2].find("k")->as_int(), -1);
+  // Compact serialization is stable under re-serialization.
+  EXPECT_EQ(json_serialize(*v), json_serialize(*again));
+}
+
+TEST(Json, ParseFileReportsIoAndSyntax) {
+  std::string err;
+  EXPECT_FALSE(json_parse_file("/nonexistent/rectpart.json", &err));
+  EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+
+  const std::string path = ::testing::TempDir() + "rectpart_badjson.json";
+  { std::ofstream(path) << "{\"truncated\": "; }
+  err.clear();
+  EXPECT_FALSE(json_parse_file(path, &err));
+  EXPECT_FALSE(err.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rectpart

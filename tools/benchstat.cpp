@@ -1,0 +1,124 @@
+// benchstat: validate, pretty-print, and diff BENCH_<name>.json trajectory
+// files (and validate any other JSON artifact, e.g. trace exports).
+//
+//   benchstat validate FILE...        exit 0 iff every file is valid
+//   benchstat print FILE              provenance + per-record table
+//   benchstat diff BASELINE CURRENT   hard counter gate + soft ms gate
+//       [--ms-gate]                   timing regressions also fail
+//       [--mad-factor=4.0]            noise band: f*(mad_a+mad_b)
+//       [--ms-rel-tol=0.10]           ... + rel*baseline_median
+//       [--ms-abs-floor=0.05]         ... + floor (ms)
+//   benchstat --validate FILE...      alias for `validate` (tier1.sh)
+//
+// The hard gate compares the scheduling-independent work counters of
+// records matched by (algorithm, instance, m, threads); any drift means the
+// code now does different deterministic work for the same input — exactly
+// the regression a 1-CPU CI container can still detect.  See DESIGN.md
+// §observability for the gating policy and the opt-engine exemption.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchstat/benchstat.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace rectpart;
+
+int usage(const std::string& prog) {
+  std::fprintf(stderr,
+               "usage: %s validate FILE...\n"
+               "       %s print FILE\n"
+               "       %s diff BASELINE CURRENT [--ms-gate]\n"
+               "            [--mad-factor=F] [--ms-rel-tol=R] "
+               "[--ms-abs-floor=A]\n",
+               prog.c_str(), prog.c_str(), prog.c_str());
+  return 2;
+}
+
+int cmd_validate(const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "benchstat validate: no files given\n");
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& f : files) {
+    const std::string err = benchstat::validate_file(f);
+    if (err.empty()) {
+      std::printf("%s: OK\n", f.c_str());
+    } else {
+      std::fprintf(stderr, "%s: INVALID: %s\n", f.c_str(), err.c_str());
+      ++failures;
+    }
+  }
+  return failures > 0 ? 1 : 0;
+}
+
+int cmd_print(const std::string& file) {
+  benchstat::BenchFile f;
+  const std::string err = benchstat::load_bench_file(file, &f);
+  if (!err.empty()) {
+    std::fprintf(stderr, "benchstat: %s\n", err.c_str());
+    return 1;
+  }
+  benchstat::print_bench(f, std::cout);
+  return 0;
+}
+
+int cmd_diff(const std::string& base_path, const std::string& cur_path,
+             const benchstat::DiffOptions& opts) {
+  benchstat::BenchFile base, cur;
+  std::string err = benchstat::load_bench_file(base_path, &base);
+  if (err.empty()) err = benchstat::load_bench_file(cur_path, &cur);
+  if (!err.empty()) {
+    std::fprintf(stderr, "benchstat: %s\n", err.c_str());
+    return 1;
+  }
+  const benchstat::DiffReport report = benchstat::diff(base, cur, opts);
+  return benchstat::print_diff(base, cur, report, opts, std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  std::vector<std::string> args = flags.positional();
+
+  // `--validate f...` is the flag-spelled alias tier1.sh uses.  Flags
+  // consumes the first bare argument as the switch's value, so a value that
+  // is not a boolean literal is really the first file operand.
+  if (flags.has("validate")) {
+    const std::string v = flags.get_string("validate", "true");
+    if (v != "true" && v != "1" && v != "yes" && v != "on")
+      args.insert(args.begin(), v);
+    return cmd_validate(args);
+  }
+
+  if (args.empty()) return usage(flags.program());
+  const std::string cmd = args.front();
+  args.erase(args.begin());
+
+  if (cmd == "validate") return cmd_validate(args);
+  if (cmd == "print") {
+    if (args.size() != 1) return usage(flags.program());
+    return cmd_print(args.front());
+  }
+  if (cmd == "diff") {
+    if (args.size() != 2) return usage(flags.program());
+    benchstat::DiffOptions opts;
+    opts.gate_ms = flags.get_bool("ms-gate", false);
+    opts.mad_factor = flags.get_double("mad-factor", opts.mad_factor);
+    opts.ms_rel_tol = flags.get_double("ms-rel-tol", opts.ms_rel_tol);
+    opts.ms_abs_floor = flags.get_double("ms-abs-floor", opts.ms_abs_floor);
+    return cmd_diff(args[0], args[1], opts);
+  }
+  // Bare file arguments mean print (one) / validate (several).
+  if (cmd.size() > 5 && cmd.rfind(".json") == cmd.size() - 5) {
+    if (args.empty()) return cmd_print(cmd);
+    args.insert(args.begin(), cmd);
+    return cmd_validate(args);
+  }
+  return usage(flags.program());
+}
