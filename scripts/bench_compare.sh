@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Before/after comparison of the microbenchmarks against the checked-in
+# baselines — the developer-loop companion to the CI-facing bench_gate.sh.
+#
+#     scripts/bench_compare.sh [build-dir]
+#
+# Builds the tree, re-runs micro_core and micro_oned at the baseline's
+# pinned configuration (--threads=1, pinned seeds), and prints `benchstat
+# diff` against bench/baselines/ for each: wall-clock medians side by side
+# with speedup ratios, plus the work-counter deltas (probe calls, oracle
+# loads, projections built, witness re-probes avoided, ...).  Nothing here
+# gates — exit status reflects build/run failures only — so it is safe to
+# run on a noisy laptop while optimizing; quote its output in PR bodies.
+set -euo pipefail
+
+build=${1:-build}
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+
+echo "== bench_compare: build =="
+cmake -B "$build" -S . >/dev/null
+cmake --build "$build" -j "$(nproc)" \
+  --target micro_core micro_oned benchstat >/dev/null
+
+benchstat=$root/$build/tools/benchstat
+baselines=$root/bench/baselines
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== bench_compare: run (pinned seeds, --threads=1) =="
+(cd "$tmp" && "$root/$build/bench/micro_core" --n=256 --m=64 --reps=2 \
+  --seed=1 --threads=1 >/dev/null)
+(cd "$tmp" && "$root/$build/bench/micro_oned" --reps=2 --threads=1 >/dev/null)
+
+for name in micro_core micro_oned; do
+  base=$baselines/BENCH_$name.json
+  fresh=$tmp/BENCH_$name.json
+  echo "== bench_compare: $name (baseline -> fresh) =="
+  if [[ ! -f "$base" ]]; then
+    echo "bench_compare: no baseline $base (scripts/bench_gate.sh --regen)" >&2
+    continue
+  fi
+  # The counter gate is informational here: a diff means the work changed,
+  # which during optimization is usually the point.
+  "$benchstat" diff "$base" "$fresh" || true
+done

@@ -37,6 +37,7 @@ root=$(cd "$(dirname "$0")/.." && pwd)
 benchstat=$root/$build/tools/benchstat
 baselines=$root/bench/baselines
 for bin in "$benchstat" "$root/$build/bench/micro_core" \
+           "$root/$build/bench/micro_oned" \
            "$root/$build/bench/fig06_runtime"; do
   if [[ ! -x "$bin" ]]; then
     echo "bench_gate: missing $bin (build first: cmake --build $build -j)" >&2
@@ -51,6 +52,9 @@ run_micro_core() {
   "$root/$build/bench/micro_core" --n=256 --m=64 --reps=2 --seed=1 \
     --threads=1 >/dev/null
 }
+run_micro_oned() {
+  "$root/$build/bench/micro_oned" --reps=2 --threads=1 >/dev/null
+}
 run_fig06_runtime() {
   "$root/$build/bench/fig06_runtime" --n=128 --m-opt-cap=256 --threads=1 \
     >/dev/null
@@ -59,7 +63,7 @@ run_fig06_runtime() {
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 status=0
-for name in micro_core fig06_runtime; do
+for name in micro_core micro_oned fig06_runtime; do
   (cd "$tmp" && "run_$name")
   fresh=$tmp/BENCH_$name.json
   base=$baselines/BENCH_$name.json

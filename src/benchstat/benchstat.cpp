@@ -271,6 +271,25 @@ int print_diff(const BenchFile& baseline, const BenchFile& current,
     os << "MISSING RECORD " << k << " (in baseline, not in current)\n";
   for (const std::string& k : report.only_current)
     os << "# new record   " << k << " (not in baseline; regenerate to adopt)\n";
+  // Side-by-side medians for every matched record, with the speedup ratio
+  // (>1 = current is faster).  Informational: the developer-loop view that
+  // bench_compare.sh and PR bodies quote; the gate below ignores it.
+  if (!report.ms.empty()) {
+    os << "# ms medians (baseline -> current; ratio >1 means faster)\n";
+    for (const MsDelta& d : report.ms) {
+      std::ostringstream line;
+      line.setf(std::ios::fixed);
+      line.precision(4);
+      line << "#   " << d.key << "  " << d.baseline_median << " -> "
+           << d.current_median << " ms";
+      if (d.current_median > 0) {
+        line.precision(2);
+        line << "  (" << d.baseline_median / d.current_median << "x)";
+      }
+      line << "\n";
+      os << line.str();
+    }
+  }
   for (const MsDelta& d : report.ms) {
     if (!d.regression) continue;
     std::ostringstream line;

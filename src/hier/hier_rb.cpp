@@ -1,10 +1,14 @@
 // HIER-RB: recursive bisection with the paper's four dimension-selection
 // variants (Sections 3.3 and 4.2; HIER-RB-LOAD wins and becomes "HIER-RB").
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "hier/hier.hpp"
+#include "hier/hier_detail.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "oned/oracle.hpp"
 #include "util/parallel.hpp"
 
 namespace rectpart {
@@ -31,48 +35,75 @@ struct CutChoice {
   std::int64_t score = 0;
 };
 
-/// Best row cut of rect r for an ml : mr processor split.  The predicate
+/// The crossing search shared by both cut dimensions: the predicate
 /// L_left * mr >= L_right * ml is monotone in the cut position; the optimum
-/// is at the crossing or one step before it.
-CutChoice best_cut_rows(const PrefixSum2D& ps, const Rect& r, int ml, int mr) {
-  auto left = [&](int k) { return ps.load(r.x0, k, r.y0, r.y1); };
-  auto right = [&](int k) { return ps.load(k, r.x1, r.y0, r.y1); };
-  int lo = r.x0, hi = r.x1;
+/// is at the crossing or one step before it.  `words_per_pair` is the flat
+/// 64-bit words one (left, right) evaluation reads — 8 on the Γ-gather path,
+/// 2 on a projection prefix — tallied into oned_oracle_loads.
+template <typename LeftFn, typename RightFn>
+CutChoice search_cut(LeftFn left, RightFn right, int lo0, int hi0, int ml,
+                     int mr, std::int64_t words_per_pair) {
+  oned::detail::LoadTally tally(words_per_pair);
+  int lo = lo0, hi = hi0;
   while (lo < hi) {
     const int mid = lo + (hi - lo) / 2;
+    tally.tick();
     if (left(mid) * mr >= right(mid) * ml)
       hi = mid;
     else
       lo = mid + 1;
   }
-  auto score = [&](int k) { return std::max(left(k) * mr, right(k) * ml); };
+  const auto score = [&](int k) {
+    tally.tick();
+    return std::max(left(k) * mr, right(k) * ml);
+  };
   CutChoice c{lo, score(lo)};
-  if (lo > r.x0) {
+  if (lo > lo0) {
     const std::int64_t s = score(lo - 1);
     if (s < c.score) c = {lo - 1, s};
   }
   return c;
 }
 
+/// RB runs one crossing search per dimension per node (unlike
+/// hier_relaxed's m-1 j-searches), so a projection build amortizes over far
+/// fewer evaluations — only the big near-root nodes clear the break-even.
+/// The threshold is a pure performance knob: values are identical either
+/// way.
+constexpr int kRbProjectionMinProcs = 32;
+
+/// Best row cut of rect r for an ml : mr processor split.  Large nodes
+/// search on the rectangle's row-projection prefix (two adjacent loads per
+/// evaluation); small nodes query Γ directly.  Identical values either way.
+CutChoice best_cut_rows(const PrefixSum2D& ps, const Rect& r, int ml, int mr) {
+  if (ml + mr >= kRbProjectionMinProcs) {
+    // Safe as thread_local: the projection is consumed to completion before
+    // this node recurses, and search_cut never re-enters the pool.
+    thread_local std::vector<std::int64_t> rp;
+    hier_detail::build_row_projection(ps, r, rp);
+    const std::int64_t total = rp.back();
+    return search_cut([&](int k) { return rp[k - r.x0]; },
+                      [&](int k) { return total - rp[k - r.x0]; }, r.x0, r.x1,
+                      ml, mr, /*words_per_pair=*/2);
+  }
+  return search_cut([&](int k) { return ps.load(r.x0, k, r.y0, r.y1); },
+                    [&](int k) { return ps.load(k, r.x1, r.y0, r.y1); }, r.x0,
+                    r.x1, ml, mr, /*words_per_pair=*/8);
+}
+
 /// Best column cut; symmetric to best_cut_rows.
 CutChoice best_cut_cols(const PrefixSum2D& ps, const Rect& r, int ml, int mr) {
-  auto left = [&](int k) { return ps.load(r.x0, r.x1, r.y0, k); };
-  auto right = [&](int k) { return ps.load(r.x0, r.x1, k, r.y1); };
-  int lo = r.y0, hi = r.y1;
-  while (lo < hi) {
-    const int mid = lo + (hi - lo) / 2;
-    if (left(mid) * mr >= right(mid) * ml)
-      hi = mid;
-    else
-      lo = mid + 1;
+  if (ml + mr >= kRbProjectionMinProcs) {
+    thread_local std::vector<std::int64_t> cp;
+    hier_detail::build_col_projection(ps, r, cp);
+    const std::int64_t total = cp.back();
+    return search_cut([&](int k) { return cp[k - r.y0]; },
+                      [&](int k) { return total - cp[k - r.y0]; }, r.y0, r.y1,
+                      ml, mr, /*words_per_pair=*/2);
   }
-  auto score = [&](int k) { return std::max(left(k) * mr, right(k) * ml); };
-  CutChoice c{lo, score(lo)};
-  if (lo > r.y0) {
-    const std::int64_t s = score(lo - 1);
-    if (s < c.score) c = {lo - 1, s};
-  }
-  return c;
+  return search_cut([&](int k) { return ps.load(r.x0, r.x1, r.y0, k); },
+                    [&](int k) { return ps.load(r.x0, r.x1, k, r.y1); }, r.y0,
+                    r.y1, ml, mr, /*words_per_pair=*/8);
 }
 
 /// Below this subtree size the per-node work (two binary searches) is too

@@ -10,12 +10,15 @@
 // recursions fork as tasks writing disjoint output slots, so the partition
 // is bit-identical at any thread count.
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "hier/hier.hpp"
+#include "hier/hier_detail.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "oned/oracle.hpp"
 #include "util/parallel.hpp"
 
 namespace rectpart {
@@ -43,21 +46,28 @@ bool better(const NodeChoice& a, const NodeChoice& b) {
 
 /// For a fixed dimension and processor split j : (m-j), the relaxed score is
 /// minimized at the crossing of L1*(m-j) and L2*j; returns the better of the
-/// crossing index and its left neighbour.
+/// crossing index and its left neighbour.  `words_per_pair` is the flat
+/// 64-bit words one (left, right) evaluation reads — 8 for Γ gathers, 2 on a
+/// projection prefix — tallied into oned_oracle_loads (the tally is local,
+/// so concurrent per-j lanes don't race on it).
 template <typename LeftFn, typename RightFn>
 void consider_dim(LeftFn left, RightFn right, int lo0, int hi0, int m, int j,
-                  bool cut_rows, NodeChoice& best) {
+                  bool cut_rows, std::int64_t words_per_pair,
+                  NodeChoice& best) {
+  oned::detail::LoadTally tally(words_per_pair);
   int lo = lo0, hi = hi0;
   const std::int64_t wl = m - j;  // weight on the left load
   const std::int64_t wr = j;      // weight on the right load
   while (lo < hi) {
     const int mid = lo + (hi - lo) / 2;
+    tally.tick();
     if (left(mid) * wl >= right(mid) * wr)
       hi = mid;
     else
       lo = mid + 1;
   }
   for (int k = std::max(lo0, lo - 1); k <= lo; ++k) {
+    tally.tick();
     const long double score =
         std::max(static_cast<long double>(left(k)) / j,
                  static_cast<long double>(right(k)) / (m - j));
@@ -96,16 +106,42 @@ void relaxed_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
       break;
   }
 
+  // Each active dimension's projection prefix is built once per node and
+  // shared read-only by all m-1 j-searches — the sweep's lambda evaluations
+  // drop from 4-word Γ gathers to two adjacent loads.  Small nodes keep the
+  // direct queries (identical values, so the threshold is purely a
+  // performance knob).
+  const bool use_proj = m >= hier_detail::kProjectionMinProcs;
+  std::vector<std::int64_t> rp, cp;
+  if (use_proj && try_rows) hier_detail::build_row_projection(ps, r, rp);
+  if (use_proj && try_cols) hier_detail::build_col_projection(ps, r, cp);
+
   const auto eval_j = [&](int j, NodeChoice& best) {
     if (try_rows) {
-      consider_dim([&](int k) { return ps.load(r.x0, k, r.y0, r.y1); },
-                   [&](int k) { return ps.load(k, r.x1, r.y0, r.y1); }, r.x0,
-                   r.x1, m, j, /*cut_rows=*/true, best);
+      if (use_proj) {
+        consider_dim([&](int k) { return rp[k - r.x0]; },
+                     [&](int k) { return rp.back() - rp[k - r.x0]; }, r.x0,
+                     r.x1, m, j, /*cut_rows=*/true, /*words_per_pair=*/2,
+                     best);
+      } else {
+        consider_dim([&](int k) { return ps.load(r.x0, k, r.y0, r.y1); },
+                     [&](int k) { return ps.load(k, r.x1, r.y0, r.y1); }, r.x0,
+                     r.x1, m, j, /*cut_rows=*/true, /*words_per_pair=*/8,
+                     best);
+      }
     }
     if (try_cols) {
-      consider_dim([&](int k) { return ps.load(r.x0, r.x1, r.y0, k); },
-                   [&](int k) { return ps.load(r.x0, r.x1, k, r.y1); }, r.y0,
-                   r.y1, m, j, /*cut_rows=*/false, best);
+      if (use_proj) {
+        consider_dim([&](int k) { return cp[k - r.y0]; },
+                     [&](int k) { return cp.back() - cp[k - r.y0]; }, r.y0,
+                     r.y1, m, j, /*cut_rows=*/false, /*words_per_pair=*/2,
+                     best);
+      } else {
+        consider_dim([&](int k) { return ps.load(r.x0, r.x1, r.y0, k); },
+                     [&](int k) { return ps.load(r.x0, r.x1, k, r.y1); }, r.y0,
+                     r.y1, m, j, /*cut_rows=*/false, /*words_per_pair=*/8,
+                     best);
+      }
     }
   };
 

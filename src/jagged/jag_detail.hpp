@@ -7,22 +7,42 @@
 #include "core/orient.hpp"
 #include "core/partition.hpp"
 #include "oned/cuts.hpp"
+#include "oned/nicol.hpp"
 #include "prefix/prefix_sum.hpp"
+#include "prefix/stripe_projection.hpp"
 #include "util/parallel.hpp"
 
 namespace rectpart::jag_detail {
+
+/// Optimal 1-D cuts of row stripe [a, b) with `procs` processors.  The solve
+/// runs on the stripe's flat projection prefix (two adjacent loads per
+/// query) with thread-local projection and probe scratch, so repeated stripe
+/// solves are allocation-free after warm-up.  Projection values equal the
+/// Γ-query path exactly (int64 re-association), so the cuts are
+/// bit-identical.  Safe inside parallel_for lanes: the thread_local buffers
+/// are used to completion within one claimed iteration, and nicol_plus never
+/// re-enters the execution layer.
+[[nodiscard]] inline oned::Cuts solve_stripe(const PrefixSum2D& ps, int a,
+                                             int b, int procs) {
+  thread_local StripeProjection proj;
+  thread_local oned::ProbeScratch scratch;
+  proj.assign_rows(ps, a, b);
+  return std::move(oned::nicol_plus(proj.oracle(), procs, &scratch).cuts);
+}
 
 /// Runs a rows-as-main-dimension algorithm under the requested orientation:
 /// kVertical transposes the instance (and the result back); kBest evaluates
 /// both — as two independent tasks on the execution layer — and keeps the
 /// partition with the smaller maximum load, preferring horizontal on ties.
 /// Both orientations are always fully computed before the comparison, so the
-/// result is identical at any thread count.
+/// result is identical at any thread count.  The transposed view comes from
+/// the instance's cache: repeated -VER/kBest solves of one instance pay the
+/// O(n1*n2) copy once.
 template <typename F>
 [[nodiscard]] Partition with_orientation(const PrefixSum2D& ps,
                                          Orientation orient, F&& run_hor) {
   if (orient == Orientation::kHorizontal) return run_hor(ps);
-  const PrefixSum2D t = ps.transpose();
+  const PrefixSum2D& t = ps.transposed();
   if (orient == Orientation::kVertical)
     return transpose_partition(run_hor(t));
   Partition hor, ver;

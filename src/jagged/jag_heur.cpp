@@ -35,12 +35,13 @@ Partition pq_heur_hor(const PrefixSum2D& ps, int m, int p) {
   const oned::Cuts row_cuts =
       oned::nicol_plus(oned::PrefixOracle(row_prefix), p).cuts;
 
-  // Per-stripe optimal 1-D solves are independent; fan them out.
+  // Per-stripe optimal 1-D solves are independent; fan them out, each on
+  // its stripe's flat projection (jag_detail::solve_stripe).
   std::vector<oned::Cuts> col_cuts(p);
   parallel_for(p, [&](std::size_t s) {
-    StripeColsOracle stripe(ps, row_cuts.begin_of(static_cast<int>(s)),
-                            row_cuts.end_of(static_cast<int>(s)));
-    col_cuts[s] = oned::nicol_plus(stripe, q).cuts;
+    const int i = static_cast<int>(s);
+    col_cuts[s] =
+        jag_detail::solve_stripe(ps, row_cuts.begin_of(i), row_cuts.end_of(i), q);
   });
   return jag_detail::assemble_jagged(row_cuts, col_cuts, m);
 }
@@ -161,12 +162,13 @@ Partition m_heur_hor(const PrefixSum2D& ps, int m, int p, Allotment rule) {
   for (int s = 0; s < p; ++s)
     if (q[s] < 1) throw std::logic_error("jag_m_heur: unpopulated stripe");
 
-  // Per-stripe optimal 1-D solves are independent; fan them out.
+  // Per-stripe optimal 1-D solves are independent; fan them out, each on
+  // its stripe's flat projection (jag_detail::solve_stripe).
   std::vector<oned::Cuts> col_cuts(p);
   parallel_for(p, [&](std::size_t s) {
-    StripeColsOracle stripe(ps, row_cuts.begin_of(static_cast<int>(s)),
-                            row_cuts.end_of(static_cast<int>(s)));
-    col_cuts[s] = oned::nicol_plus(stripe, q[s]).cuts;
+    const int i = static_cast<int>(s);
+    col_cuts[s] = jag_detail::solve_stripe(ps, row_cuts.begin_of(i),
+                                           row_cuts.end_of(i), q[s]);
   });
   return jag_detail::assemble_jagged(row_cuts, col_cuts, m);
 }

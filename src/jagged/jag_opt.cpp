@@ -21,12 +21,14 @@
 // and cross-checked against these engines in the test suite.
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "core/metrics.hpp"
 #include "jagged/jag_detail.hpp"
 #include "jagged/jagged.hpp"
+#include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "oned/oned.hpp"
 #include "rectilinear/rectilinear.hpp"
@@ -37,22 +39,37 @@ namespace rectpart {
 namespace {
 
 /// Smallest B in [lb, ub] satisfying an antitone feasibility predicate
-/// (feasible(ub) must hold).  Sequential bisection when the execution layer
-/// is sequential; otherwise each round evaluates several interior candidates
-/// concurrently and keeps the tightest bracket.  Both searches converge to
-/// the unique minimal feasible value, so the result is thread-count
-/// independent.
-template <typename Pred>
-std::int64_t min_feasible(std::int64_t lb, std::int64_t ub,
-                          const Pred& feasible) {
+/// (feasible(ub) must hold), retaining the witness of the last successful
+/// probe.  feasible(b, w) must fill *w exactly when it returns true.  On
+/// return *witness_b is the budget *witness was filled at: equal to the
+/// result iff any probe succeeded — then the witness already belongs to the
+/// optimum and extraction needs no re-probe — or -1 when the search closed
+/// on the caller's initial ub without ever probing it.
+///
+/// Sequential bisection when the execution layer is sequential; otherwise
+/// each round evaluates several interior candidates concurrently and keeps
+/// the tightest bracket.  Both searches converge to the unique minimal
+/// feasible value, and a witness at a given budget is a pure function of
+/// that budget, so results (and the witness) are thread-count independent;
+/// whether a probe ever succeeds is equivalent to ub exceeding the optimum
+/// in both modes, so witness_reprobes_avoided is thread-invariant too.
+template <typename W, typename Pred>
+std::int64_t min_feasible_retain(std::int64_t lb, std::int64_t ub,
+                                 const Pred& feasible, W* witness,
+                                 std::int64_t* witness_b) {
+  *witness_b = -1;
   const int lanes = std::min(num_threads(), 8);
   if (lanes <= 1 || execution_pool() == nullptr) {
+    W buf{};
     while (lb < ub) {
       const std::int64_t mid = lb + (ub - lb) / 2;
-      if (feasible(mid))
+      if (feasible(mid, &buf)) {
         ub = mid;
-      else
+        std::swap(*witness, buf);
+        *witness_b = mid;
+      } else {
         lb = mid + 1;
+      }
     }
     return lb;
   }
@@ -70,8 +87,10 @@ std::int64_t min_feasible(std::int64_t lb, std::int64_t ub,
     }
     if (cand.empty()) cand.push_back(lb);
     std::vector<char> ok(cand.size(), 0);
-    parallel_for(cand.size(),
-                 [&](std::size_t i) { ok[i] = feasible(cand[i]) ? 1 : 0; });
+    std::vector<W> bufs(cand.size());
+    parallel_for(cand.size(), [&](std::size_t i) {
+      ok[i] = feasible(cand[i], &bufs[i]) ? 1 : 0;
+    });
     std::size_t first = cand.size();
     for (std::size_t i = 0; i < cand.size(); ++i) {
       if (ok[i]) {
@@ -83,10 +102,23 @@ std::int64_t min_feasible(std::int64_t lb, std::int64_t ub,
       lb = cand.back() + 1;
     } else {
       ub = cand[first];
+      std::swap(*witness, bufs[first]);
+      *witness_b = ub;
       if (first > 0) lb = cand[first - 1] + 1;
     }
   }
   return lb;
+}
+
+/// Witness-free façade over min_feasible_retain.
+template <typename Pred>
+std::int64_t min_feasible(std::int64_t lb, std::int64_t ub,
+                          const Pred& feasible) {
+  char ignored = 0;
+  std::int64_t ignored_b = -1;
+  return min_feasible_retain(
+      lb, ub, [&](std::int64_t b, char*) { return feasible(b); }, &ignored,
+      &ignored_b);
 }
 
 /// Optimal 1-D column cuts for each recorded stripe — the independent Opt1D
@@ -101,8 +133,8 @@ std::vector<oned::Cuts> solve_stripes(const PrefixSum2D& ps,
                                       const std::vector<StripeTask>& tasks) {
   std::vector<oned::Cuts> col_cuts(tasks.size());
   parallel_for(tasks.size(), [&](std::size_t s) {
-    StripeColsOracle stripe(ps, tasks[s].begin, tasks[s].end);
-    col_cuts[s] = oned::nicol_plus(stripe, tasks[s].procs).cuts;
+    col_cuts[s] = jag_detail::solve_stripe(ps, tasks[s].begin, tasks[s].end,
+                                           tasks[s].procs);
   });
   return col_cuts;
 }
@@ -150,7 +182,10 @@ int max_stripe_end(const PrefixSum2D& ps, int a, std::int64_t B, int cap) {
 bool pq_feasible(const PrefixSum2D& ps, int p, int q, std::int64_t B,
                  oned::Cuts* out) {
   const int n1 = ps.rows();
-  std::vector<int> ends;
+  // Reused across the bisection's many probes; safe because nothing in the
+  // sweep re-enters the execution layer on this thread.
+  thread_local std::vector<int> ends;
+  ends.clear();
   int a = 0;
   while (a < n1) {
     if (static_cast<int>(ends.size()) == p) return false;
@@ -179,12 +214,39 @@ Partition pq_opt_hor(const PrefixSum2D& ps, int m, int p) {
   heur_opt.orientation = Orientation::kHorizontal;
   const std::int64_t ub = jag_pq_heur(ps, m, heur_opt).max_load(ps);
 
-  const std::int64_t best = min_feasible(
-      lb, ub, [&](std::int64_t b) { return pq_feasible(ps, p, q, b, nullptr); });
-
+  // Search probes write their stripe boundaries so the winner's cuts are
+  // already in hand.  The PQ heuristic's bound is frequently already optimal
+  // — its stripe boundaries come from the optimal 1-D split of the
+  // projection, which on smooth instances the exact engine cannot improve —
+  // and then every bisection probe below ub fails.  Probing ub - 1 first
+  // settles that case in a single infeasible probe; when ub - 1 is feasible
+  // its cuts seed the incumbent witness and the bisection proceeds on
+  // [lb, ub - 1].  The optimum (and hence the partition) is independent of
+  // the probe order.
   oned::Cuts row_cuts;
-  if (!pq_feasible(ps, p, q, best, &row_cuts))
+  std::int64_t wb = -1;
+  std::int64_t best = ub;
+  if (lb < ub && pq_feasible(ps, p, q, ub - 1, &row_cuts)) {
+    wb = ub - 1;
+    oned::Cuts inner;
+    std::int64_t inner_b = -1;
+    best = min_feasible_retain(
+        lb, ub - 1,
+        [&](std::int64_t b, oned::Cuts* w) {
+          return pq_feasible(ps, p, q, b, w);
+        },
+        &inner, &inner_b);
+    if (inner_b == best) {
+      row_cuts = std::move(inner);
+      wb = best;
+    }
+  }
+
+  if (wb == best) {
+    RECTPART_COUNT(kWitnessReprobesAvoided, 1);
+  } else if (!pq_feasible(ps, p, q, best, &row_cuts)) {
     throw std::logic_error("jag_pq_opt: optimum not feasible (bug)");
+  }
 
   std::vector<StripeTask> tasks(p);
   for (int s = 0; s < p; ++s)
@@ -259,10 +321,21 @@ struct MWayProbe {
   }
 };
 
-Partition m_opt_extract(const PrefixSum2D& ps, int m, std::int64_t B) {
-  MWayProbe probe(ps, m, B);
-  if (!probe.run())
-    throw std::logic_error("jag_m_opt: optimum not feasible (bug)");
+/// Extracts the partition from a feasible probe at B.  `witness` is a probe
+/// whose DP already ran at exactly B (retained from the parametric search);
+/// when absent the DP is re-run.  The walk over choice_e/choice_c is a pure
+/// function of B either way, so both paths yield the same partition.
+Partition m_opt_extract(const PrefixSum2D& ps, int m, std::int64_t B,
+                        const MWayProbe* witness) {
+  std::unique_ptr<MWayProbe> own;
+  if (witness) {
+    RECTPART_COUNT(kWitnessReprobesAvoided, 1);
+  } else {
+    own = std::make_unique<MWayProbe>(ps, m, B);
+    if (!own->run())
+      throw std::logic_error("jag_m_opt: optimum not feasible (bug)");
+    witness = own.get();
+  }
 
   oned::Cuts row_cuts;
   row_cuts.pos.push_back(0);
@@ -270,8 +343,8 @@ Partition m_opt_extract(const PrefixSum2D& ps, int m, std::int64_t B) {
   int s = 0;
   const int n1 = ps.rows();
   while (s < n1) {
-    const int e = probe.choice_e[s];
-    const int c = probe.choice_c[s];
+    const int e = witness->choice_e[s];
+    const int c = witness->choice_c[s];
     row_cuts.pos.push_back(e);
     tasks.push_back({s, e, c});
     s = e;
@@ -279,18 +352,36 @@ Partition m_opt_extract(const PrefixSum2D& ps, int m, std::int64_t B) {
   return jag_detail::assemble_jagged(row_cuts, solve_stripes(ps, tasks), m);
 }
 
-std::int64_t m_opt_bottleneck_hor(const PrefixSum2D& ps, int m) {
+/// Optimal m-way bottleneck plus, when the search probed the optimum, the
+/// probe object that proved it feasible (null when the heuristic upper bound
+/// was already optimal).
+struct MWaySolve {
+  std::int64_t bottleneck = 0;
+  std::unique_ptr<MWayProbe> witness;
+};
+
+MWaySolve m_opt_solve_hor(const PrefixSum2D& ps, int m) {
   const std::int64_t lb = lower_bound_lmax(ps, m);
   JaggedOptions heur_opt;
   heur_opt.orientation = Orientation::kHorizontal;
   const std::int64_t ub = jag_m_heur(ps, m, heur_opt).max_load(ps);
 
   // Each candidate bottleneck gets its own MWayProbe, so the concurrent
-  // rounds of min_feasible share nothing but the immutable prefix array.
-  return min_feasible(lb, ub, [&](std::int64_t b) {
-    MWayProbe candidate(ps, m, b);
-    return candidate.run();
-  });
+  // rounds of min_feasible_retain share nothing but the immutable prefix
+  // array; the probe of the last success survives as the witness.
+  MWaySolve r;
+  std::int64_t wb = -1;
+  r.bottleneck = min_feasible_retain(
+      lb, ub,
+      [&](std::int64_t b, std::unique_ptr<MWayProbe>* out) {
+        auto candidate = std::make_unique<MWayProbe>(ps, m, b);
+        if (!candidate->run()) return false;
+        *out = std::move(candidate);
+        return true;
+      },
+      &r.witness, &wb);
+  if (wb != r.bottleneck) r.witness.reset();
+  return r;
 }
 
 }  // namespace
@@ -307,19 +398,22 @@ Partition jag_m_opt(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
   return jag_detail::with_orientation(
       ps, opt.orientation, [m](const PrefixSum2D& view) {
         RECTPART_SPAN("jag-m-opt");
-        const std::int64_t b = m_opt_bottleneck_hor(view, m);
-        return m_opt_extract(view, m, b);
+        const MWaySolve solved = m_opt_solve_hor(view, m);
+        return m_opt_extract(view, m, solved.bottleneck,
+                             solved.witness.get());
       });
 }
 
 std::int64_t jag_m_opt_bottleneck(const PrefixSum2D& ps, int m,
                                   Orientation orient) {
-  if (orient == Orientation::kHorizontal) return m_opt_bottleneck_hor(ps, m);
-  const PrefixSum2D t = ps.transpose();
-  if (orient == Orientation::kVertical) return m_opt_bottleneck_hor(t, m);
+  if (orient == Orientation::kHorizontal)
+    return m_opt_solve_hor(ps, m).bottleneck;
+  const PrefixSum2D& t = ps.transposed();
+  if (orient == Orientation::kVertical)
+    return m_opt_solve_hor(t, m).bottleneck;
   std::int64_t hor = 0, ver = 0;
-  parallel_invoke([&]() { ver = m_opt_bottleneck_hor(t, m); },
-                  [&]() { hor = m_opt_bottleneck_hor(ps, m); });
+  parallel_invoke([&]() { ver = m_opt_solve_hor(t, m).bottleneck; },
+                  [&]() { hor = m_opt_solve_hor(ps, m).bottleneck; });
   return std::min(hor, ver);
 }
 

@@ -59,8 +59,8 @@ Partition pq_opt_dp_hor(const PrefixSum2D& ps, int m, int p) {
   std::vector<oned::Cuts> col_cuts(p);
   parallel_for(static_cast<std::size_t>(p), [&](std::size_t s) {
     const int si = static_cast<int>(s);
-    StripeColsOracle stripe(ps, res.cuts.begin_of(si), res.cuts.end_of(si));
-    col_cuts[s] = oned::nicol_plus(stripe, q).cuts;
+    col_cuts[s] = jag_detail::solve_stripe(ps, res.cuts.begin_of(si),
+                                           res.cuts.end_of(si), q);
   });
   return jag_detail::assemble_jagged(res.cuts, col_cuts, m);
 }
@@ -169,10 +169,9 @@ class MWayDp {
     row_cuts.pos.push_back(n1_);
     std::vector<oned::Cuts> col_cuts(stripes.size());
     parallel_for(stripes.size(), [&](std::size_t s) {
-      const int a = row_cuts.pos[s];
-      const int b = row_cuts.pos[s + 1];
-      StripeColsOracle stripe(ps_, a, b);
-      col_cuts[s] = oned::nicol_plus(stripe, stripes[s].second).cuts;
+      col_cuts[s] = jag_detail::solve_stripe(ps_, row_cuts.pos[s],
+                                             row_cuts.pos[s + 1],
+                                             stripes[s].second);
     });
     return jag_detail::assemble_jagged(row_cuts, col_cuts, m_);
   }

@@ -26,19 +26,25 @@
 namespace rectpart {
 
 /// Column-interval oracle restricted to a row stripe [a, b): O(1) queries.
+/// The two bordered Γ-row pointers are cached at construction, so a query is
+/// four adjacent-row loads with no row-offset multiply.  Empty stripes
+/// (a == b) degenerate to the all-zero oracle, matching PrefixSum2D::load.
 class StripeColsOracle {
  public:
   StripeColsOracle(const PrefixSum2D& ps, int a, int b)
-      : ps_(ps), a_(a), b_(b) {}
+      : ra_(ps.row_ptr(a)), rb_(ps.row_ptr(b)), n2_(ps.cols()) {}
 
-  [[nodiscard]] int size() const { return ps_.cols(); }
+  [[nodiscard]] int size() const { return n2_; }
   [[nodiscard]] std::int64_t load(int i, int j) const {
-    return ps_.load(a_, b_, i, j);
+    if (i >= j) return 0;
+    return (rb_[j] - ra_[j]) - (rb_[i] - ra_[i]);
   }
+  [[nodiscard]] std::int64_t loads_per_query() const { return 4; }
 
  private:
-  const PrefixSum2D& ps_;
-  int a_, b_;
+  const std::int64_t* ra_;
+  const std::int64_t* rb_;
+  int n2_;
 };
 
 /// How JAG-M-HEUR distributes processors to stripes (ablation of the

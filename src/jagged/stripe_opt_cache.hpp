@@ -6,8 +6,10 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "jagged/jagged.hpp"
 #include "obs/counters.hpp"
@@ -56,13 +58,45 @@ class StripeOptCache {
       }
     }
     RECTPART_COUNT(kStripeCacheMisses, 1);
-    StripeColsOracle o(ps_, a, b);
-    const std::int64_t v = oned::nicol_plus(o, x).bottleneck;
+    // Solve on the stripe's flat projection prefix (two adjacent loads per
+    // query) instead of Γ gathers; identical int64 values, so the memoized
+    // bottlenecks are unchanged.  The solve itself runs outside any lock.
+    const std::shared_ptr<const std::vector<std::int64_t>> proj =
+        projection(a, b);
+    thread_local oned::ProbeScratch scratch;
+    const std::int64_t v =
+        oned::nicol_plus(oned::PrefixOracle(*proj), x, &scratch).bottleneck;
     {
       const std::unique_lock<std::mutex> lock = lock_shard(shard);
       shard.memo.emplace(key, v);
     }
     return v;
+  }
+
+  /// Flat projection prefix of stripe rows [a, b), built at most once per
+  /// distinct stripe: the O(n2) build runs under the owning shard lock
+  /// (double-checked find), so racing lanes wait for one build instead of
+  /// duplicating it — which is also what keeps the projections_built counter
+  /// exact rather than merely scheduling-dependent.  Returned as a
+  /// shared_ptr so the vector outlives shard-map growth and cache teardown
+  /// races cannot dangle a borrowed span.
+  std::shared_ptr<const std::vector<std::int64_t>> projection(int a,
+                                                              int b) const {
+    const std::uint64_t ab =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+        static_cast<std::uint32_t>(b);
+    ProjShard& shard = proj_shards_[static_cast<std::size_t>(
+        splitmix_mix(ab) % kShards)];
+    const std::unique_lock<std::mutex> lock = lock_shard(shard);
+    const auto it = shard.memo.find(ab);
+    if (it != shard.memo.end()) return it->second;
+    auto built = std::make_shared<std::vector<std::int64_t>>(
+        static_cast<std::size_t>(ps_.cols()) + 1);
+    const std::int64_t* ra = ps_.row_ptr(a);
+    const std::int64_t* rb = ps_.row_ptr(b);
+    for (int j = 0; j <= ps_.cols(); ++j) (*built)[j] = rb[j] - ra[j];
+    RECTPART_COUNT(kProjectionsBuilt, 1);
+    return shard.memo.emplace(ab, std::move(built)).first->second;
   }
 
  private:
@@ -85,10 +119,18 @@ class StripeOptCache {
     std::unordered_map<Key, std::int64_t, KeyHash> memo;
   };
 
+  struct ProjShard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const std::vector<std::int64_t>>>
+        memo;
+  };
+
   /// Locks the shard, counting the acquisitions that actually had to wait —
   /// the "shard contention" work counter that tells us whether 64 shards
   /// are still enough as the DP sweeps get wider.
-  static std::unique_lock<std::mutex> lock_shard(Shard& shard) {
+  template <typename S>
+  static std::unique_lock<std::mutex> lock_shard(S& shard) {
     std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
     if (!lock.owns_lock()) {
       RECTPART_COUNT(kStripeCacheContention, 1);
@@ -105,6 +147,7 @@ class StripeOptCache {
 
   const PrefixSum2D& ps_;
   mutable std::array<Shard, kShards> shards_;
+  mutable std::array<ProjShard, kShards> proj_shards_;
 };
 
 }  // namespace rectpart

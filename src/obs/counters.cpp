@@ -27,6 +27,15 @@ constexpr CounterMeta kMeta[kCounterCount] = {
     {"pool_queue_high_watermark", true, true},
     {"hier_nodes", false, false},
     {"picmag_particles_pushed", false, false},
+    // The flat-oracle cost model (DESIGN.md §hot paths): words touched per
+    // query, projections materialized, and extraction re-probes skipped are
+    // all pure functions of the search control flow, so they share the
+    // oned_probe_calls determinism argument (and its opt-engine exemption).
+    // projections_built stays exact under concurrency because StripeOptCache
+    // builds projections under the owning shard lock — once per stripe.
+    {"oned_oracle_loads", false, false},
+    {"projections_built", false, false},
+    {"witness_reprobes_avoided", false, false},
 };
 
 // One cache-line-isolated block per thread.  Only the owning thread writes

@@ -47,6 +47,9 @@ enum class Counter : int {
   kPoolQueueHighWatermark,  ///< deepest ThreadPool queue observed (max-merge)
   kHierNodes,               ///< hierarchical bipartition nodes visited
   kPicmagParticlesPushed,   ///< PIC-MAG particle push steps executed
+  kOnedOracleLoads,         ///< 64-bit words read by 1-D oracle queries
+  kProjectionsBuilt,        ///< flat stripe/rect projection prefixes built
+  kWitnessReprobesAvoided,  ///< cut-extraction re-probes skipped via witness
   kCount
 };
 

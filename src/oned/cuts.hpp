@@ -42,6 +42,9 @@ template <IntervalOracle O>
   std::int64_t lmax = 0;
   for (int p = 0; p < cuts.parts(); ++p)
     lmax = std::max(lmax, o.load(cuts.begin_of(p), cuts.end_of(p)));
+  RECTPART_COUNT(kOnedOracleLoads,
+                 static_cast<std::uint64_t>(cuts.parts() *
+                                            oracle_loads_per_query(o)));
   return lmax;
 }
 

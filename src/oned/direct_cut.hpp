@@ -14,14 +14,17 @@
 namespace rectpart::oned {
 
 /// Greedy prefix-target heuristic; O(m log(n/m)) oracle calls via galloping.
+/// The `into` form writes the result through caller-owned scratch (the
+/// assign reuses its capacity), for search loops that re-derive DC bounds.
 ///
 /// Cut p (1 <= p < m) is the smallest index j with load(0, j) * m >= p * total
 /// (exact integer arithmetic; loads fit comfortably in 64 bits).
 template <IntervalOracle O>
-[[nodiscard]] Cuts direct_cut(const O& o, int m) {
+void direct_cut_into(const O& o, int m, Cuts& cuts) {
   const int n = o.size();
   const std::int64_t total = o.load(0, n);
-  Cuts cuts;
+  detail::LoadTally tally(oracle_loads_per_query(o));
+  tally.tick();
   cuts.pos.assign(static_cast<std::size_t>(m) + 1, n);
   cuts.pos[0] = 0;
 
@@ -31,6 +34,7 @@ template <IntervalOracle O>
     // on the monotone predicate keeps the total cost at O(m log(n/m)).
     const std::int64_t target = p * total;  // compare m*load >= target
     int good = prev;  // m * load(0, good) < target (or good == prev boundary)
+    tally.tick();
     if (static_cast<std::int64_t>(m) * o.load(0, good) >= target) {
       cuts.pos[p] = good;
       continue;
@@ -39,6 +43,7 @@ template <IntervalOracle O>
     int step = 1;
     while (good + step < bad) {
       const int probe = good + step;
+      tally.tick();
       if (static_cast<std::int64_t>(m) * o.load(0, probe) < target) {
         good = probe;
         step *= 2;
@@ -49,6 +54,7 @@ template <IntervalOracle O>
     }
     while (good + 1 < bad) {
       const int mid = good + (bad - good) / 2;
+      tally.tick();
       if (static_cast<std::int64_t>(m) * o.load(0, mid) < target)
         good = mid;
       else
@@ -57,6 +63,12 @@ template <IntervalOracle O>
     cuts.pos[p] = bad;
     prev = bad;
   }
+}
+
+template <IntervalOracle O>
+[[nodiscard]] Cuts direct_cut(const O& o, int m) {
+  Cuts cuts;
+  direct_cut_into(o, m, cuts);
   return cuts;
 }
 

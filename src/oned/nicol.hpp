@@ -32,30 +32,57 @@ struct OptResult {
 /// Integer parametric bisection.  `lb`/`ub` may be supplied when the caller
 /// already knows bounds (ub must be feasible); by default they come from the
 /// average-load bound and DirectCut.
+///
+/// Witness retention: the DirectCut cuts behind the default upper bound seed
+/// the incumbent (they achieve exactly that bound), and every successful
+/// search probe replaces it, so when the bisection closes on a budget whose
+/// cuts are already in hand the final extraction re-probe is skipped
+/// (witness_reprobes_avoided).  Failed probes never touch the incumbent —
+/// probe writes its output progressively and may bail midway.  The returned
+/// cuts can therefore be the DirectCut cuts themselves (when they were
+/// already optimal); any returned cuts are well-formed and achieve the
+/// optimal bottleneck.  `scratch` makes the search allocation-free.
 template <IntervalOracle O>
 [[nodiscard]] OptResult bisect_probe(const O& o, int m, std::int64_t lb = -1,
-                                     std::int64_t ub = -1) {
+                                     std::int64_t ub = -1,
+                                     ProbeScratch* scratch = nullptr) {
+  ProbeScratch local;
+  ProbeScratch& s = scratch ? *scratch : local;
   const int n = o.size();
   const std::int64_t total = o.load(0, n);
+  RECTPART_COUNT(kOnedOracleLoads,
+                 static_cast<std::uint64_t>(oracle_loads_per_query(o)));
   if (lb < 0) {
     lb = (total + m - 1) / m;
     lb = std::max(lb, max_singleton(o));
   }
+  std::int64_t witness_b = -1;  // budget s.witness was computed at, or -1
   if (ub < 0) {
-    const Cuts dc = direct_cut(o, m);
-    ub = bottleneck(o, dc);
+    direct_cut_into(o, m, s.witness);
+    ub = bottleneck(o, s.witness);
+    witness_b = ub;
   }
   while (lb < ub) {
     const std::int64_t mid = lb + (ub - lb) / 2;
-    if (probe(o, m, mid))
+    if (probe(o, m, mid, &s.probe_buf)) {
       ub = mid;
-    else
+      std::swap(s.witness, s.probe_buf);
+      witness_b = mid;
+    } else {
       lb = mid + 1;
+    }
   }
   OptResult r;
   r.bottleneck = lb;
-  const bool ok = probe(o, m, lb, &r.cuts);
-  (void)ok;
+  if (witness_b == lb) {
+    // The incumbent was computed at the final budget: it is the witness.
+    RECTPART_COUNT(kWitnessReprobesAvoided, 1);
+    r.cuts = s.witness;
+  } else {
+    // Caller-supplied ub that no search probe undercut: extract at lb.
+    const bool ok = probe(o, m, lb, &r.cuts);
+    (void)ok;
+  }
   return r;
 }
 
@@ -65,16 +92,28 @@ namespace detail {
 /// per-processor binary searches are clipped to first-interval loads inside
 /// (LB, UB], and LB/UB are tightened after every processor — the
 /// Pinar–Aykanat refinement.
+///
+/// The final extraction probe is kept on purpose: the per-processor searches
+/// probe *suffixes*, whose greedy cuts do not compose into the greedy cuts of
+/// the whole array at `best`, and callers rely on the latter staying
+/// bit-identical across refactors.  `scratch` only removes the DirectCut
+/// bound's allocation; the result cuts are freshly extracted.
 template <IntervalOracle O>
-[[nodiscard]] OptResult nicol_impl(const O& o, int m, bool use_bounds) {
+[[nodiscard]] OptResult nicol_impl(const O& o, int m, bool use_bounds,
+                                   ProbeScratch* scratch) {
+  ProbeScratch local;
+  ProbeScratch& s = scratch ? *scratch : local;
   const int n = o.size();
   const std::int64_t total = o.load(0, n);
+  oned::detail::LoadTally tally(oracle_loads_per_query(o));
+  tally.tick();
 
   std::int64_t lb = (total + m - 1) / m;           // average-load lower bound
   std::int64_t ub = std::numeric_limits<std::int64_t>::max();
   if (use_bounds) {
     lb = std::max(lb, max_singleton(o));
-    ub = bottleneck(o, direct_cut(o, m));  // DirectCut guarantee
+    direct_cut_into(o, m, s.seed);
+    ub = bottleneck(o, s.seed);  // DirectCut guarantee
   }
 
   std::int64_t best = ub;  // smallest feasible bottleneck seen so far
@@ -83,6 +122,7 @@ template <IntervalOracle O>
     const int remaining = m - p;  // processors after this one
     if (p == m) {
       // Last processor takes the whole suffix.
+      tally.tick();
       best = std::min(best, std::max<std::int64_t>(0, o.load(start, n)));
       break;
     }
@@ -103,17 +143,20 @@ template <IntervalOracle O>
     }
     while (lo < hi) {
       const int mid = lo + (hi - lo) / 2;
+      tally.tick();
       if (probe_suffix(o, start, remaining + 1, o.load(start, mid)))
         hi = mid;
       else
         lo = mid + 1;
     }
     const int e = lo;  // smallest feasible end for the first interval
+    tally.tick();
     const std::int64_t feasible_load = o.load(start, e);
     best = std::min(best, feasible_load);
     if (use_bounds && e > start) {
       // load(start, e-1) is infeasible for this suffix, so the optimum
       // exceeds it; integral loads let us round up by one.
+      tally.tick();
       lb = std::max(lb, o.load(start, e - 1) + 1);
       if (lb >= best) break;  // bounds met: best is optimal
     }
@@ -133,15 +176,17 @@ template <IntervalOracle O>
 
 /// Nicol's exact algorithm, O((m log(n/m))^2) oracle calls.
 template <IntervalOracle O>
-[[nodiscard]] OptResult nicol_search(const O& o, int m) {
-  return detail::nicol_impl(o, m, /*use_bounds=*/false);
+[[nodiscard]] OptResult nicol_search(const O& o, int m,
+                                     ProbeScratch* scratch = nullptr) {
+  return detail::nicol_impl(o, m, /*use_bounds=*/false, scratch);
 }
 
 /// NicolPlus: Nicol's algorithm with Pinar–Aykanat bound clipping.  The
 /// default exact 1-D solver throughout the library.
 template <IntervalOracle O>
-[[nodiscard]] OptResult nicol_plus(const O& o, int m) {
-  return detail::nicol_impl(o, m, /*use_bounds=*/true);
+[[nodiscard]] OptResult nicol_plus(const O& o, int m,
+                                   ProbeScratch* scratch = nullptr) {
+  return detail::nicol_impl(o, m, /*use_bounds=*/true, scratch);
 }
 
 }  // namespace rectpart::oned

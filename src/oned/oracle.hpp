@@ -19,6 +19,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/counters.hpp"
+
 namespace rectpart::oned {
 
 /// Requirements on a 1-D interval-load oracle:
@@ -38,6 +40,49 @@ concept IntervalOracle = requires(const O& o, int i, int j) {
   { o.size() } -> std::convertible_to<int>;
   { o.load(i, j) } -> std::convertible_to<std::int64_t>;
 };
+
+/// Number of flat 64-bit words one load() query reads — the unit of the
+/// oned_oracle_loads counter.  Oracles whose queries touch more than one word
+/// advertise it through a loads_per_query() member (PrefixOracle: 2, Γ-row
+/// stripe oracles: 4, stripe-max oracles: 2 per fixed stripe); anything else
+/// counts as 1.  The counter is a memory-traffic model, not a measurement:
+/// its value is a pure function of the search control flow, which is what
+/// keeps it deterministic (obs/counters.hpp).
+template <typename O>
+[[nodiscard]] inline std::int64_t oracle_loads_per_query(const O& o) {
+  if constexpr (requires {
+                  { o.loads_per_query() } -> std::convertible_to<std::int64_t>;
+                }) {
+    return o.loads_per_query();
+  } else {
+    (void)o;
+    return 1;
+  }
+}
+
+namespace detail {
+
+/// Accumulates query ticks locally and flushes ticks * words-per-query into
+/// oned_oracle_loads on scope exit — one counter update per search call, so
+/// the L1-hot query loops stay free of counting traffic.
+class LoadTally {
+ public:
+  explicit LoadTally(std::int64_t per_query) : per_(per_query) {}
+  LoadTally(const LoadTally&) = delete;
+  LoadTally& operator=(const LoadTally&) = delete;
+  ~LoadTally() {
+    RECTPART_COUNT(kOnedOracleLoads,
+                   static_cast<std::uint64_t>(per_ * ticks_));
+  }
+
+  void tick() { ++ticks_; }
+
+ private:
+  std::int64_t per_;
+  std::int64_t ticks_ = 0;
+};
+
+}  // namespace detail
 
 /// Oracle over a prefix-sum vector p of size n+1 with p[0] == 0:
 /// load(i, j) = p[j] - p[i].  Does not own the data.
@@ -59,6 +104,8 @@ class PrefixOracle {
 
   [[nodiscard]] std::int64_t total() const { return prefix_.back(); }
 
+  [[nodiscard]] std::int64_t loads_per_query() const { return 2; }
+
  private:
   std::span<const std::int64_t> prefix_;
 };
@@ -78,6 +125,8 @@ template <IntervalOracle O>
   std::int64_t best = 0;
   const int n = o.size();
   for (int i = 0; i < n; ++i) best = std::max(best, o.load(i, i + 1));
+  RECTPART_COUNT(kOnedOracleLoads, static_cast<std::uint64_t>(
+                                       n * oracle_loads_per_query(o)));
   return best;
 }
 
@@ -89,11 +138,13 @@ template <IntervalOracle O>
                                  std::int64_t budget) {
   const int n = o.size();
   assert(lo >= i && o.load(i, lo) <= budget);
+  detail::LoadTally tally(oracle_loads_per_query(o));
   // Exponential phase: find a bracket [lo, hi] with load(i, hi) > budget.
   int step = 1;
   int hi = lo;
   while (hi < n) {
     const int probe = std::min(n, hi + step);
+    tally.tick();
     if (o.load(i, probe) <= budget) {
       hi = probe;
       step *= 2;
@@ -102,6 +153,7 @@ template <IntervalOracle O>
       int bad = probe;
       while (hi + 1 < bad) {
         const int mid = hi + (bad - hi) / 2;
+        tally.tick();
         if (o.load(i, mid) <= budget)
           hi = mid;
         else
@@ -119,8 +171,11 @@ template <IntervalOracle O>
 [[nodiscard]] int min_end_reaching(const O& o, int i, int lo,
                                    std::int64_t target) {
   const int n = o.size();
+  detail::LoadTally tally(oracle_loads_per_query(o));
+  tally.tick();
   if (o.load(i, n) < target) return n + 1;
   if (lo <= i) lo = i;
+  tally.tick();
   if (o.load(i, lo) >= target) return lo;
   // Invariant: load(i, good) < target <= load(i, bad).
   int good = lo;
@@ -128,6 +183,7 @@ template <IntervalOracle O>
   int bad = n;
   while (good + step < n) {
     const int probe = good + step;
+    tally.tick();
     if (o.load(i, probe) < target) {
       good = probe;
       step *= 2;
@@ -138,6 +194,7 @@ template <IntervalOracle O>
   }
   while (good + 1 < bad) {
     const int mid = good + (bad - good) / 2;
+    tally.tick();
     if (o.load(i, mid) < target)
       good = mid;
     else

@@ -20,12 +20,15 @@ namespace rectpart::oned {
 /// Feasibility of bottleneck B for m intervals starting at element `from`.
 /// When feasible and `out` is non-null, writes the greedy cuts covering
 /// [from, n) into out->pos (m+1 entries over the suffix, pos[0] == from).
+/// `out` is caller-owned scratch: the assign reuses its capacity, so passing
+/// the same Cuts across probes makes the search loop allocation-free.
 template <IntervalOracle O>
 [[nodiscard]] bool probe_suffix(const O& o, int from, int m, std::int64_t B,
                                 Cuts* out = nullptr) {
   RECTPART_COUNT(kOnedProbeCalls, 1);
   if (B < 0 || m <= 0) return false;
   const int n = o.size();
+  detail::LoadTally tally(oracle_loads_per_query(o));
   if (out) {
     out->pos.assign(static_cast<std::size_t>(m) + 1, n);
     out->pos[0] = from;
@@ -33,6 +36,7 @@ template <IntervalOracle O>
   int pos = from;
   for (int p = 0; p < m; ++p) {
     if (pos == n) break;  // everything already covered; rest are empty
+    tally.tick();
     if (o.load(pos, pos + 1) > B) return false;  // a single element overflows
     pos = max_end_within(o, pos, pos, B);
     if (out) out->pos[p + 1] = pos;
@@ -56,10 +60,12 @@ template <IntervalOracle O>
                                                   std::int64_t B, int cap) {
   RECTPART_COUNT(kOnedProbeCalls, 1);
   if (B < 0) return std::nullopt;
+  detail::LoadTally tally(oracle_loads_per_query(o));
   int pos = from;
   int parts = 0;
   while (pos < to) {
     if (parts >= cap) return std::nullopt;
+    tally.tick();
     if (o.load(pos, pos + 1) > B) return std::nullopt;
     // Gallop within [pos, to): temporarily treat `to` as the array end by
     // clamping the result.
@@ -70,5 +76,15 @@ template <IntervalOracle O>
   }
   return parts;
 }
+
+/// Caller-owned scratch buffers for the 1-D searches (nicol_plus,
+/// nicol_search, bisect_probe).  All three buffers only ever grow to m+1
+/// entries, so a thread_local instance threaded through repeated stripe
+/// solves makes the whole search allocation-free after the first call.
+struct ProbeScratch {
+  Cuts witness;    ///< last feasible cuts retained by the search
+  Cuts probe_buf;  ///< per-probe output, swapped into witness on success
+  Cuts seed;       ///< DirectCut seed used for initial upper bounds
+};
 
 }  // namespace rectpart::oned

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/matrix.hpp"
@@ -84,16 +86,45 @@ class PrefixSum2D {
     return ps_[static_cast<std::size_t>(x) * (n2_ + 1) + y];
   }
 
+  /// Pointer to bordered prefix row x (n2()+1 entries, row_ptr(x)[y] ==
+  /// at(x, y)).  Lets stripe oracles and projection builders hoist the
+  /// row-offset multiply out of their inner loops; the pointer is valid for
+  /// the lifetime of this object.
+  [[nodiscard]] const std::int64_t* row_ptr(int x) const {
+    return ps_.data() + static_cast<std::size_t>(x) * (n2_ + 1);
+  }
+
   /// Prefix-sum view of the transposed matrix.  The -VER algorithm variants
   /// run the row-major implementation on this view and transpose the
   /// resulting rectangles back.  O(n1*n2).
   [[nodiscard]] PrefixSum2D transpose() const;
 
+  /// Cached transpose: built on first call (thread-safe), shared by every
+  /// later caller for the lifetime of this object.  The transposed array is
+  /// a pure function of the prefix array — identical bytes no matter which
+  /// thread builds it or how wide the execution layer is — so caching is
+  /// invisible to results.  This is the call the orientation adapters use:
+  /// kBest/-VER runs on the same immutable instance (reps, algorithm
+  /// comparisons, repeated solves) pay the O(n1*n2) copy once instead of
+  /// per call.
+  [[nodiscard]] const PrefixSum2D& transposed() const;
+
  private:
+  /// Lazily-built transpose.  Copies deliberately start cold: the cache is
+  /// an amortization detail of one instance, not part of its value.
+  struct TransposeCache {
+    std::mutex mu;
+    std::shared_ptr<const PrefixSum2D> value;
+    TransposeCache() = default;
+    TransposeCache(const TransposeCache&) {}
+    TransposeCache& operator=(const TransposeCache&) { return *this; }
+  };
+
   int n1_ = 0;
   int n2_ = 0;
   std::int64_t max_cell_ = 0;
   std::vector<std::int64_t> ps_;  // (n1+1) x (n2+1), row-major
+  mutable TransposeCache tcache_;
 };
 
 }  // namespace rectpart

@@ -1,0 +1,40 @@
+#include "prefix/stripe_projection.hpp"
+
+#include <cassert>
+
+#include "obs/counters.hpp"
+#include "util/parallel.hpp"
+
+namespace rectpart {
+
+void StripeProjection::assign_rows(const PrefixSum2D& ps, int a, int b) {
+  assert(0 <= a && a <= b && b <= ps.rows());
+  const int n2 = ps.cols();
+  p_.resize(static_cast<std::size_t>(n2) + 1);
+  const std::int64_t* ra = ps.row_ptr(a);
+  const std::int64_t* rb = ps.row_ptr(b);
+  // Γ(x, 0) == 0 for every x, so p_[0] == 0 as PrefixOracle requires.
+  for (int j = 0; j <= n2; ++j) p_[j] = rb[j] - ra[j];
+  RECTPART_COUNT(kProjectionsBuilt, 1);
+}
+
+void StripeProjection::assign_cols(const PrefixSum2D& ps, int c, int d) {
+  assert(0 <= c && c <= d && d <= ps.cols());
+  const int n1 = ps.rows();
+  p_.resize(static_cast<std::size_t>(n1) + 1);
+  for (int i = 0; i <= n1; ++i) p_[i] = ps.at(i, d) - ps.at(i, c);
+  RECTPART_COUNT(kProjectionsBuilt, 1);
+}
+
+std::vector<StripeProjection> row_stripe_projections(
+    const PrefixSum2D& ps, std::span<const int> bounds) {
+  assert(!bounds.empty());
+  const std::size_t stripes = bounds.size() - 1;
+  std::vector<StripeProjection> out(stripes);
+  parallel_for(stripes, [&](std::size_t s) {
+    out[s].assign_rows(ps, bounds[s], bounds[s + 1]);
+  });
+  return out;
+}
+
+}  // namespace rectpart

@@ -1,0 +1,63 @@
+// Flat 1-D projections of matrix stripes.
+//
+// Every 1-D solve inside the 2-D engines runs on the loads of one stripe:
+// rows [a, b) of the matrix, seen as an n2-element instance (or columns
+// [c, d) seen as an n1-element one).  Answering those interval queries
+// straight off the Γ array costs a 4-term gather per query, and the galloping
+// searches of the probe machinery turn that into scattered reads across a
+// multi-MB array.  A StripeProjection materializes the stripe's contiguous
+// prefix vector once — a single O(n) pass over two Γ rows — after which every
+// query is two adjacent loads through oned::PrefixOracle on an L1-resident
+// vector.
+//
+// The projected prefix is the same difference of Γ entries the 4-term gather
+// computes, just re-associated; int64 arithmetic is exact, so oracle values
+// (and therefore every cut decision downstream) are bit-identical to the
+// Γ-query path.  Builders touch no shared state, so batch construction runs
+// under parallel_for and is bit-identical at any thread width.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "oned/oracle.hpp"
+#include "prefix/prefix_sum.hpp"
+
+namespace rectpart {
+
+/// Reusable buffer holding the prefix vector of one stripe.  assign_* calls
+/// reuse the buffer's capacity, so a thread_local instance makes repeated
+/// stripe solves allocation-free after warm-up.
+class StripeProjection {
+ public:
+  StripeProjection() = default;
+
+  /// Materializes the prefix of the row stripe [a, b) projected onto
+  /// columns: prefix()[j] == ps.load(a, b, 0, j).  Size ps.cols()+1.
+  void assign_rows(const PrefixSum2D& ps, int a, int b);
+
+  /// Materializes the prefix of the column stripe [c, d) projected onto
+  /// rows: prefix()[i] == ps.load(0, i, c, d).  Size ps.rows()+1.
+  void assign_cols(const PrefixSum2D& ps, int c, int d);
+
+  [[nodiscard]] std::span<const std::int64_t> prefix() const { return p_; }
+
+  /// PrefixOracle view; valid until the next assign_* or destruction.
+  [[nodiscard]] oned::PrefixOracle oracle() const {
+    return oned::PrefixOracle(p_);
+  }
+
+ private:
+  std::vector<std::int64_t> p_;
+};
+
+/// Materializes the projections of every row stripe [bounds[s], bounds[s+1])
+/// in one parallel_for pass over the stripes.  bounds must be non-decreasing
+/// with bounds.size() >= 1; out[s] is the flat prefix of stripe s (empty
+/// stripes project to all-zero prefixes).  Deterministic: the result and the
+/// projections_built count are independent of the thread width.
+[[nodiscard]] std::vector<StripeProjection> row_stripe_projections(
+    const PrefixSum2D& ps, std::span<const int> bounds);
+
+}  // namespace rectpart

@@ -2,9 +2,41 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
 #include "oned/nicol.hpp"
 
 namespace rectpart {
+
+StripeMaxFlat::StripeMaxFlat(const PrefixSum2D& ps,
+                             const std::vector<int>& stripe_cuts,
+                             bool stripes_are_rows) {
+  n_ = stripes_are_rows ? ps.cols() : ps.rows();
+  parts_ = static_cast<int>(stripe_cuts.size()) - 1;
+  flat_.resize(static_cast<std::size_t>(n_ + 1) * parts_);
+  if (stripes_are_rows) {
+    // Stripe s is rows [cuts[s], cuts[s+1]); its prefix at column pos is the
+    // difference of two bordered Γ rows.
+    std::vector<const std::int64_t*> lo(parts_), hi(parts_);
+    for (int s = 0; s < parts_; ++s) {
+      lo[s] = ps.row_ptr(stripe_cuts[s]);
+      hi[s] = ps.row_ptr(stripe_cuts[s + 1]);
+    }
+    for (int pos = 0; pos <= n_; ++pos) {
+      std::int64_t* out = flat_.data() + static_cast<std::size_t>(pos) * parts_;
+      for (int s = 0; s < parts_; ++s) out[s] = hi[s][pos] - lo[s][pos];
+    }
+  } else {
+    // Stripe s is columns [cuts[s], cuts[s+1]); walk Γ row by row so the
+    // source reads stay contiguous.
+    for (int pos = 0; pos <= n_; ++pos) {
+      const std::int64_t* row = ps.row_ptr(pos);
+      std::int64_t* out = flat_.data() + static_cast<std::size_t>(pos) * parts_;
+      for (int s = 0; s < parts_; ++s)
+        out[s] = row[stripe_cuts[s + 1]] - row[stripe_cuts[s]];
+    }
+  }
+  RECTPART_COUNT(kProjectionsBuilt, static_cast<std::uint64_t>(parts_));
+}
 
 std::pair<int, int> choose_grid(int m) {
   int p = 1;
@@ -42,6 +74,9 @@ std::int64_t grid_max_load(const PrefixSum2D& ps, const oned::Cuts& row_cuts,
     for (int j = 0; j < col_cuts.parts(); ++j)
       lmax = std::max(lmax, ps.load(row_cuts.begin_of(i), row_cuts.end_of(i),
                                     col_cuts.begin_of(j), col_cuts.end_of(j)));
+  RECTPART_COUNT(kOnedOracleLoads,
+                 static_cast<std::uint64_t>(4) * row_cuts.parts() *
+                     col_cuts.parts());
   return lmax;
 }
 
@@ -65,9 +100,10 @@ Partition rect_nicol(const PrefixSum2D& ps, int m,
 
   // Start from the optimal 1-D partition of the row projection — a stronger
   // seed than uniform cuts and the natural first half-sweep of the method.
+  oned::ProbeScratch scratch;
   const auto row_prefix = ps.row_projection_prefix();
   oned::Cuts row_cuts =
-      oned::nicol_plus(oned::PrefixOracle(row_prefix), p).cuts;
+      oned::nicol_plus(oned::PrefixOracle(row_prefix), p, &scratch).cuts;
   oned::Cuts col_cuts = uniform_cuts(ps.cols(), q);
 
   std::int64_t best = grid_max_load(ps, row_cuts, col_cuts);
@@ -80,13 +116,16 @@ Partition rect_nicol(const PrefixSum2D& ps, int m,
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
     if (report) report->iterations = iter + 1;
     // Refine columns against fixed rows, then rows against fixed columns.
+    // The flat oracle is bit-identical to StripeMaxOracle; it trades one
+    // O(n*P) projection build per half-sweep for L1-resident queries.
     {
-      StripeMaxOracle oracle(ps, row_cuts.pos, /*stripes_are_rows=*/true);
-      col_cuts = oned::nicol_plus(oracle, q).cuts;
+      const StripeMaxFlat oracle(ps, row_cuts.pos, /*stripes_are_rows=*/true);
+      col_cuts = oned::nicol_plus(oracle, q, &scratch).cuts;
     }
     {
-      StripeMaxOracle oracle(ps, col_cuts.pos, /*stripes_are_rows=*/false);
-      row_cuts = oned::nicol_plus(oracle, p).cuts;
+      const StripeMaxFlat oracle(ps, col_cuts.pos,
+                                 /*stripes_are_rows=*/false);
+      row_cuts = oned::nicol_plus(oracle, p, &scratch).cuts;
     }
     const std::int64_t lmax = grid_max_load(ps, row_cuts, col_cuts);
     if (lmax < best) {

@@ -90,10 +90,46 @@ class StripeMaxOracle {
     return lmax;
   }
 
+  [[nodiscard]] std::int64_t loads_per_query() const {
+    return 4 * (static_cast<std::int64_t>(cuts_.size()) - 1);
+  }
+
  private:
   const PrefixSum2D& ps_;
   const std::vector<int>& cuts_;
   bool rows_fixed_;
+};
+
+/// Flat variant of StripeMaxOracle: every fixed stripe's projection prefix
+/// is materialized once at construction in a position-major layout
+/// (flat_[pos * P + s]), so one query reads two contiguous P-element runs —
+/// 2*P adjacent loads instead of 4*P Γ gathers.  The differences are the
+/// same int64 expressions re-associated, so load() is bit-identical to
+/// StripeMaxOracle over the same cuts; empty stripes contribute 0 in both.
+class StripeMaxFlat {
+ public:
+  StripeMaxFlat(const PrefixSum2D& ps, const std::vector<int>& stripe_cuts,
+                bool stripes_are_rows);
+
+  [[nodiscard]] int size() const { return n_; }
+
+  [[nodiscard]] std::int64_t load(int i, int j) const {
+    if (i >= j) return 0;
+    const std::int64_t* fi =
+        flat_.data() + static_cast<std::size_t>(i) * parts_;
+    const std::int64_t* fj =
+        flat_.data() + static_cast<std::size_t>(j) * parts_;
+    std::int64_t lmax = 0;
+    for (int s = 0; s < parts_; ++s) lmax = std::max(lmax, fj[s] - fi[s]);
+    return lmax;
+  }
+
+  [[nodiscard]] std::int64_t loads_per_query() const { return 2 * parts_; }
+
+ private:
+  int n_ = 0;
+  int parts_ = 0;
+  std::vector<std::int64_t> flat_;  // (n_+1) x parts_, position-major
 };
 
 }  // namespace rectpart

@@ -438,5 +438,80 @@ TEST(GoldenStreams, PicMag3SnapshotHashIsPinned) {
   EXPECT_EQ(fnv1a(sim.snapshot_at(1500)), 0xf6639301e175b824ULL);
 }
 
+/// FNV-1a accumulation of one int64's little-endian bytes.
+void fnv_accumulate(std::uint64_t& h, std::int64_t value) {
+  const auto v = static_cast<std::uint64_t>(value);
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffULL;
+    h *= 1099511628211ULL;
+  }
+}
+
+TEST(GoldenStreams, PartitionHashesArePinnedPerAlgorithm) {
+  // Pins the exact output partition of every registered algorithm on the
+  // fuzz instance set at m in {2, 9, 16}, hashed over rectangle coordinates
+  // in output order (sequential run; the determinism sweep above extends
+  // the pin to every width).  These hashes were captured before the
+  // flat-projection / scratch-reuse / witness-retention rework of the
+  // search hot paths: those changes re-associate exact int64 arithmetic
+  // and must not move a single cut.  A mismatch here means a "perf-only"
+  // change silently altered a partition — update the constants only for a
+  // deliberate algorithmic change, and say so in EXPERIMENTS.md.
+  register_builtin_partitioners();
+  set_threads(1);
+  const struct {
+    const char* name;
+    std::uint64_t hash;
+  } kGolden[] = {
+      {"hier-opt", 0x191cf5b1a6dce8e5ULL},
+      {"hier-rb", 0xf71d3066eb1c02aeULL},
+      {"hier-rb-dist", 0x13e3b38b05ac02f5ULL},
+      {"hier-rb-hor", 0x5f76297679e9aea4ULL},
+      {"hier-rb-load", 0xf71d3066eb1c02aeULL},
+      {"hier-rb-ver", 0xf3569016a191b728ULL},
+      {"hier-relaxed", 0xca3be804a93fb264ULL},
+      {"hier-relaxed-dist", 0xcb6454e22e5b8a17ULL},
+      {"hier-relaxed-hor", 0x902379ae67dd184fULL},
+      {"hier-relaxed-load", 0xca3be804a93fb264ULL},
+      {"hier-relaxed-ver", 0xf03b7586f441a5cdULL},
+      {"jag-m-heur", 0xa694dd82886cf33dULL},
+      {"jag-m-heur-auto", 0xa694dd82886cf33dULL},
+      {"jag-m-heur-hor", 0x90b2e5efde75095aULL},
+      {"jag-m-heur-ver", 0x2605a164fc48e4ceULL},
+      {"jag-m-opt", 0x823c0374f5135ea4ULL},
+      {"jag-m-opt-hor", 0x038142086a3aeaa0ULL},
+      {"jag-m-opt-ver", 0x3827cdbc03ef72c7ULL},
+      {"jag-pq-heur", 0x26afe126af546bfaULL},
+      {"jag-pq-heur-hor", 0xfea3001c38c62f5dULL},
+      {"jag-pq-heur-ver", 0x166878869db70aedULL},
+      {"jag-pq-opt", 0x437593c5781490daULL},
+      {"jag-pq-opt-hor", 0x1bf795f5e7f219bdULL},
+      {"jag-pq-opt-ver", 0x6a2ffcd71a12990dULL},
+      {"rect-nicol", 0x3fc8c2f7797e545dULL},
+      {"rect-uniform", 0xde7eaad577561ffdULL},
+      {"spiral-opt", 0x9c8d3197c4667458ULL},
+  };
+  // Every registered algorithm must be pinned: a new registration has to
+  // come with its golden hash.
+  ASSERT_EQ(partitioner_names().size(), std::size(kGolden));
+  const auto instances = fuzz_instances();
+  for (const auto& [name, expected] : kGolden) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const auto& a : instances) {
+      const PrefixSum2D ps(a);
+      for (const int m : {2, 9, 16}) {
+        const Partition part = make_partitioner(name)->run(ps, m);
+        for (const Rect& r : part.rects) {
+          fnv_accumulate(h, r.x0);
+          fnv_accumulate(h, r.x1);
+          fnv_accumulate(h, r.y0);
+          fnv_accumulate(h, r.y1);
+        }
+      }
+    }
+    EXPECT_EQ(h, expected) << name << ": partition changed";
+  }
+}
+
 }  // namespace
 }  // namespace rectpart
