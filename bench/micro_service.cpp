@@ -1,0 +1,198 @@
+// Round-trip latency and throughput of the partition daemon
+// (service/server.hpp), measured through ServiceClient against an
+// in-process server on a private socket — no forked processes, so the
+// numbers cover exactly the service path: wire framing, instance cache,
+// SLO machinery, and the partitioning work itself.
+//
+// Four stages:
+//   solve-cold     a fresh matrix per repetition (cache miss: the round
+//                  trip pays the payload transfer and the PrefixSum2D build)
+//   solve-warm     the same matrix resubmitted --requests times (cache hit;
+//                  the p50/p99 spread of the steady-state service latency)
+//   deadline-0ms   an already-expired SLO (the incumbent-fallback path)
+//   throughput     --clients concurrent connections, --requests solves each
+//
+// BENCH records: solve-cold / solve-warm / deadline-0ms carry repetition
+// statistics (ms = p50); solve-warm-p99 pins the tail; throughput's ms is
+// the whole batch's wall time at threads = --clients.  The deterministic
+// service counters (service_requests, service_cache_hits) ride along, which
+// is what lets scripts/bench_gate.sh hold the daemon's request accounting
+// bit-exact across PRs.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+/// Nearest-rank percentile of an unsorted sample set (q in [0, 1]).
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rectpart;
+  register_builtin_partitioners();
+  const Flags flags(argc, argv);
+  bench::ObsSession obs_session(flags);
+  const bool full = full_scale_requested();
+  const int n = static_cast<int>(flags.get_int("n", full ? 512 : 128));
+  const int m = static_cast<int>(flags.get_int("m", 16));
+  const int reps = static_cast<int>(flags.get_int("reps", full ? 5 : 3));
+  const int requests =
+      static_cast<int>(flags.get_int("requests", full ? 256 : 64));
+  const int clients = static_cast<int>(flags.get_int("clients", 4));
+  const std::string algo = flags.get_string("algo", "jag-m-heur");
+  const int threads = bench::init_threads(flags);
+
+  const std::string instance =
+      std::to_string(n) + "x" + std::to_string(n) + " peak";
+  bench::print_header("micro_service",
+                      "partition daemon round-trip latency and throughput",
+                      instance + ", m=" + std::to_string(m) + ", algo=" + algo,
+                      full);
+  std::printf("# latency in milliseconds per round trip; %d warm requests, "
+              "%d clients\n",
+              requests, clients);
+
+  service::ServerOptions opt;
+  opt.socket_path =
+      "/tmp/rectpart_micro_" + std::to_string(getpid()) + ".sock";
+  // One pool slot per concurrent connection (a connection holds its slot
+  // for its lifetime), plus one for asynchronous upgrades.
+  opt.threads = clients + 1;
+  service::Server server(opt);
+  server.start();
+
+  bench::BenchJson json("micro_service");
+  Table table({"stage", "samples", "min", "p50", "p99"});
+  bool shape_ok = true;
+
+  service::SolveOptions solve;
+  solve.algo = algo;
+  solve.m = m;
+
+  // -- solve-cold: a distinct matrix per repetition keeps every round trip
+  // on the miss path (pinned seeds, so the work counters stay diffable).
+  double cold_p50 = 0;
+  {
+    service::ServiceClient client(server.socket_path());
+    std::vector<double> samples;
+    obs::CounterSnapshot work;
+    for (int r = 0; r < reps; ++r) {
+      const LoadMatrix a =
+          make_synthetic("peak", n, n, 1000 + static_cast<std::uint64_t>(r));
+      const obs::CounterSnapshot before = obs::counters_snapshot();
+      WallTimer timer;
+      const service::Response resp = client.solve(a, solve);
+      samples.push_back(timer.milliseconds());
+      work = obs::counters_snapshot().delta_since(before);
+      if (!resp.ok || resp.cache_hit) shape_ok = false;
+    }
+    cold_p50 = percentile(samples, 0.5);
+    table.row().cell("solve-cold").cell(reps).cell(percentile(samples, 0.0))
+        .cell(cold_p50).cell(percentile(samples, 0.99));
+    json.record_stats(algo + "-cold", instance, m, RepStats::of(samples), 0.0,
+                      threads, &work);
+  }
+
+  // -- solve-warm: steady state on one matrix; every reply must be a hit.
+  const LoadMatrix warm_matrix = make_synthetic("peak", n, n, 4242);
+  double warm_p50 = 0;
+  {
+    service::ServiceClient client(server.socket_path());
+    if (!client.solve(warm_matrix, solve).ok) shape_ok = false;  // prime
+    std::vector<double> samples;
+    obs::CounterSnapshot work;
+    for (int r = 0; r < requests; ++r) {
+      const obs::CounterSnapshot before = obs::counters_snapshot();
+      WallTimer timer;
+      const service::Response resp = client.solve(warm_matrix, solve);
+      samples.push_back(timer.milliseconds());
+      work = obs::counters_snapshot().delta_since(before);
+      if (!resp.ok || !resp.cache_hit) shape_ok = false;
+    }
+    warm_p50 = percentile(samples, 0.5);
+    const double warm_p99 = percentile(samples, 0.99);
+    table.row().cell("solve-warm").cell(requests)
+        .cell(percentile(samples, 0.0)).cell(warm_p50).cell(warm_p99);
+    json.record_stats(algo + "-warm", instance, m, RepStats::of(samples), 0.0,
+                      threads, &work);
+    json.record(algo + "-warm-p99", instance, m, warm_p99, 0.0, threads);
+  }
+
+  // -- deadline-0ms: the SLO budget is spent on arrival, so every reply is
+  // the incumbent fallback; this prices the deadline-return path.
+  {
+    service::ServiceClient client(server.socket_path());
+    service::SolveOptions slo = solve;
+    slo.deadline_ms = 0;
+    std::vector<double> samples;
+    obs::CounterSnapshot work;
+    for (int r = 0; r < reps; ++r) {
+      const obs::CounterSnapshot before = obs::counters_snapshot();
+      WallTimer timer;
+      const service::Response resp = client.solve(warm_matrix, slo);
+      samples.push_back(timer.milliseconds());
+      work = obs::counters_snapshot().delta_since(before);
+      if (!resp.ok || !resp.deadline_return) shape_ok = false;
+    }
+    table.row().cell("deadline-0ms").cell(reps)
+        .cell(percentile(samples, 0.0)).cell(percentile(samples, 0.5))
+        .cell(percentile(samples, 0.99));
+    json.record_stats("deadline-0ms", instance, m, RepStats::of(samples), 0.0,
+                      threads, &work);
+  }
+
+  // -- throughput: concurrent clients hammering the warm path.  The record's
+  // ms is the batch wall time; the table adds requests per second.
+  {
+    const obs::CounterSnapshot before = obs::counters_snapshot();
+    std::vector<std::thread> workers;
+    std::atomic<bool> all_ok{true};
+    WallTimer timer;
+    workers.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&] {
+        try {
+          service::ServiceClient client(server.socket_path());
+          for (int r = 0; r < requests; ++r)
+            if (!client.solve(warm_matrix, solve).ok) all_ok = false;
+        } catch (const std::exception&) {
+          all_ok = false;
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    const double batch_ms = timer.milliseconds();
+    if (!all_ok) shape_ok = false;
+    const obs::CounterSnapshot work =
+        obs::counters_snapshot().delta_since(before);
+    const double total = static_cast<double>(clients) * requests;
+    const double rps = batch_ms > 0 ? 1000.0 * total / batch_ms : 0;
+    std::printf("# throughput: %.0f requests/s (%d connections x %d "
+                "requests in %.1f ms)\n",
+                rps, clients, requests, batch_ms);
+    json.record("throughput", instance, m, batch_ms, 0.0, clients, &work);
+  }
+
+  server.stop();
+  table.print(std::cout);
+  bench::print_shape(
+      "warm cache-hit round trips undercut cold solves (the hit skips the "
+      "prefix-sum build) and every SLO answer is well-formed",
+      shape_ok && warm_p50 <= cold_p50);
+  return 0;
+}

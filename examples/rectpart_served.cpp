@@ -1,0 +1,84 @@
+// rectpart_served: the partition daemon.
+//
+// Listens on a Unix-domain socket and answers partition requests without
+// re-paying process startup, registry construction, or prefix-sum builds
+// per call (service/server.hpp).  Stop it with SIGINT/SIGTERM or via
+// `rectpart_clientctl --op=shutdown`.
+//
+//   ./rectpart_served --socket=/tmp/rectpart.sock
+//   ./rectpart_served --socket=/tmp/rectpart.sock --threads=4 --pool=2 \
+//                     --cache=16 --incumbent=jag-m-heur
+#include <csignal>
+#include <cstdio>
+
+#include "service/server.hpp"
+#include "util/flags.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+rectpart::service::Server* g_server = nullptr;
+
+extern "C" void on_signal(int) {
+  // request_stop is one write to a self-pipe: async-signal-safe.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rectpart;
+  const Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) {
+    std::printf(
+        "usage: %s --socket=PATH [--threads=T] [--pool=P] [--cache=N]\n"
+        "          [--max-cells=C] [--max-m=M] [--incumbent=ALGO]\n"
+        "          [--rebalance-threshold=X]\n"
+        "socket: Unix-domain socket path to listen on (required)\n"
+        "threads: global algorithm parallelism (0 = RECTPART_THREADS env)\n"
+        "pool: daemon pool size (connection handlers + async upgrades)\n"
+        "cache: instance-cache capacity (retained prefix-sum structures)\n"
+        "incumbent: fallback heuristic for deadline requests\n",
+        flags.program().c_str());
+    return 0;
+  }
+
+  service::ServerOptions opt;
+  opt.socket_path = flags.get_string("socket", "");
+  if (opt.socket_path.empty()) {
+    std::fprintf(stderr, "%s: --socket=PATH is required (see --help)\n",
+                 flags.program().c_str());
+    return 2;
+  }
+  opt.threads = static_cast<int>(flags.get_int("pool", 2));
+  opt.cache_capacity =
+      static_cast<std::size_t>(flags.get_int("cache", 8));
+  opt.max_cells = flags.get_int("max-cells", opt.max_cells);
+  opt.max_m = flags.get_int("max-m", opt.max_m);
+  opt.rebalance_threshold =
+      flags.get_double("rebalance-threshold", opt.rebalance_threshold);
+  opt.incumbent_algo = flags.get_string("incumbent", opt.incumbent_algo);
+
+  set_threads(static_cast<int>(flags.get_int("threads", 0)));
+
+  service::Server server(opt);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", flags.program().c_str(), e.what());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::printf("rectpart_served: listening on %s (pool=%d, threads=%d)\n",
+              server.socket_path().c_str(), opt.threads, num_threads());
+  std::fflush(stdout);
+
+  server.wait_for_stop_request();
+  std::printf("rectpart_served: shutting down\n");
+  g_server = nullptr;
+  server.stop();
+  return 0;
+}

@@ -38,6 +38,7 @@ benchstat=$root/$build/tools/benchstat
 baselines=$root/bench/baselines
 for bin in "$benchstat" "$root/$build/bench/micro_core" \
            "$root/$build/bench/micro_oned" \
+           "$root/$build/bench/micro_service" \
            "$root/$build/bench/fig06_runtime"; do
   if [[ ! -x "$bin" ]]; then
     echo "bench_gate: missing $bin (build first: cmake --build $build -j)" >&2
@@ -59,11 +60,18 @@ run_fig06_runtime() {
   "$root/$build/bench/fig06_runtime" --n=128 --m-opt-cap=256 --threads=1 \
     >/dev/null
 }
+# The daemon's request accounting (service_requests, service_cache_hits) is
+# deterministic for a pinned request script; wall-clock percentiles are
+# reported but, as everywhere here, never gated.
+run_micro_service() {
+  "$root/$build/bench/micro_service" --n=64 --m=8 --reps=3 --requests=16 \
+    --threads=1 >/dev/null
+}
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 status=0
-for name in micro_core micro_oned fig06_runtime; do
+for name in micro_core micro_oned fig06_runtime micro_service; do
   (cd "$tmp" && "run_$name")
   fresh=$tmp/BENCH_$name.json
   base=$baselines/BENCH_$name.json

@@ -41,6 +41,34 @@ echo "== tier-1: bench gate (deterministic counter baselines) =="
 # wall-clock never gated.  See scripts/bench_gate.sh --help.
 scripts/bench_gate.sh
 
+echo "== tier-1: partition daemon smoke (SLO fallback, cache, counters) =="
+# One daemon, three requests, then the counter ledger: an expired deadline
+# must fall back to the incumbent heuristic, a resubmitted matrix must hit
+# the instance cache, and the daemon's own counters must account for
+# exactly that — 3 solves, 1 hit, 1 deadline return.
+svc_dir=$(mktemp -d)
+svc_sock=$svc_dir/rectpart.sock
+"$root"/build/examples/rectpart_served --socket="$svc_sock" --threads=2 \
+  >"$svc_dir/served.log" 2>&1 &
+svc_pid=$!
+trap 'kill "$svc_pid" 2>/dev/null || true; rm -rf "$svc_dir"' EXIT
+clientctl="$root/build/examples/rectpart_clientctl"
+"$clientctl" --socket="$svc_sock" --retry-ms=5000 --op=solve --family=peak \
+  --n=64 --m=8 --algo=jag-m-opt --deadline-ms=0 \
+  | grep -q 'deadline   : fallback answer'
+"$clientctl" --socket="$svc_sock" --op=solve --family=multipeak --n=64 \
+  --m=8 >/dev/null
+"$clientctl" --socket="$svc_sock" --op=solve --family=multipeak --n=64 \
+  --m=8 | grep -q 'cache hit  : yes'
+svc_counters=$("$clientctl" --socket="$svc_sock" --op=counters)
+grep -q '"service_requests":3' <<<"$svc_counters"
+grep -q '"service_cache_hits":1' <<<"$svc_counters"
+grep -q '"service_deadline_returns":1' <<<"$svc_counters"
+"$clientctl" --socket="$svc_sock" --op=shutdown >/dev/null
+wait "$svc_pid"
+trap - EXIT
+rm -rf "$svc_dir"
+
 echo "== tier-1: RECTPART_OBS=0 (spans/counters compile to no-ops) =="
 # The disabled build must compile the instrumented tree cleanly and still
 # pass the observability suite (its counter assertions self-gate).
@@ -53,9 +81,14 @@ build-noobs/examples/rectpart_cli --family=peak --n=64 --m=16 \
 echo "== tier-1: ThreadSanitizer (thread pool + determinism suites) =="
 cmake -B build-tsan -S . -DRECTPART_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" \
-  --target test_parallel test_util test_picmag test_picmag3 test_jagged_opt
+  --target test_parallel test_util test_picmag test_picmag3 test_jagged_opt \
+  test_service
 build-tsan/tests/test_parallel
 build-tsan/tests/test_util --gtest_filter='ThreadPool*'
+# The partition daemon under TSan: accept thread, connection handlers, the
+# instance cache, and asynchronous SLO upgrades all race-checked at a
+# forced multi-thread pool width.
+RECTPART_THREADS=4 build-tsan/tests/test_service
 # The threaded simulator and stripe-DP suites, forced to a multi-thread pool
 # (the container may report a single CPU, which would otherwise degrade the
 # whole run to sequential and hide every race from TSan).

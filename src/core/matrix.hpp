@@ -4,11 +4,33 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 #include <stdexcept>
 #include <vector>
 
 namespace rectpart {
+
+/// Validates an n-dimensional dense extent and returns the element count.
+/// Rejects negative extents (std::invalid_argument) and products that do not
+/// fit std::size_t or would exceed vector limits (std::length_error) —
+/// untrusted dimension headers (service requests, binary files) must never
+/// reach the allocator as a wrapped near-SIZE_MAX count.
+inline std::size_t checked_extent(std::initializer_list<long long> dims) {
+  std::size_t cells = 1;
+  for (const long long d : dims) {
+    if (d < 0) throw std::invalid_argument("negative matrix size");
+    if (d != 0 && cells > std::numeric_limits<std::size_t>::max() /
+                              static_cast<std::size_t>(d))
+      throw std::length_error("matrix size overflows std::size_t");
+    cells *= static_cast<std::size_t>(d);
+  }
+  // Beyond this cap the int64 payload alone exceeds the address space /
+  // allocator limits; fail with a typed error instead of std::bad_alloc.
+  if (cells > std::numeric_limits<std::size_t>::max() / sizeof(std::int64_t))
+    throw std::length_error("matrix size exceeds addressable cells");
+  return cells;
+}
 
 /// Dense row-major matrix.
 ///
@@ -22,9 +44,7 @@ class Matrix {
   Matrix() = default;
 
   Matrix(int n1, int n2, T fill = T{}) : n1_(n1), n2_(n2) {
-    if (n1 < 0 || n2 < 0) throw std::invalid_argument("negative matrix size");
-    data_.assign(static_cast<std::size_t>(n1) * static_cast<std::size_t>(n2),
-                 fill);
+    data_.assign(checked_extent({n1, n2}), fill);
   }
 
   [[nodiscard]] int rows() const { return n1_; }

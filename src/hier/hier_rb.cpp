@@ -115,8 +115,11 @@ constexpr int kSpawnMinProcs = 32;
 /// sequential recursion — so parallel subtrees write disjoint slots and the
 /// result is bit-identical at any thread count.
 void rb_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
-                HierVariant variant, Rect* out) {
+                HierVariant variant, const RunContext* ctx, Rect* out) {
   RECTPART_COUNT(kHierNodes, 1);
+  // Node-entry poll: DeadlineExceeded propagates out of the recursion (and
+  // across parallel_invoke forks) so an SLO can cut the tree build short.
+  poll_deadline(ctx, "hier-rb node");
   if (m == 1) {
     *out = r;
     return;
@@ -164,11 +167,11 @@ void rb_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
   }
   if (m >= kSpawnMinProcs && execution_pool() != nullptr) {
     parallel_invoke(
-        [&]() { rb_recurse(ps, a, ml, depth + 1, variant, out); },
-        [&]() { rb_recurse(ps, b, mr, depth + 1, variant, out + ml); });
+        [&]() { rb_recurse(ps, a, ml, depth + 1, variant, ctx, out); },
+        [&]() { rb_recurse(ps, b, mr, depth + 1, variant, ctx, out + ml); });
   } else {
-    rb_recurse(ps, a, ml, depth + 1, variant, out);
-    rb_recurse(ps, b, mr, depth + 1, variant, out + ml);
+    rb_recurse(ps, a, ml, depth + 1, variant, ctx, out);
+    rb_recurse(ps, b, mr, depth + 1, variant, ctx, out + ml);
   }
 }
 
@@ -178,7 +181,7 @@ Partition hier_rb(const PrefixSum2D& ps, int m, const HierOptions& opt) {
   RECTPART_SPAN("hier-rb");
   Partition part;
   part.rects.assign(m, Rect{});
-  rb_recurse(ps, Rect{0, ps.rows(), 0, ps.cols()}, m, 0, opt.variant,
+  rb_recurse(ps, Rect{0, ps.rows(), 0, ps.cols()}, m, 0, opt.variant, opt.ctx,
              part.rects.data());
   return part;
 }

@@ -81,8 +81,11 @@ constexpr int kParallelSweepMinProcs = 64;
 constexpr int kSpawnMinProcs = 32;
 
 void relaxed_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
-                     HierVariant variant, Rect* out) {
+                     HierVariant variant, const RunContext* ctx, Rect* out) {
   RECTPART_COUNT(kHierNodes, 1);
+  // Node-entry poll: DeadlineExceeded propagates out of the recursion (and
+  // across parallel_invoke forks) so an SLO can cut the tree build short.
+  poll_deadline(ctx, "hier-relaxed node");
   if (m == 1) {
     *out = r;
     return;
@@ -170,14 +173,16 @@ void relaxed_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
   // sequential depth-first output order, so the fork writes disjoint slots.
   if (m >= kSpawnMinProcs && execution_pool() != nullptr) {
     parallel_invoke(
-        [&]() { relaxed_recurse(ps, a, best.j, depth + 1, variant, out); },
         [&]() {
-          relaxed_recurse(ps, b, m - best.j, depth + 1, variant,
+          relaxed_recurse(ps, a, best.j, depth + 1, variant, ctx, out);
+        },
+        [&]() {
+          relaxed_recurse(ps, b, m - best.j, depth + 1, variant, ctx,
                           out + best.j);
         });
   } else {
-    relaxed_recurse(ps, a, best.j, depth + 1, variant, out);
-    relaxed_recurse(ps, b, m - best.j, depth + 1, variant, out + best.j);
+    relaxed_recurse(ps, a, best.j, depth + 1, variant, ctx, out);
+    relaxed_recurse(ps, b, m - best.j, depth + 1, variant, ctx, out + best.j);
   }
 }
 
@@ -188,7 +193,7 @@ Partition hier_relaxed(const PrefixSum2D& ps, int m, const HierOptions& opt) {
   Partition part;
   part.rects.assign(m, Rect{});
   relaxed_recurse(ps, Rect{0, ps.rows(), 0, ps.cols()}, m, 0, opt.variant,
-                  part.rects.data());
+                  opt.ctx, part.rects.data());
   return part;
 }
 

@@ -12,6 +12,48 @@ namespace {
   throw std::runtime_error(what + ": " + path);
 }
 
+/// Read failures mid-body must name the file *and* where the stream died:
+/// untrusted or truncated inputs (service payloads, interrupted copies)
+/// otherwise yield silently short matrices.
+[[noreturn]] void io_fail_at(const std::string& what, const std::string& path,
+                             std::int64_t offset) {
+  throw std::runtime_error(what + ": " + path + " (byte offset " +
+                           std::to_string(offset) + ")");
+}
+
+/// Bytes remaining from the current read position to end-of-file.  Checked
+/// *before* allocating a body whose size comes from an untrusted header, so
+/// a corrupt dimension pair fails as "truncated" instead of attempting a
+/// multi-gigabyte allocation.
+std::int64_t bytes_remaining(std::ifstream& in) {
+  const std::streampos cur = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  in.seekg(cur);
+  return static_cast<std::int64_t>(end - cur);
+}
+
+/// True when an int64 body of prod(dims) cells fits in `have` bytes; the
+/// product is checked by division so hostile headers (2^31 x 2^31) cannot
+/// overflow the byte count into a passing value.  On success *need holds the
+/// exact body size in bytes.
+bool body_fits(std::initializer_list<std::int64_t> dims, std::int64_t have,
+               std::int64_t* need) {
+  const std::int64_t cap =
+      have / static_cast<std::int64_t>(sizeof(std::int64_t));
+  std::int64_t cells = 1;
+  for (const std::int64_t d : dims) {
+    if (d == 0) {
+      cells = 0;
+      break;
+    }
+    if (cells > cap / d) return false;
+    cells *= d;
+  }
+  *need = cells * static_cast<std::int64_t>(sizeof(std::int64_t));
+  return true;
+}
+
 constexpr char kMagic[4] = {'R', 'P', 'M', '1'};
 constexpr char kMagic3[4] = {'R', 'P', 'M', '3'};
 
@@ -36,11 +78,20 @@ LoadMatrix load_matrix_text(const std::string& path) {
   if (!in) io_fail("cannot open for reading", path);
   int n1 = 0, n2 = 0;
   if (!(in >> n1 >> n2) || n1 < 0 || n2 < 0)
-    io_fail("malformed header", path);
+    io_fail("malformed header (expected 'n1 n2', both >= 0)", path);
   LoadMatrix a(n1, n2);
-  for (int x = 0; x < n1; ++x)
-    for (int y = 0; y < n2; ++y)
-      if (!(in >> a(x, y))) io_fail("truncated matrix body", path);
+  for (int x = 0; x < n1; ++x) {
+    for (int y = 0; y < n2; ++y) {
+      if (!(in >> a(x, y))) {
+        const std::int64_t off =
+            in.eof() ? -1 : static_cast<std::int64_t>(in.tellg());
+        io_fail_at("truncated or malformed matrix body at cell (" +
+                       std::to_string(x) + ", " + std::to_string(y) + ") of " +
+                       std::to_string(n1) + "x" + std::to_string(n2),
+                   path, off);
+      }
+    }
+  }
   return a;
 }
 
@@ -60,15 +111,31 @@ LoadMatrix load_matrix_binary(const std::string& path) {
   if (!in) io_fail("cannot open for reading", path);
   char magic[4];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
     io_fail("bad magic (not an RPM1 file)", path);
   std::int32_t dims[2];
   in.read(reinterpret_cast<char*>(dims), sizeof(dims));
-  if (!in || dims[0] < 0 || dims[1] < 0) io_fail("malformed header", path);
+  if (in.gcount() != sizeof(dims)) io_fail_at("truncated header", path, 4);
+  if (dims[0] < 0 || dims[1] < 0)
+    io_fail("malformed header (negative dimension)", path);
+  // Validate the declared body against the actual file size before the
+  // (header-controlled) allocation.
+  const std::int64_t have = bytes_remaining(in);
+  std::int64_t need = 0;
+  if (!body_fits({dims[0], dims[1]}, have, &need))
+    io_fail_at("truncated matrix body (header declares " +
+                   std::to_string(dims[0]) + "x" + std::to_string(dims[1]) +
+                   " cells, file holds " + std::to_string(have) + " bytes)",
+               path, 12);
+  (void)need;
   LoadMatrix a(dims[0], dims[1]);
   in.read(reinterpret_cast<char*>(a.data()),
           static_cast<std::streamsize>(a.size() * sizeof(std::int64_t)));
-  if (!in) io_fail("truncated matrix body", path);
+  if (static_cast<std::size_t>(in.gcount()) !=
+      a.size() * sizeof(std::int64_t))
+    io_fail_at("read error in matrix body", path,
+               12 + static_cast<std::int64_t>(in.gcount()));
   return a;
 }
 
@@ -92,16 +159,30 @@ LoadMatrix3 load_matrix3_binary(const std::string& path) {
   if (!in) io_fail("cannot open for reading", path);
   char magic[4];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic3, sizeof(kMagic3)) != 0)
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic3, sizeof(kMagic3)) != 0)
     io_fail("bad magic (not an RPM3 file)", path);
   std::int32_t dims[3];
   in.read(reinterpret_cast<char*>(dims), sizeof(dims));
-  if (!in || dims[0] < 0 || dims[1] < 0 || dims[2] < 0)
-    io_fail("malformed header", path);
+  if (in.gcount() != sizeof(dims)) io_fail_at("truncated header", path, 4);
+  if (dims[0] < 0 || dims[1] < 0 || dims[2] < 0)
+    io_fail("malformed header (negative dimension)", path);
+  const std::int64_t have = bytes_remaining(in);
+  std::int64_t need = 0;
+  if (!body_fits({dims[0], dims[1], dims[2]}, have, &need))
+    io_fail_at("truncated matrix body (header declares " +
+                   std::to_string(dims[0]) + "x" + std::to_string(dims[1]) +
+                   "x" + std::to_string(dims[2]) + " cells, file holds " +
+                   std::to_string(have) + " bytes)",
+               path, 16);
+  (void)need;
   LoadMatrix3 a(dims[0], dims[1], dims[2]);
+  std::int64_t off = 16;
   for (std::int64_t& v : a) {
     in.read(reinterpret_cast<char*>(&v), sizeof(v));
-    if (!in) io_fail("truncated matrix body", path);
+    if (in.gcount() != sizeof(v))
+      io_fail_at("read error in matrix body", path, off);
+    off += static_cast<std::int64_t>(sizeof(v));
   }
   return a;
 }

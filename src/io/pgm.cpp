@@ -43,6 +43,58 @@ void save_pgm(const LoadMatrix& a, const std::string& path, bool log_scale) {
   write_pgm(intensities(a, log_scale), a.rows(), a.cols(), path);
 }
 
+LoadMatrix load_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  auto fail_at = [&path](const std::string& what, std::int64_t off) {
+    throw std::runtime_error(what + ": " + path + " (byte offset " +
+                             std::to_string(off) + ")");
+  };
+  std::string magic;
+  if (!(in >> magic) || magic != "P5")
+    throw std::runtime_error("bad magic (not a binary P5 PGM): " + path);
+  // Header tokens may be separated by whitespace or '#' comment lines.
+  auto next_int = [&](const char* what) -> long long {
+    char c;
+    while (in >> std::ws && in.peek() == '#')
+      while (in.get(c) && c != '\n') {
+      }
+    long long v = 0;
+    if (!(in >> v) || v < 0)
+      fail_at(std::string("malformed PGM header (bad ") + what + ")",
+              static_cast<std::int64_t>(in.tellg()));
+    return v;
+  };
+  const long long cols = next_int("width");
+  const long long rows = next_int("height");
+  const long long maxval = next_int("maxval");
+  if (maxval < 1 || maxval > 255)
+    throw std::runtime_error(
+        "unsupported PGM maxval " + std::to_string(maxval) +
+        " (only 8-bit graymaps are supported): " + path);
+  // Exactly one whitespace byte separates the header from the raster.
+  char sep;
+  if (!in.get(sep) || (sep != '\n' && sep != ' ' && sep != '\t' &&
+                       sep != '\r'))
+    fail_at("malformed PGM header (missing raster separator)",
+            static_cast<std::int64_t>(in.tellg()));
+  const std::int64_t body_off = static_cast<std::int64_t>(in.tellg());
+  // checked_extent rejects rows*cols products that overflow; a hostile
+  // header therefore fails typed instead of allocating near SIZE_MAX.
+  const std::size_t cells = checked_extent({rows, cols});
+  std::vector<unsigned char> pix(cells);
+  in.read(reinterpret_cast<char*>(pix.data()),
+          static_cast<std::streamsize>(cells));
+  if (static_cast<std::size_t>(in.gcount()) != cells)
+    fail_at("truncated PGM raster (expected " + std::to_string(cells) +
+                " bytes, got " + std::to_string(in.gcount()) + ")",
+            body_off + static_cast<std::int64_t>(in.gcount()));
+  LoadMatrix a(static_cast<int>(rows), static_cast<int>(cols));
+  std::size_t i = 0;
+  for (std::int64_t& v : a) v = static_cast<std::int64_t>(pix[i++]);
+  return a;
+}
+
 void save_pgm_with_partition(const LoadMatrix& a, const Partition& p,
                              const std::string& path, bool log_scale) {
   std::vector<unsigned char> pix = intensities(a, log_scale);

@@ -19,4 +19,12 @@ void save_pgm(const LoadMatrix& a, const std::string& path,
 void save_pgm_with_partition(const LoadMatrix& a, const Partition& p,
                              const std::string& path, bool log_scale = false);
 
+/// Reads an 8-bit binary PGM (P5) back into a load matrix, pixel intensity
+/// becoming cell load.  The header and body are validated the same way the
+/// binary matrix loaders are: bad magic, negative/overflowing dimensions,
+/// maxval outside [1, 255], or a truncated body all throw std::runtime_error
+/// naming the file and byte offset — a short read must never yield a
+/// silently short matrix.
+[[nodiscard]] LoadMatrix load_pgm(const std::string& path);
+
 }  // namespace rectpart

@@ -25,20 +25,24 @@ int default_mway_stripes(int m, int n1) {
   return std::clamp(p, 1, std::min(m, n1));
 }
 
-Partition pq_heur_hor(const PrefixSum2D& ps, int m, int p) {
+Partition pq_heur_hor(const PrefixSum2D& ps, int m, int p,
+                      const RunContext* ctx) {
   RECTPART_SPAN("jag-pq-heur");
   if (m % p != 0)
     throw std::invalid_argument("jag_pq_heur: stripes must divide m");
   const int q = m / p;
 
+  poll_deadline(ctx, "jag-pq-heur projection split");
   const auto row_prefix = ps.row_projection_prefix();
   const oned::Cuts row_cuts =
       oned::nicol_plus(oned::PrefixOracle(row_prefix), p).cuts;
 
   // Per-stripe optimal 1-D solves are independent; fan them out, each on
-  // its stripe's flat projection (jag_detail::solve_stripe).
+  // its stripe's flat projection (jag_detail::solve_stripe).  The per-stripe
+  // poll propagates DeadlineExceeded through parallel_for's exception path.
   std::vector<oned::Cuts> col_cuts(p);
   parallel_for(p, [&](std::size_t s) {
+    poll_deadline(ctx, "jag-pq-heur stripe solve");
     const int i = static_cast<int>(s);
     col_cuts[s] =
         jag_detail::solve_stripe(ps, row_cuts.begin_of(i), row_cuts.end_of(i), q);
@@ -146,8 +150,10 @@ std::vector<int> allot_processors(const std::vector<std::int64_t>& loads,
   return q;
 }
 
-Partition m_heur_hor(const PrefixSum2D& ps, int m, int p, Allotment rule) {
+Partition m_heur_hor(const PrefixSum2D& ps, int m, int p, Allotment rule,
+                     const RunContext* ctx) {
   RECTPART_SPAN("jag-m-heur");
+  poll_deadline(ctx, "jag-m-heur projection split");
   const auto row_prefix = ps.row_projection_prefix();
   const oned::Cuts row_cuts =
       oned::nicol_plus(oned::PrefixOracle(row_prefix), p).cuts;
@@ -166,6 +172,7 @@ Partition m_heur_hor(const PrefixSum2D& ps, int m, int p, Allotment rule) {
   // its stripe's flat projection (jag_detail::solve_stripe).
   std::vector<oned::Cuts> col_cuts(p);
   parallel_for(p, [&](std::size_t s) {
+    poll_deadline(ctx, "jag-m-heur stripe solve");
     const int i = static_cast<int>(s);
     col_cuts[s] = jag_detail::solve_stripe(ps, row_cuts.begin_of(i),
                                            row_cuts.end_of(i), q[s]);
@@ -179,8 +186,9 @@ Partition jag_pq_heur(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
   int p = opt.stripes;
   if (p <= 0) p = choose_grid(m).first;
   return jag_detail::with_orientation(
-      ps, opt.orientation,
-      [m, p](const PrefixSum2D& view) { return pq_heur_hor(view, m, p); });
+      ps, opt.orientation, [m, p, &opt](const PrefixSum2D& view) {
+        return pq_heur_hor(view, m, p, opt.ctx);
+      });
 }
 
 Partition jag_m_heur(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
@@ -189,7 +197,7 @@ Partition jag_m_heur(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
         int p = opt.stripes;
         if (p <= 0) p = default_mway_stripes(m, view.rows());
         p = std::clamp(p, 1, m);
-        return m_heur_hor(view, m, p, opt.allotment);
+        return m_heur_hor(view, m, p, opt.allotment, opt.ctx);
       });
 }
 
@@ -214,8 +222,9 @@ Partition jag_m_heur_auto(const PrefixSum2D& ps, int m,
         Partition best;
         std::int64_t best_lmax = std::numeric_limits<std::int64_t>::max();
         for (const int p : candidates) {
+          poll_deadline(opt.ctx, "jag-m-heur-auto candidate");
           Partition cand = m_heur_hor(view, m, std::clamp(p, 1, m),
-                                      opt.allotment);
+                                      opt.allotment, opt.ctx);
           const std::int64_t lmax = cand.max_load(view);
           if (lmax < best_lmax) {
             best_lmax = lmax;

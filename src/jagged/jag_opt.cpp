@@ -180,7 +180,7 @@ int max_stripe_end(const PrefixSum2D& ps, int a, std::int64_t B, int cap) {
 /// Greedy feasibility for P x Q-way jagged with bottleneck B.  On success and
 /// when `out` is non-null, writes the stripe boundaries (padded to P stripes).
 bool pq_feasible(const PrefixSum2D& ps, int p, int q, std::int64_t B,
-                 oned::Cuts* out) {
+                 oned::Cuts* out, const RunContext* ctx) {
   const int n1 = ps.rows();
   // Reused across the bisection's many probes; safe because nothing in the
   // sweep re-enters the execution layer on this thread.
@@ -188,6 +188,7 @@ bool pq_feasible(const PrefixSum2D& ps, int p, int q, std::int64_t B,
   ends.clear();
   int a = 0;
   while (a < n1) {
+    poll_deadline(ctx, "jag-pq-opt feasibility sweep");
     if (static_cast<int>(ends.size()) == p) return false;
     if (!stripe_parts(ps, a, a + 1, B, q).has_value()) return false;
     a = max_stripe_end(ps, a, B, q);
@@ -202,7 +203,8 @@ bool pq_feasible(const PrefixSum2D& ps, int p, int q, std::int64_t B,
   return true;
 }
 
-Partition pq_opt_hor(const PrefixSum2D& ps, int m, int p) {
+Partition pq_opt_hor(const PrefixSum2D& ps, int m, int p,
+                     const RunContext* ctx) {
   RECTPART_SPAN("jag-pq-opt");
   if (m % p != 0)
     throw std::invalid_argument("jag_pq_opt: stripes must divide m");
@@ -212,6 +214,7 @@ Partition pq_opt_hor(const PrefixSum2D& ps, int m, int p) {
   JaggedOptions heur_opt;
   heur_opt.stripes = p;
   heur_opt.orientation = Orientation::kHorizontal;
+  heur_opt.ctx = ctx;
   const std::int64_t ub = jag_pq_heur(ps, m, heur_opt).max_load(ps);
 
   // Search probes write their stripe boundaries so the winner's cuts are
@@ -226,14 +229,14 @@ Partition pq_opt_hor(const PrefixSum2D& ps, int m, int p) {
   oned::Cuts row_cuts;
   std::int64_t wb = -1;
   std::int64_t best = ub;
-  if (lb < ub && pq_feasible(ps, p, q, ub - 1, &row_cuts)) {
+  if (lb < ub && pq_feasible(ps, p, q, ub - 1, &row_cuts, ctx)) {
     wb = ub - 1;
     oned::Cuts inner;
     std::int64_t inner_b = -1;
     best = min_feasible_retain(
         lb, ub - 1,
         [&](std::int64_t b, oned::Cuts* w) {
-          return pq_feasible(ps, p, q, b, w);
+          return pq_feasible(ps, p, q, b, w, ctx);
         },
         &inner, &inner_b);
     if (inner_b == best) {
@@ -244,7 +247,7 @@ Partition pq_opt_hor(const PrefixSum2D& ps, int m, int p) {
 
   if (wb == best) {
     RECTPART_COUNT(kWitnessReprobesAvoided, 1);
-  } else if (!pq_feasible(ps, p, q, best, &row_cuts)) {
+  } else if (!pq_feasible(ps, p, q, best, &row_cuts, ctx)) {
     throw std::logic_error("jag_pq_opt: optimum not feasible (bug)");
   }
 
@@ -263,14 +266,16 @@ struct MWayProbe {
   const PrefixSum2D& ps;
   int m;
   std::int64_t B;
+  const RunContext* ctx = nullptr;
 
   std::vector<int> f;          // f[s], saturated at m+1
   std::vector<int> next_drop;  // first index > s with f strictly smaller
   std::vector<int> choice_e;   // stripe end realizing f[s]
   std::vector<int> choice_c;   // processor count of that stripe
 
-  explicit MWayProbe(const PrefixSum2D& p, int m_, std::int64_t b)
-      : ps(p), m(m_), B(b) {}
+  explicit MWayProbe(const PrefixSum2D& p, int m_, std::int64_t b,
+                     const RunContext* c = nullptr)
+      : ps(p), m(m_), B(b), ctx(c) {}
 
   bool run() {
     const int n1 = ps.rows();
@@ -283,6 +288,9 @@ struct MWayProbe {
     next_drop[n1] = n1 + 1;
 
     for (int s = n1 - 1; s >= 0; --s) {
+      // Poll every 64 states: cheap relative to the per-state stripe probes,
+      // frequent enough to bound SLO overshoot to a few states' work.
+      if ((s & 63) == 0) poll_deadline(ctx, "jag-m-opt suffix DP");
       int best = inf, best_e = n1, best_c = 0;
       // Minimal processor count for any stripe starting at s: the single row.
       const auto c_min = stripe_parts(ps, s, s + 1, B, m);
@@ -326,12 +334,12 @@ struct MWayProbe {
 /// when absent the DP is re-run.  The walk over choice_e/choice_c is a pure
 /// function of B either way, so both paths yield the same partition.
 Partition m_opt_extract(const PrefixSum2D& ps, int m, std::int64_t B,
-                        const MWayProbe* witness) {
+                        const MWayProbe* witness, const RunContext* ctx) {
   std::unique_ptr<MWayProbe> own;
   if (witness) {
     RECTPART_COUNT(kWitnessReprobesAvoided, 1);
   } else {
-    own = std::make_unique<MWayProbe>(ps, m, B);
+    own = std::make_unique<MWayProbe>(ps, m, B, ctx);
     if (!own->run())
       throw std::logic_error("jag_m_opt: optimum not feasible (bug)");
     witness = own.get();
@@ -360,10 +368,12 @@ struct MWaySolve {
   std::unique_ptr<MWayProbe> witness;
 };
 
-MWaySolve m_opt_solve_hor(const PrefixSum2D& ps, int m) {
+MWaySolve m_opt_solve_hor(const PrefixSum2D& ps, int m,
+                          const RunContext* ctx = nullptr) {
   const std::int64_t lb = lower_bound_lmax(ps, m);
   JaggedOptions heur_opt;
   heur_opt.orientation = Orientation::kHorizontal;
+  heur_opt.ctx = ctx;
   const std::int64_t ub = jag_m_heur(ps, m, heur_opt).max_load(ps);
 
   // Each candidate bottleneck gets its own MWayProbe, so the concurrent
@@ -374,7 +384,7 @@ MWaySolve m_opt_solve_hor(const PrefixSum2D& ps, int m) {
   r.bottleneck = min_feasible_retain(
       lb, ub,
       [&](std::int64_t b, std::unique_ptr<MWayProbe>* out) {
-        auto candidate = std::make_unique<MWayProbe>(ps, m, b);
+        auto candidate = std::make_unique<MWayProbe>(ps, m, b, ctx);
         if (!candidate->run()) return false;
         *out = std::move(candidate);
         return true;
@@ -390,17 +400,18 @@ Partition jag_pq_opt(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
   int p = opt.stripes;
   if (p <= 0) p = choose_grid(m).first;
   return jag_detail::with_orientation(
-      ps, opt.orientation,
-      [m, p](const PrefixSum2D& view) { return pq_opt_hor(view, m, p); });
+      ps, opt.orientation, [m, p, &opt](const PrefixSum2D& view) {
+        return pq_opt_hor(view, m, p, opt.ctx);
+      });
 }
 
 Partition jag_m_opt(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
   return jag_detail::with_orientation(
-      ps, opt.orientation, [m](const PrefixSum2D& view) {
+      ps, opt.orientation, [m, &opt](const PrefixSum2D& view) {
         RECTPART_SPAN("jag-m-opt");
-        const MWaySolve solved = m_opt_solve_hor(view, m);
+        const MWaySolve solved = m_opt_solve_hor(view, m, opt.ctx);
         return m_opt_extract(view, m, solved.bottleneck,
-                             solved.witness.get());
+                             solved.witness.get(), opt.ctx);
       });
 }
 

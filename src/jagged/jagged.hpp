@@ -21,6 +21,7 @@
 
 #include "core/orient.hpp"
 #include "core/partition.hpp"
+#include "obs/run_context.hpp"
 #include "prefix/prefix_sum.hpp"
 
 namespace rectpart {
@@ -65,6 +66,10 @@ struct JaggedOptions {
   Orientation orientation = Orientation::kBest;
   /// Processor-allotment rule for JAG-M-HEUR (ignored elsewhere).
   Allotment allotment = Allotment::kCeil;
+  /// Optional cooperative-deadline context: the engines poll it at stripe /
+  /// probe granularity and throw DeadlineExceeded mid-run (the registry
+  /// wires the per-run RunContext through here).  Null means no polling.
+  const RunContext* ctx = nullptr;
 };
 
 /// P x Q-way jagged heuristic (JAG-PQ-HEUR).  Requires stripes to divide m

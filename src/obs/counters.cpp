@@ -36,6 +36,13 @@ constexpr CounterMeta kMeta[kCounterCount] = {
     {"oned_oracle_loads", false, false},
     {"projections_built", false, false},
     {"witness_reprobes_avoided", false, false},
+    // Request and cache-hit totals are pure functions of the request stream
+    // (the fingerprint cache keys on content, not timing), so gated service
+    // workloads can diff them exactly.  Deadline returns depend on the wall
+    // clock and are scheduling-dependent by nature.
+    {"service_requests", false, false},
+    {"service_cache_hits", false, false},
+    {"service_deadline_returns", false, true},
 };
 
 // One cache-line-isolated block per thread.  Only the owning thread writes

@@ -50,6 +50,9 @@ enum class Counter : int {
   kOnedOracleLoads,         ///< 64-bit words read by 1-D oracle queries
   kProjectionsBuilt,        ///< flat stripe/rect projection prefixes built
   kWitnessReprobesAvoided,  ///< cut-extraction re-probes skipped via witness
+  kServiceRequests,         ///< requests accepted by the partition daemon
+  kServiceCacheHits,        ///< daemon instance-cache (fingerprint) hits
+  kServiceDeadlineReturns,  ///< requests answered by the SLO fallback path
   kCount
 };
 

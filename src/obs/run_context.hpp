@@ -17,6 +17,7 @@
 #include <chrono>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "obs/counters.hpp"
 
@@ -55,5 +56,15 @@ class RunContext {
     return deadline.has_value() && Clock::now() >= *deadline;
   }
 };
+
+/// Cooperative in-loop deadline poll: throws DeadlineExceeded (naming the
+/// poll point) when `ctx` carries an expired deadline; a null ctx or a
+/// deadline-free context is a cheap no-op.  Long-running engines call this
+/// at loop-iteration granularity so a daemon SLO can cut a run short
+/// mid-flight, not just refuse to start it.
+inline void poll_deadline(const RunContext* ctx, const char* where) {
+  if (ctx != nullptr && ctx->deadline_expired())
+    throw DeadlineExceeded(std::string("deadline exceeded in ") + where);
+}
 
 }  // namespace rectpart

@@ -81,6 +81,18 @@ PrefixSum2D::PrefixSum2D(const LoadMatrix& a) : n1_(a.rows()), n2_(a.cols()) {
 PrefixSum2D PrefixSum2D::from_prefix(int n1, int n2,
                                      std::vector<std::int64_t> bordered,
                                      std::int64_t max_cell) {
+  // Same dimension hardening as the Matrix constructors: a negative or
+  // overflowing extent must not silently index a short vector.  The first
+  // call rejects negative n1/n2 (so the +1 below cannot mask n = -1).
+  checked_extent({n1, n2});
+  const std::size_t expect =
+      checked_extent({static_cast<long long>(n1) + 1,
+                      static_cast<long long>(n2) + 1});
+  if (bordered.size() != expect)
+    throw std::invalid_argument(
+        "PrefixSum2D::from_prefix: bordered array has " +
+        std::to_string(bordered.size()) + " entries, expected (n1+1)*(n2+1) = " +
+        std::to_string(expect));
   PrefixSum2D ps;
   ps.n1_ = n1;
   ps.n2_ = n2;

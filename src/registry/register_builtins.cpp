@@ -62,13 +62,18 @@ void register_builtin_partitioners() {
 
   // P x Q-way jagged (Section 3.2.1).  The options are captured values, so
   // each variant is one registration instead of one template instantiation.
+  // The per-run RunContext is wired into the options so cooperative
+  // deadline polls fire inside the engines, not just at run() entry.
   const auto add_jagged = [](const std::string& name, bool exact,
                              const std::string& section, auto algo,
                              Orientation o) {
     add(name, "jagged", exact, section,
-        no_ctx([algo, opt = jag_opts(o)](const PrefixSum2D& ps, int m) {
-          return algo(ps, m, opt);
-        }));
+        [algo, opt = jag_opts(o)](const PrefixSum2D& ps, int m,
+                                  RunContext& ctx) {
+          JaggedOptions with_ctx = opt;
+          with_ctx.ctx = &ctx;
+          return algo(ps, m, with_ctx);
+        });
   };
   add_jagged("jag-pq-heur-hor", false, "3.2.1", jag_pq_heur,
              Orientation::kHorizontal);
@@ -99,9 +104,12 @@ void register_builtin_partitioners() {
   const auto add_hier = [](const std::string& name, auto algo,
                            HierVariant v) {
     add(name, "hierarchical", false, "3.3",
-        no_ctx([algo, opt = hier_opts(v)](const PrefixSum2D& ps, int m) {
-          return algo(ps, m, opt);
-        }));
+        [algo, opt = hier_opts(v)](const PrefixSum2D& ps, int m,
+                                   RunContext& ctx) {
+          HierOptions with_ctx = opt;
+          with_ctx.ctx = &ctx;
+          return algo(ps, m, with_ctx);
+        });
   };
   add_hier("hier-rb-load", hier_rb, HierVariant::kLoad);
   add_hier("hier-rb-dist", hier_rb, HierVariant::kDist);

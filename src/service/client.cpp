@@ -1,0 +1,124 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace rectpart::service {
+
+namespace {
+
+int connect_once(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    *error = "bad socket path: '" + path + "'";
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    *error = "connect(" + path + "): " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(std::string socket_path, int retry_ms) {
+  std::string error;
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(retry_ms);
+  for (;;) {
+    fd_ = connect_once(socket_path, &error);
+    if (fd_ >= 0) return;
+    if (std::chrono::steady_clock::now() >= give_up)
+      throw std::runtime_error(error);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response ServiceClient::transact(const RequestHeader& h,
+                                 const LoadMatrix* payload) {
+  const std::string line = serialize_request_header(h) + "\n";
+  if (!write_all(fd_, line.data(), line.size()))
+    throw std::runtime_error("partition daemon connection lost (write)");
+  if (payload != nullptr && !payload->empty() &&
+      !write_all(fd_, payload->data(),
+                 payload->size() * sizeof(std::int64_t)))
+    throw std::runtime_error("partition daemon connection lost (payload)");
+  return read_reply();
+}
+
+Response ServiceClient::read_reply() {
+  std::string line;
+  if (!read_line(fd_, &carry_, &line))
+    throw std::runtime_error("partition daemon connection lost (read)");
+  Response r;
+  std::string error;
+  if (!parse_response(line, &r, &error))
+    throw std::runtime_error("bad response from partition daemon: " + error);
+  return r;
+}
+
+Response ServiceClient::solve(const LoadMatrix& a, const SolveOptions& opt) {
+  RequestHeader h;
+  h.op = Op::kSolve;
+  h.id = ++next_id_;
+  h.algo = opt.algo;
+  h.m = opt.m;
+  h.rows = a.rows();
+  h.cols = a.cols();
+  h.deadline_ms = opt.deadline_ms;
+  h.upgrade = opt.upgrade;
+  h.lineage = opt.lineage;
+  return transact(h, &a);
+}
+
+bool ServiceClient::ping() {
+  RequestHeader h;
+  h.op = Op::kPing;
+  h.id = ++next_id_;
+  try {
+    return transact(h, nullptr).ok;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+std::string ServiceClient::counters_json() {
+  RequestHeader h;
+  h.op = Op::kCounters;
+  h.id = ++next_id_;
+  const Response r = transact(h, nullptr);
+  if (!r.ok)
+    throw std::runtime_error("counters request failed: " + r.error);
+  return r.counters_json;
+}
+
+void ServiceClient::request_shutdown() {
+  RequestHeader h;
+  h.op = Op::kShutdown;
+  h.id = ++next_id_;
+  (void)transact(h, nullptr);
+}
+
+}  // namespace rectpart::service

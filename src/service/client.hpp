@@ -1,0 +1,67 @@
+// Blocking client for the partition daemon (service/server.hpp).
+//
+// One ServiceClient wraps one connection.  Requests are synchronous:
+// solve() writes the header + payload and blocks for the first response.
+// When that response is non-final (an SLO deadline answer with "upgrade"
+// requested), the exact answer arrives later on the same connection —
+// read_reply() blocks for it.  The client is not thread-safe; the daemon
+// serves concurrent clients, so concurrent callers open their own
+// connections.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/matrix.hpp"
+#include "service/protocol.hpp"
+
+namespace rectpart::service {
+
+struct SolveOptions {
+  std::string algo = "jag-m-heur";
+  std::int64_t m = 8;
+  std::optional<std::int64_t> deadline_ms;
+  bool upgrade = false;
+  std::string lineage;
+};
+
+class ServiceClient {
+ public:
+  /// Connects to the daemon.  When `retry_ms` > 0, connect failures are
+  /// retried for roughly that long (10 ms apart) — covers the window
+  /// between forking a daemon and its listen() in scripts.  Throws
+  /// std::runtime_error when the connection cannot be established.
+  explicit ServiceClient(std::string socket_path, int retry_ms = 0);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Submits a solve and blocks for its first response.  A transport
+  /// failure (daemon gone, malformed response) throws std::runtime_error;
+  /// a daemon-side error comes back as a Response with ok == false.
+  [[nodiscard]] Response solve(const LoadMatrix& a, const SolveOptions& opt);
+
+  /// Blocks for the next response on the connection — the final answer of
+  /// a non-final solve().  Throws std::runtime_error on transport failure.
+  [[nodiscard]] Response read_reply();
+
+  /// Round-trip liveness probe.
+  [[nodiscard]] bool ping();
+
+  /// The daemon's counter snapshot as a serialized JSON object.
+  [[nodiscard]] std::string counters_json();
+
+  /// Asks the daemon to shut down (acknowledged before it begins).
+  void request_shutdown();
+
+ private:
+  Response transact(const RequestHeader& h, const LoadMatrix* payload);
+
+  int fd_ = -1;
+  std::string carry_;
+  std::int64_t next_id_ = 0;
+};
+
+}  // namespace rectpart::service

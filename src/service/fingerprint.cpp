@@ -1,0 +1,11 @@
+#include "service/fingerprint.hpp"
+
+namespace rectpart::service {
+
+std::uint64_t fingerprint_matrix(const LoadMatrix& a) {
+  const std::int64_t dims[2] = {a.rows(), a.cols()};
+  std::uint64_t h = fnv1a64(dims, sizeof(dims));
+  return fnv1a64(a.data(), a.size() * sizeof(std::int64_t), h);
+}
+
+}  // namespace rectpart::service

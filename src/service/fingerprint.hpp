@@ -1,0 +1,46 @@
+// Content fingerprints for daemon instance caching.
+//
+// The partition daemon (service/server.hpp) keys its PrefixSum2D cache on
+// the *content* of the submitted load matrix, not on any client-supplied
+// identifier: a client resubmitting the same cells gets the cached prefix
+// structure (and its lazily-built transpose) regardless of request ordering
+// or connection identity.  FNV-1a over the dimensions plus the raw cell
+// words is cheap (one pass, no allocation) and stable across processes, so
+// fingerprints can appear in logs and BENCH records.
+//
+// A 64-bit content hash can collide in principle; the cache therefore
+// stores the dimensions next to the prefix structure and the server
+// cross-checks them on every hit (service/instance_cache.hpp).  Colliding
+// payloads of identical shape remain theoretically possible — acceptable
+// for a cache whose worst failure is partitioning a stale matrix, and
+// vanishingly unlikely at cache capacities of a few dozen entries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/matrix.hpp"
+
+namespace rectpart::service {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a64 over a byte range, chainable through `h`.
+[[nodiscard]] inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                                           std::uint64_t h = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Content fingerprint of a load matrix: dimensions then raw cell words.
+/// Equal matrices hash equal on any host of the same endianness (the
+/// daemon and its clients share a machine — the transport is a Unix
+/// socket — so cross-endian stability is not required).
+[[nodiscard]] std::uint64_t fingerprint_matrix(const LoadMatrix& a);
+
+}  // namespace rectpart::service

@@ -1,0 +1,61 @@
+// Fingerprint-keyed LRU of prepared partitioning instances.
+//
+// Building a PrefixSum2D is the daemon's per-request fixed cost: O(n1*n2)
+// work plus an (n1+1)*(n2+1) allocation, repeated for every request even
+// when the client resubmits an unchanged matrix (interactive tuning loops,
+// repeated solves with different m or algorithms).  The cache keeps the
+// prepared instances alive across requests, keyed by content fingerprint
+// (service/fingerprint.hpp); a hit also inherits the lazily-built transpose
+// inside PrefixSum2D, so -BEST orientation runs on a cached instance skip
+// both O(n1*n2) passes.
+//
+// Entries are shared_ptr<const PrefixSum2D>: a request holds its instance
+// alive for the duration of the solve (including asynchronous SLO upgrade
+// runs) even if the LRU evicts it concurrently.  All operations take one
+// mutex — the daemon's request rate is bounded by partitioning work, not by
+// cache lookups, so sharding would be complexity without a payoff.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "prefix/prefix_sum.hpp"
+
+namespace rectpart::service {
+
+class InstanceCache {
+ public:
+  /// `capacity` is the maximum number of retained instances (>= 1).
+  explicit InstanceCache(std::size_t capacity);
+
+  /// The cached instance for `key`, or nullptr.  A hit requires the stored
+  /// dimensions to match (`rows`, `cols`) — the fingerprint alone is a
+  /// 64-bit hash, and a cross-shape collision must never hand a request a
+  /// prefix structure of the wrong geometry.  Hits move the entry to the
+  /// front of the LRU order.
+  [[nodiscard]] std::shared_ptr<const PrefixSum2D> find(std::uint64_t key,
+                                                        int rows, int cols);
+
+  /// Inserts (or refreshes) `key`; evicts the least recently used entry
+  /// beyond capacity.  Evicted instances stay alive while requests hold
+  /// their shared_ptr.
+  void insert(std::uint64_t key, std::shared_ptr<const PrefixSum2D> ps);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const PrefixSum2D> ps;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace rectpart::service

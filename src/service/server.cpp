@@ -1,0 +1,421 @@
+#include "service/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/partitioner.hpp"
+#include "dynamic/rebalance.hpp"
+#include "obs/counters.hpp"
+#include "service/fingerprint.hpp"
+
+namespace rectpart::service {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// True when something accepts connections on `path` — distinguishes a
+/// live daemon (bind must fail loudly) from a stale socket file left by a
+/// crash (safe to unlink and rebind).
+bool socket_is_live(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const bool live = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                              sizeof(addr)) == 0;
+  ::close(fd);
+  return live;
+}
+
+}  // namespace
+
+/// One accepted client.  The fd is closed when the last reference drops —
+/// the serving task and any in-flight async upgrade each hold one, so a
+/// follow-up response can never write into a closed (or recycled) fd.
+struct Server::Connection {
+  int fd = -1;
+  std::mutex write_mu;  ///< serializes responses (serving task vs upgrades)
+
+  explicit Connection(int f) : fd(f) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// One drifting workload: the Rebalancer is stateful (it owns the incumbent
+/// partition), so steps on a lineage are serialized by its own mutex.
+struct Server::Lineage {
+  std::string algo;
+  std::int64_t m = 0;
+  std::unique_ptr<Rebalancer> rebalancer;
+  std::mutex mu;
+};
+
+Server::Server(ServerOptions opt)
+    : opt_(std::move(opt)), cache_(opt_.cache_capacity) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_) throw std::logic_error("Server::start called twice");
+  if (opt_.socket_path.empty())
+    throw std::runtime_error("Server requires a socket path");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opt_.socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long for AF_UNIX: " +
+                             opt_.socket_path);
+  std::memcpy(addr.sun_path, opt_.socket_path.c_str(),
+              opt_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) sys_fail("socket(" + opt_.socket_path + ")");
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    if (errno != EADDRINUSE || socket_is_live(opt_.socket_path)) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      sys_fail("bind(" + opt_.socket_path + ")");
+    }
+    ::unlink(opt_.socket_path.c_str());  // stale file from a crashed daemon
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      sys_fail("bind(" + opt_.socket_path + ")");
+    }
+  }
+  if (::listen(listen_fd_, 64) < 0) sys_fail("listen");
+  if (::pipe2(wake_pipe_, O_CLOEXEC) < 0) sys_fail("pipe2");
+  if (::pipe2(stop_pipe_, O_CLOEXEC) < 0) sys_fail("pipe2");
+
+  register_builtin_partitioners();
+  pool_ = std::make_unique<ThreadPool>(
+      opt_.threads > 0 ? static_cast<std::size_t>(opt_.threads) : 0);
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+  started_ = true;
+}
+
+void Server::wait_for_stop_request() {
+  char c = 0;
+  while (::read(stop_pipe_[0], &c, 1) < 0 && errno == EINTR) {
+  }
+}
+
+void Server::request_stop() {
+  if (stop_pipe_[1] >= 0) {
+    const ssize_t ignored = ::write(stop_pipe_[1], "x", 1);
+    (void)ignored;
+  }
+}
+
+void Server::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopping_.store(true);
+  request_stop();  // release a blocked wait_for_stop_request()
+  {
+    const ssize_t ignored = ::write(wake_pipe_[1], "x", 1);
+    (void)ignored;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Unblock every serving task's recv; the tasks then drain and
+    // deregister inside pool_->shutdown().
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  pool_->shutdown();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int* pipe_pair : {wake_pipe_, stop_pipe_})
+    for (int i = 0; i < 2; ++i) {
+      ::close(pipe_pair[i]);
+      pipe_pair[i] = -1;
+    }
+  ::unlink(opt_.socket_path.c_str());
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load(std::memory_order_relaxed) || fds[1].revents != 0)
+      break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    auto conn = std::make_shared<Connection>(fd);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.insert(conn);
+    }
+    try {
+      pool_->submit([this, conn] { serve_connection(conn); });
+    } catch (const std::runtime_error&) {  // pool stopped mid-teardown
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.erase(conn);
+      break;
+    }
+  }
+}
+
+void Server::serve_connection(const std::shared_ptr<Connection>& conn) {
+  std::string carry;
+  std::string line;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    if (!read_line(conn->fd, &carry, &line)) break;  // EOF or teardown
+    RequestHeader h;
+    std::string error;
+    if (!parse_request_header(line, &h, &error)) {
+      // The payload boundary is unknowable after a bad header, so this
+      // connection cannot be resynchronized: report and close.
+      send_error(conn, -1, error);
+      break;
+    }
+    bool keep = true;
+    switch (h.op) {
+      case Op::kPing: {
+        Response r;
+        r.id = h.id;
+        send_response(conn, r);
+        break;
+      }
+      case Op::kCounters: {
+        Response r;
+        r.id = h.id;
+        r.counters_json = obs::counters_snapshot().to_json();
+        send_response(conn, r);
+        break;
+      }
+      case Op::kShutdown: {
+        Response r;
+        r.id = h.id;
+        send_response(conn, r);
+        request_stop();
+        break;
+      }
+      case Op::kSolve:
+        // A stray exception must not strand the client without a response
+        // (the pool would swallow it into a future nobody reads).
+        try {
+          keep = handle_solve(conn, h, &carry);
+        } catch (const std::exception& e) {
+          send_error(conn, h.id,
+                     std::string("internal daemon error: ") + e.what());
+          keep = false;
+        }
+        break;
+    }
+    if (!keep) break;
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(conn);
+}
+
+bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
+                          const RequestHeader& h, std::string* carry) {
+  // Size gates come before the payload read: a header promising more than
+  // max_cells is hostile or confused either way, and the only safe reaction
+  // to an unreadable payload boundary is to close the connection.
+  constexpr std::int64_t kIntMax = std::numeric_limits<int>::max();
+  if (h.rows > kIntMax || h.cols > kIntMax ||
+      (h.rows > 0 && h.cols > opt_.max_cells / h.rows)) {
+    send_error(conn, h.id,
+               "request of " + std::to_string(h.rows) + " x " +
+                   std::to_string(h.cols) + " cells exceeds max_cells=" +
+                   std::to_string(opt_.max_cells));
+    return false;
+  }
+  LoadMatrix a(static_cast<int>(h.rows), static_cast<int>(h.cols));
+  if (!a.empty() &&
+      !read_exact(conn->fd, carry, a.data(),
+                  a.size() * sizeof(std::int64_t))) {
+    // Truncated payload: the peer vanished mid-request; nothing to answer.
+    return false;
+  }
+  RECTPART_COUNT(kServiceRequests, 1);
+
+  // Post-payload validation keeps the connection: the stream is in sync.
+  if (a.empty()) {
+    send_error(conn, h.id, "cannot partition an empty matrix");
+    return true;
+  }
+  if (h.m > opt_.max_m) {
+    send_error(conn, h.id,
+               "m=" + std::to_string(h.m) +
+                   " exceeds max_m=" + std::to_string(opt_.max_m));
+    return true;
+  }
+  std::unique_ptr<Partitioner> algo;
+  try {
+    algo = make_partitioner(h.algo);
+  } catch (const std::out_of_range& e) {
+    send_error(conn, h.id, e.what());  // carries the did-you-mean hint
+    return true;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t key = fingerprint_matrix(a);
+  std::shared_ptr<const PrefixSum2D> ps = cache_.find(key, a.rows(), a.cols());
+  const bool cache_hit = ps != nullptr;
+  if (cache_hit) {
+    RECTPART_COUNT(kServiceCacheHits, 1);
+  } else {
+    ps = std::make_shared<PrefixSum2D>(a);
+    cache_.insert(key, ps);
+  }
+
+  Response r;
+  r.id = h.id;
+  r.algo = h.algo;
+  r.m = h.m;
+  r.cache_hit = cache_hit;
+  const int m = static_cast<int>(h.m);
+
+  // Lineage path: perturbed resubmissions of one drifting workload go
+  // through the Rebalancer, which trades repartitioning quality against
+  // migration cost.  Deadlines do not apply here — the whole point of the
+  // threshold policy is that most steps cost one imbalance evaluation.
+  if (!h.lineage.empty()) {
+    std::shared_ptr<Lineage> lineage;
+    {
+      std::lock_guard<std::mutex> lock(lineages_mu_);
+      auto& slot = lineages_[h.lineage];
+      if (slot == nullptr || slot->algo != h.algo || slot->m != h.m) {
+        slot = std::make_shared<Lineage>();
+        slot->algo = h.algo;
+        slot->m = h.m;
+        slot->rebalancer = std::make_unique<Rebalancer>(
+            std::move(algo), m, RebalancePolicy::kThreshold,
+            opt_.rebalance_threshold);
+      }
+      lineage = slot;
+    }
+    try {
+      std::lock_guard<std::mutex> step_lock(lineage->mu);
+      const RebalanceDecision d = lineage->rebalancer->step(*ps);
+      r.rebalance = d.repartitioned ? "repartitioned" : "kept";
+      r.partition = lineage->rebalancer->current();
+    } catch (const std::exception& e) {
+      send_error(conn, h.id, std::string("rebalance failed: ") + e.what());
+      return true;
+    }
+    r.ms = ms_since(t0);
+    r.lmax = r.partition.max_load(*ps);
+    r.imbalance = r.partition.imbalance(*ps);
+    send_response(conn, r);
+    return true;
+  }
+
+  // SLO machine.  The deadline clock starts at request receipt, so the
+  // incumbent heuristic (the fallback answer) spends part of the budget;
+  // the requested algorithm gets whatever remains and is cut short by the
+  // base-class refusal or a cooperative in-loop poll.
+  RunContext rc;
+  Partition incumbent;
+  bool upgrade_async = false;
+  try {
+    if (h.deadline_ms.has_value()) {
+      rc = RunContext::with_deadline(
+          std::chrono::milliseconds(*h.deadline_ms));
+      incumbent = make_partitioner(opt_.incumbent_algo)->run(*ps, m);
+    }
+    r.partition = algo->run(*ps, m, rc);
+  } catch (const DeadlineExceeded&) {
+    RECTPART_COUNT(kServiceDeadlineReturns, 1);
+    r.partition = std::move(incumbent);
+    r.algo = opt_.incumbent_algo;
+    r.deadline_return = true;
+    if (h.upgrade) {
+      r.final_reply = false;
+      upgrade_async = true;
+    }
+  } catch (const std::exception& e) {
+    send_error(conn, h.id, std::string("solve failed: ") + e.what());
+    return true;
+  }
+  r.ms = ms_since(t0);
+  r.lmax = r.partition.max_load(*ps);
+  r.imbalance = r.partition.imbalance(*ps);
+  send_response(conn, r);
+
+  if (upgrade_async) {
+    // The follow-up keeps the connection and the cached instance alive via
+    // shared_ptr; the client reads a second response whenever it is ready.
+    try {
+      pool_->submit([this, conn, ps, h] {
+        const auto u0 = std::chrono::steady_clock::now();
+        Response f;
+        f.id = h.id;
+        f.algo = h.algo;
+        f.m = h.m;
+        try {
+          f.partition = make_partitioner(h.algo)->run(
+              *ps, static_cast<int>(h.m));
+        } catch (const std::exception& e) {
+          send_error(conn, h.id, std::string("upgrade failed: ") + e.what());
+          return;
+        }
+        f.ms = ms_since(u0);
+        f.lmax = f.partition.max_load(*ps);
+        f.imbalance = f.partition.imbalance(*ps);
+        send_response(conn, f);
+      });
+    } catch (const std::runtime_error&) {
+      // Pool stopped mid-teardown; the non-final answer already went out.
+    }
+  }
+  return true;
+}
+
+void Server::send_response(const std::shared_ptr<Connection>& conn,
+                           const Response& r) {
+  const std::string line = serialize_response(r) + "\n";
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  // A failed write means the peer is gone; the read side will see EOF.
+  (void)write_all(conn->fd, line.data(), line.size());
+}
+
+void Server::send_error(const std::shared_ptr<Connection>& conn,
+                        std::int64_t id, const std::string& message) {
+  Response r;
+  r.id = id;
+  r.ok = false;
+  r.error = message;
+  send_response(conn, r);
+}
+
+}  // namespace rectpart::service

@@ -1,0 +1,149 @@
+// The partition daemon: partitioning as a long-lived service.
+//
+// A Server listens on a Unix-domain socket and answers the wire protocol of
+// service/protocol.hpp.  Motivation (ROADMAP "serve partitions, don't
+// re-exec"): a simulation driver that repartitions every few steps pays
+// process startup, registry construction, and PrefixSum2D builds on every
+// call when it shells out to rectpart_cli; a daemon amortizes all three.
+//
+// Three request-level behaviours distinguish it from a batch CLI:
+//
+//  * Instance cache.  Matrices are fingerprinted by content
+//    (service/fingerprint.hpp); resubmissions reuse the cached PrefixSum2D
+//    (and its lazily-built transpose) from the LRU in
+//    service/instance_cache.hpp.  Hits count service_cache_hits.
+//
+//  * SLO deadlines.  A request with deadline_ms gets a cooperative
+//    per-request deadline (obs/run_context.hpp).  The server first computes
+//    a cheap incumbent answer with the configured fallback heuristic, then
+//    runs the requested algorithm under the remaining budget; if the
+//    deadline fires (refusal at start or a mid-loop poll inside the
+//    engines), the incumbent is returned with "deadline_return": true,
+//    counting service_deadline_returns.  With "upgrade": true the deadline
+//    answer is marked non-final and the requested algorithm continues
+//    asynchronously on the daemon pool; its answer is pushed on the same
+//    connection as a second, final response.
+//
+//  * Drift lineages.  Requests sharing a "lineage" string describe one
+//    drifting workload (a simulation resubmitting perturbed loads).  They
+//    are routed through dynamic/rebalance.hpp: a per-lineage Rebalancer
+//    with the threshold policy decides between keeping the incumbent
+//    partition (small delta — no migration cost) and repartitioning; the
+//    response reports which ("rebalance": "kept" | "repartitioned").
+//
+// Threading: the accept loop runs on a dedicated thread (poll() over the
+// listen socket and a self-pipe so stop() can interrupt it); each accepted
+// connection becomes a task on the server's own ThreadPool, which also runs
+// asynchronous SLO upgrades.  Algorithm-internal parallelism still goes
+// through the global execution layer (util/parallel.hpp) — the two pools
+// compose because the global layer's primitives never block on the
+// server pool.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "service/instance_cache.hpp"
+#include "service/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rectpart {
+class Rebalancer;
+}
+
+namespace rectpart::service {
+
+struct ServerOptions {
+  /// Filesystem path of the listening socket.  A stale file from a crashed
+  /// daemon is unlinked on start; a live daemon on the same path will
+  /// fail bind() loudly.
+  std::string socket_path;
+  /// Size of the daemon's own pool (connection handlers + async upgrades).
+  int threads = 2;
+  /// Instance-cache capacity (retained PrefixSum2D structures).
+  std::size_t cache_capacity = 8;
+  /// Hard cap on rows*cols per request; a header promising more is an
+  /// error (and closes the connection, since the stream cannot be
+  /// resynchronized without reading the payload).
+  std::int64_t max_cells = std::int64_t{1} << 26;
+  /// Hard cap on m per request.
+  std::int64_t max_m = std::int64_t{1} << 20;
+  /// Imbalance trigger for lineage rebalancing (RebalancePolicy::kThreshold).
+  double rebalance_threshold = 0.10;
+  /// Fallback heuristic computed as the incumbent for deadline requests.
+  std::string incumbent_algo = "jag-m-heur";
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt);
+  ~Server();  ///< calls stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and launches the accept thread.  Throws
+  /// std::runtime_error (with errno text) on socket/bind/listen failure.
+  /// When start() returns, clients can connect.
+  void start();
+
+  /// Blocks until request_stop() — from a "shutdown" request, a signal
+  /// handler, or another thread.  Does not itself stop the server; the
+  /// owner calls stop() next (examples/rectpart_served.cpp).
+  void wait_for_stop_request();
+
+  /// Async-signal-safe stop trigger: one write to a self-pipe.
+  void request_stop();
+
+  /// Tears the daemon down: joins the accept thread, shuts down live
+  /// connections, drains the pool, unlinks the socket.  Idempotent.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return opt_.socket_path;
+  }
+
+ private:
+  struct Connection;
+  struct Lineage;
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  /// Reads the payload and runs the SLO state machine for one solve.
+  /// `carry` is the connection's line-reader spill: payload bytes that
+  /// arrived in the same kernel chunk as the header live there.  Returns
+  /// false when the connection must close (unreadable payload).
+  bool handle_solve(const std::shared_ptr<Connection>& conn,
+                    const RequestHeader& h, std::string* carry);
+  void send_response(const std::shared_ptr<Connection>& conn,
+                     const Response& r);
+  void send_error(const std::shared_ptr<Connection>& conn, std::int64_t id,
+                  const std::string& message);
+
+  ServerOptions opt_;
+  InstanceCache cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< interrupts the accept poll()
+  int stop_pipe_[2] = {-1, -1};  ///< wait_for_stop_request() blocks here
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::mutex conns_mu_;
+  std::unordered_set<std::shared_ptr<Connection>> conns_;
+
+  std::mutex lineages_mu_;
+  // shared_ptr: a replaced lineage (algo/m changed mid-stream) must stay
+  // alive for a concurrent request that already resolved it.
+  std::unordered_map<std::string, std::shared_ptr<Lineage>> lineages_;
+};
+
+}  // namespace rectpart::service

@@ -21,9 +21,7 @@ class Matrix3 {
 
   Matrix3(int n1, int n2, int n3, T fill = T{})
       : n1_(n1), n2_(n2), n3_(n3) {
-    if (n1 < 0 || n2 < 0 || n3 < 0)
-      throw std::invalid_argument("negative matrix size");
-    data_.assign(static_cast<std::size_t>(n1) * n2 * n3, fill);
+    data_.assign(checked_extent({n1, n2, n3}), fill);
   }
 
   [[nodiscard]] int dim1() const { return n1_; }

@@ -1,5 +1,6 @@
 #include "util/flags.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,21 +49,21 @@ std::string Flags::get_string(const std::string& name,
 std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  char* end = nullptr;
-  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-  if (end == it->second.c_str() || *end != '\0')
-    die("flag --" + name + " expects an integer, got '" + it->second + "'");
-  return v;
+  const std::optional<std::int64_t> v = parse_int64(it->second);
+  if (!v)
+    die("flag --" + name + " expects an in-range integer, got '" + it->second +
+        "'");
+  return *v;
 }
 
 double Flags::get_double(const std::string& name, double def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  if (end == it->second.c_str() || *end != '\0')
-    die("flag --" + name + " expects a number, got '" + it->second + "'");
-  return v;
+  const std::optional<double> v = parse_double(it->second);
+  if (!v)
+    die("flag --" + name + " expects an in-range number, got '" + it->second +
+        "'");
+  return *v;
 }
 
 bool Flags::get_bool(const std::string& name, bool def) const {
@@ -81,12 +82,37 @@ bool full_scale_requested() {
          std::strcmp(v, "yes") == 0 || std::strcmp(v, "on") == 0;
 }
 
+std::optional<std::int64_t> parse_int64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  // Three distinct failures: nothing consumed, trailing garbage ("10x"),
+  // or out-of-range (strtoll clamps and sets ERANGE — a clamped value
+  // parsing as "valid" is the bug this helper exists to kill).
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+    return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+    return std::nullopt;
+  return v;
+}
+
 std::int64_t env_int(const char* name, std::int64_t def) {
   const char* v = std::getenv(name);
   if (v == nullptr) return def;
-  char* end = nullptr;
-  const std::int64_t out = std::strtoll(v, &end, 10);
-  return (end == v || *end != '\0') ? def : out;
+  const std::optional<std::int64_t> out = parse_int64(v);
+  if (!out)
+    die(std::string("environment variable ") + name +
+        " expects an in-range integer, got '" + v + "'");
+  return *out;
 }
 
 }  // namespace rectpart

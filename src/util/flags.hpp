@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,7 +48,19 @@ class Flags {
 /// ("1", "true", "yes", "on"); benches then run the paper-scale sweeps.
 [[nodiscard]] bool full_scale_requested();
 
+/// Strict base-10 int64 parse: the *entire* string must be a valid in-range
+/// integer (no trailing garbage, no empty input, errno-checked overflow).
+/// Returns nullopt on any violation — callers decide whether that is fatal.
+[[nodiscard]] std::optional<std::int64_t> parse_int64(const std::string& s);
+
+/// Strict double parse under the same contract as parse_int64 (whole string,
+/// range-checked).
+[[nodiscard]] std::optional<double> parse_double(const std::string& s);
+
 /// Reads an integer environment override, returning `def` when unset.
+/// A set-but-malformed value terminates the program with a diagnostic:
+/// RECTPART_THREADS=junk silently degrading to the default is exactly the
+/// kind of misconfiguration that corrupts benchmark provenance.
 [[nodiscard]] std::int64_t env_int(const char* name, std::int64_t def);
 
 }  // namespace rectpart

@@ -65,9 +65,74 @@ TEST_F(IoTest, TruncatedTextThrows) {
   EXPECT_THROW((void)load_matrix_text(path("bad.txt")), std::runtime_error);
 }
 
+TEST_F(IoTest, TruncatedTextNamesCellAndFile) {
+  std::ofstream(path("bad.txt")) << "3 3\n1 2 3\n4 5\n";
+  try {
+    (void)load_matrix_text(path("bad.txt"));
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cell (1, 2)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bad.txt"), std::string::npos) << msg;
+  }
+}
+
 TEST_F(IoTest, BadMagicThrows) {
   std::ofstream(path("bad.bin"), std::ios::binary) << "NOPE123456";
   EXPECT_THROW((void)load_matrix_binary(path("bad.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, TruncatedBinaryHeaderThrows) {
+  std::ofstream(path("hdr.bin"), std::ios::binary) << "RPM1\x03";
+  EXPECT_THROW((void)load_matrix_binary(path("hdr.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, TruncatedBinaryBodyNamesOffset) {
+  const LoadMatrix a = random_matrix(4, 4, 0, 100, 7);
+  save_matrix_binary(a, path("t.bin"));
+  std::filesystem::resize_file(dir_ / "t.bin", 12 + 5 * sizeof(std::int64_t));
+  try {
+    (void)load_matrix_binary(path("t.bin"));
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("truncated matrix body"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("byte offset"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("t.bin"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(IoTest, NegativeBinaryDimensionThrows) {
+  std::ofstream out(path("neg.bin"), std::ios::binary);
+  out << "RPM1";
+  const std::int32_t dims[2] = {-4, 4};
+  out.write(reinterpret_cast<const char*>(dims), sizeof(dims));
+  out.close();
+  EXPECT_THROW((void)load_matrix_binary(path("neg.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, HostileBinaryDimensionsFailBeforeAllocating) {
+  // A header claiming INT_MAX x INT_MAX cells must be rejected by the
+  // file-size check (as truncated), not multiplied into an overflowed
+  // byte count or handed to the allocator.
+  std::ofstream out(path("huge.bin"), std::ios::binary);
+  out << "RPM1";
+  const std::int32_t dims[2] = {std::numeric_limits<std::int32_t>::max(),
+                                std::numeric_limits<std::int32_t>::max()};
+  out.write(reinterpret_cast<const char*>(dims), sizeof(dims));
+  out.close();
+  EXPECT_THROW((void)load_matrix_binary(path("huge.bin")),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, Matrix3BinaryRoundTripAndTruncation) {
+  LoadMatrix3 a(2, 3, 2, 0);
+  std::int64_t v = 1;
+  for (auto& c : a) c = v++;
+  save_matrix3_binary(a, path("c.bin"));
+  EXPECT_EQ(load_matrix3_binary(path("c.bin")), a);
+  std::filesystem::resize_file(dir_ / "c.bin", 16 + 3 * sizeof(std::int64_t));
+  EXPECT_THROW((void)load_matrix3_binary(path("c.bin")), std::runtime_error);
 }
 
 TEST_F(IoTest, PartitionCsvRoundTrip) {
@@ -131,6 +196,45 @@ TEST_F(IoTest, PgmWithPartitionBurnsBoundaries) {
     EXPECT_EQ(pix[x * 8 + 3], 0);
     EXPECT_EQ(pix[x * 8 + 4], 0);
   }
+}
+
+TEST_F(IoTest, PgmRoundTripsThroughLoader) {
+  LoadMatrix a = random_matrix(6, 9, 0, 255, 11);
+  a(0, 0) = 255;  // pin the max so the linear intensity map is identity
+  a(5, 8) = 0;
+  save_pgm(a, path("rt.pgm"));
+  const LoadMatrix b = load_pgm(path("rt.pgm"));
+  EXPECT_EQ(b, a);
+}
+
+TEST_F(IoTest, PgmLoaderRejectsBadInput) {
+  // Wrong magic.
+  std::ofstream(path("p2.pgm"), std::ios::binary) << "P2\n2 2\n255\n0 0 0 0\n";
+  EXPECT_THROW((void)load_pgm(path("p2.pgm")), std::runtime_error);
+  // 16-bit maxval is unsupported.
+  std::ofstream(path("deep.pgm"), std::ios::binary) << "P5\n2 2\n65535\n";
+  EXPECT_THROW((void)load_pgm(path("deep.pgm")), std::runtime_error);
+  // Truncated raster: header promises 4 bytes, file holds 2.
+  std::ofstream(path("short.pgm"), std::ios::binary) << "P5\n2 2\n255\nab";
+  try {
+    (void)load_pgm(path("short.pgm"));
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("truncated PGM raster"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("byte offset"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(IoTest, PgmLoaderSkipsComments) {
+  std::ofstream(path("cmt.pgm"), std::ios::binary)
+      << "P5\n# heat map\n3 2\n255\n"
+      << std::string("\x01\x02\x03\x04\x05\x06", 6);
+  const LoadMatrix a = load_pgm(path("cmt.pgm"));
+  ASSERT_EQ(a.rows(), 2);
+  ASSERT_EQ(a.cols(), 3);
+  EXPECT_EQ(a(0, 0), 1);
+  EXPECT_EQ(a(1, 2), 6);
 }
 
 TEST_F(IoTest, LargeValuesSurviveBinaryRoundTrip) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace rectpart {
@@ -37,6 +38,21 @@ TEST(Matrix, RowMajorLayout) {
 TEST(Matrix, NegativeSizeThrows) {
   EXPECT_THROW(LoadMatrix(-1, 3), std::invalid_argument);
   EXPECT_THROW(LoadMatrix(3, -1), std::invalid_argument);
+}
+
+TEST(Matrix, OverflowingExtentThrowsTyped) {
+  // INT_MAX^2 cells ~ 2^62 int64s = 2^65 bytes: must fail as a typed
+  // length_error before reaching the allocator, not wrap or bad_alloc.
+  constexpr int big = std::numeric_limits<int>::max();
+  EXPECT_THROW(LoadMatrix(big, big), std::length_error);
+  EXPECT_THROW((void)checked_extent({big, big}), std::length_error);
+  // A product that overflows std::size_t itself (2^40 * 2^40 = 2^80).
+  EXPECT_THROW((void)checked_extent({1LL << 40, 1LL << 40}),
+               std::length_error);
+  EXPECT_THROW((void)checked_extent({-1}), std::invalid_argument);
+  // Zero-extent products are fine even next to huge siblings.
+  EXPECT_EQ(checked_extent({0, big}), 0u);
+  EXPECT_EQ(checked_extent({7, 3}), 21u);
 }
 
 TEST(Matrix, EqualityComparesShapeAndContents) {

@@ -11,12 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "core/partitioner.hpp"
+#include "hier/hier.hpp"
 #include "jagged/jagged.hpp"
 #include "obs/run_context.hpp"
 #include "obs/trace.hpp"
@@ -308,6 +310,97 @@ TEST_F(ObsTest, DpAndCacheCountersFireOnTheDpEngines) {
 }
 
 #endif  // RECTPART_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Deadline semantics: the daemon's SLO path depends on (a) runs refusing to
+// start once the deadline has passed and (b) cooperative polls firing
+// *inside* the engines so a long run is cut short mid-flight, not merely
+// rejected at the door.  Both hold in RECTPART_OBS=0 builds too: deadlines
+// live on RunContext, not behind the counter macros.
+
+TEST_F(ObsTest, ExpiredDeadlineRefusesToStartEveryRegisteredAlgorithm) {
+  const LoadMatrix a = testing::random_matrix(16, 16, 1, 9, 31);
+  const PrefixSum2D ps(a);
+  for (const char* name : {"jag-m-heur", "jag-m-opt", "hier-rb",
+                           "hier-relaxed", "rect-nicol"}) {
+    RunContext ctx = RunContext::with_deadline(std::chrono::milliseconds(0));
+    ASSERT_TRUE(ctx.deadline_expired());
+    EXPECT_THROW((void)make_partitioner(name)->run(ps, 8, ctx),
+                 DeadlineExceeded)
+        << name;
+  }
+}
+
+TEST_F(ObsTest, PollDeadlineHelperSemantics) {
+  // Null ctx and deadline-free ctx are no-ops.
+  poll_deadline(nullptr, "nowhere");
+  RunContext free_ctx;
+  poll_deadline(&free_ctx, "nowhere");
+  // An expired ctx throws, naming the poll point.
+  const RunContext hot = RunContext::with_deadline(std::chrono::seconds(-1));
+  try {
+    poll_deadline(&hot, "unit-test-loop");
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_NE(std::string(e.what()).find("unit-test-loop"),
+              std::string::npos);
+  }
+}
+
+// Calling the free functions directly with an already-expired ctx in the
+// options bypasses Partitioner::run's refuse-to-start gate, so the throw
+// below can only come from a poll inside the engine's own loops.
+TEST_F(ObsTest, JaggedLoopsPollTheDeadlineCooperatively) {
+  const LoadMatrix a = testing::random_matrix(48, 48, 1, 9, 17);
+  const PrefixSum2D ps(a);
+  const RunContext hot = RunContext::with_deadline(std::chrono::seconds(-1));
+
+  JaggedOptions opt;
+  opt.orientation = Orientation::kHorizontal;
+  opt.ctx = &hot;
+  EXPECT_THROW((void)jag_m_heur(ps, 12, opt), DeadlineExceeded);
+  EXPECT_THROW((void)jag_pq_heur(ps, 12, opt), DeadlineExceeded);
+  EXPECT_THROW((void)jag_m_opt(ps, 12, opt), DeadlineExceeded);
+  EXPECT_THROW((void)jag_pq_opt(ps, 12, opt), DeadlineExceeded);
+  EXPECT_THROW((void)jag_m_heur_auto(ps, 12, opt), DeadlineExceeded);
+}
+
+TEST_F(ObsTest, HierLoopsPollTheDeadlineCooperatively) {
+  const LoadMatrix a = testing::random_matrix(48, 48, 1, 9, 19);
+  const PrefixSum2D ps(a);
+  const RunContext hot = RunContext::with_deadline(std::chrono::seconds(-1));
+
+  HierOptions opt;
+  opt.ctx = &hot;
+  EXPECT_THROW((void)hier_rb(ps, 12, opt), DeadlineExceeded);
+  EXPECT_THROW((void)hier_relaxed(ps, 12, opt), DeadlineExceeded);
+}
+
+TEST_F(ObsTest, DeadlinePollsFireUnderParallelExecution) {
+  // The per-stripe polls run inside parallel_for lanes; the exception must
+  // propagate across the pool boundary.
+  set_threads(4);
+  const LoadMatrix a = testing::random_matrix(64, 64, 1, 9, 23);
+  const PrefixSum2D ps(a);
+  const RunContext hot = RunContext::with_deadline(std::chrono::seconds(-1));
+  JaggedOptions opt;
+  opt.ctx = &hot;
+  EXPECT_THROW((void)jag_m_heur(ps, 16, opt), DeadlineExceeded);
+  HierOptions hopt;
+  hopt.ctx = &hot;
+  EXPECT_THROW((void)hier_relaxed(ps, 64, hopt), DeadlineExceeded);
+  set_threads(1);
+}
+
+TEST_F(ObsTest, GenerousDeadlineDoesNotPerturbTheResult) {
+  const LoadMatrix a = testing::random_matrix(32, 32, 1, 9, 29);
+  const PrefixSum2D ps(a);
+  const auto algo = make_partitioner("jag-m-heur");
+  const Partition plain = algo->run(ps, 12);
+  RunContext ctx = RunContext::with_deadline(std::chrono::hours(1));
+  const Partition timed = algo->run(ps, 12, ctx);
+  EXPECT_EQ(plain.rects, timed.rects);
+}
 
 // ---------------------------------------------------------------------------
 // Span tracing.  The export path works in both builds (with RECTPART_OBS=0

@@ -1,0 +1,489 @@
+// Partition daemon: fingerprinting, the instance LRU, the wire protocol's
+// strict parsing, and a live in-process Server exercised through
+// ServiceClient — cache hits, SLO deadline fallbacks, asynchronous
+// upgrades, lineage rebalancing, and the input-hardening error paths.
+//
+// Each server test binds its own abstract-free temp socket path (pid +
+// per-process counter), so concurrently running ctest shards never collide.
+// Counter-value assertions self-gate on RECTPART_OBS_ENABLED, matching the
+// convention of test_obs.cpp.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/partitioner.hpp"
+#include "obs/counters.hpp"
+#include "service/client.hpp"
+#include "service/fingerprint.hpp"
+#include "service/instance_cache.hpp"
+#include "service/protocol.hpp"
+#include "testing_util.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace rectpart::service {
+namespace {
+
+using rectpart::testing::random_matrix;
+
+// ---------------------------------------------------------------------------
+// Fingerprints.
+
+TEST(Fingerprint, IdenticalContentHashesEqually) {
+  const LoadMatrix a = random_matrix(17, 23, 0, 100, 7);
+  LoadMatrix b = a;
+  EXPECT_EQ(fingerprint_matrix(a), fingerprint_matrix(b));
+}
+
+TEST(Fingerprint, SingleCellChangesTheHash) {
+  const LoadMatrix a = random_matrix(17, 23, 0, 100, 7);
+  LoadMatrix b = a;
+  b(16, 22) += 1;
+  EXPECT_NE(fingerprint_matrix(a), fingerprint_matrix(b));
+}
+
+TEST(Fingerprint, ShapeIsPartOfTheIdentity) {
+  // Same cell sequence, different geometry: the dims prefix must separate
+  // them — a 1x6 and a 6x1 matrix partition completely differently.
+  LoadMatrix row(1, 6);
+  LoadMatrix col(6, 1);
+  for (int i = 0; i < 6; ++i) {
+    row(0, i) = i + 1;
+    col(i, 0) = i + 1;
+  }
+  EXPECT_NE(fingerprint_matrix(row), fingerprint_matrix(col));
+}
+
+// ---------------------------------------------------------------------------
+// Instance cache.
+
+std::shared_ptr<const PrefixSum2D> make_instance(int n, std::uint64_t seed) {
+  return std::make_shared<const PrefixSum2D>(random_matrix(n, n, 0, 9, seed));
+}
+
+TEST(InstanceCache, HitReturnsTheStoredInstanceAndMissReturnsNull) {
+  InstanceCache cache(4);
+  const auto ps = make_instance(8, 1);
+  cache.insert(42, ps);
+  EXPECT_EQ(cache.find(42, 8, 8).get(), ps.get());
+  EXPECT_EQ(cache.find(43, 8, 8), nullptr);
+}
+
+TEST(InstanceCache, DimensionMismatchIsTreatedAsAMiss) {
+  // A 64-bit fingerprint can collide across shapes; the cache must never
+  // hand back a prefix structure of the wrong geometry.
+  InstanceCache cache(4);
+  cache.insert(42, make_instance(8, 1));
+  EXPECT_EQ(cache.find(42, 16, 16), nullptr);
+  EXPECT_NE(cache.find(42, 8, 8), nullptr);
+}
+
+TEST(InstanceCache, EvictsLeastRecentlyUsedBeyondCapacity) {
+  InstanceCache cache(2);
+  cache.insert(1, make_instance(4, 1));
+  cache.insert(2, make_instance(4, 2));
+  // Touch 1 so that 2 becomes the LRU entry, then overflow.
+  EXPECT_NE(cache.find(1, 4, 4), nullptr);
+  cache.insert(3, make_instance(4, 3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(2, 4, 4), nullptr);   // evicted
+  EXPECT_NE(cache.find(1, 4, 4), nullptr);   // survived (recently used)
+  EXPECT_NE(cache.find(3, 4, 4), nullptr);
+}
+
+TEST(InstanceCache, EvictedInstanceSurvivesWhileAHolderRemains) {
+  InstanceCache cache(1);
+  const auto held = make_instance(4, 1);
+  cache.insert(1, held);
+  cache.insert(2, make_instance(4, 2));  // evicts key 1
+  EXPECT_EQ(cache.find(1, 4, 4), nullptr);
+  EXPECT_EQ(held->rows(), 4);  // still alive through our shared_ptr
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol.
+
+TEST(Protocol, SolveHeaderRoundTrips) {
+  RequestHeader h;
+  h.op = Op::kSolve;
+  h.id = 7;
+  h.algo = "hier-rb";
+  h.m = 12;
+  h.rows = 34;
+  h.cols = 56;
+  h.deadline_ms = 250;
+  h.upgrade = true;
+  h.lineage = "sim-a";
+  RequestHeader back;
+  std::string error;
+  ASSERT_TRUE(parse_request_header(serialize_request_header(h), &back, &error))
+      << error;
+  EXPECT_EQ(back.op, Op::kSolve);
+  EXPECT_EQ(back.id, 7);
+  EXPECT_EQ(back.algo, "hier-rb");
+  EXPECT_EQ(back.m, 12);
+  EXPECT_EQ(back.rows, 34);
+  EXPECT_EQ(back.cols, 56);
+  ASSERT_TRUE(back.deadline_ms.has_value());
+  EXPECT_EQ(*back.deadline_ms, 250);
+  EXPECT_TRUE(back.upgrade);
+  EXPECT_EQ(back.lineage, "sim-a");
+}
+
+TEST(Protocol, HeaderRejectsMalformedInput) {
+  RequestHeader h;
+  std::string error;
+  EXPECT_FALSE(parse_request_header("not json", &h, &error));
+  EXPECT_NE(error.find("malformed request header"), std::string::npos);
+  EXPECT_FALSE(parse_request_header("[1,2]", &h, &error));
+  EXPECT_FALSE(parse_request_header("{}", &h, &error));
+  EXPECT_NE(error.find("missing 'op'"), std::string::npos);
+  EXPECT_FALSE(parse_request_header("{\"op\":\"frobnicate\"}", &h, &error));
+  EXPECT_NE(error.find("unknown op"), std::string::npos);
+}
+
+TEST(Protocol, HeaderRejectsInvalidSolveParameters) {
+  RequestHeader h;
+  std::string error;
+  EXPECT_FALSE(parse_request_header(
+      "{\"op\":\"solve\",\"rows\":-1,\"cols\":4}", &h, &error));
+  EXPECT_NE(error.find("negative dimensions"), std::string::npos);
+  EXPECT_FALSE(parse_request_header(
+      "{\"op\":\"solve\",\"rows\":4,\"cols\":4,\"m\":0}", &h, &error));
+  EXPECT_NE(error.find("m >= 1"), std::string::npos);
+  EXPECT_FALSE(parse_request_header(
+      "{\"op\":\"solve\",\"rows\":4,\"cols\":4,\"deadline_ms\":-5}", &h,
+      &error));
+  EXPECT_NE(error.find("negative deadline_ms"), std::string::npos);
+  // Present-but-wrong-type is an error, never a silent default.
+  EXPECT_FALSE(parse_request_header(
+      "{\"op\":\"solve\",\"rows\":4,\"cols\":4,\"m\":\"8\"}", &h, &error));
+  EXPECT_NE(error.find("'m' must be an integer"), std::string::npos);
+}
+
+TEST(Protocol, ResponseRoundTripsRectsAndFlags) {
+  Response r;
+  r.id = 9;
+  r.final_reply = false;
+  r.algo = "jag-m-opt";
+  r.m = 4;
+  r.cache_hit = true;
+  r.deadline_return = true;
+  r.rebalance = "kept";
+  r.ms = 1.5;
+  r.lmax = 123;
+  r.imbalance = 0.25;
+  r.partition.rects = {Rect{0, 2, 0, 4}, Rect{2, 4, 0, 4}};
+  Response back;
+  std::string error;
+  ASSERT_TRUE(parse_response(serialize_response(r), &back, &error)) << error;
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.id, 9);
+  EXPECT_FALSE(back.final_reply);
+  EXPECT_EQ(back.algo, "jag-m-opt");
+  EXPECT_TRUE(back.cache_hit);
+  EXPECT_TRUE(back.deadline_return);
+  EXPECT_EQ(back.rebalance, "kept");
+  EXPECT_EQ(back.lmax, 123);
+  EXPECT_EQ(back.partition.rects, r.partition.rects);
+}
+
+TEST(Protocol, ErrorResponseCarriesOnlyTheMessage) {
+  Response r;
+  r.id = 3;
+  r.ok = false;
+  r.error = "boom";
+  Response back;
+  std::string error;
+  ASSERT_TRUE(parse_response(serialize_response(r), &back, &error)) << error;
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error, "boom");
+  EXPECT_TRUE(back.partition.rects.empty());
+}
+
+TEST(Protocol, ReadLineSplitsOnNewlinesAndCarriesTheRemainder) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const char* wire = "first\nsecond\nthird";
+  ASSERT_TRUE(write_all(fds[0], wire, std::strlen(wire)));
+  ::shutdown(fds[0], SHUT_WR);
+  std::string carry, line;
+  EXPECT_TRUE(read_line(fds[1], &carry, &line));
+  EXPECT_EQ(line, "first");
+  EXPECT_TRUE(read_line(fds[1], &carry, &line));
+  EXPECT_EQ(line, "second");
+  // "third" has no terminator and the writer is gone: clean failure.
+  EXPECT_FALSE(read_line(fds[1], &carry, &line));
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(Protocol, ReadLineRefusesARunawayHeader) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string big(64, 'x');  // no newline, longer than max_len below
+  ASSERT_TRUE(write_all(fds[0], big.data(), big.size()));
+  std::string carry, line;
+  EXPECT_FALSE(read_line(fds[1], &carry, &line, /*max_len=*/16));
+  close(fds[0]);
+  close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Live server.
+
+/// Starts a Server on a unique temp socket for the duration of one test.
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_builtin_partitioners();
+    static int sequence = 0;
+    char path[128];
+    std::snprintf(path, sizeof(path), "/tmp/rectpart_test_%d_%d.sock",
+                  static_cast<int>(getpid()), sequence++);
+    ServerOptions opt;
+    opt.socket_path = path;
+    opt.threads = 2;
+    opt.cache_capacity = 4;
+    configure(opt);
+    server_ = std::make_unique<Server>(opt);
+    server_->start();
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  /// Hook for tests that need non-default ServerOptions.
+  virtual void configure(ServerOptions&) {}
+
+  [[nodiscard]] ServiceClient connect() const {
+    return ServiceClient(server_->socket_path());
+  }
+
+  /// Raw client socket for tests that speak the wire protocol directly.
+  [[nodiscard]] int raw_connect() const {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, server_->socket_path().c_str(),
+                 sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServiceTest, PingRoundTrips) {
+  ServiceClient client = connect();
+  EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServiceTest, SolveMatchesADirectRun) {
+  const LoadMatrix a = make_synthetic("peak", 48, 48, 3, 1.2);
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.algo = "jag-m-heur";
+  opt.m = 8;
+  const Response r = client.solve(a, opt);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.final_reply);
+  EXPECT_EQ(r.algo, "jag-m-heur");
+  EXPECT_EQ(r.m, 8);
+  EXPECT_FALSE(r.deadline_return);
+
+  const PrefixSum2D ps(a);
+  const Partition direct = make_partitioner("jag-m-heur")->run(ps, 8);
+  EXPECT_EQ(r.partition.rects, direct.rects);
+  EXPECT_EQ(r.lmax, direct.max_load(ps));
+}
+
+TEST_F(ServiceTest, ResubmissionHitsTheInstanceCache) {
+  const LoadMatrix a = make_synthetic("diagonal", 32, 32, 5, 1.2);
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.m = 6;
+  const obs::CounterSnapshot before = obs::counters_snapshot();
+  const Response cold = client.solve(a, opt);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  opt.algo = "hier-rb";  // different algorithm, same matrix: still a hit
+  const Response warm = client.solve(a, opt);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.cache_hit);
+#if RECTPART_OBS_ENABLED
+  const obs::CounterSnapshot d =
+      obs::counters_snapshot().delta_since(before);
+  EXPECT_EQ(d[obs::Counter::kServiceRequests], 2u);
+  EXPECT_EQ(d[obs::Counter::kServiceCacheHits], 1u);
+#endif
+}
+
+TEST_F(ServiceTest, ZeroDeadlineReturnsTheIncumbentHeuristic) {
+  const LoadMatrix a = make_synthetic("peak", 48, 48, 3, 1.2);
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.algo = "jag-m-opt";
+  opt.m = 8;
+  opt.deadline_ms = 0;  // expired on arrival: the requested engine refuses
+  const obs::CounterSnapshot before = obs::counters_snapshot();
+  const Response r = client.solve(a, opt);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.deadline_return);
+  EXPECT_TRUE(r.final_reply);  // no upgrade requested
+  EXPECT_EQ(r.algo, "jag-m-heur");  // the configured incumbent answered
+  ASSERT_EQ(r.partition.rects.size(), 8u);
+  // The fallback answer is a real partition of this instance.
+  const PrefixSum2D ps(a);
+  EXPECT_EQ(r.lmax, r.partition.max_load(ps));
+  EXPECT_GT(r.lmax, 0);
+#if RECTPART_OBS_ENABLED
+  const obs::CounterSnapshot d =
+      obs::counters_snapshot().delta_since(before);
+  EXPECT_EQ(d[obs::Counter::kServiceDeadlineReturns], 1u);
+#endif
+}
+
+TEST_F(ServiceTest, UpgradePushesTheExactAnswerAfterTheDeadlineReturn) {
+  const LoadMatrix a = make_synthetic("multipeak", 48, 48, 3, 1.2);
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.algo = "jag-m-opt";
+  opt.m = 8;
+  opt.deadline_ms = 0;
+  opt.upgrade = true;
+  const Response first = client.solve(a, opt);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_TRUE(first.deadline_return);
+  EXPECT_FALSE(first.final_reply);
+  const Response final_reply = client.read_reply();
+  ASSERT_TRUE(final_reply.ok) << final_reply.error;
+  EXPECT_TRUE(final_reply.final_reply);
+  EXPECT_EQ(final_reply.algo, "jag-m-opt");
+  // The pushed answer is the requested engine's, bit for bit.
+  const PrefixSum2D ps(a);
+  const Partition direct = make_partitioner("jag-m-opt")->run(ps, 8);
+  EXPECT_EQ(final_reply.partition.rects, direct.rects);
+  // The exact engine can only improve on the heuristic fallback.
+  EXPECT_LE(final_reply.lmax, first.lmax);
+}
+
+TEST_F(ServiceTest, LineageKeepsThePartitionWhenTheLoadIsUnchanged) {
+  const LoadMatrix a = make_synthetic("peak", 32, 32, 9, 1.2);
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.m = 6;
+  opt.lineage = "sim-a";
+  const Response first = client.solve(a, opt);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.rebalance, "repartitioned");  // first step always solves
+  const Response second = client.solve(a, opt);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.rebalance, "kept");  // identical load: below threshold
+  EXPECT_EQ(second.partition.rects, first.partition.rects);
+}
+
+TEST_F(ServiceTest, UnknownAlgorithmSuggestsTheClosestName) {
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.algo = "jag-m-huer";
+  opt.m = 4;
+  const Response r = client.solve(random_matrix(8, 8, 0, 9, 1), opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("did you mean"), std::string::npos) << r.error;
+  // The failure happened after the payload: the connection survives.
+  EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServiceTest, EmptyMatrixIsARequestErrorNotACrash) {
+  ServiceClient client = connect();
+  const Response r = client.solve(LoadMatrix(), SolveOptions{});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("empty matrix"), std::string::npos) << r.error;
+  EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServiceTest, MalformedHeaderGetsAnErrorThenTheConnectionCloses) {
+  const int fd = raw_connect();
+  const char* junk = "this is not a header\n";
+  ASSERT_TRUE(write_all(fd, junk, std::strlen(junk)));
+  std::string carry, line;
+  ASSERT_TRUE(read_line(fd, &carry, &line));
+  Response r;
+  std::string error;
+  ASSERT_TRUE(parse_response(line, &r, &error)) << error;
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("malformed request header"), std::string::npos);
+  // Framing is lost after a bad header, so the daemon hangs up: EOF.
+  EXPECT_FALSE(read_line(fd, &carry, &line));
+  close(fd);
+}
+
+class TinyLimitServiceTest : public ServiceTest {
+ protected:
+  void configure(ServerOptions& opt) override {
+    opt.max_cells = 16;
+    opt.max_m = 4;
+  }
+};
+
+TEST_F(TinyLimitServiceTest, OversizedRequestIsRefusedBeforeThePayload) {
+  const int fd = raw_connect();
+  RequestHeader h;
+  h.op = Op::kSolve;
+  h.rows = 100;
+  h.cols = 100;
+  h.m = 2;
+  const std::string line = serialize_request_header(h) + "\n";
+  ASSERT_TRUE(write_all(fd, line.data(), line.size()));
+  // No payload follows — the refusal must arrive anyway.
+  std::string carry, reply;
+  ASSERT_TRUE(read_line(fd, &carry, &reply));
+  Response r;
+  std::string error;
+  ASSERT_TRUE(parse_response(reply, &r, &error)) << error;
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("max_cells"), std::string::npos) << r.error;
+  EXPECT_FALSE(read_line(fd, &carry, &reply));  // connection closed
+  close(fd);
+}
+
+TEST_F(TinyLimitServiceTest, OverlargeMIsRefusedAfterThePayload) {
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.m = 9;  // over max_m = 4
+  const Response r = client.solve(random_matrix(4, 4, 0, 9, 1), opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("max_m"), std::string::npos) << r.error;
+  EXPECT_TRUE(client.ping());  // payload was consumed: stream still synced
+}
+
+TEST_F(ServiceTest, CountersOpReportsServiceCounters) {
+  ServiceClient client = connect();
+  const Response warmup = client.solve(random_matrix(8, 8, 0, 9, 1),
+                                       SolveOptions{});
+  ASSERT_TRUE(warmup.ok) << warmup.error;
+  const std::string json = client.counters_json();
+  EXPECT_NE(json.find("service_requests"), std::string::npos) << json;
+}
+
+TEST_F(ServiceTest, ShutdownRequestStopsTheServer) {
+  ServiceClient client = connect();
+  client.request_shutdown();  // acknowledged before the stop begins
+  server_->wait_for_stop_request();
+  server_->stop();  // TearDown's second stop() is an idempotent no-op
+}
+
+}  // namespace
+}  // namespace rectpart::service

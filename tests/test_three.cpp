@@ -36,6 +36,12 @@ TEST(Matrix3, BasicsAndLayout) {
   a(1, 2, 3) = 9;
   EXPECT_EQ(a(1, 2, 3), 9);
   EXPECT_THROW(LoadMatrix3(-1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(LoadMatrix3(1, -2, 1), std::invalid_argument);
+  EXPECT_THROW(LoadMatrix3(1, 1, -3), std::invalid_argument);
+  // Three INT_MAX-ish extents overflow std::size_t; must fail typed, not
+  // wrap into a near-SIZE_MAX allocation.
+  constexpr int big = std::numeric_limits<int>::max();
+  EXPECT_THROW(LoadMatrix3(big, big, big), std::length_error);
 }
 
 TEST(Matrix3, AccumulateAlongEachAxis) {

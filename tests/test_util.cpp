@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <sstream>
 
 #include "util/flags.hpp"
@@ -70,10 +71,66 @@ TEST(Flags, EnvHelpers) {
 
   setenv("RECTPART_TEST_INT", "123", 1);
   EXPECT_EQ(env_int("RECTPART_TEST_INT", 5), 123);
-  setenv("RECTPART_TEST_INT", "junk", 1);
-  EXPECT_EQ(env_int("RECTPART_TEST_INT", 5), 5);
   unsetenv("RECTPART_TEST_INT");
   EXPECT_EQ(env_int("RECTPART_TEST_INT", 5), 5);
+}
+
+TEST(Flags, ParseInt64Strict) {
+  EXPECT_EQ(parse_int64("0"), 0);
+  EXPECT_EQ(parse_int64("-42"), -42);
+  EXPECT_EQ(parse_int64("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(parse_int64("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+  // Trailing garbage: "--reps=10x" must not parse as 10.
+  EXPECT_FALSE(parse_int64("10x").has_value());
+  EXPECT_FALSE(parse_int64("1 2").has_value());
+  EXPECT_FALSE(parse_int64("").has_value());
+  EXPECT_FALSE(parse_int64("junk").has_value());
+  EXPECT_FALSE(parse_int64("1.5").has_value());
+  // Out of range: strtoll clamps and sets ERANGE; the clamp must not leak
+  // out as a "valid" value.
+  EXPECT_FALSE(parse_int64("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_int64("-9223372036854775809").has_value());
+  EXPECT_FALSE(parse_int64("99999999999999999999999").has_value());
+}
+
+TEST(Flags, ParseDoubleStrict) {
+  EXPECT_EQ(parse_double("1.5"), 1.5);
+  EXPECT_EQ(parse_double("-0.25"), -0.25);
+  EXPECT_EQ(parse_double("1e3"), 1000.0);
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("nope").has_value());
+  EXPECT_FALSE(parse_double("1e999999").has_value());
+}
+
+using FlagsDeathTest = ::testing::Test;
+
+TEST(FlagsDeathTest, MalformedIntFlagDies) {
+  EXPECT_EXIT(
+      { (void)make_flags({"p", "--reps=10x"}).get_int("reps", 1); },
+      ::testing::ExitedWithCode(2), "expects an in-range integer");
+}
+
+TEST(FlagsDeathTest, OutOfRangeIntFlagDies) {
+  EXPECT_EXIT(
+      {
+        (void)make_flags({"p", "--reps=9223372036854775808"})
+            .get_int("reps", 1);
+      },
+      ::testing::ExitedWithCode(2), "expects an in-range integer");
+}
+
+TEST(FlagsDeathTest, MalformedEnvIntDies) {
+  // RECTPART_THREADS=junk must fail loudly, not degrade to the default.
+  EXPECT_EXIT(
+      {
+        setenv("RECTPART_TEST_INT", "junk", 1);
+        (void)env_int("RECTPART_TEST_INT", 5);
+      },
+      ::testing::ExitedWithCode(2), "expects an in-range integer");
+  unsetenv("RECTPART_TEST_INT");
 }
 
 // --------------------------------------------------------------------- rng
