@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "bench_common.hpp"
+#include "prefix/stripe_projection.hpp"
 #include "workloads/synthetic.hpp"
 
 int main(int argc, char** argv) {
@@ -76,6 +77,22 @@ int main(int argc, char** argv) {
     WallTimer t;
     const PrefixSum2D tr = ps.transpose();
     return tr.total() >= 0 ? t.milliseconds() : 0.0;
+  });
+  time_workload("stripe-projections", [&] {
+    // The SIMD data plane's batch workload: difference-of-two-Γ-rows
+    // projections for an m-stripe split, rebuilt from scratch each rep (the
+    // shape RECT-NICOL's stripe oracles drive on every candidate split).
+    std::vector<int> bounds(static_cast<std::size_t>(m) + 1);
+    for (int k = 0; k <= m; ++k)
+      bounds[static_cast<std::size_t>(k)] =
+          static_cast<int>(static_cast<std::int64_t>(n) * k / m);
+    WallTimer t;
+    std::int64_t acc = 0;
+    for (int pass = 0; pass < 8; ++pass) {
+      const auto stripes = row_stripe_projections(ps, bounds);
+      acc += stripes.back().prefix().back();
+    }
+    return acc >= 0 ? t.milliseconds() : 0.0;
   });
   time_workload("rect-queries", [&] {
     // A deterministic stride over rectangle loads; the accumulator keeps

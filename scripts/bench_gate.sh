@@ -18,6 +18,15 @@
 #
 #     scripts/bench_gate.sh --regen
 #     git add bench/baselines/ && git commit
+#
+# The optional build-dir argument points the gate at another build tree.
+# Tier-1 uses this to diff the scalar-fallback build (-DRECTPART_SIMD=0)
+# against baselines generated on the SIMD build: exact counter equality
+# across the two proves the SIMD data plane does the same algorithmic work
+# (simd_lanes_used / simd_fallback_hits are declared scheduling-dependent
+# precisely so they stay out of this gate):
+#
+#     scripts/bench_gate.sh build-scalar
 set -euo pipefail
 
 regen=0

@@ -78,6 +78,24 @@ build-noobs/tests/test_obs
 build-noobs/examples/rectpart_cli --family=peak --n=64 --m=16 \
   --algo=jag-m-heur --counters >/dev/null
 
+echo "== tier-1: RECTPART_SIMD=0 + UBSan (scalar fallback bit-identity) =="
+# The mandatory scalar fallback, instrumented with UBSan: the dispatched
+# kernels must compile out cleanly, the prefix/stripe/parallel suites must
+# pass on the scalar bodies, and — the substance — the scalar build's
+# deterministic counters must equal the SIMD-build baselines exactly
+# (bench_gate run against this tree), proving the data plane changes how
+# fast the work happens, never what work happens.
+cmake -B build-scalar -S . -DRECTPART_SIMD=0 -DRECTPART_SANITIZE=undefined \
+  >/dev/null
+cmake --build build-scalar -j "$jobs" \
+  --target test_parallel test_stripe_projection test_simd test_prefix_sum \
+  benchstat micro_core micro_oned micro_service fig06_runtime
+build-scalar/tests/test_simd
+build-scalar/tests/test_prefix_sum
+build-scalar/tests/test_stripe_projection
+build-scalar/tests/test_parallel --gtest_filter='ParallelLayer*'
+scripts/bench_gate.sh build-scalar
+
 echo "== tier-1: ThreadSanitizer (thread pool + determinism suites) =="
 cmake -B build-tsan -S . -DRECTPART_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" \

@@ -43,6 +43,14 @@ constexpr CounterMeta kMeta[kCounterCount] = {
     {"service_requests", false, false},
     {"service_cache_hits", false, false},
     {"service_deadline_returns", false, true},
+    // Deliberately scheduling-dependent: the values are a function of the
+    // compiled SIMD mode (util/simd.hpp), not of the algorithms, so the
+    // SIMD and scalar builds legitimately disagree.  Keeping them out of
+    // the declared-deterministic set is what lets bench_gate.sh diff a
+    // scalar-fallback build against SIMD-build baselines and still demand
+    // exact equality on every algorithmic counter.
+    {"simd_lanes_used", false, true},
+    {"simd_fallback_hits", false, true},
 };
 
 // One cache-line-isolated block per thread.  Only the owning thread writes

@@ -53,6 +53,8 @@ enum class Counter : int {
   kServiceRequests,         ///< requests accepted by the partition daemon
   kServiceCacheHits,        ///< daemon instance-cache (fingerprint) hits
   kServiceDeadlineReturns,  ///< requests answered by the SLO fallback path
+  kSimdLanesUsed,           ///< int64 elements processed through SIMD lanes
+  kSimdFallbackHits,        ///< SIMD kernel calls that ran a scalar tail/path
   kCount
 };
 

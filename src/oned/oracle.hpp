@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "util/simd.hpp"
 
 namespace rectpart::oned {
 
@@ -72,14 +73,21 @@ class LoadTally {
   LoadTally& operator=(const LoadTally&) = delete;
   ~LoadTally() {
     RECTPART_COUNT(kOnedOracleLoads,
-                   static_cast<std::uint64_t>(per_ * ticks_));
+                   static_cast<std::uint64_t>(per_ * ticks_ + raw_));
   }
 
   void tick() { ++ticks_; }
 
+  /// Accounts words that were read directly (block scans over the raw prefix
+  /// slice), bypassing the per-query multiplier.  The argument is a pure
+  /// function of the bracket the search arrived at, so the total stays
+  /// deterministic.
+  void add_raw(std::int64_t words) { raw_ += words; }
+
  private:
   std::int64_t per_;
   std::int64_t ticks_ = 0;
+  std::int64_t raw_ = 0;
 };
 
 }  // namespace detail
@@ -105,6 +113,10 @@ class PrefixOracle {
   [[nodiscard]] std::int64_t total() const { return prefix_.back(); }
 
   [[nodiscard]] std::int64_t loads_per_query() const { return 2; }
+
+  /// The underlying bordered prefix slice (size() + 1 entries, p[0] == 0).
+  /// The flat search specializations read it directly with block scans.
+  [[nodiscard]] std::span<const std::int64_t> raw() const { return prefix_; }
 
  private:
   std::span<const std::int64_t> prefix_;
@@ -163,6 +175,69 @@ template <IntervalOracle O>
     }
   }
   return n;
+}
+
+/// Bracket width below which the flat probe stops bisecting and resolves the
+/// boundary with one simd::count_le block scan.  Fixed and ISA-independent on
+/// purpose: the search control flow — and with it every deterministic counter
+/// — must be identical across the AVX2 / NEON / scalar builds.
+inline constexpr int kProbeScanBlock = 16;
+
+/// Flat overload of max_end_within for PrefixOracle (chosen over the template
+/// by ordinary overload resolution).  A prefix slice under the monotone
+/// oracle contract is non-decreasing, so
+///     load(i, j) <= budget  ⟺  p[j] <= p[i] + budget,
+/// and the boundary the gallop brackets can be finished by *counting* the
+/// entries at or below the target — a branchless block scan on contiguous
+/// memory (the SIMD data plane's count_le) instead of the last
+/// log2(kProbeScanBlock) dependent branchy bisection steps, each of which is
+/// a likely cache miss on big instances.  Returns exactly what the generic
+/// version returns; the oned_oracle_loads model charges the scanned words via
+/// LoadTally::add_raw.
+[[nodiscard]] inline int max_end_within(const PrefixOracle& o, int i, int lo,
+                                        std::int64_t budget) {
+  const int n = o.size();
+  const std::int64_t* p = o.raw().data();
+  assert(lo >= i && p[lo] - p[i] <= budget);
+  detail::LoadTally tally(o.loads_per_query());
+  tally.tick();
+  // Whole-suffix check first: it also guarantees p[i] + budget < p[n] below,
+  // so the target cannot overflow.
+  if (p[n] - p[i] <= budget) return n;
+  const std::int64_t target = p[i] + budget;
+  // Exponential phase: find a bracket (hi, bad] with p[hi] <= target < p[bad].
+  int step = 1;
+  int hi = lo;
+  int bad = n;
+  for (;;) {
+    const int probe = std::min(n, hi + step);
+    tally.tick();
+    if (p[probe] <= target) {
+      hi = probe;
+      step *= 2;
+    } else {
+      bad = probe;
+      break;
+    }
+  }
+  // Binary phase, stopped at a fixed bracket width.
+  while (bad - hi > kProbeScanBlock) {
+    const int mid = hi + (bad - hi) / 2;
+    tally.tick();
+    if (p[mid] <= target)
+      hi = mid;
+    else
+      bad = mid;
+  }
+  // p[hi] <= target < p[bad]: the boundary is hi plus the number of entries
+  // of the non-decreasing slice p(hi, bad) that are still <= target.
+  const int len = bad - hi - 1;
+  if (len > 0) {
+    tally.add_raw(len);
+    hi += static_cast<int>(
+        simd::count_le(p + hi + 1, static_cast<std::size_t>(len), target));
+  }
+  return hi;
 }
 
 /// Smallest j in [lo, n] such that load(i, j) >= target, or n+1 ("impossible")

@@ -6,6 +6,7 @@
 // rectangle query a 4-term expression.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 
 #include "core/matrix.hpp"
 #include "core/rect.hpp"
+#include "util/simd.hpp"
 
 namespace rectpart {
 
@@ -39,8 +41,10 @@ class PrefixSum2D {
   /// largest cell: it only feeds *lower* bounds on the optimum, so an
   /// underestimate stays correct (the 3-D adapter passes the 3-D cell
   /// maximum, a valid underestimate of the accumulated 2-D maximum).
+  /// The bordered array is a FirstTouchVector (util/simd.hpp) so the slab
+  /// adapter can fill it without a redundant zero-initialization sweep.
   static PrefixSum2D from_prefix(int n1, int n2,
-                                 std::vector<std::int64_t> bordered_prefix,
+                                 FirstTouchVector bordered_prefix,
                                  std::int64_t max_cell);
 
   [[nodiscard]] int rows() const { return n1_; }
@@ -107,14 +111,23 @@ class PrefixSum2D {
   /// kBest/-VER runs on the same immutable instance (reps, algorithm
   /// comparisons, repeated solves) pay the O(n1*n2) copy once instead of
   /// per call.
+  ///
+  /// Concurrency: once built, readers take a single acquire load — no lock.
+  /// The build itself runs *outside* the cache mutex, so a caller arriving
+  /// during a slow first build is never parked on a mutex while holding a
+  /// pool worker hostage (the old behaviour serialized every concurrent
+  /// -VER/kBest reader on the service hot path behind the whole O(n1*n2)
+  /// build); it races a duplicate bit-identical build and the first install
+  /// wins.
   [[nodiscard]] const PrefixSum2D& transposed() const;
 
  private:
   /// Lazily-built transpose.  Copies deliberately start cold: the cache is
   /// an amortization detail of one instance, not part of its value.
   struct TransposeCache {
-    std::mutex mu;
-    std::shared_ptr<const PrefixSum2D> value;
+    std::mutex mu;                                   ///< guards `value` install
+    std::shared_ptr<const PrefixSum2D> value;        ///< owns the transpose
+    std::atomic<const PrefixSum2D*> ready{nullptr};  ///< lock-free fast path
     TransposeCache() = default;
     TransposeCache(const TransposeCache&) {}
     TransposeCache& operator=(const TransposeCache&) { return *this; }
@@ -123,7 +136,10 @@ class PrefixSum2D {
   int n1_ = 0;
   int n2_ = 0;
   std::int64_t max_cell_ = 0;
-  std::vector<std::int64_t> ps_;  // (n1+1) x (n2+1), row-major
+  // (n1+1) x (n2+1), row-major.  FirstTouchVector: pages are first written
+  // (and therefore NUMA-placed) inside the parallel block passes, by the
+  // thread that owns the block — not by a serial zero-fill at allocation.
+  FirstTouchVector ps_;
   mutable TransposeCache tcache_;
 };
 

@@ -1,5 +1,6 @@
 #include "service/protocol.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 
 #include <algorithm>
@@ -232,14 +233,37 @@ bool parse_response(const std::string& line, Response* out,
   return true;
 }
 
-bool write_all(int fd, const void* data, std::size_t n) {
+bool write_all(int fd, const void* data, std::size_t n, int stall_ms) {
   const char* p = static_cast<const char*>(data);
+  // Remaining poll budget for the *current* stall; refilled whenever a send
+  // makes progress, so the bound is on a single stall, not the whole write.
+  int stall_left = stall_ms;
   while (n > 0) {
     const ssize_t written = ::send(fd, p, n, MSG_NOSIGNAL);
     if (written < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Kernel buffer is full.  Wait (bounded) for drain; poll in slices
+        // so an EINTR or a spurious wakeup cannot reset the budget.
+        constexpr int kSliceMs = 50;
+        bool writable = false;
+        while (stall_left > 0) {
+          pollfd pfd{fd, POLLOUT, 0};
+          const int slice = std::min(kSliceMs, stall_left);
+          const int r = ::poll(&pfd, 1, slice);
+          if (r < 0 && errno != EINTR) return false;
+          stall_left -= slice;
+          if (r > 0) {
+            writable = true;  // or a socket error — the next send reports it
+            break;
+          }
+        }
+        if (!writable) return false;  // peer never drained: give up
+        continue;
+      }
       return false;
     }
+    if (written > 0) stall_left = stall_ms;  // progress resets the deadline
     p += written;
     n -= static_cast<std::size_t>(written);
   }

@@ -96,8 +96,15 @@ struct Response {
 // a daemon's life.  Writes use MSG_NOSIGNAL so a vanished peer surfaces as
 // EPIPE, not SIGPIPE.
 
-/// Writes exactly n bytes.
-[[nodiscard]] bool write_all(int fd, const void* data, std::size_t n);
+/// Writes exactly n bytes.  A full socket buffer (EAGAIN/EWOULDBLOCK — e.g.
+/// a slow reader, a tiny SO_SNDBUF, or a non-blocking fd) is not an error:
+/// the loop polls the fd for writability and resumes, so short writes and
+/// backpressure never tear a framed response mid-stream.  The poll is
+/// bounded: `stall_ms` is the longest the writer will wait for the buffer to
+/// drain *without making any progress* (the deadline resets on every byte
+/// written); once it expires the call gives up and returns false.
+[[nodiscard]] bool write_all(int fd, const void* data, std::size_t n,
+                             int stall_ms = 5000);
 
 /// Reads exactly n bytes.  False on EOF or error (including short reads).
 [[nodiscard]] bool read_exact(int fd, void* data, std::size_t n);

@@ -26,8 +26,7 @@ std::vector<int> uniform_pos(int n, int parts) {
 PrefixSum2D slab_view(const PrefixSum3D& ps, int a, int b) {
   const int n2 = ps.dim2();
   const int n3 = ps.dim3();
-  std::vector<std::int64_t> bordered(
-      (static_cast<std::size_t>(n2) + 1) * (n3 + 1));
+  FirstTouchVector bordered((static_cast<std::size_t>(n2) + 1) * (n3 + 1));
   for (int y = 0; y <= n2; ++y)
     for (int z = 0; z <= n3; ++z)
       bordered[static_cast<std::size_t>(y) * (n3 + 1) + z] =

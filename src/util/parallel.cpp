@@ -1,9 +1,13 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 
 #include "util/flags.hpp"
 
@@ -18,8 +22,22 @@ std::atomic<int> g_threads{0};  // 0 = not yet resolved
 std::atomic<ThreadPool*> g_pool_ptr{nullptr};
 std::unique_ptr<ThreadPool> g_pool_owner;  // guarded by g_mutex
 
+// Resolves the "auto" width.  Semantics (pinned; tests/test_parallel.cpp):
+//   RECTPART_THREADS >= 1  → that many threads;
+//   RECTPART_THREADS == 0  → hardware concurrency (explicit auto);
+//   RECTPART_THREADS <  0 or non-numeric → loud configuration failure, same
+//   exit path env_int uses for garbage — a negative width silently meaning
+//   "all cores" hid typos like RECTPART_THREADS=-1.
 int resolve_default() {
   const std::int64_t env = env_int("RECTPART_THREADS", 0);
+  if (env < 0 || env > std::numeric_limits<int>::max()) {
+    std::fprintf(stderr,
+                 "rectpart: RECTPART_THREADS must be between 0 (= hardware "
+                 "concurrency) and %d, got %lld\n",
+                 std::numeric_limits<int>::max(),
+                 static_cast<long long>(env));
+    std::exit(2);
+  }
   if (env >= 1) return static_cast<int>(env);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -48,8 +66,12 @@ void ensure_init() {
 }  // namespace
 
 void set_threads(int n) {
+  if (n < 0)
+    throw std::invalid_argument(
+        "set_threads: thread count must be >= 0 (0 = auto: RECTPART_THREADS, "
+        "then hardware concurrency), got " + std::to_string(n));
   std::lock_guard<std::mutex> lock(g_mutex);
-  apply_locked(n <= 0 ? resolve_default() : n);
+  apply_locked(n == 0 ? resolve_default() : n);
 }
 
 int num_threads() {

@@ -33,10 +33,13 @@
 
 namespace rectpart {
 
-/// Sets the global thread count.  n <= 0 resolves the default: the
-/// RECTPART_THREADS environment variable when set, otherwise the hardware
-/// concurrency.  Recreates the shared pool; do not call while partitioning
-/// runs are in flight on other threads.
+/// Sets the global thread count.  n == 0 means "auto": the RECTPART_THREADS
+/// environment variable when set (where RECTPART_THREADS=0 itself means
+/// hardware concurrency, and a negative or non-numeric value fails loudly),
+/// otherwise the hardware concurrency.  n < 0 throws std::invalid_argument —
+/// a negative width is always a caller bug, never a request for "all cores".
+/// Recreates the shared pool; do not call while partitioning runs are in
+/// flight on other threads.
 void set_threads(int n);
 
 /// The current global thread count (>= 1).  Resolves the default on first

@@ -1,0 +1,457 @@
+// The SIMD data plane: build-time-dispatched vector kernels for the flat
+// int64 loops the partitioners spend their time in.
+//
+// PR 5 flattened the stripe oracles onto contiguous 1-D projections, so the
+// hot paths are now four loop shapes over dense int64 spans:
+//
+//   * inclusive row scans           (PrefixSum2D pass 1 / fused build)
+//   * element-wise row add/sub      (PrefixSum2D pass 2, StripeProjection)
+//   * count-below-bound block scans (the galloping probe's final bracket)
+//   * strided 4x4 / 2x2 gathers     (the cache-blocked transpose tiles)
+//
+// Dispatch is resolved at build time, in the style of Corona MathLib's
+// platform/RND mode switches: CMake probes the host (an AVX2 try-run on
+// x86-64; NEON is baseline on AArch64) and compiles exactly one path, with
+// -DRECTPART_SIMD=0 forcing the mandatory scalar fallback.  Every kernel has
+// a scalar twin under simd::scalar that is compiled in *all* builds — it is
+// the reference the fuzz suite (tests/test_simd.cpp) compares against, and
+// the body the dispatched name falls back to for tails and short inputs.
+//
+// Bit-identity contract: all kernels are exact int64 arithmetic (adds, subs,
+// compares — no floats, no reassociation hazards), so the SIMD and scalar
+// paths produce byte-identical outputs, byte-identical partitions, and
+// identical deterministic counters.  The only counters allowed to differ
+// between builds are the two introduced here — simd_lanes_used /
+// simd_fallback_hits — which are declared scheduling-dependent precisely so
+// the benchstat counter-equality gate never reads them.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+#ifndef RECTPART_SIMD_ENABLED
+#define RECTPART_SIMD_ENABLED 1
+#endif
+
+// Mode resolution: 0 = scalar fallback, 1 = AVX2, 2 = NEON (AArch64).  The
+// ISA macros are set by the -mavx2 probe (CMake) or are baseline (NEON on
+// AArch64); RECTPART_SIMD_ENABLED=0 overrides both.
+#if RECTPART_SIMD_ENABLED && defined(__AVX2__)
+#define RECTPART_SIMD_MODE 1
+#include <immintrin.h>
+#elif RECTPART_SIMD_ENABLED && defined(__ARM_NEON) && defined(__aarch64__)
+#define RECTPART_SIMD_MODE 2
+#include <arm_neon.h>
+#else
+#define RECTPART_SIMD_MODE 0
+#endif
+
+namespace rectpart::simd {
+
+/// Vector width in int64 lanes of the compiled path (1 when scalar).
+inline constexpr int kLanes =
+#if RECTPART_SIMD_MODE == 1
+    4;
+#elif RECTPART_SIMD_MODE == 2
+    2;
+#else
+    1;
+#endif
+
+/// Human-readable name of the compiled path, for --list style diagnostics.
+inline constexpr const char* kModeName =
+#if RECTPART_SIMD_MODE == 1
+    "avx2";
+#elif RECTPART_SIMD_MODE == 2
+    "neon";
+#else
+    "scalar";
+#endif
+
+namespace detail {
+
+/// One bookkeeping call per kernel invocation (never per element): elements
+/// that went through vector lanes, and whether any part of the call ran on
+/// the scalar fallback (tail or full-scalar build).
+inline void note(std::size_t vec_elems, bool fallback) {
+  if (vec_elems != 0)
+    RECTPART_COUNT(kSimdLanesUsed, static_cast<std::uint64_t>(vec_elems));
+  if (fallback) RECTPART_COUNT(kSimdFallbackHits, 1);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels.  Always compiled; the dispatched kernels must be
+// bit-identical to these (tests/test_simd.cpp fuzzes the equivalence).
+
+namespace scalar {
+
+/// Inclusive scan of in[0, n) with incoming running sum `carry`, optionally
+/// adding prev[j] to each output (the fused prefix-build path); returns the
+/// final running sum.  Tracks max(*maxv, in[j]) when maxv is non-null.
+inline std::int64_t scan_row(const std::int64_t* in, const std::int64_t* prev,
+                             std::int64_t* out, std::size_t n,
+                             std::int64_t carry, std::int64_t* maxv) {
+  std::int64_t run = carry;
+  std::int64_t mx = maxv != nullptr ? *maxv : 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::int64_t v = in[j];
+    if (v > mx) mx = v;
+    run += v;
+    out[j] = prev != nullptr ? run + prev[j] : run;
+  }
+  if (maxv != nullptr) *maxv = mx;
+  return run;
+}
+
+/// dst[j] += src[j] for j in [0, n).
+inline void add_rows(std::int64_t* dst, const std::int64_t* src,
+                     std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) dst[j] += src[j];
+}
+
+/// out[j] = a[j] - b[j] for j in [0, n).
+inline void sub_rows(std::int64_t* out, const std::int64_t* a,
+                     const std::int64_t* b, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = a[j] - b[j];
+}
+
+/// Number of entries of p[0, n) that are <= bound.  On a non-decreasing
+/// slice this is the boundary index the probe's bracket scan needs.
+inline std::size_t count_le(const std::int64_t* p, std::size_t n,
+                            std::int64_t bound) {
+  std::size_t c = 0;
+  for (std::size_t j = 0; j < n; ++j) c += p[j] <= bound ? 1 : 0;
+  return c;
+}
+
+/// Strided gather-transpose of one tile: dst[r * dst_stride + c] =
+/// src[c * src_stride + r] for r in [0, rows), c in [0, cols).
+inline void transpose_tile(std::int64_t* dst, std::size_t dst_stride,
+                           const std::int64_t* src, std::size_t src_stride,
+                           int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    std::int64_t* out = dst + static_cast<std::size_t>(r) * dst_stride;
+    for (int c = 0; c < cols; ++c)
+      out[c] = src[static_cast<std::size_t>(c) * src_stride + r];
+  }
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// Dispatched kernels.
+
+#if RECTPART_SIMD_MODE == 1  // ------------------------------------- AVX2
+
+namespace detail {
+
+/// max(a, b) per int64 lane (AVX2 has no native 64-bit max).
+inline __m256i max_epi64(__m256i a, __m256i b) {
+  return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(b, a));
+}
+
+}  // namespace detail
+
+inline std::int64_t scan_row(const std::int64_t* in, const std::int64_t* prev,
+                             std::int64_t* out, std::size_t n,
+                             std::int64_t carry, std::int64_t* maxv) {
+  const std::size_t vec = n & ~static_cast<std::size_t>(3);
+  detail::note(vec, vec != n);
+  std::int64_t run = carry;
+  __m256i vmax = _mm256_set1_epi64x(maxv != nullptr ? *maxv : 0);
+  for (std::size_t j = 0; j < vec; j += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + j));
+    vmax = detail::max_epi64(vmax, v);
+    // Local inclusive scan of the 4 lanes: [a, a+b, a+b+c, a+b+c+d].  The
+    // loop-carried dependency is the single scalar add of the block total
+    // below — the vector work for block k+1 never waits on `run`.
+    __m256i s = _mm256_add_epi64(v, _mm256_slli_si256(v, 8));
+    const __m256i ab = _mm256_permute4x64_epi64(s, 0x55);  // lane1 everywhere
+    s = _mm256_add_epi64(
+        s, _mm256_blend_epi32(_mm256_setzero_si256(), ab, 0xF0));
+    __m256i o = _mm256_add_epi64(s, _mm256_set1_epi64x(run));
+    if (prev != nullptr)
+      o = _mm256_add_epi64(
+          o, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev + j)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j), o);
+    run += _mm256_extract_epi64(s, 3);
+  }
+  std::int64_t mx = maxv != nullptr ? *maxv : 0;
+  if (vec != 0) {
+    alignas(32) std::int64_t m[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(m), vmax);
+    for (const std::int64_t lane : m) mx = lane > mx ? lane : mx;
+  }
+  if (maxv != nullptr) *maxv = mx;
+  run = scalar::scan_row(in + vec, prev != nullptr ? prev + vec : nullptr,
+                         out + vec, n - vec, run, maxv);
+  return run;
+}
+
+inline void add_rows(std::int64_t* dst, const std::int64_t* src,
+                     std::size_t n) {
+  const std::size_t vec = n & ~static_cast<std::size_t>(3);
+  detail::note(vec, vec != n);
+  for (std::size_t j = 0; j < vec; j += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + j));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + j));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + j),
+                        _mm256_add_epi64(d, s));
+  }
+  scalar::add_rows(dst + vec, src + vec, n - vec);
+}
+
+inline void sub_rows(std::int64_t* out, const std::int64_t* a,
+                     const std::int64_t* b, std::size_t n) {
+  const std::size_t vec = n & ~static_cast<std::size_t>(3);
+  detail::note(vec, vec != n);
+  for (std::size_t j = 0; j < vec; j += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + j));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
+                        _mm256_sub_epi64(va, vb));
+  }
+  scalar::sub_rows(out + vec, a + vec, b + vec, n - vec);
+}
+
+inline std::size_t count_le(const std::int64_t* p, std::size_t n,
+                            std::int64_t bound) {
+  const std::size_t vec = n & ~static_cast<std::size_t>(3);
+  detail::note(vec, vec != n);
+  const __m256i vb = _mm256_set1_epi64x(bound);
+  std::size_t gt = 0;
+  for (std::size_t j = 0; j < vec; j += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + j));
+    const int mask =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(v, vb)));
+    gt += static_cast<std::size_t>(__builtin_popcount(mask));
+  }
+  return vec - gt + scalar::count_le(p + vec, n - vec, bound);
+}
+
+inline void transpose_tile(std::int64_t* dst, std::size_t dst_stride,
+                           const std::int64_t* src, std::size_t src_stride,
+                           int rows, int cols) {
+  const int r4 = rows & ~3;
+  const int c4 = cols & ~3;
+  detail::note(static_cast<std::size_t>(r4) * static_cast<std::size_t>(c4),
+               r4 != rows || c4 != cols);
+  for (int r = 0; r < r4; r += 4) {
+    for (int c = 0; c < c4; c += 4) {
+      // 4x4 micro-tile: four contiguous loads from four source rows, one
+      // register transpose, four contiguous stores — versus 16 strided
+      // scalar gathers.
+      const std::int64_t* s =
+          src + static_cast<std::size_t>(c) * src_stride + r;
+      const __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s));
+      const __m256i s1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(s + src_stride));
+      const __m256i s2 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(s + 2 * src_stride));
+      const __m256i s3 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(s + 3 * src_stride));
+      const __m256i t0 = _mm256_unpacklo_epi64(s0, s1);
+      const __m256i t1 = _mm256_unpackhi_epi64(s0, s1);
+      const __m256i t2 = _mm256_unpacklo_epi64(s2, s3);
+      const __m256i t3 = _mm256_unpackhi_epi64(s2, s3);
+      std::int64_t* d = dst + static_cast<std::size_t>(r) * dst_stride + c;
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d),
+                          _mm256_permute2x128_si256(t0, t2, 0x20));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + dst_stride),
+                          _mm256_permute2x128_si256(t1, t3, 0x20));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + 2 * dst_stride),
+                          _mm256_permute2x128_si256(t0, t2, 0x31));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + 3 * dst_stride),
+                          _mm256_permute2x128_si256(t1, t3, 0x31));
+    }
+    if (c4 != cols)
+      scalar::transpose_tile(dst + static_cast<std::size_t>(r) * dst_stride +
+                                 c4,
+                             dst_stride, src +
+                                 static_cast<std::size_t>(c4) * src_stride + r,
+                             src_stride, 4, cols - c4);
+  }
+  if (r4 != rows)
+    scalar::transpose_tile(dst + static_cast<std::size_t>(r4) * dst_stride,
+                           dst_stride, src + r4, src_stride, rows - r4, cols);
+}
+
+#elif RECTPART_SIMD_MODE == 2  // ----------------------------------- NEON
+
+inline std::int64_t scan_row(const std::int64_t* in, const std::int64_t* prev,
+                             std::int64_t* out, std::size_t n,
+                             std::int64_t carry, std::int64_t* maxv) {
+  const std::size_t vec = n & ~static_cast<std::size_t>(1);
+  detail::note(vec, vec != n);
+  std::int64_t run = carry;
+  int64x2_t vmax = vdupq_n_s64(maxv != nullptr ? *maxv : 0);
+  const int64x2_t zero = vdupq_n_s64(0);
+  for (std::size_t j = 0; j < vec; j += 2) {
+    const int64x2_t v = vld1q_s64(in + j);
+    vmax = vbslq_s64(vcgtq_s64(v, vmax), v, vmax);
+    // Local inclusive scan of the 2 lanes: [a, a+b].
+    const int64x2_t s = vaddq_s64(v, vextq_s64(zero, v, 1));
+    int64x2_t o = vaddq_s64(s, vdupq_n_s64(run));
+    if (prev != nullptr) o = vaddq_s64(o, vld1q_s64(prev + j));
+    vst1q_s64(out + j, o);
+    run += vgetq_lane_s64(s, 1);
+  }
+  std::int64_t mx = maxv != nullptr ? *maxv : 0;
+  if (vec != 0) {
+    mx = vgetq_lane_s64(vmax, 0) > mx ? vgetq_lane_s64(vmax, 0) : mx;
+    mx = vgetq_lane_s64(vmax, 1) > mx ? vgetq_lane_s64(vmax, 1) : mx;
+  }
+  if (maxv != nullptr) *maxv = mx;
+  run = scalar::scan_row(in + vec, prev != nullptr ? prev + vec : nullptr,
+                         out + vec, n - vec, run, maxv);
+  return run;
+}
+
+inline void add_rows(std::int64_t* dst, const std::int64_t* src,
+                     std::size_t n) {
+  const std::size_t vec = n & ~static_cast<std::size_t>(1);
+  detail::note(vec, vec != n);
+  for (std::size_t j = 0; j < vec; j += 2)
+    vst1q_s64(dst + j, vaddq_s64(vld1q_s64(dst + j), vld1q_s64(src + j)));
+  scalar::add_rows(dst + vec, src + vec, n - vec);
+}
+
+inline void sub_rows(std::int64_t* out, const std::int64_t* a,
+                     const std::int64_t* b, std::size_t n) {
+  const std::size_t vec = n & ~static_cast<std::size_t>(1);
+  detail::note(vec, vec != n);
+  for (std::size_t j = 0; j < vec; j += 2)
+    vst1q_s64(out + j, vsubq_s64(vld1q_s64(a + j), vld1q_s64(b + j)));
+  scalar::sub_rows(out + vec, a + vec, b + vec, n - vec);
+}
+
+inline std::size_t count_le(const std::int64_t* p, std::size_t n,
+                            std::int64_t bound) {
+  const std::size_t vec = n & ~static_cast<std::size_t>(1);
+  detail::note(vec, vec != n);
+  const int64x2_t vb = vdupq_n_s64(bound);
+  int64x2_t gt = vdupq_n_s64(0);
+  for (std::size_t j = 0; j < vec; j += 2) {
+    // The compare mask is all-ones (-1) per greater lane; subtracting it
+    // accumulates +1 per lane.
+    gt = vsubq_s64(gt,
+                   vreinterpretq_s64_u64(vcgtq_s64(vld1q_s64(p + j), vb)));
+  }
+  const std::size_t gt_total =
+      static_cast<std::size_t>(vgetq_lane_s64(gt, 0) + vgetq_lane_s64(gt, 1));
+  return vec - gt_total + scalar::count_le(p + vec, n - vec, bound);
+}
+
+inline void transpose_tile(std::int64_t* dst, std::size_t dst_stride,
+                           const std::int64_t* src, std::size_t src_stride,
+                           int rows, int cols) {
+  const int r2 = rows & ~1;
+  const int c2 = cols & ~1;
+  detail::note(static_cast<std::size_t>(r2) * static_cast<std::size_t>(c2),
+               r2 != rows || c2 != cols);
+  for (int r = 0; r < r2; r += 2) {
+    for (int c = 0; c < c2; c += 2) {
+      const std::int64_t* s =
+          src + static_cast<std::size_t>(c) * src_stride + r;
+      const int64x2_t s0 = vld1q_s64(s);
+      const int64x2_t s1 = vld1q_s64(s + src_stride);
+      std::int64_t* d = dst + static_cast<std::size_t>(r) * dst_stride + c;
+      vst1q_s64(d, vzip1q_s64(s0, s1));
+      vst1q_s64(d + dst_stride, vzip2q_s64(s0, s1));
+    }
+    if (c2 != cols)
+      scalar::transpose_tile(
+          dst + static_cast<std::size_t>(r) * dst_stride + c2, dst_stride,
+          src + static_cast<std::size_t>(c2) * src_stride + r, src_stride, 2,
+          cols - c2);
+  }
+  if (r2 != rows)
+    scalar::transpose_tile(dst + static_cast<std::size_t>(r2) * dst_stride,
+                           dst_stride, src + r2, src_stride, rows - r2, cols);
+}
+
+#else  // ------------------------------------------------- scalar fallback
+
+inline std::int64_t scan_row(const std::int64_t* in, const std::int64_t* prev,
+                             std::int64_t* out, std::size_t n,
+                             std::int64_t carry, std::int64_t* maxv) {
+  detail::note(0, true);
+  return scalar::scan_row(in, prev, out, n, carry, maxv);
+}
+
+inline void add_rows(std::int64_t* dst, const std::int64_t* src,
+                     std::size_t n) {
+  detail::note(0, true);
+  scalar::add_rows(dst, src, n);
+}
+
+inline void sub_rows(std::int64_t* out, const std::int64_t* a,
+                     const std::int64_t* b, std::size_t n) {
+  detail::note(0, true);
+  scalar::sub_rows(out, a, b, n);
+}
+
+inline std::size_t count_le(const std::int64_t* p, std::size_t n,
+                            std::int64_t bound) {
+  detail::note(0, true);
+  return scalar::count_le(p, n, bound);
+}
+
+inline void transpose_tile(std::int64_t* dst, std::size_t dst_stride,
+                           const std::int64_t* src, std::size_t src_stride,
+                           int rows, int cols) {
+  detail::note(0, true);
+  scalar::transpose_tile(dst, dst_stride, src, src_stride, rows, cols);
+}
+
+#endif
+
+}  // namespace rectpart::simd
+
+namespace rectpart {
+
+/// std::vector whose resize/assign leaves new elements *uninitialized* (for
+/// trivially-copyable T).  This is the first-touch NUMA lever: a plain
+/// vector's value-initialization writes every page from the allocating
+/// thread, pinning the whole array to that thread's node before the parallel
+/// build ever runs.  With this allocator the first write — and therefore the
+/// page placement — happens inside the parallel block pass, on the thread
+/// that owns the block.
+template <typename T>
+class NoInitAllocator : public std::allocator<T> {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = NoInitAllocator<U>;
+  };
+
+  NoInitAllocator() = default;
+  template <typename U>
+  constexpr NoInitAllocator(const NoInitAllocator<U>&) noexcept {}
+
+  template <typename U>
+  void construct(U* p) noexcept {
+    ::new (static_cast<void*>(p)) U;  // default-init: indeterminate for int64
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+/// First-touch-friendly int64 buffer (see NoInitAllocator).
+using FirstTouchVector = std::vector<std::int64_t, NoInitAllocator<std::int64_t>>;
+
+}  // namespace rectpart

@@ -211,6 +211,39 @@ TEST(ParallelLayer, EnvironmentDefaultIsResolvedOnReset) {
   set_threads(1);
 }
 
+TEST(ParallelLayer, ZeroMeansHardwareConcurrencyInBothSpellings) {
+  // Pinned semantics: a thread count of 0 — via set_threads(0) with no env
+  // override, or via RECTPART_THREADS=0 — means "hardware concurrency",
+  // never "no threads".
+  ::unsetenv("RECTPART_THREADS");
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int expect = hw == 0 ? 1 : static_cast<int>(hw);
+
+  set_threads(0);  // API spelling
+  EXPECT_EQ(num_threads(), expect);
+
+  ::setenv("RECTPART_THREADS", "0", 1);  // environment spelling
+  set_threads(0);
+  EXPECT_EQ(num_threads(), expect);
+
+  // And an explicit API width still beats the env's auto request.
+  set_threads(2);
+  EXPECT_EQ(num_threads(), 2);
+
+  ::unsetenv("RECTPART_THREADS");
+  set_threads(1);
+}
+
+TEST(ParallelLayer, NegativeThreadCountIsRejectedLoudly) {
+  // A negative width is a caller bug; resolving it silently to "all cores"
+  // hid sign errors.  The API throws (and leaves the current width alone).
+  set_threads(2);
+  EXPECT_THROW(set_threads(-1), std::invalid_argument);
+  EXPECT_THROW(set_threads(-64), std::invalid_argument);
+  EXPECT_EQ(num_threads(), 2);
+  set_threads(1);
+}
+
 TEST(ParallelLayer, ParallelForCoversAllIndicesAtAnyWidth) {
   for (const int t : {1, 2, 8}) {
     set_threads(t);

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 #include "testing_util.hpp"
+#include "util/parallel.hpp"
 
 namespace rectpart {
 namespace {
@@ -108,6 +114,92 @@ TEST(PrefixSum2D, LargeValuesDoNotOverflow) {
   LoadMatrix a(8, 8, 1'000'000'000'000'000LL);
   const PrefixSum2D ps(a);
   EXPECT_EQ(ps.total(), 64'000'000'000'000'000LL);
+}
+
+TEST(PrefixSum2D, BuildIsBitIdenticalAcrossThreadCounts) {
+  // The fused single-pass build (t = 1) and the row-block first-touch scheme
+  // (t > 1) are different code paths; both must produce the exact same
+  // array.  Shapes straddle the SIMD lane width and the block boundaries.
+  const int shapes[][2] = {{1, 1},  {1, 9},    {9, 1},    {2, 3},
+                           {5, 5},  {17, 5},   {64, 64},  {129, 65},
+                           {3, 1000}, {1000, 3}, {37, 129}};
+  for (const auto& shape : shapes) {
+    const int n1 = shape[0];
+    const int n2 = shape[1];
+    // Negative values too: the kernels are exact int64, sign included.
+    const LoadMatrix a = random_matrix(n1, n2, -50, 1000,
+                                       static_cast<std::uint64_t>(n1) * 131 +
+                                           static_cast<std::uint64_t>(n2));
+    set_threads(1);
+    const PrefixSum2D seq(a);
+    set_threads(4);
+    const PrefixSum2D par(a);
+    set_threads(1);
+    ASSERT_EQ(seq.max_cell(), par.max_cell()) << n1 << "x" << n2;
+    for (int x = 0; x <= n1; ++x)
+      for (int y = 0; y <= n2; ++y)
+        ASSERT_EQ(seq.at(x, y), par.at(x, y))
+            << n1 << "x" << n2 << " at (" << x << "," << y << ")";
+  }
+}
+
+TEST(PrefixSum2D, TransposedSecondReaderIsNotParkedBehindTheBuild) {
+  // Regression for the transpose-cache lock scope: the first implementation
+  // held the cache mutex across the whole O(n1*n2) transpose build, so a
+  // second reader arriving mid-build sat on the mutex — and, when both
+  // readers were pool workers, none of them could help drain the pool the
+  // build itself was fanning out onto.  Now the build runs outside the lock
+  // (first install wins), so concurrent first readers all make progress
+  // independently and later readers take a lock-free pointer load.
+  set_threads(4);
+  const LoadMatrix a = random_matrix(700, 700, 0, 100, 23);
+  const PrefixSum2D ps(a);
+
+  // Reference: the cold build cost, measured on an identical instance.
+  const PrefixSum2D ref(a);
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)ref.transposed();
+  const auto build_cost = std::chrono::steady_clock::now() - t0;
+
+  constexpr int kReaders = 8;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<const PrefixSum2D*> got(kReaders, nullptr);
+  std::vector<std::chrono::steady_clock::duration> spent(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      const auto begin = std::chrono::steady_clock::now();
+      got[r] = &ps.transposed();
+      spent[r] = std::chrono::steady_clock::now() - begin;
+    });
+  }
+  while (ready.load() != kReaders) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  // Every reader got the same installed instance, and it is stable.
+  for (int r = 1; r < kReaders; ++r) EXPECT_EQ(got[r], got[0]);
+  EXPECT_EQ(&ps.transposed(), got[0]);
+  // The readers raced duplicate builds instead of serializing: each one's
+  // wall time is bounded by a few build costs, not kReaders of them.  The
+  // bound is deliberately loose (noise, duplicate-build memory pressure) —
+  // it exists to catch a return to whole-build serialization, not to
+  // benchmark.
+  const auto bound =
+      std::max<std::chrono::steady_clock::duration>(
+          5 * build_cost, std::chrono::milliseconds(250));
+  for (int r = 0; r < kReaders; ++r)
+    EXPECT_LT(spent[r], bound) << "reader " << r << " looks serialized";
+  // Correctness of whichever duplicate won the install.
+  const PrefixSum2D& t = ps.transposed();
+  for (int i = 0; i < 700; i += 97)
+    for (int j = 0; j < 700; j += 101)
+      ASSERT_EQ(t.load(j, j + 1, i, i + 1), ps.load(i, i + 1, j, j + 1));
+  set_threads(1);
 }
 
 TEST(PrefixSum2D, RandomizedPropertySweep) {

@@ -11,15 +11,18 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/partitioner.hpp"
 #include "obs/counters.hpp"
@@ -234,6 +237,73 @@ TEST(Protocol, ReadLineRefusesARunawayHeader) {
   ASSERT_TRUE(write_all(fds[0], big.data(), big.size()));
   std::string carry, line;
   EXPECT_FALSE(read_line(fds[1], &carry, &line, /*max_len=*/16));
+  close(fds[0]);
+  close(fds[1]);
+}
+
+namespace {
+
+/// Writer end of a socketpair shrunk to the kernel-minimum send buffer and
+/// switched non-blocking, so a payload of a few hundred KB is guaranteed to
+/// hit EAGAIN many times — the backpressure regime the old write_all treated
+/// as a fatal error and tore the framed response on.
+int tiny_sndbuf_writer(int fd) {
+  const int tiny = 1;  // the kernel clamps this up to its floor (~4 KB)
+  EXPECT_EQ(setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)), 0);
+  const int flags = fcntl(fd, F_GETFL, 0);
+  EXPECT_GE(flags, 0);
+  EXPECT_EQ(fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+  return fd;
+}
+
+}  // namespace
+
+TEST(Protocol, WriteAllRidesOutBackpressureOnATinySendBuffer) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  tiny_sndbuf_writer(fds[0]);
+
+  // A payload far larger than the send buffer, with recognizable contents.
+  std::string payload(256 * 1024, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<char>('a' + i % 23);
+
+  // Deliberately slow reader: drains in small sips with pauses, so the
+  // writer repeatedly fills the buffer and must poll for writability.
+  std::string received;
+  std::thread reader([&] {
+    char buf[4096];
+    for (;;) {
+      const ssize_t got = ::recv(fds[1], buf, sizeof(buf), 0);
+      if (got <= 0) break;
+      received.append(buf, static_cast<std::size_t>(got));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  EXPECT_TRUE(write_all(fds[0], payload.data(), payload.size()));
+  ::shutdown(fds[0], SHUT_WR);
+  reader.join();
+  EXPECT_EQ(received, payload);  // exact bytes, exact order, nothing torn
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(Protocol, WriteAllGivesUpWhenThePeerNeverDrains) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  tiny_sndbuf_writer(fds[0]);
+
+  // Nobody reads fds[1]: the buffer fills and stays full.  The bounded
+  // retry must fail in ~stall_ms, not hang the sender forever (the daemon
+  // calls this while holding the connection's write lock).
+  const std::string payload(256 * 1024, 'z');
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(write_all(fds[0], payload.data(), payload.size(),
+                         /*stall_ms=*/200));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_GE(elapsed, std::chrono::milliseconds(150));
   close(fds[0]);
   close(fds[1]);
 }

@@ -1,0 +1,251 @@
+// The SIMD data plane's safety net: every dispatched kernel must be
+// bit-identical to its simd::scalar reference on adversarial shapes — empty
+// inputs, single elements, lane-boundary sizes (W-1, W, W+1), a large
+// non-multiple size (2^16 + 3), unaligned starting offsets, and negative
+// values.  On a scalar build (RECTPART_SIMD=0 or no ISA) the dispatched
+// names *are* the scalar bodies and the suite degenerates to self-equality —
+// still worthwhile, since it pins the reference semantics the other builds
+// are compared against.
+#include "util/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "oned/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace rectpart {
+namespace {
+
+/// Fuzz sizes: 0, 1, lane boundaries, odd in-between values, and one size
+/// big enough (2^16 + 3) that the vector loop dominates and carry bugs that
+/// only compound over many blocks would surface.
+std::vector<std::size_t> fuzz_sizes() {
+  std::vector<std::size_t> sizes{0, 1, 2, 3, 7, 16, 33, 65539};
+  const auto w = static_cast<std::size_t>(simd::kLanes);
+  if (w > 1) {
+    sizes.push_back(w - 1);
+    sizes.push_back(w);
+    sizes.push_back(w + 1);
+    sizes.push_back(4 * w + 1);
+  }
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  return sizes;
+}
+
+/// Values spanning negative and positive magnitudes; the kernels are exact
+/// int64 arithmetic, so sign handling is part of the contract (cmpgt-based
+/// max and count_le are the classic places an unsigned shortcut would break).
+std::vector<std::int64_t> random_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = rng.uniform_int(-1'000'000'000, 1'000'000'000);
+  return v;
+}
+
+// Offsets 0..kLanes into an over-allocated buffer: with unaligned loads this
+// walks the kernel start across every position of a vector register (and
+// across a 32-byte boundary on AVX2).
+constexpr std::size_t kSlack = 8;
+
+TEST(SimdScanRow, MatchesScalarOnFuzzShapes) {
+  for (const std::size_t n : fuzz_sizes()) {
+    for (std::size_t off = 0; off <= static_cast<std::size_t>(simd::kLanes);
+         ++off) {
+      const auto in = random_values(n + kSlack, 17 * n + off);
+      const auto prev = random_values(n + kSlack, 31 * n + off + 1);
+      for (const bool with_prev : {false, true}) {
+        for (const std::int64_t carry : {std::int64_t{0}, std::int64_t{-7},
+                                         std::int64_t{123456789}}) {
+          std::vector<std::int64_t> out_s(n + kSlack, -1);
+          std::vector<std::int64_t> out_v(n + kSlack, -1);
+          std::int64_t max_s = -5;
+          std::int64_t max_v = -5;
+          const std::int64_t run_s = simd::scalar::scan_row(
+              in.data() + off, with_prev ? prev.data() + off : nullptr,
+              out_s.data() + off, n, carry, &max_s);
+          const std::int64_t run_v = simd::scan_row(
+              in.data() + off, with_prev ? prev.data() + off : nullptr,
+              out_v.data() + off, n, carry, &max_v);
+          ASSERT_EQ(run_s, run_v) << "n=" << n << " off=" << off;
+          ASSERT_EQ(max_s, max_v) << "n=" << n << " off=" << off;
+          ASSERT_EQ(out_s, out_v) << "n=" << n << " off=" << off;
+        }
+      }
+      // The maxv == nullptr spelling must not touch the max at all.
+      std::vector<std::int64_t> out(n + kSlack, 0);
+      const std::int64_t run = simd::scan_row(in.data() + off, nullptr,
+                                              out.data() + off, n, 0, nullptr);
+      std::vector<std::int64_t> ref(n + kSlack, 0);
+      const std::int64_t ref_run = simd::scalar::scan_row(
+          in.data() + off, nullptr, ref.data() + off, n, 0, nullptr);
+      ASSERT_EQ(run, ref_run);
+      ASSERT_EQ(out, ref);
+    }
+  }
+}
+
+TEST(SimdAddSubRows, MatchScalarOnFuzzShapes) {
+  for (const std::size_t n : fuzz_sizes()) {
+    for (std::size_t off = 0; off <= static_cast<std::size_t>(simd::kLanes);
+         ++off) {
+      const auto a = random_values(n + kSlack, 41 * n + off);
+      const auto b = random_values(n + kSlack, 43 * n + off + 2);
+
+      std::vector<std::int64_t> dst_s(a);
+      std::vector<std::int64_t> dst_v(a);
+      simd::scalar::add_rows(dst_s.data() + off, b.data() + off, n);
+      simd::add_rows(dst_v.data() + off, b.data() + off, n);
+      ASSERT_EQ(dst_s, dst_v) << "add n=" << n << " off=" << off;
+
+      std::vector<std::int64_t> out_s(n + kSlack, -9);
+      std::vector<std::int64_t> out_v(n + kSlack, -9);
+      simd::scalar::sub_rows(out_s.data() + off, a.data() + off,
+                             b.data() + off, n);
+      simd::sub_rows(out_v.data() + off, a.data() + off, b.data() + off, n);
+      ASSERT_EQ(out_s, out_v) << "sub n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST(SimdCountLe, MatchesScalarOnFuzzShapes) {
+  for (const std::size_t n : fuzz_sizes()) {
+    for (std::size_t off = 0; off <= static_cast<std::size_t>(simd::kLanes);
+         ++off) {
+      const auto p = random_values(n + kSlack, 59 * n + off);
+      // Bounds around the value range edges, zero, and a few sampled values.
+      std::vector<std::int64_t> bounds{-2'000'000'000, -1, 0, 1,
+                                       2'000'000'000};
+      if (n > 0) {
+        bounds.push_back(p[off]);
+        bounds.push_back(p[off + n - 1]);
+        bounds.push_back(p[off + n / 2]);
+      }
+      for (const std::int64_t bound : bounds) {
+        ASSERT_EQ(simd::scalar::count_le(p.data() + off, n, bound),
+                  simd::count_le(p.data() + off, n, bound))
+            << "n=" << n << " off=" << off << " bound=" << bound;
+      }
+    }
+  }
+}
+
+TEST(SimdTransposeTile, MatchesScalarOnFuzzShapes) {
+  // Rows/cols around the micro-tile sizes (4x4 AVX2, 2x2 NEON) plus ragged
+  // edges; strides larger than the dims so tiles land inside bigger arrays
+  // like the real transpose's.
+  const int dims[] = {0, 1, 2, 3, 4, 5, 7, 8, 13, 64};
+  for (const int rows : dims) {
+    for (const int cols : dims) {
+      const std::size_t src_stride = static_cast<std::size_t>(rows) + 3;
+      const std::size_t dst_stride = static_cast<std::size_t>(cols) + 5;
+      const auto src = random_values(
+          static_cast<std::size_t>(cols) * src_stride + kSlack,
+          977 * static_cast<std::uint64_t>(rows) + cols);
+      std::vector<std::int64_t> dst_s(
+          static_cast<std::size_t>(rows) * dst_stride + kSlack, -3);
+      std::vector<std::int64_t> dst_v(dst_s);
+      simd::scalar::transpose_tile(dst_s.data(), dst_stride, src.data(),
+                                   src_stride, rows, cols);
+      simd::transpose_tile(dst_v.data(), dst_stride, src.data(), src_stride,
+                           rows, cols);
+      ASSERT_EQ(dst_s, dst_v) << "rows=" << rows << " cols=" << cols;
+    }
+  }
+}
+
+/// Wrapper that hides the PrefixOracle type, forcing overload resolution to
+/// the generic galloping template — the reference the flat block-scan
+/// overload must agree with everywhere.
+struct GenericView {
+  const oned::PrefixOracle* o;
+  [[nodiscard]] int size() const { return o->size(); }
+  [[nodiscard]] std::int64_t load(int i, int j) const { return o->load(i, j); }
+};
+
+TEST(FlatProbeScan, MaxEndWithinMatchesGenericGallop) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    const int n = static_cast<int>(rng.uniform_int(1, 200));
+    std::vector<std::int64_t> p(static_cast<std::size_t>(n) + 1, 0);
+    for (int i = 0; i < n; ++i)
+      p[i + 1] = p[i] + rng.uniform_int(0, 25);  // non-negative loads
+    const oned::PrefixOracle o(p);
+    const GenericView g{&o};
+    for (int i = 0; i <= n; ++i) {
+      for (const std::int64_t budget :
+           {std::int64_t{0}, std::int64_t{1}, std::int64_t{7},
+            o.total() / 2, o.total(), o.total() + 1}) {
+        for (int lo = i; lo <= n; ++lo) {
+          if (o.load(i, lo) > budget) break;
+          ASSERT_EQ(oned::max_end_within(o, i, lo, budget),
+                    oned::max_end_within(g, i, lo, budget))
+              << "seed=" << seed << " i=" << i << " lo=" << lo
+              << " budget=" << budget;
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatProbeScan, OracleLoadCounterIsDeterministic) {
+  // The flat probe's tick model (gallop ticks + block-scan words) must be a
+  // pure function of the instance — two identical searches produce the same
+  // oned_oracle_loads delta.  This is what the benchstat counter-equality
+  // gate relies on across the SIMD and scalar builds.
+  const auto run_once = [] {
+    Rng rng(99);
+    std::vector<std::int64_t> p(1025, 0);
+    for (int i = 0; i < 1024; ++i) p[i + 1] = p[i] + rng.uniform_int(0, 9);
+    const oned::PrefixOracle o(p);
+    const auto before = obs::counters_snapshot();
+    std::int64_t acc = 0;
+    for (int i = 0; i < 1024; i += 37)
+      acc += oned::max_end_within(o, i, i, 500 + i);
+    const auto delta = obs::counters_snapshot().delta_since(before);
+    return std::pair<std::int64_t, std::uint64_t>(
+        acc, delta[obs::Counter::kOnedOracleLoads]);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.second, 0u);
+}
+
+TEST(FirstTouchVector, BehavesLikeAVectorOnceWritten) {
+  // resize leaves elements indeterminate by design — so the contract tested
+  // here is: write-then-read round-trips, copies preserve values, and
+  // interop with std::vector comparison semantics works.
+  FirstTouchVector v;
+  v.resize(1000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<std::int64_t>(i) - 500;
+  const FirstTouchVector copy = v;
+  ASSERT_EQ(copy.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(v[i], static_cast<std::int64_t>(i) - 500);
+    ASSERT_EQ(copy[i], v[i]);
+  }
+  // Explicit value construction still value-initializes.
+  const FirstTouchVector zeros(64, 0);
+  for (const std::int64_t x : zeros) ASSERT_EQ(x, 0);
+}
+
+TEST(SimdMode, ReportsACoherentConfiguration) {
+  EXPECT_GE(simd::kLanes, 1);
+#if RECTPART_SIMD_MODE == 0
+  EXPECT_STREQ(simd::kModeName, "scalar");
+  EXPECT_EQ(simd::kLanes, 1);
+#else
+  EXPECT_GT(simd::kLanes, 1);
+#endif
+}
+
+}  // namespace
+}  // namespace rectpart
