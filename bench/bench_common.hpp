@@ -98,7 +98,8 @@ struct RunResult {
 /// different --reps (for the deterministic counters every repetition is
 /// identical anyway).
 inline RunResult run_algorithm_reps(const Partitioner& algo,
-                                    const PrefixSum2D& ps, int m, int reps) {
+                                    const LoadSubstrate& ps, int m,
+                                    int reps) {
   if (reps < 1) reps = 1;
   RunResult r;
   std::vector<double> samples;
@@ -121,8 +122,8 @@ inline RunResult run_algorithm_reps(const Partitioner& algo,
 }
 
 /// Single-repetition convenience wrapper.
-inline RunResult run_algorithm(const Partitioner& algo, const PrefixSum2D& ps,
-                               int m) {
+inline RunResult run_algorithm(const Partitioner& algo,
+                               const LoadSubstrate& ps, int m) {
   return run_algorithm_reps(algo, ps, m, 1);
 }
 

@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
   const PrefixSum2D ps(load);
   const std::int64_t lb = lower_bound_lmax(ps, m);
 
-  Table table({"algorithm", "family", "kind", "paper", "imbalance",
-               "vs_lower_bound", "time_ms", "comm_volume"});
+  Table table({"algorithm", "family", "kind", "paper", "substrates",
+               "imbalance", "vs_lower_bound", "time_ms", "comm_volume"});
   for (const std::string& name : partitioner_names()) {
     const bool is_variant = name.find("-hor") != std::string::npos ||
                             name.find("-ver") != std::string::npos ||
@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
         .cell(info.family)
         .cell(info.kind())
         .cell(info.paper_section.empty() ? "-" : info.paper_section)
+        .cell(info.substrates)
         .cell(part.imbalance(ps))
         .cell(static_cast<double>(part.max_load(ps)) /
               static_cast<double>(lb))

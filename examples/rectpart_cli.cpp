@@ -8,8 +8,16 @@
 //                  --out=partition.csv --image=partition.pgm
 //   ./rectpart_cli --family=multipeak --n=512 --m=256 --algo=hier-relaxed
 //   ./rectpart_cli --list            (print registered algorithms)
+//
+// Sparse instances run through the CSR substrate — the dense matrix is
+// never materialized, so n = 2^20 works in a few hundred MB:
+//   ./rectpart_cli --format=coo --input=web.mtx --m=4096 --algo=jag-pq-heur
+//   ./rectpart_cli --family=powerlaw --n=1048576 --nnz=16777216 --m=4096
+//   ./rectpart_cli --family=powerlaw --n=1048576 --nnz=16777216 \
+//                  --gen-coo=web.rpc   (generate + save, no solve)
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "core/metrics.hpp"
 #include "core/partitioner.hpp"
@@ -32,14 +40,15 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
 
   if (flags.get_bool("list", false)) {
-    Table table({"algorithm", "family", "kind", "paper"});
+    Table table({"algorithm", "family", "kind", "paper", "substrates"});
     for (const std::string& name : partitioner_names()) {
       const PartitionerInfo& info = partitioner_info(name);
       table.row()
           .cell(name)
           .cell(info.family)
           .cell(info.kind())
-          .cell(info.paper_section.empty() ? "-" : info.paper_section);
+          .cell(info.paper_section.empty() ? "-" : info.paper_section)
+          .cell(info.substrates);
     }
     table.print(std::cout);
     return 0;
@@ -49,9 +58,15 @@ int main(int argc, char** argv) {
         "usage: %s [--input=FILE | --family=NAME --n=N] --m=M\n"
         "          [--algo=NAME] [--out=FILE.csv] [--image=FILE.pgm]\n"
         "          [--seed=S] [--delta=D] [--threads=T]\n"
+        "          [--format=dense|coo] [--nnz=K] [--gen-coo=FILE.rpc]\n"
         "          [--counters] [--trace=FILE.json] [--bench-json=NAME]\n"
         "          [--list] [--help]\n"
-        "families: uniform diagonal peak multipeak slac\n"
+        "families: uniform diagonal peak multipeak slac"
+        " | sparse: powerlaw mesh\n"
+        "format: coo reads --input as a COO file (RPC1 binary or\n"
+        "        MatrixMarket-style text) and solves on the CSR substrate\n"
+        "nnz: target entry count for the sparse families\n"
+        "gen-coo: generate the sparse instance, save it as RPC1, and exit\n"
         "threads: 0 = RECTPART_THREADS env, then hardware concurrency;\n"
         "         the partition is identical at every thread count\n"
         "counters: print the run's work counters (probe calls, DP cells...)\n"
@@ -79,69 +94,122 @@ int main(int argc, char** argv) {
                  "--trace/--counters ignored\n");
 #endif
 
+  // The solve consumes loads only through the LoadSubstrate seam, so the
+  // dense and CSR paths converge as soon as the instance is resident.
+  const std::string sparse_families = " powerlaw mesh ";
+  const std::string family = flags.get_string("family", "peak");
+  const bool family_is_sparse =
+      sparse_families.find(" " + family + " ") != std::string::npos;
+  const bool coo_input = flags.get_string("format", "dense") == "coo";
+
   LoadMatrix load;
+  SparseLoadCSR csr;
+  bool is_sparse = false;
   std::string instance_label;
   const std::string input = flags.get_string("input", "");
   if (!input.empty()) {
-    // Binary files carry the RPM1 magic; fall back to the text reader.
-    try {
-      load = load_matrix_binary(input);
-    } catch (const std::exception&) {
-      load = load_matrix_text(input);
-    }
     const std::size_t slash = input.find_last_of('/');
     instance_label =
         slash == std::string::npos ? input : input.substr(slash + 1);
+    if (coo_input) {
+      CooInstance coo;
+      // Binary files carry the RPC1 magic; fall back to the text reader.
+      try {
+        coo = load_coo_binary(input);
+      } catch (const std::exception&) {
+        coo = load_coo_text(input);
+      }
+      csr = SparseLoadCSR::from_coo(coo.n1, coo.n2, std::move(coo.entries));
+      is_sparse = true;
+    } else {
+      try {
+        load = load_matrix_binary(input);
+      } catch (const std::exception&) {
+        load = load_matrix_text(input);
+      }
+    }
   } else {
-    const std::string family = flags.get_string("family", "peak");
     const int n = static_cast<int>(flags.get_int("n", 512));
     const std::uint64_t seed = flags.get_int("seed", 42);
-    load = family == "slac"
-               ? gen_slac(n, n)
-               : make_synthetic(family, n, n, seed,
-                                flags.get_double("delta", 1.2));
-    instance_label = family + "-" + std::to_string(n) + "x" +
-                     std::to_string(n) + "-s" + std::to_string(seed);
+    if (family_is_sparse) {
+      const std::int64_t nnz = flags.get_int("nnz", 1 << 20);
+      CooInstance coo = make_synthetic_coo(family, n, n, nnz, seed);
+      instance_label = family + "-" + std::to_string(n) + "x" +
+                       std::to_string(n) + "-nnz" + std::to_string(nnz) +
+                       "-s" + std::to_string(seed);
+      const std::string gen_out = flags.get_string("gen-coo", "");
+      if (!gen_out.empty()) {
+        // Generate-only mode: persist the stream and exit, so a separate
+        // (memory-limited) process can solve it.
+        save_coo_binary(coo, gen_out);
+        std::printf("coo        -> %s (%zu entries)\n", gen_out.c_str(),
+                    coo.entries.size());
+        return 0;
+      }
+      csr = SparseLoadCSR::from_coo(coo.n1, coo.n2, std::move(coo.entries));
+      is_sparse = true;
+    } else {
+      load = family == "slac"
+                 ? gen_slac(n, n)
+                 : make_synthetic(family, n, n, seed,
+                                  flags.get_double("delta", 1.2));
+      instance_label = family + "-" + std::to_string(n) + "x" +
+                       std::to_string(n) + "-s" + std::to_string(seed);
+    }
   }
 
   const int m = static_cast<int>(flags.get_int("m", 64));
   const std::string algo_name = flags.get_string("algo", "jag-m-heur");
   const auto algo = make_partitioner(algo_name);
 
-  const PrefixSum2D ps(load);
+  std::unique_ptr<PrefixSum2D> dense_ps;
+  if (!is_sparse) dense_ps = std::make_unique<PrefixSum2D>(load);
+  const LoadSubstrate ls =
+      is_sparse ? LoadSubstrate(csr) : LoadSubstrate(*dense_ps);
+
   RunContext ctx;
-  const Partition part = algo->run(ps, m, ctx);
+  const Partition part = algo->run(ls, m, ctx);
   const double ms = ctx.ms;
 
-  const auto verdict = validate(part, ps.rows(), ps.cols());
+  const auto verdict = validate(part, ls.rows(), ls.cols());
   if (!verdict) {
     std::fprintf(stderr, "INVALID partition: %s\n", verdict.message.c_str());
     return 1;
   }
 
-  const LoadStats stats = compute_stats(load);
-  std::printf("instance   : %dx%d, total=%lld, delta=%s\n", ps.rows(),
-              ps.cols(), static_cast<long long>(stats.total),
-              stats.min > 0 ? format_double(stats.delta(), 3).c_str()
-                            : "undefined");
+  if (is_sparse) {
+    std::printf("instance   : %dx%d, nnz=%lld, total=%lld [csr]\n", ls.rows(),
+                ls.cols(), static_cast<long long>(csr.nnz()),
+                static_cast<long long>(ls.total()));
+  } else {
+    const LoadStats stats = compute_stats(load);
+    std::printf("instance   : %dx%d, total=%lld, delta=%s\n", ls.rows(),
+                ls.cols(), static_cast<long long>(stats.total),
+                stats.min > 0 ? format_double(stats.delta(), 3).c_str()
+                              : "undefined");
+  }
   std::printf("algorithm  : %s   (%.3f ms)\n", algo->name().c_str(), ms);
   std::printf("processors : %d\n", m);
   std::printf("threads    : %d\n", num_threads());
   std::printf("max load   : %lld (lower bound %lld)\n",
-              static_cast<long long>(part.max_load(ps)),
-              static_cast<long long>(lower_bound_lmax(ps, m)));
-  std::printf("imbalance  : %.6f\n", part.imbalance(ps));
-  const CommStats cs = comm_stats(part, ps.rows(), ps.cols());
-  std::printf("comm volume: %lld total, %lld max per processor\n",
-              static_cast<long long>(cs.total_volume),
-              static_cast<long long>(cs.max_per_proc));
+              static_cast<long long>(part.max_load(ls)),
+              static_cast<long long>(lower_bound_lmax(ls, m)));
+  std::printf("imbalance  : %.6f\n", part.imbalance(ls));
+  if (!is_sparse) {
+    // Cell-exhaustive metrics stay dense-only: comm_stats paints an
+    // n1 x n2 ownership raster, which is exactly what web-scale avoids.
+    const CommStats cs = comm_stats(part, ls.rows(), ls.cols());
+    std::printf("comm volume: %lld total, %lld max per processor\n",
+                static_cast<long long>(cs.total_volume),
+                static_cast<long long>(cs.max_per_proc));
+  }
 
   const std::string bench_name = flags.get_string("bench-json", "");
   if (!bench_name.empty()) {
     // Append mode: repeated CLI sessions accumulate a trajectory in one
     // BENCH file, keyed so benchstat can diff like-for-like runs.
     BenchJson json(bench_name, /*append=*/true);
-    json.record(algo_name, instance_label, m, ms, part.imbalance(ps),
+    json.record(algo_name, instance_label, m, ms, part.imbalance(ls),
                 num_threads(), &ctx.counters);
     std::printf("bench      -> BENCH_%s.json (%zu records)\n",
                 bench_name.c_str(), json.size());
@@ -177,8 +245,12 @@ int main(int argc, char** argv) {
   }
   const std::string image = flags.get_string("image", "");
   if (!image.empty()) {
-    save_pgm_with_partition(load, part, image, /*log_scale=*/true);
-    std::printf("image      -> %s\n", image.c_str());
+    if (is_sparse) {
+      std::fprintf(stderr, "--image requires a dense instance; skipped\n");
+    } else {
+      save_pgm_with_partition(load, part, image, /*log_scale=*/true);
+      std::printf("image      -> %s\n", image.c_str());
+    }
   }
   return 0;
 }

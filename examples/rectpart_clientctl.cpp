@@ -57,7 +57,9 @@ int main(int argc, char** argv) {
         "          [--retry-ms=R]  (connect retry budget)\n"
         "solve:    [--input=FILE | --family=NAME --n=N --seed=S] --m=M\n"
         "          [--algo=NAME] [--deadline-ms=D] [--upgrade]\n"
-        "          [--wait-final] [--lineage=NAME]\n",
+        "          [--wait-final] [--lineage=NAME]\n"
+        "          [--format=dense|coo] [--nnz=K]  (sparse: --input reads a\n"
+        "          COO file; --family=powerlaw|mesh generates one)\n",
         flags.program().c_str());
     return 0;
   }
@@ -93,9 +95,26 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    LoadMatrix load;
+    const std::string family = flags.get_string("family", "peak");
+    const bool coo_mode = flags.get_string("format", "dense") == "coo" ||
+                          family == "powerlaw" || family == "mesh";
     const std::string input = flags.get_string("input", "");
-    if (!input.empty()) {
+
+    LoadMatrix load;
+    CooInstance coo;
+    if (coo_mode) {
+      if (!input.empty()) {
+        try {
+          coo = load_coo_binary(input);
+        } catch (const std::exception&) {
+          coo = load_coo_text(input);
+        }
+      } else {
+        const int n = static_cast<int>(flags.get_int("n", 4096));
+        coo = make_synthetic_coo(family, n, n, flags.get_int("nnz", 1 << 20),
+                                 flags.get_int("seed", 42));
+      }
+    } else if (!input.empty()) {
       try {
         load = load_matrix_binary(input);
       } catch (const std::exception&) {
@@ -103,8 +122,7 @@ int main(int argc, char** argv) {
       }
     } else {
       const int n = static_cast<int>(flags.get_int("n", 256));
-      load = make_synthetic(flags.get_string("family", "peak"), n, n,
-                            flags.get_int("seed", 42),
+      load = make_synthetic(family, n, n, flags.get_int("seed", 42),
                             flags.get_double("delta", 1.2));
     }
 
@@ -116,7 +134,8 @@ int main(int argc, char** argv) {
     opt.upgrade = flags.get_bool("upgrade", false);
     opt.lineage = flags.get_string("lineage", "");
 
-    service::Response r = client.solve(load, opt);
+    service::Response r =
+        coo_mode ? client.solve(coo, opt) : client.solve(load, opt);
     print_response(r);
     if (r.ok && !r.final_reply && flags.get_bool("wait-final", false)) {
       std::printf("-- waiting for the upgraded answer --\n");

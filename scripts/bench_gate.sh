@@ -48,6 +48,7 @@ baselines=$root/bench/baselines
 for bin in "$benchstat" "$root/$build/bench/micro_core" \
            "$root/$build/bench/micro_oned" \
            "$root/$build/bench/micro_service" \
+           "$root/$build/bench/micro_sparse" \
            "$root/$build/bench/fig06_runtime"; do
   if [[ ! -x "$bin" ]]; then
     echo "bench_gate: missing $bin (build first: cmake --build $build -j)" >&2
@@ -76,11 +77,18 @@ run_micro_service() {
   "$root/$build/bench/micro_service" --n=64 --m=8 --reps=3 --requests=16 \
     --threads=1 >/dev/null
 }
+# The CSR substrate's own counters (sparse_rows_touched, csc_mirror_builds)
+# are scheduling-independent, so the sparse data plane is gated exactly like
+# the dense one.
+run_micro_sparse() {
+  "$root/$build/bench/micro_sparse" --n=1024 --nnz=32768 --m=32 --reps=2 \
+    --seed=1 --threads=1 >/dev/null
+}
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 status=0
-for name in micro_core micro_oned fig06_runtime micro_service; do
+for name in micro_core micro_oned fig06_runtime micro_service micro_sparse; do
   (cd "$tmp" && "run_$name")
   fresh=$tmp/BENCH_$name.json
   base=$baselines/BENCH_$name.json

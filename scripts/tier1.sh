@@ -69,6 +69,25 @@ wait "$svc_pid"
 trap - EXIT
 rm -rf "$svc_dir"
 
+echo "== tier-1: web-scale sparse smoke (2^20 CSR under a 4 GiB ceiling) =="
+# The sparse substrate's acceptance run: generate a 2^20 x 2^20 power-law
+# COO instance out-of-core (the dense Γ array would need 8 TiB), then solve
+# it through the CSR substrate inside a 4 GiB address-space ulimit.  The
+# BENCH record the run appends must validate, carrying the substrate's own
+# counters (sparse_rows_touched) for cross-session diffing.
+sparse_dir=$(mktemp -d)
+"$root"/build/examples/rectpart_cli --family=powerlaw --format=coo \
+  --n=1048576 --nnz=16777216 --seed=5 --gen-coo="$sparse_dir/web20.rpc" \
+  >/dev/null
+(cd "$sparse_dir" &&
+ ulimit -v $((4 * 1024 * 1024)) &&
+ "$root"/build/examples/rectpart_cli --input=web20.rpc --format=coo \
+   --m=256 --algo=jag-pq-heur --bench-json=sparse_smoke \
+   | grep -q 'instance   : 1048576x1048576')
+"$root"/build/tools/benchstat --validate "$sparse_dir/BENCH_sparse_smoke.json"
+grep -q '"sparse_rows_touched"' "$sparse_dir/BENCH_sparse_smoke.json"
+rm -rf "$sparse_dir"
+
 echo "== tier-1: RECTPART_OBS=0 (spans/counters compile to no-ops) =="
 # The disabled build must compile the instrumented tree cleanly and still
 # pass the observability suite (its counter assertions self-gate).
@@ -89,7 +108,7 @@ cmake -B build-scalar -S . -DRECTPART_SIMD=0 -DRECTPART_SANITIZE=undefined \
   >/dev/null
 cmake --build build-scalar -j "$jobs" \
   --target test_parallel test_stripe_projection test_simd test_prefix_sum \
-  benchstat micro_core micro_oned micro_service fig06_runtime
+  benchstat micro_core micro_oned micro_service micro_sparse fig06_runtime
 build-scalar/tests/test_simd
 build-scalar/tests/test_prefix_sum
 build-scalar/tests/test_stripe_projection

@@ -5,10 +5,10 @@
 
 namespace rectpart {
 
-std::int64_t lower_bound_lmax(const PrefixSum2D& ps, int m) {
-  const std::int64_t total = ps.total();
+std::int64_t lower_bound_lmax(const LoadSubstrate& ls, int m) {
+  const std::int64_t total = ls.total();
   const std::int64_t avg_ceil = (total + m - 1) / m;
-  return std::max(avg_ceil, ps.max_cell());
+  return std::max(avg_ceil, ls.max_cell());
 }
 
 double imbalance_of(std::int64_t lmax, std::int64_t total, int m) {

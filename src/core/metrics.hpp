@@ -4,13 +4,13 @@
 #include <cstdint>
 
 #include "core/partition.hpp"
-#include "prefix/prefix_sum.hpp"
+#include "prefix/load_substrate.hpp"
 
 namespace rectpart {
 
 /// Lower bound on the optimal maximum load (Section 2.1):
 ///   L*max >= max( ceil(total/m), max cell ).
-[[nodiscard]] std::int64_t lower_bound_lmax(const PrefixSum2D& ps, int m);
+[[nodiscard]] std::int64_t lower_bound_lmax(const LoadSubstrate& ls, int m);
 
 /// Load imbalance of a given maximum load against the average load.
 [[nodiscard]] double imbalance_of(std::int64_t lmax, std::int64_t total,

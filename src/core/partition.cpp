@@ -4,24 +4,24 @@
 
 namespace rectpart {
 
-std::vector<std::int64_t> Partition::loads(const PrefixSum2D& ps) const {
+std::vector<std::int64_t> Partition::loads(const LoadSubstrate& ls) const {
   std::vector<std::int64_t> out(rects.size());
-  for (std::size_t i = 0; i < rects.size(); ++i) out[i] = ps.load(rects[i]);
+  for (std::size_t i = 0; i < rects.size(); ++i) out[i] = ls.load(rects[i]);
   return out;
 }
 
-std::int64_t Partition::max_load(const PrefixSum2D& ps) const {
+std::int64_t Partition::max_load(const LoadSubstrate& ls) const {
   std::int64_t lmax = 0;
-  for (const Rect& r : rects) lmax = std::max(lmax, ps.load(r));
+  for (const Rect& r : rects) lmax = std::max(lmax, ls.load(r));
   return lmax;
 }
 
-double Partition::imbalance(const PrefixSum2D& ps) const {
+double Partition::imbalance(const LoadSubstrate& ls) const {
   if (rects.empty()) return 0.0;
   const double avg =
-      static_cast<double>(ps.total()) / static_cast<double>(m());
+      static_cast<double>(ls.total()) / static_cast<double>(m());
   if (avg == 0.0) return 0.0;
-  return static_cast<double>(max_load(ps)) / avg - 1.0;
+  return static_cast<double>(max_load(ls)) / avg - 1.0;
 }
 
 int Partition::owner(int x, int y) const {

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "core/rect.hpp"
-#include "prefix/prefix_sum.hpp"
+#include "prefix/load_substrate.hpp"
 
 namespace rectpart {
 
@@ -21,14 +21,14 @@ struct Partition {
 
   [[nodiscard]] int m() const { return static_cast<int>(rects.size()); }
 
-  /// Per-processor loads under the given prefix-sum view.
-  [[nodiscard]] std::vector<std::int64_t> loads(const PrefixSum2D& ps) const;
+  /// Per-processor loads under the given substrate view.
+  [[nodiscard]] std::vector<std::int64_t> loads(const LoadSubstrate& ls) const;
 
   /// Load of the most loaded processor (the paper's objective Lmax).
-  [[nodiscard]] std::int64_t max_load(const PrefixSum2D& ps) const;
+  [[nodiscard]] std::int64_t max_load(const LoadSubstrate& ls) const;
 
   /// Load imbalance Lmax/Lavg - 1 where Lavg = total/m (Section 2.1).
-  [[nodiscard]] double imbalance(const PrefixSum2D& ps) const;
+  [[nodiscard]] double imbalance(const LoadSubstrate& ls) const;
 
   /// Finds which processor owns cell (x, y); -1 if uncovered.  Linear scan —
   /// intended for tests and examples, not inner loops.

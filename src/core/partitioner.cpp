@@ -71,12 +71,12 @@ std::string closest_name_locked(const std::string& name) {
 
 }  // namespace
 
-Partition Partitioner::run(const PrefixSum2D& ps, int m) const {
+Partition Partitioner::run(const LoadSubstrate& ls, int m) const {
   RunContext ctx;
-  return run(ps, m, ctx);
+  return run(ls, m, ctx);
 }
 
-Partition Partitioner::run(const PrefixSum2D& ps, int m,
+Partition Partitioner::run(const LoadSubstrate& ls, int m,
                            RunContext& ctx) const {
   if (ctx.deadline_expired())
     throw DeadlineExceeded("partitioner '" + name() +
@@ -86,7 +86,7 @@ Partition Partitioner::run(const PrefixSum2D& ps, int m,
   obs::Span span(obs::trace_enabled() ? name() : std::string());
 #endif
   WallTimer timer;
-  Partition p = run_impl(ps, m, ctx);
+  Partition p = run_impl(ls, m, ctx);
   ctx.ms += timer.milliseconds();
 #if RECTPART_OBS_ENABLED
   ctx.counters.merge(obs::counters_snapshot().delta_since(before));

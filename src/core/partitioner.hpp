@@ -14,17 +14,23 @@
 
 #include "core/partition.hpp"
 #include "obs/run_context.hpp"
-#include "prefix/prefix_sum.hpp"
+#include "prefix/load_substrate.hpp"
 
 namespace rectpart {
 
 /// A 2-D rectangular partitioning algorithm.
 ///
 /// Implementations are stateless with respect to the instance: run() may be
-/// called concurrently on different prefix-sum views.
+/// called concurrently on different substrate views.  The instance arrives
+/// as a LoadSubstrate — a non-owning view that is a dense Γ array or a CSR
+/// sparse instance; the implicit conversion from PrefixSum2D keeps
+/// `run(ps, m)` call sites source-compatible.
 ///
 /// Determinism contract: run() must return a bit-identical partition for a
-/// given (ps, m) regardless of the global rectpart::set_threads() width.
+/// given (substrate, m) regardless of the global rectpart::set_threads()
+/// width — and for a given *logical matrix* regardless of the substrate
+/// (dense and CSR views of the same matrix yield identical partitions; the
+/// cross-substrate golden hashes in tests/test_sparse_load.cpp pin this).
 /// Built-in algorithms parallelize internally through util/parallel.hpp,
 /// whose primitives preserve this invariant (the determinism suite in
 /// tests/test_parallel.cpp checks every registered name at 1 vs 8 threads).
@@ -45,14 +51,14 @@ class Partitioner {
   /// Default-forwarding overload: runs with a fresh RunContext (no deadline;
   /// the collected stats are discarded).  Bit-identical to the RunContext
   /// overload below — the context only observes.
-  [[nodiscard]] Partition run(const PrefixSum2D& ps, int m) const;
+  [[nodiscard]] Partition run(const LoadSubstrate& ls, int m) const;
 
-  /// Partition the matrix behind `ps` into m rectangles, capturing the run's
+  /// Partition the matrix behind `ls` into m rectangles, capturing the run's
   /// work-counter delta and wall time into `ctx` and honouring its deadline
   /// (throws DeadlineExceeded when it has already passed).
   /// Requires m >= 1; the returned partition has exactly m rectangles
-  /// (possibly some empty) and is valid for ps.rows() x ps.cols().
-  [[nodiscard]] Partition run(const PrefixSum2D& ps, int m,
+  /// (possibly some empty) and is valid for ls.rows() x ls.cols().
+  [[nodiscard]] Partition run(const LoadSubstrate& ls, int m,
                               RunContext& ctx) const;
 
  protected:
@@ -60,7 +66,7 @@ class Partitioner {
   /// runs get a fresh one); implementations may poll ctx.deadline_expired()
   /// at safe points but must not write the stats fields — the base class
   /// fills those.
-  [[nodiscard]] virtual Partition run_impl(const PrefixSum2D& ps, int m,
+  [[nodiscard]] virtual Partition run_impl(const LoadSubstrate& ls, int m,
                                            RunContext& ctx) const = 0;
 };
 
@@ -73,7 +79,7 @@ using PartitionerFactory = std::function<std::unique_ptr<Partitioner>()>;
 /// its own algorithm uses it the same way (see register_builtins.cpp).
 class LambdaPartitioner final : public Partitioner {
  public:
-  using Fn = std::function<Partition(const PrefixSum2D&, int, RunContext&)>;
+  using Fn = std::function<Partition(const LoadSubstrate&, int, RunContext&)>;
 
   LambdaPartitioner(std::string name, Fn fn)
       : name_(std::move(name)), fn_(std::move(fn)) {}
@@ -81,9 +87,9 @@ class LambdaPartitioner final : public Partitioner {
   [[nodiscard]] std::string name() const override { return name_; }
 
  protected:
-  [[nodiscard]] Partition run_impl(const PrefixSum2D& ps, int m,
+  [[nodiscard]] Partition run_impl(const LoadSubstrate& ls, int m,
                                    RunContext& ctx) const override {
-    return fn_(ps, m, ctx);
+    return fn_(ls, m, ctx);
   }
 
  private:
@@ -97,6 +103,11 @@ struct PartitionerInfo {
   std::string family;  ///< "rectilinear", "jagged", "hierarchical", ...
   bool exact = false;  ///< exact solver (true) or heuristic (false)
   std::string paper_section;  ///< e.g. "3.2.2"; empty when not from the paper
+  /// Substrates the engine accepts, comma-joined ("dense,csr").  Every
+  /// built-in runs on both — the engines consume loads only through the
+  /// LoadSubstrate seam — so this defaults accordingly; an engine that
+  /// requires the dense Γ layout would register "dense".
+  std::string substrates = "dense,csr";
 
   [[nodiscard]] const char* kind() const { return exact ? "exact" : "heur"; }
 };

@@ -9,6 +9,7 @@
 // HIER-RB / HIER-RELAXED and for the ablation bench.
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -20,9 +21,23 @@ namespace {
 
 constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
 
+/// The DP's unmemoized q == 1 leaves issue O(1) loads on the dense Γ array
+/// but O(rows_touched * log) searches on the CSR substrate — millions of
+/// them, which turns the reference DP pathological on sparse input.  The
+/// instance is capped at 255 x 255 regardless, so a sparse input is
+/// densified up front (a < 1 MB Γ array); both substrates answer queries
+/// with identical int64 values, so the partition is unchanged.
+std::unique_ptr<PrefixSum2D> densify_for_dp(const LoadSubstrate& ps) {
+  if (ps.is_dense() || ps.rows() > 255 || ps.cols() > 255) return nullptr;
+  return std::make_unique<PrefixSum2D>(ps.sparse()->to_dense());
+}
+
 class HierDp {
  public:
-  HierDp(const PrefixSum2D& ps, int m) : ps_(ps), m_(m) {
+  HierDp(const LoadSubstrate& ps, int m)
+      : densified_(densify_for_dp(ps)),
+        ps_(densified_ ? LoadSubstrate(*densified_) : ps),
+        m_(m) {
     if (ps.rows() > 255 || ps.cols() > 255 || m > 4095)
       throw std::invalid_argument(
           "hier_opt: instance too large for the exact DP (n <= 255, "
@@ -120,14 +135,16 @@ class HierDp {
            static_cast<std::uint64_t>(q);
   }
 
-  const PrefixSum2D& ps_;
+  const std::unique_ptr<PrefixSum2D> densified_;  ///< owns ps_'s target when
+                                                  ///< the input was sparse
+  const LoadSubstrate ps_;
   int m_;
   std::unordered_map<std::uint64_t, Entry> memo_;
 };
 
 }  // namespace
 
-Partition hier_opt(const PrefixSum2D& ps, int m) {
+Partition hier_opt(const LoadSubstrate& ps, int m) {
   HierDp dp(ps, m);
   const Rect whole{0, ps.rows(), 0, ps.cols()};
   dp.solve(whole, m);

@@ -75,7 +75,7 @@ constexpr int kRbProjectionMinProcs = 32;
 /// Best row cut of rect r for an ml : mr processor split.  Large nodes
 /// search on the rectangle's row-projection prefix (two adjacent loads per
 /// evaluation); small nodes query Γ directly.  Identical values either way.
-CutChoice best_cut_rows(const PrefixSum2D& ps, const Rect& r, int ml, int mr) {
+CutChoice best_cut_rows(const LoadSubstrate& ps, const Rect& r, int ml, int mr) {
   if (ml + mr >= kRbProjectionMinProcs) {
     // Safe as thread_local: the projection is consumed to completion before
     // this node recurses, and search_cut never re-enters the pool.
@@ -92,7 +92,7 @@ CutChoice best_cut_rows(const PrefixSum2D& ps, const Rect& r, int ml, int mr) {
 }
 
 /// Best column cut; symmetric to best_cut_rows.
-CutChoice best_cut_cols(const PrefixSum2D& ps, const Rect& r, int ml, int mr) {
+CutChoice best_cut_cols(const LoadSubstrate& ps, const Rect& r, int ml, int mr) {
   if (ml + mr >= kRbProjectionMinProcs) {
     thread_local std::vector<std::int64_t> cp;
     hier_detail::build_col_projection(ps, r, cp);
@@ -114,7 +114,7 @@ constexpr int kSpawnMinProcs = 32;
 /// slots [0, ml) and the right [ml, m) — the depth-first output order of the
 /// sequential recursion — so parallel subtrees write disjoint slots and the
 /// result is bit-identical at any thread count.
-void rb_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
+void rb_recurse(const LoadSubstrate& ps, const Rect& r, int m, int depth,
                 HierVariant variant, const RunContext* ctx, Rect* out) {
   RECTPART_COUNT(kHierNodes, 1);
   // Node-entry poll: DeadlineExceeded propagates out of the recursion (and
@@ -177,7 +177,7 @@ void rb_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
 
 }  // namespace
 
-Partition hier_rb(const PrefixSum2D& ps, int m, const HierOptions& opt) {
+Partition hier_rb(const LoadSubstrate& ps, int m, const HierOptions& opt) {
   RECTPART_SPAN("hier-rb");
   Partition part;
   part.rects.assign(m, Rect{});

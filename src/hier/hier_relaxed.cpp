@@ -80,7 +80,7 @@ void consider_dim(LeftFn left, RightFn right, int lo0, int hi0, int m, int j,
 constexpr int kParallelSweepMinProcs = 64;
 constexpr int kSpawnMinProcs = 32;
 
-void relaxed_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
+void relaxed_recurse(const LoadSubstrate& ps, const Rect& r, int m, int depth,
                      HierVariant variant, const RunContext* ctx, Rect* out) {
   RECTPART_COUNT(kHierNodes, 1);
   // Node-entry poll: DeadlineExceeded propagates out of the recursion (and
@@ -188,7 +188,7 @@ void relaxed_recurse(const PrefixSum2D& ps, const Rect& r, int m, int depth,
 
 }  // namespace
 
-Partition hier_relaxed(const PrefixSum2D& ps, int m, const HierOptions& opt) {
+Partition hier_relaxed(const LoadSubstrate& ps, int m, const HierOptions& opt) {
   RECTPART_SPAN("hier-relaxed");
   Partition part;
   part.rects.assign(m, Rect{});

@@ -2,6 +2,8 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 namespace rectpart {
@@ -56,6 +58,7 @@ bool body_fits(std::initializer_list<std::int64_t> dims, std::int64_t have,
 
 constexpr char kMagic[4] = {'R', 'P', 'M', '1'};
 constexpr char kMagic3[4] = {'R', 'P', 'M', '3'};
+constexpr char kMagicCoo[4] = {'R', 'P', 'C', '1'};
 
 }  // namespace
 
@@ -137,6 +140,101 @@ LoadMatrix load_matrix_binary(const std::string& path) {
     io_fail_at("read error in matrix body", path,
                12 + static_cast<std::int64_t>(in.gcount()));
   return a;
+}
+
+void save_coo_text(const CooInstance& coo, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) io_fail("cannot open for writing", path);
+  out << "%%MatrixMarket matrix coordinate integer general\n";
+  out << coo.n1 << ' ' << coo.n2 << ' ' << coo.entries.size() << '\n';
+  for (const CooEntry& e : coo.entries)
+    out << e.r + 1 << ' ' << e.c + 1 << ' ' << e.v << '\n';
+  if (!out) io_fail("write error", path);
+}
+
+CooInstance load_coo_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) io_fail("cannot open for reading", path);
+  // Skip '%' comment lines (MatrixMarket headers are comments too).
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::int64_t n1 = 0, n2 = 0, nnz = 0;
+  {
+    std::istringstream header(line);
+    if (!(header >> n1 >> n2 >> nnz) || n1 < 0 || n2 < 0 || nnz < 0)
+      io_fail("malformed COO size line (expected 'n1 n2 nnz', all >= 0)",
+              path);
+  }
+  if (n1 > std::numeric_limits<std::int32_t>::max() ||
+      n2 > std::numeric_limits<std::int32_t>::max())
+    io_fail("COO dimensions exceed int32", path);
+  CooInstance coo;
+  coo.n1 = static_cast<int>(n1);
+  coo.n2 = static_cast<int>(n2);
+  coo.entries.reserve(static_cast<std::size_t>(nnz));
+  for (std::int64_t k = 0; k < nnz; ++k) {
+    std::int64_t r = 0, c = 0, v = 0;
+    if (!(in >> r >> c >> v))
+      io_fail("truncated or malformed COO body at entry " + std::to_string(k) +
+                  " of " + std::to_string(nnz),
+              path);
+    // 1-based on disk; range errors surface in from_coo with the 0-based
+    // coordinates these produce.
+    coo.entries.push_back(CooEntry{static_cast<std::int32_t>(r - 1),
+                                   static_cast<std::int32_t>(c - 1), v});
+  }
+  return coo;
+}
+
+void save_coo_binary(const CooInstance& coo, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) io_fail("cannot open for writing", path);
+  out.write(kMagicCoo, sizeof(kMagicCoo));
+  const std::int32_t dims[2] = {coo.n1, coo.n2};
+  out.write(reinterpret_cast<const char*>(dims), sizeof(dims));
+  const std::int64_t nnz = static_cast<std::int64_t>(coo.entries.size());
+  out.write(reinterpret_cast<const char*>(&nnz), sizeof(nnz));
+  out.write(reinterpret_cast<const char*>(coo.entries.data()),
+            static_cast<std::streamsize>(coo.entries.size() *
+                                         sizeof(CooEntry)));
+  if (!out) io_fail("write error", path);
+}
+
+CooInstance load_coo_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail("cannot open for reading", path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagicCoo, sizeof(kMagicCoo)) != 0)
+    io_fail("bad magic (not an RPC1 file)", path);
+  std::int32_t dims[2];
+  in.read(reinterpret_cast<char*>(dims), sizeof(dims));
+  if (in.gcount() != sizeof(dims)) io_fail_at("truncated header", path, 4);
+  std::int64_t nnz = 0;
+  in.read(reinterpret_cast<char*>(&nnz), sizeof(nnz));
+  if (in.gcount() != sizeof(nnz)) io_fail_at("truncated header", path, 12);
+  if (dims[0] < 0 || dims[1] < 0 || nnz < 0)
+    io_fail("malformed header (negative dimension or nnz)", path);
+  const std::int64_t have = bytes_remaining(in);
+  const std::int64_t entry_size = static_cast<std::int64_t>(sizeof(CooEntry));
+  if (nnz > have / entry_size)
+    io_fail_at("truncated COO body (header declares " + std::to_string(nnz) +
+                   " entries, file holds " + std::to_string(have) + " bytes)",
+               path, 20);
+  CooInstance coo;
+  coo.n1 = dims[0];
+  coo.n2 = dims[1];
+  coo.entries.resize(static_cast<std::size_t>(nnz));
+  in.read(reinterpret_cast<char*>(coo.entries.data()),
+          static_cast<std::streamsize>(coo.entries.size() * sizeof(CooEntry)));
+  if (static_cast<std::size_t>(in.gcount()) !=
+      coo.entries.size() * sizeof(CooEntry))
+    io_fail_at("read error in COO body", path,
+               20 + static_cast<std::int64_t>(in.gcount()));
+  return coo;
 }
 
 }  // namespace rectpart

@@ -5,11 +5,20 @@
 //   lines 2..n1+1: n2 whitespace-separated integers
 // Binary format: magic "RPM1", int32 n1, int32 n2, then n1*n2 little-endian
 // int64 values row-major.
+//
+// Sparse COO formats (for instances that never fit densely):
+//   Text — the MatrixMarket coordinate subset: '%' comment lines, then a
+//   size line "n1 n2 nnz", then nnz lines "row col value" with 1-based
+//   coordinates.  Real MatrixMarket headers are '%' comments, so plain
+//   integer-general .mtx files load as-is.
+//   Binary — magic "RPC1", int32 n1, int32 n2, int64 nnz, then nnz raw
+//   16-byte CooEntry records (int32 row, int32 col, int64 value, 0-based).
 #pragma once
 
 #include <string>
 
 #include "core/matrix.hpp"
+#include "prefix/sparse_load.hpp"
 #include "three/matrix3.hpp"
 
 namespace rectpart {
@@ -24,5 +33,16 @@ void save_matrix_binary(const LoadMatrix& a, const std::string& path);
 /// x-major order.
 void save_matrix3_binary(const LoadMatrix3& a, const std::string& path);
 [[nodiscard]] LoadMatrix3 load_matrix3_binary(const std::string& path);
+
+/// COO text (MatrixMarket coordinate subset, 1-based triples).  The loaders
+/// return the raw stream — duplicate coordinates and entry order are
+/// preserved; SparseLoadCSR::from_coo does the validation and accumulation.
+void save_coo_text(const CooInstance& coo, const std::string& path);
+[[nodiscard]] CooInstance load_coo_text(const std::string& path);
+
+/// COO binary ("RPC1"): the nnz-sized header is validated against the file
+/// size before the allocation, like the dense loaders.
+void save_coo_binary(const CooInstance& coo, const std::string& path);
+[[nodiscard]] CooInstance load_coo_binary(const std::string& path);
 
 }  // namespace rectpart

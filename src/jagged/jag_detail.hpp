@@ -8,7 +8,7 @@
 #include "core/partition.hpp"
 #include "oned/cuts.hpp"
 #include "oned/nicol.hpp"
-#include "prefix/prefix_sum.hpp"
+#include "prefix/load_substrate.hpp"
 #include "prefix/stripe_projection.hpp"
 #include "util/parallel.hpp"
 
@@ -22,11 +22,11 @@ namespace rectpart::jag_detail {
 /// bit-identical.  Safe inside parallel_for lanes: the thread_local buffers
 /// are used to completion within one claimed iteration, and nicol_plus never
 /// re-enters the execution layer.
-[[nodiscard]] inline oned::Cuts solve_stripe(const PrefixSum2D& ps, int a,
+[[nodiscard]] inline oned::Cuts solve_stripe(const LoadSubstrate& ls, int a,
                                              int b, int procs) {
   thread_local StripeProjection proj;
   thread_local oned::ProbeScratch scratch;
-  proj.assign_rows(ps, a, b);
+  proj.assign_rows(ls, a, b);
   return std::move(oned::nicol_plus(proj.oracle(), procs, &scratch).cuts);
 }
 
@@ -39,10 +39,10 @@ namespace rectpart::jag_detail {
 /// the instance's cache: repeated -VER/kBest solves of one instance pay the
 /// O(n1*n2) copy once.
 template <typename F>
-[[nodiscard]] Partition with_orientation(const PrefixSum2D& ps,
+[[nodiscard]] Partition with_orientation(const LoadSubstrate& ps,
                                          Orientation orient, F&& run_hor) {
   if (orient == Orientation::kHorizontal) return run_hor(ps);
-  const PrefixSum2D& t = ps.transposed();
+  const LoadSubstrate t = ps.transposed();
   if (orient == Orientation::kVertical)
     return transpose_partition(run_hor(t));
   Partition hor, ver;

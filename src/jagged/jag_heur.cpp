@@ -25,7 +25,7 @@ int default_mway_stripes(int m, int n1) {
   return std::clamp(p, 1, std::min(m, n1));
 }
 
-Partition pq_heur_hor(const PrefixSum2D& ps, int m, int p,
+Partition pq_heur_hor(const LoadSubstrate& ps, int m, int p,
                       const RunContext* ctx) {
   RECTPART_SPAN("jag-pq-heur");
   if (m % p != 0)
@@ -150,7 +150,7 @@ std::vector<int> allot_processors(const std::vector<std::int64_t>& loads,
   return q;
 }
 
-Partition m_heur_hor(const PrefixSum2D& ps, int m, int p, Allotment rule,
+Partition m_heur_hor(const LoadSubstrate& ps, int m, int p, Allotment rule,
                      const RunContext* ctx) {
   RECTPART_SPAN("jag-m-heur");
   poll_deadline(ctx, "jag-m-heur projection split");
@@ -182,18 +182,18 @@ Partition m_heur_hor(const PrefixSum2D& ps, int m, int p, Allotment rule,
 
 }  // namespace
 
-Partition jag_pq_heur(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
+Partition jag_pq_heur(const LoadSubstrate& ps, int m, const JaggedOptions& opt) {
   int p = opt.stripes;
   if (p <= 0) p = choose_grid(m).first;
   return jag_detail::with_orientation(
-      ps, opt.orientation, [m, p, &opt](const PrefixSum2D& view) {
+      ps, opt.orientation, [m, p, &opt](const LoadSubstrate& view) {
         return pq_heur_hor(view, m, p, opt.ctx);
       });
 }
 
-Partition jag_m_heur(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
+Partition jag_m_heur(const LoadSubstrate& ps, int m, const JaggedOptions& opt) {
   return jag_detail::with_orientation(
-      ps, opt.orientation, [m, &opt](const PrefixSum2D& view) {
+      ps, opt.orientation, [m, &opt](const LoadSubstrate& view) {
         int p = opt.stripes;
         if (p <= 0) p = default_mway_stripes(m, view.rows());
         p = std::clamp(p, 1, m);
@@ -201,10 +201,10 @@ Partition jag_m_heur(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
       });
 }
 
-Partition jag_m_heur_auto(const PrefixSum2D& ps, int m,
+Partition jag_m_heur_auto(const LoadSubstrate& ps, int m,
                           const JaggedOptions& opt) {
   return jag_detail::with_orientation(
-      ps, opt.orientation, [m, &opt](const PrefixSum2D& view) {
+      ps, opt.orientation, [m, &opt](const LoadSubstrate& view) {
         // Candidate stripe counts: sqrt(m) (the paper's default, so this
         // variant can never lose to it) scaled by powers of two, which
         // brackets the flat valley of the Theorem 3 guarantee (Figure 9)

@@ -129,7 +129,7 @@ struct StripeTask {
   int procs = 0;
 };
 
-std::vector<oned::Cuts> solve_stripes(const PrefixSum2D& ps,
+std::vector<oned::Cuts> solve_stripes(const LoadSubstrate& ps,
                                       const std::vector<StripeTask>& tasks) {
   std::vector<oned::Cuts> col_cuts(tasks.size());
   parallel_for(tasks.size(), [&](std::size_t s) {
@@ -141,16 +141,25 @@ std::vector<oned::Cuts> solve_stripes(const PrefixSum2D& ps,
 
 /// Minimum number of column intervals of load <= B covering stripe [a, b),
 /// or nullopt when impossible or when the count would exceed `cap`.
-std::optional<int> stripe_parts(const PrefixSum2D& ps, int a, int b,
+std::optional<int> stripe_parts(const LoadSubstrate& ps, int a, int b,
                                 std::int64_t B, int cap) {
-  StripeColsOracle o(ps, a, b);
-  return oned::min_parts_within(o, 0, ps.cols(), B, cap);
+  if (ps.is_dense()) {
+    StripeColsOracle o(ps.dense(), a, b);
+    return oned::min_parts_within(o, 0, ps.cols(), B, cap);
+  }
+  // CSR path: materialize the stripe's flat prefix (nonzero rows only) and
+  // run the same search on the PrefixOracle view.  The projection values
+  // equal the Γ-row oracle's exactly, so the returned part count — and with
+  // it every feasibility verdict of the parametric search — is identical.
+  thread_local StripeProjection proj;
+  proj.assign_rows(ps, a, b);
+  return oned::min_parts_within(proj.oracle(), 0, ps.cols(), B, cap);
 }
 
 /// Largest e in [a+1, n1] such that stripe [a, e) needs at most `cap` column
 /// intervals of load <= B; requires the single row [a, a+1) to qualify.
 /// Galloping search on the antitone predicate.
-int max_stripe_end(const PrefixSum2D& ps, int a, std::int64_t B, int cap) {
+int max_stripe_end(const LoadSubstrate& ps, int a, std::int64_t B, int cap) {
   const int n1 = ps.rows();
   int good = a + 1;  // caller guarantees the single row qualifies
   int step = 1;
@@ -179,7 +188,7 @@ int max_stripe_end(const PrefixSum2D& ps, int a, std::int64_t B, int cap) {
 
 /// Greedy feasibility for P x Q-way jagged with bottleneck B.  On success and
 /// when `out` is non-null, writes the stripe boundaries (padded to P stripes).
-bool pq_feasible(const PrefixSum2D& ps, int p, int q, std::int64_t B,
+bool pq_feasible(const LoadSubstrate& ps, int p, int q, std::int64_t B,
                  oned::Cuts* out, const RunContext* ctx) {
   const int n1 = ps.rows();
   // Reused across the bisection's many probes; safe because nothing in the
@@ -203,7 +212,7 @@ bool pq_feasible(const PrefixSum2D& ps, int p, int q, std::int64_t B,
   return true;
 }
 
-Partition pq_opt_hor(const PrefixSum2D& ps, int m, int p,
+Partition pq_opt_hor(const LoadSubstrate& ps, int m, int p,
                      const RunContext* ctx) {
   RECTPART_SPAN("jag-pq-opt");
   if (m % p != 0)
@@ -263,7 +272,7 @@ Partition pq_opt_hor(const PrefixSum2D& ps, int m, int p,
 /// [s, n1), saturated at m+1.  When `choice_*` are non-null the minimizing
 /// stripe end / processor count per state is recorded for extraction.
 struct MWayProbe {
-  const PrefixSum2D& ps;
+  const LoadSubstrate ps;
   int m;
   std::int64_t B;
   const RunContext* ctx = nullptr;
@@ -273,7 +282,7 @@ struct MWayProbe {
   std::vector<int> choice_e;   // stripe end realizing f[s]
   std::vector<int> choice_c;   // processor count of that stripe
 
-  explicit MWayProbe(const PrefixSum2D& p, int m_, std::int64_t b,
+  explicit MWayProbe(const LoadSubstrate& p, int m_, std::int64_t b,
                      const RunContext* c = nullptr)
       : ps(p), m(m_), B(b), ctx(c) {}
 
@@ -333,7 +342,7 @@ struct MWayProbe {
 /// whose DP already ran at exactly B (retained from the parametric search);
 /// when absent the DP is re-run.  The walk over choice_e/choice_c is a pure
 /// function of B either way, so both paths yield the same partition.
-Partition m_opt_extract(const PrefixSum2D& ps, int m, std::int64_t B,
+Partition m_opt_extract(const LoadSubstrate& ps, int m, std::int64_t B,
                         const MWayProbe* witness, const RunContext* ctx) {
   std::unique_ptr<MWayProbe> own;
   if (witness) {
@@ -368,7 +377,7 @@ struct MWaySolve {
   std::unique_ptr<MWayProbe> witness;
 };
 
-MWaySolve m_opt_solve_hor(const PrefixSum2D& ps, int m,
+MWaySolve m_opt_solve_hor(const LoadSubstrate& ps, int m,
                           const RunContext* ctx = nullptr) {
   const std::int64_t lb = lower_bound_lmax(ps, m);
   JaggedOptions heur_opt;
@@ -396,18 +405,18 @@ MWaySolve m_opt_solve_hor(const PrefixSum2D& ps, int m,
 
 }  // namespace
 
-Partition jag_pq_opt(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
+Partition jag_pq_opt(const LoadSubstrate& ps, int m, const JaggedOptions& opt) {
   int p = opt.stripes;
   if (p <= 0) p = choose_grid(m).first;
   return jag_detail::with_orientation(
-      ps, opt.orientation, [m, p, &opt](const PrefixSum2D& view) {
+      ps, opt.orientation, [m, p, &opt](const LoadSubstrate& view) {
         return pq_opt_hor(view, m, p, opt.ctx);
       });
 }
 
-Partition jag_m_opt(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
+Partition jag_m_opt(const LoadSubstrate& ps, int m, const JaggedOptions& opt) {
   return jag_detail::with_orientation(
-      ps, opt.orientation, [m, &opt](const PrefixSum2D& view) {
+      ps, opt.orientation, [m, &opt](const LoadSubstrate& view) {
         RECTPART_SPAN("jag-m-opt");
         const MWaySolve solved = m_opt_solve_hor(view, m, opt.ctx);
         return m_opt_extract(view, m, solved.bottleneck,
@@ -415,11 +424,11 @@ Partition jag_m_opt(const PrefixSum2D& ps, int m, const JaggedOptions& opt) {
       });
 }
 
-std::int64_t jag_m_opt_bottleneck(const PrefixSum2D& ps, int m,
+std::int64_t jag_m_opt_bottleneck(const LoadSubstrate& ps, int m,
                                   Orientation orient) {
   if (orient == Orientation::kHorizontal)
     return m_opt_solve_hor(ps, m).bottleneck;
-  const PrefixSum2D& t = ps.transposed();
+  const LoadSubstrate t = ps.transposed();
   if (orient == Orientation::kVertical)
     return m_opt_solve_hor(t, m).bottleneck;
   std::int64_t hor = 0, ver = 0;

@@ -47,7 +47,7 @@ class StripeOptOracle {
   int q_;
 };
 
-Partition pq_opt_dp_hor(const PrefixSum2D& ps, int m, int p) {
+Partition pq_opt_dp_hor(const LoadSubstrate& ps, int m, int p) {
   RECTPART_SPAN("jag-pq-opt-dp");
   const int q = m / p;
   StripeOptCache cache(ps);
@@ -80,7 +80,7 @@ Partition pq_opt_dp_hor(const PrefixSum2D& ps, int m, int p) {
 /// choice_k and choice_x are bit-identical at any thread count.
 class MWayDp {
  public:
-  MWayDp(const PrefixSum2D& ps, int m)
+  MWayDp(const LoadSubstrate& ps, int m)
       : ps_(ps),
         m_(m),
         n1_(ps.rows()),
@@ -181,7 +181,7 @@ class MWayDp {
     return static_cast<std::size_t>(i) * (m_ + 1) + q;
   }
 
-  const PrefixSum2D& ps_;
+  const LoadSubstrate ps_;
   int m_;
   int n1_;
   StripeOptCache cache_;
@@ -192,7 +192,7 @@ class MWayDp {
 
 }  // namespace
 
-Partition jag_pq_opt_dp(const PrefixSum2D& ps, int m,
+Partition jag_pq_opt_dp(const LoadSubstrate& ps, int m,
                         const JaggedOptions& opt) {
   int p = opt.stripes;
   if (p <= 0) p = choose_grid(m).first;
@@ -204,13 +204,13 @@ Partition jag_pq_opt_dp(const PrefixSum2D& ps, int m,
         "JaggedOptions::stripes = a divisor of m, or 0 for the default grid");
   return jag_detail::with_orientation(
       ps, opt.orientation,
-      [m, p](const PrefixSum2D& view) { return pq_opt_dp_hor(view, m, p); });
+      [m, p](const LoadSubstrate& view) { return pq_opt_dp_hor(view, m, p); });
 }
 
-Partition jag_m_opt_dp(const PrefixSum2D& ps, int m,
+Partition jag_m_opt_dp(const LoadSubstrate& ps, int m,
                        const JaggedOptions& opt) {
   return jag_detail::with_orientation(
-      ps, opt.orientation, [m](const PrefixSum2D& view) {
+      ps, opt.orientation, [m](const LoadSubstrate& view) {
         RECTPART_SPAN("jag-m-opt-dp");
         MWayDp dp(view, m);
         dp.solve(view.rows(), m);

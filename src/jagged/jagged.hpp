@@ -22,6 +22,7 @@
 #include "core/orient.hpp"
 #include "core/partition.hpp"
 #include "obs/run_context.hpp"
+#include "prefix/load_substrate.hpp"
 #include "prefix/prefix_sum.hpp"
 
 namespace rectpart {
@@ -30,6 +31,9 @@ namespace rectpart {
 /// The two bordered Γ-row pointers are cached at construction, so a query is
 /// four adjacent-row loads with no row-offset multiply.  Empty stripes
 /// (a == b) degenerate to the all-zero oracle, matching PrefixSum2D::load.
+/// A dense-Γ detail: call sites branch on LoadSubstrate::is_dense() and
+/// materialize a StripeProjection on the CSR path instead (same oracle
+/// values, so the same cuts).
 class StripeColsOracle {
  public:
   StripeColsOracle(const PrefixSum2D& ps, int a, int b)
@@ -74,21 +78,21 @@ struct JaggedOptions {
 
 /// P x Q-way jagged heuristic (JAG-PQ-HEUR).  Requires stripes to divide m
 /// when given explicitly.
-[[nodiscard]] Partition jag_pq_heur(const PrefixSum2D& ps, int m,
+[[nodiscard]] Partition jag_pq_heur(const LoadSubstrate& ls, int m,
                                     const JaggedOptions& opt = {});
 
 /// Optimal P x Q-way jagged partition (JAG-PQ-OPT), parametric engine.
-[[nodiscard]] Partition jag_pq_opt(const PrefixSum2D& ps, int m,
+[[nodiscard]] Partition jag_pq_opt(const LoadSubstrate& ls, int m,
                                    const JaggedOptions& opt = {});
 
 /// Optimal P x Q-way jagged partition via the explicit dynamic program over
 /// the main dimension (Nicol-style search on the stripe-optimum oracle with
 /// memoization).  Exact; slower than jag_pq_opt; kept for cross-validation.
-[[nodiscard]] Partition jag_pq_opt_dp(const PrefixSum2D& ps, int m,
+[[nodiscard]] Partition jag_pq_opt_dp(const LoadSubstrate& ls, int m,
                                       const JaggedOptions& opt = {});
 
 /// m-way jagged heuristic (JAG-M-HEUR), Section 3.2.2.
-[[nodiscard]] Partition jag_m_heur(const PrefixSum2D& ps, int m,
+[[nodiscard]] Partition jag_m_heur(const LoadSubstrate& ls, int m,
                                    const JaggedOptions& opt = {});
 
 /// JAG-M-HEUR with automatic stripe-count selection.  The paper fixes
@@ -99,13 +103,13 @@ struct JaggedOptions {
 /// sqrt(m) scaled by powers of two, plus the Theorem 4 value when Delta is
 /// defined — and keeps the best result; since sqrt(m) is always a
 /// candidate, it never loses to the fixed-P heuristic.
-[[nodiscard]] Partition jag_m_heur_auto(const PrefixSum2D& ps, int m,
+[[nodiscard]] Partition jag_m_heur_auto(const LoadSubstrate& ls, int m,
                                         const JaggedOptions& opt = {});
 
 /// Optimal m-way jagged partition (JAG-M-OPT), parametric engine: integer
 /// bisection on the bottleneck with a minimum-processor suffix DP as the
 /// feasibility test.
-[[nodiscard]] Partition jag_m_opt(const PrefixSum2D& ps, int m,
+[[nodiscard]] Partition jag_m_opt(const LoadSubstrate& ls, int m,
                                   const JaggedOptions& opt = {});
 
 /// Optimal m-way jagged partition via the paper's dynamic programming
@@ -113,12 +117,12 @@ struct JaggedOptions {
 /// bi-monotonic binary search, bound pruning, and an incumbent from
 /// JAG-M-HEUR.  Exact; exponential memo pressure at scale — use on small
 /// instances; kept for cross-validation of jag_m_opt.
-[[nodiscard]] Partition jag_m_opt_dp(const PrefixSum2D& ps, int m,
+[[nodiscard]] Partition jag_m_opt_dp(const LoadSubstrate& ls, int m,
                                      const JaggedOptions& opt = {});
 
 /// The bottleneck of the optimal m-way jagged partition without materializing
 /// the partition (used by benches to avoid the extraction pass).
-[[nodiscard]] std::int64_t jag_m_opt_bottleneck(const PrefixSum2D& ps, int m,
+[[nodiscard]] std::int64_t jag_m_opt_bottleneck(const LoadSubstrate& ls, int m,
                                                 Orientation orient);
 
 }  // namespace rectpart

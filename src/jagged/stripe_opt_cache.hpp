@@ -14,7 +14,7 @@
 #include "jagged/jagged.hpp"
 #include "obs/counters.hpp"
 #include "oned/oned.hpp"
-#include "prefix/prefix_sum.hpp"
+#include "prefix/load_substrate.hpp"
 #include "util/rng.hpp"
 
 namespace rectpart {
@@ -39,7 +39,7 @@ inline constexpr std::int64_t kStripeInf =
 /// stripe's entry and returned its bottleneck.)
 class StripeOptCache {
  public:
-  explicit StripeOptCache(const PrefixSum2D& ps) : ps_(ps) {}
+  explicit StripeOptCache(const LoadSubstrate& ps) : ps_(ps) {}
 
   std::int64_t opt(int a, int b, int x) const {
     if (a >= b) return 0;
@@ -90,12 +90,19 @@ class StripeOptCache {
     const std::unique_lock<std::mutex> lock = lock_shard(shard);
     const auto it = shard.memo.find(ab);
     if (it != shard.memo.end()) return it->second;
-    auto built = std::make_shared<std::vector<std::int64_t>>(
-        static_cast<std::size_t>(ps_.cols()) + 1);
-    const std::int64_t* ra = ps_.row_ptr(a);
-    const std::int64_t* rb = ps_.row_ptr(b);
-    for (int j = 0; j <= ps_.cols(); ++j) (*built)[j] = rb[j] - ra[j];
-    RECTPART_COUNT(kProjectionsBuilt, 1);
+    auto built = std::make_shared<std::vector<std::int64_t>>();
+    if (ps_.is_dense()) {
+      const PrefixSum2D& dense = ps_.dense();
+      built->resize(static_cast<std::size_t>(dense.cols()) + 1);
+      const std::int64_t* ra = dense.row_ptr(a);
+      const std::int64_t* rb = dense.row_ptr(b);
+      for (int j = 0; j <= dense.cols(); ++j) (*built)[j] = rb[j] - ra[j];
+      RECTPART_COUNT(kProjectionsBuilt, 1);
+    } else {
+      // Same values via the stripe's nonzeros; accumulate_row_stripe sizes
+      // the vector and counts projections_built itself.
+      ps_.sparse()->accumulate_row_stripe(a, b, *built);
+    }
     return shard.memo.emplace(ab, std::move(built)).first->second;
   }
 
@@ -145,7 +152,7 @@ class StripeOptCache {
     return KeyHash{}(k) % kShards;
   }
 
-  const PrefixSum2D& ps_;
+  const LoadSubstrate ps_;
   mutable std::array<Shard, kShards> shards_;
   mutable std::array<ProjShard, kShards> proj_shards_;
 };

@@ -51,6 +51,14 @@ constexpr CounterMeta kMeta[kCounterCount] = {
     // exact equality on every algorithmic counter.
     {"simd_lanes_used", false, true},
     {"simd_fallback_hits", false, true},
+    // CSR-substrate work.  Rows touched per query is a pure function of the
+    // query arguments and the instance, and the set of queries is fixed by
+    // the search control flow — the same argument oned_oracle_loads makes.
+    // Mirror builds: exactly one install per instance side regardless of how
+    // many readers raced (the losing duplicate builds are discarded
+    // uncounted), so the total is a function of which code paths ran.
+    {"sparse_rows_touched", false, false},
+    {"csc_mirror_builds", false, false},
 };
 
 // One cache-line-isolated block per thread.  Only the owning thread writes

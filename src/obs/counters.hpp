@@ -55,6 +55,8 @@ enum class Counter : int {
   kServiceDeadlineReturns,  ///< requests answered by the SLO fallback path
   kSimdLanesUsed,           ///< int64 elements processed through SIMD lanes
   kSimdFallbackHits,        ///< SIMD kernel calls that ran a scalar tail/path
+  kSparseRowsTouched,       ///< nonzero CSR rows visited by sparse queries
+  kCscMirrorBuilds,         ///< lazy CSC mirror transposes installed
   kCount
 };
 

@@ -61,7 +61,7 @@ int side_extent(const Rect& r, Side side) {
 /// on each of the m-1 turns (maximal peels dominate: a deeper peel leaves a
 /// contained remainder, which only shrinks every later strip's load).  The
 /// final remainder must itself fit in B.
-bool spiral_feasible(const PrefixSum2D& ps, int m, std::int64_t B,
+bool spiral_feasible(const LoadSubstrate& ps, int m, std::int64_t B,
                      std::vector<Rect>* out) {
   Rect r{0, ps.rows(), 0, ps.cols()};
   Side side = Side::kTop;
@@ -101,7 +101,7 @@ constexpr int kStopSentinel = -1;
 /// exactly by searching over the candidate values.
 class QuadDp {
  public:
-  QuadDp(const PrefixSum2D& ps, int m) : ps_(ps) {
+  QuadDp(const LoadSubstrate& ps, int m) : ps_(ps) {
     if (ps.rows() > 255 || ps.cols() > 255 || m > 4095)
       throw std::invalid_argument(
           "quad_opt: instance too large for the exact pattern DP");
@@ -256,13 +256,13 @@ class QuadDp {
            static_cast<std::uint64_t>(q);
   }
 
-  const PrefixSum2D& ps_;
+  const LoadSubstrate& ps_;
   std::unordered_map<std::uint64_t, Entry> memo_;
 };
 
 }  // namespace
 
-std::int64_t spiral_opt_bottleneck(const PrefixSum2D& ps, int m) {
+std::int64_t spiral_opt_bottleneck(const LoadSubstrate& ps, int m) {
   std::int64_t lb = lower_bound_lmax(ps, m);
   std::int64_t ub = ps.total();
   while (lb < ub) {
@@ -275,7 +275,7 @@ std::int64_t spiral_opt_bottleneck(const PrefixSum2D& ps, int m) {
   return lb;
 }
 
-Partition spiral_opt(const PrefixSum2D& ps, int m) {
+Partition spiral_opt(const LoadSubstrate& ps, int m) {
   const std::int64_t b = spiral_opt_bottleneck(ps, m);
   Partition part;
   if (!spiral_feasible(ps, m, b, &part.rects))
@@ -283,7 +283,7 @@ Partition spiral_opt(const PrefixSum2D& ps, int m) {
   return part;
 }
 
-Partition quad_opt(const PrefixSum2D& ps, int m) {
+Partition quad_opt(const LoadSubstrate& ps, int m) {
   QuadDp dp(ps, m);
   const Rect whole{0, ps.rows(), 0, ps.cols()};
   dp.solve(whole, m);

@@ -21,16 +21,16 @@
 #pragma once
 
 #include "core/partition.hpp"
-#include "prefix/prefix_sum.hpp"
+#include "prefix/load_substrate.hpp"
 
 namespace rectpart {
 
 /// Optimal spiral partition: m-1 peeled strips plus the final core.
 /// Sides rotate top -> right -> bottom -> left (rows first).
-[[nodiscard]] Partition spiral_opt(const PrefixSum2D& ps, int m);
+[[nodiscard]] Partition spiral_opt(const LoadSubstrate& ps, int m);
 
 /// Bottleneck of the optimal spiral partition (no extraction pass).
-[[nodiscard]] std::int64_t spiral_opt_bottleneck(const PrefixSum2D& ps,
+[[nodiscard]] std::int64_t spiral_opt_bottleneck(const LoadSubstrate& ps,
                                                  int m);
 
 /// Optimal recursive quad partition: every internal node splits its
@@ -38,6 +38,6 @@ namespace rectpart {
 /// children, and distributes its processors among them.  Exact via the
 /// generic pattern DP; requires n1, n2 <= 255 and m <= 4095 and is intended
 /// for small instances only.
-[[nodiscard]] Partition quad_opt(const PrefixSum2D& ps, int m);
+[[nodiscard]] Partition quad_opt(const LoadSubstrate& ps, int m);
 
 }  // namespace rectpart

@@ -1,0 +1,105 @@
+// LoadSubstrate: the substrate-facing view every partitioning engine runs on.
+//
+// The engines never look at cells; they query rectangle loads, 1-D
+// projection prefixes, and stripe projections.  Historically those queries
+// were answered by one concrete type (the dense Γ array, PrefixSum2D), and
+// every engine signature said so.  LoadSubstrate is the seam that breaks
+// that coupling: a non-owning two-pointer view that dispatches each query to
+// the dense Γ array or the CSR substrate (prefix/sparse_load.hpp), with
+// implicit converting constructors from both so existing `run(ps, m)` call
+// sites compile unchanged.
+//
+// Contract: both substrates answer every query with bit-identical int64
+// values for the same logical matrix (the sparse paths re-associate the same
+// entry sums; see sparse_load.hpp).  Engines that exploit the dense Γ layout
+// directly (row_ptr block subtracts, StripeColsOracle) branch on is_dense()
+// and keep their dense bodies byte-for-byte — the dense control flow, and
+// with it every deterministic counter baseline and golden partition hash,
+// is unchanged by this redesign.
+//
+// The view is two raw pointers: copy it freely, but never let it outlive the
+// substrate it wraps (the same lifetime rule as std::span).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "core/rect.hpp"
+#include "prefix/prefix_sum.hpp"
+#include "prefix/sparse_load.hpp"
+
+namespace rectpart {
+
+class LoadSubstrate {
+ public:
+  /// Implicit on purpose: `algo->run(ps, m)` keeps compiling with a dense
+  /// PrefixSum2D in hand.
+  LoadSubstrate(const PrefixSum2D& dense) : dense_(&dense) {}  // NOLINT
+  LoadSubstrate(const SparseLoadCSR& sparse) : sparse_(&sparse) {}  // NOLINT
+
+  [[nodiscard]] bool is_dense() const { return dense_ != nullptr; }
+
+  /// The wrapped dense Γ array; only valid when is_dense().
+  [[nodiscard]] const PrefixSum2D& dense() const {
+    assert(dense_ != nullptr);
+    return *dense_;
+  }
+
+  /// The wrapped CSR substrate; only valid when !is_dense().
+  [[nodiscard]] const SparseLoadCSR* sparse() const { return sparse_; }
+
+  /// Stable substrate tag ("dense" / "csr") for tables and logs.
+  [[nodiscard]] const char* kind() const { return dense_ ? "dense" : "csr"; }
+
+  [[nodiscard]] int rows() const {
+    return dense_ ? dense_->rows() : sparse_->rows();
+  }
+  [[nodiscard]] int cols() const {
+    return dense_ ? dense_->cols() : sparse_->cols();
+  }
+  [[nodiscard]] std::int64_t total() const {
+    return dense_ ? dense_->total() : sparse_->total();
+  }
+  [[nodiscard]] std::int64_t max_cell() const {
+    return dense_ ? dense_->max_cell() : sparse_->max_cell();
+  }
+
+  [[nodiscard]] std::int64_t load(int x0, int x1, int y0, int y1) const {
+    return dense_ ? dense_->load(x0, x1, y0, y1)
+                  : sparse_->load(x0, x1, y0, y1);
+  }
+  [[nodiscard]] std::int64_t load(const Rect& r) const {
+    return load(r.x0, r.x1, r.y0, r.y1);
+  }
+  [[nodiscard]] std::int64_t row_load(int x0, int x1) const {
+    return dense_ ? dense_->row_load(x0, x1) : sparse_->row_load(x0, x1);
+  }
+  [[nodiscard]] std::int64_t col_load(int y0, int y1) const {
+    return dense_ ? dense_->col_load(y0, y1) : sparse_->col_load(y0, y1);
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> row_projection_prefix() const {
+    return dense_ ? dense_->row_projection_prefix()
+                  : sparse_->row_projection_prefix();
+  }
+  [[nodiscard]] std::vector<std::int64_t> col_projection_prefix() const {
+    return dense_ ? dense_->col_projection_prefix()
+                  : sparse_->col_projection_prefix();
+  }
+
+  /// View of the transposed instance, on whichever substrate this view
+  /// wraps.  Both substrates cache their transpose (first build wins,
+  /// acquire fast path), so this is O(1) after first use and the returned
+  /// view shares the wrapped object's lifetime.
+  [[nodiscard]] LoadSubstrate transposed() const {
+    return dense_ ? LoadSubstrate(dense_->transposed())
+                  : LoadSubstrate(sparse_->transposed());
+  }
+
+ private:
+  const PrefixSum2D* dense_ = nullptr;
+  const SparseLoadCSR* sparse_ = nullptr;
+};
+
+}  // namespace rectpart

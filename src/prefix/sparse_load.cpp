@@ -1,0 +1,223 @@
+#include "prefix/sparse_load.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/counters.hpp"
+
+namespace rectpart {
+
+namespace {
+
+/// Scratch pair used by the per-row column sort during construction.
+using ColVal = std::pair<std::int32_t, std::int64_t>;
+
+}  // namespace
+
+SparseLoadCSR SparseLoadCSR::from_coo(int n1, int n2,
+                                      std::vector<CooEntry> entries) {
+  // Reuses the dense-extent validation for the *dimensions* (negative and
+  // absurd headers rejected with typed errors) without allocating anything
+  // of that extent.
+  if (n1 < 0 || n2 < 0) throw std::invalid_argument("negative matrix size");
+  SparseLoadCSR s;
+  s.n1_ = n1;
+  s.n2_ = n2;
+
+  // Pass 1: validate and count entries per row.
+  std::vector<std::int64_t> count(static_cast<std::size_t>(n1) + 1, 0);
+  for (const CooEntry& e : entries) {
+    if (e.r < 0 || e.r >= n1 || e.c < 0 || e.c >= n2)
+      throw std::invalid_argument("COO coordinate out of range");
+    if (e.v < 0) throw std::invalid_argument("negative COO load");
+    ++count[static_cast<std::size_t>(e.r) + 1];
+  }
+  for (int i = 0; i < n1; ++i)
+    count[static_cast<std::size_t>(i) + 1] += count[static_cast<std::size_t>(i)];
+
+  // Pass 2: counting-sort scatter by row, then release the COO stream.
+  std::vector<ColVal> tmp(entries.size());
+  {
+    std::vector<std::int64_t> fill(count.begin(), count.end() - 1);
+    for (const CooEntry& e : entries) {
+      auto& pos = fill[static_cast<std::size_t>(e.r)];
+      tmp[static_cast<std::size_t>(pos)] = {e.c, e.v};
+      ++pos;
+    }
+  }
+  entries.clear();
+  entries.shrink_to_fit();
+
+  // Pass 3: per-row column sort, duplicate accumulation, and the compacted
+  // CSR arrays with the global running value prefix.
+  s.row_start_.assign(static_cast<std::size_t>(n1) + 1, 0);
+  s.col_.reserve(tmp.size());
+  s.cum_.reserve(tmp.size() + 1);
+  s.cum_.push_back(0);
+  for (int i = 0; i < n1; ++i) {
+    const auto seg0 = tmp.begin() + count[static_cast<std::size_t>(i)];
+    const auto seg1 = tmp.begin() + count[static_cast<std::size_t>(i) + 1];
+    std::sort(seg0, seg1, [](const ColVal& a, const ColVal& b) {
+      return a.first < b.first;
+    });
+    for (auto it = seg0; it != seg1;) {
+      const std::int32_t c = it->first;
+      std::int64_t v = 0;
+      for (; it != seg1 && it->first == c; ++it) v += it->second;
+      s.col_.push_back(c);
+      s.cum_.push_back(s.cum_.back() + v);
+      s.max_cell_ = std::max(s.max_cell_, v);
+    }
+    s.row_start_[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int64_t>(s.col_.size());
+  }
+  s.col_.shrink_to_fit();
+  s.cum_.shrink_to_fit();
+  return s;
+}
+
+SparseLoadCSR SparseLoadCSR::from_dense(const LoadMatrix& a) {
+  std::vector<CooEntry> entries;
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < a.cols(); ++j)
+      if (a(i, j) != 0)
+        entries.push_back(CooEntry{i, j, a(i, j)});
+  return from_coo(a.rows(), a.cols(), std::move(entries));
+}
+
+std::int64_t SparseLoadCSR::load(int x0, int x1, int y0, int y1) const {
+  if (x0 >= x1 || y0 >= y1) return 0;
+  assert(0 <= x0 && x1 <= n1_ && 0 <= y0 && y1 <= n2_);
+  // Full-width stripes resolve off the running prefix without touching rows.
+  if (y0 == 0 && y1 == n2_) return row_load(x0, x1);
+  std::int64_t sum = 0;
+  std::int64_t rows_touched = 0;
+  for (int x = x0; x < x1; ++x) {
+    const std::int64_t k0 = row_start_[static_cast<std::size_t>(x)];
+    const std::int64_t k1 = row_start_[static_cast<std::size_t>(x) + 1];
+    if (k0 == k1) continue;
+    ++rows_touched;
+    const std::int32_t* base = col_.data();
+    const std::int32_t* lo =
+        std::lower_bound(base + k0, base + k1, static_cast<std::int32_t>(y0));
+    const std::int32_t* hi =
+        std::lower_bound(lo, base + k1, static_cast<std::int32_t>(y1));
+    sum += cum_[static_cast<std::size_t>(hi - base)] -
+           cum_[static_cast<std::size_t>(lo - base)];
+  }
+  RECTPART_COUNT(kSparseRowsTouched,
+                 static_cast<std::uint64_t>(rows_touched));
+  return sum;
+}
+
+std::vector<std::int64_t> SparseLoadCSR::row_projection_prefix() const {
+  std::vector<std::int64_t> p(static_cast<std::size_t>(n1_) + 1);
+  for (int i = 0; i <= n1_; ++i)
+    p[static_cast<std::size_t>(i)] =
+        cum_[static_cast<std::size_t>(row_start_[static_cast<std::size_t>(i)])];
+  return p;
+}
+
+std::vector<std::int64_t> SparseLoadCSR::col_projection_prefix() const {
+  return transposed().row_projection_prefix();
+}
+
+void SparseLoadCSR::accumulate_row_stripe(
+    int a, int b, std::vector<std::int64_t>& out) const {
+  assert(0 <= a && a <= b && b <= n1_);
+  out.assign(static_cast<std::size_t>(n2_) + 1, 0);
+  std::int64_t rows_touched = 0;
+  for (int x = a; x < b; ++x) {
+    const std::int64_t k0 = row_start_[static_cast<std::size_t>(x)];
+    const std::int64_t k1 = row_start_[static_cast<std::size_t>(x) + 1];
+    if (k0 == k1) continue;
+    ++rows_touched;
+    for (std::int64_t k = k0; k < k1; ++k)
+      out[static_cast<std::size_t>(col_[static_cast<std::size_t>(k)]) + 1] +=
+          cum_[static_cast<std::size_t>(k) + 1] -
+          cum_[static_cast<std::size_t>(k)];
+  }
+  for (int j = 0; j < n2_; ++j)
+    out[static_cast<std::size_t>(j) + 1] += out[static_cast<std::size_t>(j)];
+  RECTPART_COUNT(kSparseRowsTouched,
+                 static_cast<std::uint64_t>(rows_touched));
+  RECTPART_COUNT(kProjectionsBuilt, 1);
+}
+
+SparseLoadCSR SparseLoadCSR::build_transpose() const {
+  SparseLoadCSR t;
+  t.n1_ = n2_;
+  t.n2_ = n1_;
+  t.max_cell_ = max_cell_;
+  const std::size_t nnz = col_.size();
+
+  // Counting transpose: count per column, prefix, scatter.  Iterating the
+  // rows in ascending order writes each mirror row's entries in ascending
+  // (old-row) order, so the mirror is born column-sorted with no per-row
+  // sort pass.
+  t.row_start_.assign(static_cast<std::size_t>(n2_) + 1, 0);
+  for (std::size_t k = 0; k < nnz; ++k)
+    ++t.row_start_[static_cast<std::size_t>(col_[k]) + 1];
+  for (int j = 0; j < n2_; ++j)
+    t.row_start_[static_cast<std::size_t>(j) + 1] +=
+        t.row_start_[static_cast<std::size_t>(j)];
+
+  t.col_.resize(nnz);
+  std::vector<std::int64_t> val(nnz);
+  {
+    std::vector<std::int64_t> fill(t.row_start_.begin(),
+                                   t.row_start_.end() - 1);
+    for (int i = 0; i < n1_; ++i) {
+      const std::int64_t k0 = row_start_[static_cast<std::size_t>(i)];
+      const std::int64_t k1 = row_start_[static_cast<std::size_t>(i) + 1];
+      for (std::int64_t k = k0; k < k1; ++k) {
+        auto& pos = fill[static_cast<std::size_t>(col_[static_cast<std::size_t>(k)])];
+        t.col_[static_cast<std::size_t>(pos)] = static_cast<std::int32_t>(i);
+        val[static_cast<std::size_t>(pos)] =
+            cum_[static_cast<std::size_t>(k) + 1] -
+            cum_[static_cast<std::size_t>(k)];
+        ++pos;
+      }
+    }
+  }
+  t.cum_.resize(nnz + 1);
+  t.cum_[0] = 0;
+  for (std::size_t k = 0; k < nnz; ++k) t.cum_[k + 1] = t.cum_[k] + val[k];
+  return t;
+}
+
+const SparseLoadCSR& SparseLoadCSR::transposed() const {
+  if (const SparseLoadCSR* t = mcache_.ready.load(std::memory_order_acquire))
+    return *t;
+  // Build outside the mutex (the PrefixSum2D::transposed() discipline): a
+  // caller racing a slow first build duplicates a bit-identical counting
+  // transpose instead of parking on the lock; the first install wins.
+  auto built = std::make_shared<SparseLoadCSR>(build_transpose());
+  std::lock_guard<std::mutex> lock(mcache_.mu);
+  if (!mcache_.value) {
+    // The mirror's own mirror is this object: install the back-pointer
+    // before publishing, so mirror.transposed() never rebuilds the parent.
+    built->mcache_.ready.store(this, std::memory_order_release);
+    mcache_.value = std::move(built);
+    mcache_.ready.store(mcache_.value.get(), std::memory_order_release);
+    RECTPART_COUNT(kCscMirrorBuilds, 1);
+  }
+  return *mcache_.value;
+}
+
+LoadMatrix SparseLoadCSR::to_dense() const {
+  LoadMatrix a(n1_, n2_);
+  for (int i = 0; i < n1_; ++i) {
+    const std::int64_t k0 = row_start_[static_cast<std::size_t>(i)];
+    const std::int64_t k1 = row_start_[static_cast<std::size_t>(i) + 1];
+    for (std::int64_t k = k0; k < k1; ++k)
+      a(i, col_[static_cast<std::size_t>(k)]) =
+          cum_[static_cast<std::size_t>(k) + 1] -
+          cum_[static_cast<std::size_t>(k)];
+  }
+  return a;
+}
+
+}  // namespace rectpart

@@ -1,0 +1,181 @@
+// CSR-backed sparse load substrate with exact rectangle queries.
+//
+// A dense Γ array stores (n1+1)·(n2+1) words, which caps instances near
+// n = 2^15 on laptop memory; the adjacency matrices of the
+// symmetric-rectilinear follow-up line (PAPERS.md) live at n = 2^20 and
+// beyond, where only the nonzeros fit.  SparseLoadCSR stores the instance in
+// compressed-sparse-row form with one twist that keeps every query exact and
+// cheap: instead of per-entry values it stores the *global running prefix* of
+// the values in CSR order (cum_, nnz+1 entries).  Then
+//   * the load of an entry range [k0, k1) is cum_[k1] - cum_[k0],
+//   * the load of full rows [x0, x1) is one subtraction (row_start_ brackets
+//     the range), and
+//   * the load of a rectangle is a sum over its nonzero rows of
+//     binary-searched column sub-ranges — O(rows_touched · log nnz/row).
+// Column-side queries go through a lazily built CSC mirror: the transpose of
+// the matrix stored as another SparseLoadCSR, cached exactly like
+// PrefixSum2D::transposed() (build outside the mutex, first install wins,
+// lock-free acquire fast path, copies start cold).
+//
+// All arithmetic is int64 and association-free (sums of disjoint entry
+// ranges), so every value a partitioning engine observes through this
+// substrate is bit-identical to what the dense Γ path computes on the same
+// logical matrix — the property the cross-substrate golden-hash tests pin.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/rect.hpp"
+
+namespace rectpart {
+
+/// One COO triple: cell (r, c) carries load v.  The layout is exactly 16
+/// bytes with no padding — the service wire format and the binary COO file
+/// format both stream raw CooEntry records.
+struct CooEntry {
+  std::int32_t r = 0;
+  std::int32_t c = 0;
+  std::int64_t v = 0;
+
+  friend bool operator==(const CooEntry&, const CooEntry&) = default;
+};
+
+static_assert(sizeof(CooEntry) == 16, "CooEntry must be wire-packed");
+
+/// A COO stream with its dimensions — the unit the sparse loaders, the
+/// sparse generators, and the service's sparse payload all trade in.
+struct CooInstance {
+  int n1 = 0;
+  int n2 = 0;
+  std::vector<CooEntry> entries;
+};
+
+/// Immutable CSR view of a sparse non-negative load matrix.
+class SparseLoadCSR {
+ public:
+  SparseLoadCSR() = default;
+
+  /// Builds the CSR arrays from unordered COO triples.  Duplicate
+  /// coordinates accumulate (their loads add); entries are validated
+  /// (coordinates in range, loads non-negative) and rejected with
+  /// std::invalid_argument — COO streams arrive from untrusted files and
+  /// service payloads.  Takes the triples by value: the counting sort
+  /// scatters out of the argument and releases it before the compacted
+  /// arrays are finalized, keeping peak memory at ~2 copies of the stream.
+  static SparseLoadCSR from_coo(int n1, int n2, std::vector<CooEntry> entries);
+
+  /// Converts a dense load matrix (for tests and dense-vs-sparse twins).
+  static SparseLoadCSR from_dense(const LoadMatrix& a);
+
+  [[nodiscard]] int rows() const { return n1_; }
+  [[nodiscard]] int cols() const { return n2_; }
+
+  /// Number of stored entries after duplicate accumulation.  Entries with
+  /// accumulated value 0 are kept: they are genuine coordinates of the
+  /// instance and keep the CSR <-> COO round trip faithful.
+  [[nodiscard]] std::int64_t nnz() const {
+    return static_cast<std::int64_t>(col_.size());
+  }
+
+  [[nodiscard]] std::int64_t total() const {
+    return cum_.empty() ? 0 : cum_.back();
+  }
+
+  /// Largest accumulated cell value (0 for an empty instance), the same
+  /// lower-bound seed PrefixSum2D::max_cell() provides.
+  [[nodiscard]] std::int64_t max_cell() const { return max_cell_; }
+
+  /// Load of rows [x0, x1) x columns [y0, y1); empty ranges return 0.
+  /// Counts the nonzero rows visited into sparse_rows_touched.
+  [[nodiscard]] std::int64_t load(int x0, int x1, int y0, int y1) const;
+
+  [[nodiscard]] std::int64_t load(const Rect& r) const {
+    return load(r.x0, r.x1, r.y0, r.y1);
+  }
+
+  /// Load of full rows [x0, x1): two reads off the running prefix.
+  [[nodiscard]] std::int64_t row_load(int x0, int x1) const {
+    if (x0 >= x1) return 0;
+    return cum_[static_cast<std::size_t>(row_start_[x1])] -
+           cum_[static_cast<std::size_t>(row_start_[x0])];
+  }
+
+  /// Load of full columns [y0, y1); O(1) through the CSC mirror (built on
+  /// first use).
+  [[nodiscard]] std::int64_t col_load(int y0, int y1) const {
+    return transposed().row_load(y0, y1);
+  }
+
+  /// 1-D prefix of the projection onto rows (size n1+1): entry i is the load
+  /// of rows [0, i).  Pure reads off row_start_/cum_.
+  [[nodiscard]] std::vector<std::int64_t> row_projection_prefix() const;
+
+  /// 1-D prefix of the projection onto columns (size n2+1), via the mirror.
+  [[nodiscard]] std::vector<std::int64_t> col_projection_prefix() const;
+
+  /// Accumulates the row stripe [a, b) into a flat column-prefix vector:
+  /// out[j] == load(a, b, 0, j), size cols()+1 with out[0] == 0 — the exact
+  /// shape StripeProjection::prefix() has on the dense path.  Touches only
+  /// the nonzero rows of the stripe (counted into sparse_rows_touched); the
+  /// scatter + inclusive scan re-associates the same int64 entry sums the
+  /// dense Γ-row difference computes, so the resulting oracle values are
+  /// bit-identical.
+  void accumulate_row_stripe(int a, int b, std::vector<std::int64_t>& out) const;
+
+  /// CSC mirror: this matrix transposed, stored as another SparseLoadCSR.
+  /// Built on first call (thread-safe, counted once into csc_mirror_builds
+  /// by the installing thread); the mirror's own transposed() returns *this
+  /// without building anything.
+  [[nodiscard]] const SparseLoadCSR& transposed() const;
+
+  /// Materializes the dense matrix (tests only; throws std::length_error
+  /// through checked_extent for web-scale dims).
+  [[nodiscard]] LoadMatrix to_dense() const;
+
+  /// Raw CSR arrays, exposed for the substrate-level tests.
+  [[nodiscard]] const std::vector<std::int64_t>& row_start() const {
+    return row_start_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& col_index() const {
+    return col_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& value_prefix() const {
+    return cum_;
+  }
+
+ private:
+  /// Lazily-built CSC mirror, the TransposeCache idiom from
+  /// prefix/prefix_sum.hpp: acquire fast path, build outside the mutex,
+  /// first install wins, copies start cold.  `ready` may also point at the
+  /// *parent* substrate (installed by the parent's build) so that
+  /// mirror.transposed() is free.
+  struct MirrorCache {
+    std::mutex mu;
+    std::shared_ptr<const SparseLoadCSR> value;
+    std::atomic<const SparseLoadCSR*> ready{nullptr};
+    MirrorCache() = default;
+    MirrorCache(const MirrorCache&) {}
+    MirrorCache& operator=(const MirrorCache&) { return *this; }
+  };
+
+  /// The transpose as a plain value (counting transpose over the CSR
+  /// arrays); the caching and counting live in transposed().
+  [[nodiscard]] SparseLoadCSR build_transpose() const;
+
+  int n1_ = 0;
+  int n2_ = 0;
+  std::int64_t max_cell_ = 0;
+  std::vector<std::int64_t> row_start_;  ///< n1_+1 entry offsets into col_
+  std::vector<std::int32_t> col_;        ///< column index per entry, row-sorted
+  /// Global running prefix of the entry values in CSR order: nnz+1 entries,
+  /// cum_[0] == 0, entry k's value is cum_[k+1] - cum_[k].
+  std::vector<std::int64_t> cum_;
+  mutable MirrorCache mcache_;
+};
+
+}  // namespace rectpart

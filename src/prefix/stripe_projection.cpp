@@ -8,7 +8,27 @@
 
 namespace rectpart {
 
-void StripeProjection::assign_rows(const PrefixSum2D& ps, int a, int b) {
+void StripeProjection::assign(const LoadSubstrate& substrate,
+                              const Stripe& stripe) {
+  if (substrate.is_dense()) {
+    if (stripe.axis == Stripe::Axis::kRows)
+      assign_rows_dense(substrate.dense(), stripe.lo, stripe.hi);
+    else
+      assign_cols_dense(substrate.dense(), stripe.lo, stripe.hi);
+    return;
+  }
+  // CSR path: scatter the stripe's nonzeros and scan.  Column stripes
+  // project through the CSC mirror, whose rows are the matrix's columns —
+  // the mirror's row-stripe accumulation is exactly prefix()[i] ==
+  // load(0, i, c, d).  accumulate_row_stripe counts projections_built.
+  const SparseLoadCSR& csr = stripe.axis == Stripe::Axis::kRows
+                                 ? *substrate.sparse()
+                                 : substrate.sparse()->transposed();
+  assert(0 <= stripe.lo && stripe.lo <= stripe.hi && stripe.hi <= csr.rows());
+  csr.accumulate_row_stripe(stripe.lo, stripe.hi, p_);
+}
+
+void StripeProjection::assign_rows_dense(const PrefixSum2D& ps, int a, int b) {
   assert(0 <= a && a <= b && b <= ps.rows());
   const int n2 = ps.cols();
   p_.resize(static_cast<std::size_t>(n2) + 1);
@@ -21,7 +41,7 @@ void StripeProjection::assign_rows(const PrefixSum2D& ps, int a, int b) {
   RECTPART_COUNT(kProjectionsBuilt, 1);
 }
 
-void StripeProjection::assign_cols(const PrefixSum2D& ps, int c, int d) {
+void StripeProjection::assign_cols_dense(const PrefixSum2D& ps, int c, int d) {
   assert(0 <= c && c <= d && d <= ps.cols());
   const int n1 = ps.rows();
   p_.resize(static_cast<std::size_t>(n1) + 1);
@@ -30,12 +50,12 @@ void StripeProjection::assign_cols(const PrefixSum2D& ps, int c, int d) {
 }
 
 std::vector<StripeProjection> row_stripe_projections(
-    const PrefixSum2D& ps, std::span<const int> bounds) {
+    const LoadSubstrate& substrate, std::span<const int> bounds) {
   assert(!bounds.empty());
   const std::size_t stripes = bounds.size() - 1;
   std::vector<StripeProjection> out(stripes);
   parallel_for(stripes, [&](std::size_t s) {
-    out[s].assign_rows(ps, bounds[s], bounds[s + 1]);
+    out[s].assign_rows(substrate, bounds[s], bounds[s + 1]);
   });
   return out;
 }

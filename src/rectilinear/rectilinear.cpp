@@ -7,12 +7,29 @@
 
 namespace rectpart {
 
-StripeMaxFlat::StripeMaxFlat(const PrefixSum2D& ps,
+StripeMaxFlat::StripeMaxFlat(const LoadSubstrate& ls,
                              const std::vector<int>& stripe_cuts,
                              bool stripes_are_rows) {
-  n_ = stripes_are_rows ? ps.cols() : ps.rows();
+  n_ = stripes_are_rows ? ls.cols() : ls.rows();
   parts_ = static_cast<int>(stripe_cuts.size()) - 1;
   flat_.resize(static_cast<std::size_t>(n_ + 1) * parts_);
+  if (!ls.is_dense()) {
+    // CSR path: accumulate each fixed stripe's flat prefix off its nonzeros
+    // (column stripes through the CSC mirror) and scatter it into the
+    // position-major layout.  Same int64 entry sums as the Γ differences
+    // below, so load() stays bit-identical across substrates;
+    // accumulate_row_stripe counts projections_built per stripe.
+    const SparseLoadCSR& csr =
+        stripes_are_rows ? *ls.sparse() : ls.sparse()->transposed();
+    std::vector<std::int64_t> tmp;
+    for (int s = 0; s < parts_; ++s) {
+      csr.accumulate_row_stripe(stripe_cuts[s], stripe_cuts[s + 1], tmp);
+      for (int pos = 0; pos <= n_; ++pos)
+        flat_[static_cast<std::size_t>(pos) * parts_ + s] = tmp[pos];
+    }
+    return;
+  }
+  const PrefixSum2D& ps = ls.dense();
   if (stripes_are_rows) {
     // Stripe s is rows [cuts[s], cuts[s+1]); its prefix at column pos is the
     // difference of two bordered Γ rows.
@@ -67,7 +84,7 @@ Partition grid_partition(const oned::Cuts& row_cuts,
   return part;
 }
 
-std::int64_t grid_max_load(const PrefixSum2D& ps, const oned::Cuts& row_cuts,
+std::int64_t grid_max_load(const LoadSubstrate& ps, const oned::Cuts& row_cuts,
                            const oned::Cuts& col_cuts) {
   std::int64_t lmax = 0;
   for (int i = 0; i < row_cuts.parts(); ++i)
@@ -80,16 +97,16 @@ std::int64_t grid_max_load(const PrefixSum2D& ps, const oned::Cuts& row_cuts,
   return lmax;
 }
 
-Partition rect_uniform(const PrefixSum2D& ps, int p, int q) {
+Partition rect_uniform(const LoadSubstrate& ps, int p, int q) {
   return grid_partition(uniform_cuts(ps.rows(), p), uniform_cuts(ps.cols(), q));
 }
 
-Partition rect_uniform(const PrefixSum2D& ps, int m) {
+Partition rect_uniform(const LoadSubstrate& ps, int m) {
   const auto [p, q] = choose_grid(m);
   return rect_uniform(ps, p, q);
 }
 
-Partition rect_nicol(const PrefixSum2D& ps, int m,
+Partition rect_nicol(const LoadSubstrate& ps, int m,
                      const RectNicolOptions& opt, RectNicolReport* report) {
   int p = opt.p, q = opt.q;
   if (p <= 0 || q <= 0) {

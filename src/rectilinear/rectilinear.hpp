@@ -14,7 +14,7 @@
 
 #include "core/partition.hpp"
 #include "oned/cuts.hpp"
-#include "prefix/prefix_sum.hpp"
+#include "prefix/load_substrate.hpp"
 
 namespace rectpart {
 
@@ -31,15 +31,15 @@ namespace rectpart {
                                        const oned::Cuts& col_cuts);
 
 /// Maximum block load of a grid partition; O(P*Q) prefix queries.
-[[nodiscard]] std::int64_t grid_max_load(const PrefixSum2D& ps,
+[[nodiscard]] std::int64_t grid_max_load(const LoadSubstrate& ps,
                                          const oned::Cuts& row_cuts,
                                          const oned::Cuts& col_cuts);
 
 /// RECT-UNIFORM with an explicit grid shape.
-[[nodiscard]] Partition rect_uniform(const PrefixSum2D& ps, int p, int q);
+[[nodiscard]] Partition rect_uniform(const LoadSubstrate& ps, int p, int q);
 
 /// RECT-UNIFORM choosing the grid via choose_grid(m).
-[[nodiscard]] Partition rect_uniform(const PrefixSum2D& ps, int m);
+[[nodiscard]] Partition rect_uniform(const LoadSubstrate& ps, int m);
 
 /// Options for the iterative refinement.
 struct RectNicolOptions {
@@ -58,14 +58,16 @@ struct RectNicolReport {
 
 /// RECT-NICOL.  Returns the best grid found across refinement sweeps; when
 /// `report` is non-null the convergence statistics are written to it.
-[[nodiscard]] Partition rect_nicol(const PrefixSum2D& ps, int m,
+[[nodiscard]] Partition rect_nicol(const LoadSubstrate& ps, int m,
                                    const RectNicolOptions& opt = {},
                                    RectNicolReport* report = nullptr);
 
 /// The 1-D oracle induced by fixed stripes in the other dimension: the load
 /// of interval [i, j) is the maximum over the fixed stripes of the stripe's
 /// load restricted to [i, j).  Monotone, O(#stripes) per query.  Exposed for
-/// testing.
+/// testing (the dense Γ-gather reference StripeMaxFlat is checked against;
+/// the engines themselves go through StripeMaxFlat, which also handles the
+/// CSR substrate).
 class StripeMaxOracle {
  public:
   /// `stripes_are_rows`: true when the fixed cuts partition the rows and the
@@ -108,7 +110,7 @@ class StripeMaxOracle {
 /// StripeMaxOracle over the same cuts; empty stripes contribute 0 in both.
 class StripeMaxFlat {
  public:
-  StripeMaxFlat(const PrefixSum2D& ps, const std::vector<int>& stripe_cuts,
+  StripeMaxFlat(const LoadSubstrate& ps, const std::vector<int>& stripe_cuts,
                 bool stripes_are_rows);
 
   [[nodiscard]] int size() const { return n_; }

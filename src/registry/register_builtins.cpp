@@ -31,7 +31,7 @@ void add(const std::string& name, const std::string& family, bool exact,
 /// counters regardless); this adapts the common (ps, m) shape.
 template <typename F>
 LambdaPartitioner::Fn no_ctx(F f) {
-  return [f = std::move(f)](const PrefixSum2D& ps, int m, RunContext&) {
+  return [f = std::move(f)](const LoadSubstrate& ps, int m, RunContext&) {
     return f(ps, m);
   };
 }
@@ -56,9 +56,9 @@ void register_builtin_partitioners() {
 
   // Rectilinear (Section 3.1).
   add("rect-uniform", "rectilinear", false, "3.1",
-      no_ctx([](const PrefixSum2D& ps, int m) { return rect_uniform(ps, m); }));
+      no_ctx([](const LoadSubstrate& ps, int m) { return rect_uniform(ps, m); }));
   add("rect-nicol", "rectilinear", false, "3.1",
-      no_ctx([](const PrefixSum2D& ps, int m) { return rect_nicol(ps, m); }));
+      no_ctx([](const LoadSubstrate& ps, int m) { return rect_nicol(ps, m); }));
 
   // P x Q-way jagged (Section 3.2.1).  The options are captured values, so
   // each variant is one registration instead of one template instantiation.
@@ -68,7 +68,7 @@ void register_builtin_partitioners() {
                              const std::string& section, auto algo,
                              Orientation o) {
     add(name, "jagged", exact, section,
-        [algo, opt = jag_opts(o)](const PrefixSum2D& ps, int m,
+        [algo, opt = jag_opts(o)](const LoadSubstrate& ps, int m,
                                   RunContext& ctx) {
           JaggedOptions with_ctx = opt;
           with_ctx.ctx = &ctx;
@@ -104,7 +104,7 @@ void register_builtin_partitioners() {
   const auto add_hier = [](const std::string& name, auto algo,
                            HierVariant v) {
     add(name, "hierarchical", false, "3.3",
-        [algo, opt = hier_opts(v)](const PrefixSum2D& ps, int m,
+        [algo, opt = hier_opts(v)](const LoadSubstrate& ps, int m,
                                    RunContext& ctx) {
           HierOptions with_ctx = opt;
           with_ctx.ctx = &ctx;
@@ -122,11 +122,11 @@ void register_builtin_partitioners() {
   add_hier("hier-relaxed-ver", hier_relaxed, HierVariant::kVer);
   add_hier("hier-relaxed", hier_relaxed, HierVariant::kLoad);
   add("hier-opt", "hierarchical", true, "3.3",
-      no_ctx([](const PrefixSum2D& ps, int m) { return hier_opt(ps, m); }));
+      no_ctx([](const LoadSubstrate& ps, int m) { return hier_opt(ps, m); }));
 
   // More general recursive schemes (Section 3.4, Figure 1(e)).
   add("spiral-opt", "recursive", true, "3.4",
-      no_ctx([](const PrefixSum2D& ps, int m) { return spiral_opt(ps, m); }));
+      no_ctx([](const LoadSubstrate& ps, int m) { return spiral_opt(ps, m); }));
 }
 
 }  // namespace rectpart

@@ -57,13 +57,12 @@ ServiceClient::~ServiceClient() {
 }
 
 Response ServiceClient::transact(const RequestHeader& h,
-                                 const LoadMatrix* payload) {
+                                 const void* payload,
+                                 std::size_t payload_bytes) {
   const std::string line = serialize_request_header(h) + "\n";
   if (!write_all(fd_, line.data(), line.size()))
     throw std::runtime_error("partition daemon connection lost (write)");
-  if (payload != nullptr && !payload->empty() &&
-      !write_all(fd_, payload->data(),
-                 payload->size() * sizeof(std::int64_t)))
+  if (payload_bytes > 0 && !write_all(fd_, payload, payload_bytes))
     throw std::runtime_error("partition daemon connection lost (payload)");
   return read_reply();
 }
@@ -90,7 +89,25 @@ Response ServiceClient::solve(const LoadMatrix& a, const SolveOptions& opt) {
   h.deadline_ms = opt.deadline_ms;
   h.upgrade = opt.upgrade;
   h.lineage = opt.lineage;
-  return transact(h, &a);
+  return transact(h, a.data(), a.size() * sizeof(std::int64_t));
+}
+
+Response ServiceClient::solve(const CooInstance& coo,
+                              const SolveOptions& opt) {
+  RequestHeader h;
+  h.op = Op::kSolve;
+  h.id = ++next_id_;
+  h.algo = opt.algo;
+  h.m = opt.m;
+  h.rows = coo.n1;
+  h.cols = coo.n2;
+  h.deadline_ms = opt.deadline_ms;
+  h.upgrade = opt.upgrade;
+  h.lineage = opt.lineage;
+  h.format = "coo";
+  h.nnz = static_cast<std::int64_t>(coo.entries.size());
+  return transact(h, coo.entries.data(),
+                  coo.entries.size() * sizeof(CooEntry));
 }
 
 bool ServiceClient::ping() {
@@ -98,7 +115,7 @@ bool ServiceClient::ping() {
   h.op = Op::kPing;
   h.id = ++next_id_;
   try {
-    return transact(h, nullptr).ok;
+    return transact(h, nullptr, 0).ok;
   } catch (const std::runtime_error&) {
     return false;
   }
@@ -108,7 +125,7 @@ std::string ServiceClient::counters_json() {
   RequestHeader h;
   h.op = Op::kCounters;
   h.id = ++next_id_;
-  const Response r = transact(h, nullptr);
+  const Response r = transact(h, nullptr, 0);
   if (!r.ok)
     throw std::runtime_error("counters request failed: " + r.error);
   return r.counters_json;
@@ -118,7 +135,7 @@ void ServiceClient::request_shutdown() {
   RequestHeader h;
   h.op = Op::kShutdown;
   h.id = ++next_id_;
-  (void)transact(h, nullptr);
+  (void)transact(h, nullptr, 0);
 }
 
 }  // namespace rectpart::service

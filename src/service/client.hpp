@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/matrix.hpp"
+#include "prefix/sparse_load.hpp"
 #include "service/protocol.hpp"
 
 namespace rectpart::service {
@@ -43,6 +44,12 @@ class ServiceClient {
   /// a daemon-side error comes back as a Response with ok == false.
   [[nodiscard]] Response solve(const LoadMatrix& a, const SolveOptions& opt);
 
+  /// Sparse solve: streams the COO triples ("format": "coo") and the daemon
+  /// runs the algorithm on the CSR substrate.  Same error contract as the
+  /// dense overload.
+  [[nodiscard]] Response solve(const CooInstance& coo,
+                               const SolveOptions& opt);
+
   /// Blocks for the next response on the connection — the final answer of
   /// a non-final solve().  Throws std::runtime_error on transport failure.
   [[nodiscard]] Response read_reply();
@@ -57,7 +64,8 @@ class ServiceClient {
   void request_shutdown();
 
  private:
-  Response transact(const RequestHeader& h, const LoadMatrix* payload);
+  Response transact(const RequestHeader& h, const void* payload,
+                    std::size_t payload_bytes);
 
   int fd_ = -1;
   std::string carry_;

@@ -8,4 +8,12 @@ std::uint64_t fingerprint_matrix(const LoadMatrix& a) {
   return fnv1a64(a.data(), a.size() * sizeof(std::int64_t), h);
 }
 
+std::uint64_t fingerprint_coo(const CooInstance& coo) {
+  std::uint64_t h = fnv1a64("coo", 3);
+  const std::int64_t dims[2] = {coo.n1, coo.n2};
+  h = fnv1a64(dims, sizeof(dims), h);
+  return fnv1a64(coo.entries.data(), coo.entries.size() * sizeof(CooEntry),
+                 h);
+}
+
 }  // namespace rectpart::service

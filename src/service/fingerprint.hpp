@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "core/matrix.hpp"
+#include "prefix/sparse_load.hpp"
 
 namespace rectpart::service {
 
@@ -42,5 +43,12 @@ inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
 /// daemon and its clients share a machine — the transport is a Unix
 /// socket — so cross-endian stability is not required).
 [[nodiscard]] std::uint64_t fingerprint_matrix(const LoadMatrix& a);
+
+/// Content fingerprint of a COO stream: a format tag, the dimensions, then
+/// the raw 16-byte triples in arrival order.  The tag keeps the dense and
+/// sparse hash domains disjoint, so a dense payload can never alias a COO
+/// payload of identical bytes; entry *order* is part of the identity (the
+/// stream is hashed as received, before any CSR normalization).
+[[nodiscard]] std::uint64_t fingerprint_coo(const CooInstance& coo);
 
 }  // namespace rectpart::service

@@ -8,27 +8,27 @@ namespace rectpart::service {
 InstanceCache::InstanceCache(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {}
 
-std::shared_ptr<const PrefixSum2D> InstanceCache::find(std::uint64_t key,
-                                                       int rows, int cols) {
+std::shared_ptr<const Instance> InstanceCache::find(std::uint64_t key,
+                                                    int rows, int cols) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
-  const auto& ps = it->second->ps;
-  if (ps->rows() != rows || ps->cols() != cols) return nullptr;
+  const auto& inst = it->second->inst;
+  if (inst->rows() != rows || inst->cols() != cols) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return ps;
+  return inst;
 }
 
 void InstanceCache::insert(std::uint64_t key,
-                           std::shared_ptr<const PrefixSum2D> ps) {
+                           std::shared_ptr<const Instance> inst) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->ps = std::move(ps);
+    it->second->inst = std::move(inst);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{key, std::move(ps)});
+  lru_.push_front(Entry{key, std::move(inst)});
   index_[key] = lru_.begin();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);

@@ -1,15 +1,16 @@
 // Fingerprint-keyed LRU of prepared partitioning instances.
 //
-// Building a PrefixSum2D is the daemon's per-request fixed cost: O(n1*n2)
-// work plus an (n1+1)*(n2+1) allocation, repeated for every request even
-// when the client resubmits an unchanged matrix (interactive tuning loops,
-// repeated solves with different m or algorithms).  The cache keeps the
-// prepared instances alive across requests, keyed by content fingerprint
+// Preparing an instance is the daemon's per-request fixed cost — an
+// O(n1*n2) PrefixSum2D build for dense payloads, an O(nnz log nnz) CSR
+// build for COO payloads — repeated for every request even when the client
+// resubmits an unchanged matrix (interactive tuning loops, repeated solves
+// with different m or algorithms).  The cache keeps the prepared instances
+// alive across requests, keyed by content fingerprint
 // (service/fingerprint.hpp); a hit also inherits the lazily-built transpose
-// inside PrefixSum2D, so -BEST orientation runs on a cached instance skip
-// both O(n1*n2) passes.
+// (dense) or CSC mirror (sparse), so -BEST orientation runs on a cached
+// instance skip both construction passes.
 //
-// Entries are shared_ptr<const PrefixSum2D>: a request holds its instance
+// Entries are shared_ptr<const Instance>: a request holds its instance
 // alive for the duration of the solve (including asynchronous SLO upgrade
 // runs) even if the LRU evicts it concurrently.  All operations take one
 // mutex — the daemon's request rate is bounded by partitioning work, not by
@@ -21,10 +22,37 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
+#include "prefix/load_substrate.hpp"
 #include "prefix/prefix_sum.hpp"
+#include "prefix/sparse_load.hpp"
 
 namespace rectpart::service {
+
+/// One prepared instance: exactly one of the two substrates is set.  The
+/// holder owns the substrate; view() borrows it, so the Instance must stay
+/// alive for the duration of any solve using the view (the server holds
+/// the shared_ptr across the request, including async upgrades).
+struct Instance {
+  std::shared_ptr<const PrefixSum2D> dense;
+  std::shared_ptr<const SparseLoadCSR> sparse;
+
+  explicit Instance(std::shared_ptr<const PrefixSum2D> d)
+      : dense(std::move(d)) {}
+  explicit Instance(std::shared_ptr<const SparseLoadCSR> s)
+      : sparse(std::move(s)) {}
+
+  [[nodiscard]] int rows() const {
+    return dense ? dense->rows() : sparse->rows();
+  }
+  [[nodiscard]] int cols() const {
+    return dense ? dense->cols() : sparse->cols();
+  }
+  [[nodiscard]] LoadSubstrate view() const {
+    return dense ? LoadSubstrate(*dense) : LoadSubstrate(*sparse);
+  }
+};
 
 class InstanceCache {
  public:
@@ -34,22 +62,24 @@ class InstanceCache {
   /// The cached instance for `key`, or nullptr.  A hit requires the stored
   /// dimensions to match (`rows`, `cols`) — the fingerprint alone is a
   /// 64-bit hash, and a cross-shape collision must never hand a request a
-  /// prefix structure of the wrong geometry.  Hits move the entry to the
-  /// front of the LRU order.
-  [[nodiscard]] std::shared_ptr<const PrefixSum2D> find(std::uint64_t key,
-                                                        int rows, int cols);
+  /// prepared structure of the wrong geometry.  (Dense and COO payloads
+  /// hash in disjoint domains — fingerprint.hpp — so a key names exactly
+  /// one substrate kind.)  Hits move the entry to the front of the LRU
+  /// order.
+  [[nodiscard]] std::shared_ptr<const Instance> find(std::uint64_t key,
+                                                     int rows, int cols);
 
   /// Inserts (or refreshes) `key`; evicts the least recently used entry
   /// beyond capacity.  Evicted instances stay alive while requests hold
   /// their shared_ptr.
-  void insert(std::uint64_t key, std::shared_ptr<const PrefixSum2D> ps);
+  void insert(std::uint64_t key, std::shared_ptr<const Instance> inst);
 
   [[nodiscard]] std::size_t size() const;
 
  private:
   struct Entry {
     std::uint64_t key = 0;
-    std::shared_ptr<const PrefixSum2D> ps;
+    std::shared_ptr<const Instance> inst;
   };
 
   std::size_t capacity_;

@@ -103,6 +103,8 @@ bool parse_request_header(const std::string& line, RequestHeader* out,
   if (!read_int_member(*doc, "cols", &h.cols, error)) return false;
   if (!read_bool_member(*doc, "upgrade", &h.upgrade, error)) return false;
   if (!read_string_member(*doc, "lineage", &h.lineage, error)) return false;
+  if (!read_string_member(*doc, "format", &h.format, error)) return false;
+  if (!read_int_member(*doc, "nnz", &h.nnz, error)) return false;
   if (const JsonValue* v = doc->find("deadline_ms"); v != nullptr) {
     if (!v->is_int())
       return fail(error, "header field 'deadline_ms' must be an integer");
@@ -121,6 +123,11 @@ bool parse_request_header(const std::string& line, RequestHeader* out,
       return fail(error, "solve request has negative deadline_ms");
     if (h.algo.empty())
       return fail(error, "solve request has an empty 'algo'");
+    if (h.format != "dense" && h.format != "coo")
+      return fail(error, "unknown payload format '" + h.format +
+                             "' (expected dense or coo)");
+    if (h.nnz < 0)
+      return fail(error, "solve request has negative nnz");
   }
   *out = std::move(h);
   return true;
@@ -140,6 +147,10 @@ std::string serialize_request_header(const RequestHeader& h) {
     if (h.upgrade) add_member(obj, "upgrade", JsonValue::make_bool(true));
     if (!h.lineage.empty())
       add_member(obj, "lineage", JsonValue::make_string(h.lineage));
+    if (h.format == "coo") {
+      add_member(obj, "format", JsonValue::make_string(h.format));
+      add_member(obj, "nnz", JsonValue::make_int(h.nnz));
+    }
   }
   return json_serialize(obj);
 }

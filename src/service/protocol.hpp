@@ -3,7 +3,10 @@
 // Transport: a Unix-domain stream socket.  Each request is one
 // newline-terminated JSON header line, followed (for "solve") by the raw
 // little-endian int64 cell payload, rows*cols*8 bytes, with no framing of
-// its own — the header's dimensions size it.  Each response is one
+// its own — the header's dimensions size it.  A solve with "format": "coo"
+// instead streams nnz raw 16-byte CooEntry triples and is solved on the
+// CSR substrate, so web-scale sparse instances never cross the wire (or
+// the daemon's memory) densely.  Each response is one
 // newline-terminated JSON line.  A "solve" request with an SLO upgrade may
 // receive two responses: the deadline answer ("final": false) and, later,
 // the upgraded answer ("final": true); all other requests receive exactly
@@ -51,6 +54,10 @@ struct RequestHeader {
   std::optional<std::int64_t> deadline_ms;
   bool upgrade = false;
   std::string lineage;
+  /// Payload layout: "dense" (rows*cols int64 cells) or "coo" (nnz raw
+  /// 16-byte CooEntry triples; the solve runs on the CSR substrate).
+  std::string format = "dense";
+  std::int64_t nnz = 0;  ///< entry count of a "coo" payload
 };
 
 /// Parses one header line.  On failure returns false and fills `error`

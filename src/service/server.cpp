@@ -249,27 +249,51 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
                           const RequestHeader& h, std::string* carry) {
   // Size gates come before the payload read: a header promising more than
   // max_cells is hostile or confused either way, and the only safe reaction
-  // to an unreadable payload boundary is to close the connection.
+  // to an unreadable payload boundary is to close the connection.  COO
+  // payloads gate on nnz instead — the entry stream is the resident cost,
+  // not the logical rows*cols extent (that being unbounded is the point).
   constexpr std::int64_t kIntMax = std::numeric_limits<int>::max();
+  const bool is_coo = h.format == "coo";
   if (h.rows > kIntMax || h.cols > kIntMax ||
-      (h.rows > 0 && h.cols > opt_.max_cells / h.rows)) {
+      (!is_coo && h.rows > 0 && h.cols > opt_.max_cells / h.rows)) {
     send_error(conn, h.id,
                "request of " + std::to_string(h.rows) + " x " +
                    std::to_string(h.cols) + " cells exceeds max_cells=" +
                    std::to_string(opt_.max_cells));
     return false;
   }
-  LoadMatrix a(static_cast<int>(h.rows), static_cast<int>(h.cols));
-  if (!a.empty() &&
-      !read_exact(conn->fd, carry, a.data(),
-                  a.size() * sizeof(std::int64_t))) {
-    // Truncated payload: the peer vanished mid-request; nothing to answer.
+  if (is_coo && h.nnz > opt_.max_cells) {
+    send_error(conn, h.id,
+               "request of " + std::to_string(h.nnz) +
+                   " COO entries exceeds max_cells=" +
+                   std::to_string(opt_.max_cells));
     return false;
+  }
+
+  LoadMatrix a;
+  CooInstance coo;
+  if (is_coo) {
+    coo.n1 = static_cast<int>(h.rows);
+    coo.n2 = static_cast<int>(h.cols);
+    coo.entries.resize(static_cast<std::size_t>(h.nnz));
+    if (!coo.entries.empty() &&
+        !read_exact(conn->fd, carry, coo.entries.data(),
+                    coo.entries.size() * sizeof(CooEntry))) {
+      return false;
+    }
+  } else {
+    a = LoadMatrix(static_cast<int>(h.rows), static_cast<int>(h.cols));
+    if (!a.empty() &&
+        !read_exact(conn->fd, carry, a.data(),
+                    a.size() * sizeof(std::int64_t))) {
+      // Truncated payload: the peer vanished mid-request; nothing to answer.
+      return false;
+    }
   }
   RECTPART_COUNT(kServiceRequests, 1);
 
   // Post-payload validation keeps the connection: the stream is in sync.
-  if (a.empty()) {
+  if (is_coo ? (h.rows == 0 || h.cols == 0) : a.empty()) {
     send_error(conn, h.id, "cannot partition an empty matrix");
     return true;
   }
@@ -288,15 +312,30 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t key = fingerprint_matrix(a);
-  std::shared_ptr<const PrefixSum2D> ps = cache_.find(key, a.rows(), a.cols());
-  const bool cache_hit = ps != nullptr;
+  const std::uint64_t key =
+      is_coo ? fingerprint_coo(coo) : fingerprint_matrix(a);
+  std::shared_ptr<const Instance> inst =
+      cache_.find(key, static_cast<int>(h.rows), static_cast<int>(h.cols));
+  const bool cache_hit = inst != nullptr;
   if (cache_hit) {
     RECTPART_COUNT(kServiceCacheHits, 1);
+  } else if (is_coo) {
+    std::shared_ptr<const SparseLoadCSR> csr;
+    try {
+      csr = std::make_shared<const SparseLoadCSR>(SparseLoadCSR::from_coo(
+          coo.n1, coo.n2, std::move(coo.entries)));
+    } catch (const std::invalid_argument& e) {
+      // Out-of-range coordinates or negative loads; the stream is in sync.
+      send_error(conn, h.id, std::string("bad COO payload: ") + e.what());
+      return true;
+    }
+    inst = std::make_shared<Instance>(std::move(csr));
+    cache_.insert(key, inst);
   } else {
-    ps = std::make_shared<PrefixSum2D>(a);
-    cache_.insert(key, ps);
+    inst = std::make_shared<Instance>(std::make_shared<const PrefixSum2D>(a));
+    cache_.insert(key, inst);
   }
+  const LoadSubstrate ls = inst->view();
 
   Response r;
   r.id = h.id;
@@ -309,6 +348,14 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
   // through the Rebalancer, which trades repartitioning quality against
   // migration cost.  Deadlines do not apply here — the whole point of the
   // threshold policy is that most steps cost one imbalance evaluation.
+  // The Rebalancer's drift tracking is dense-only, so a sparse lineage
+  // request is a protocol error rather than a silent dense blow-up.
+  if (!h.lineage.empty() && is_coo) {
+    send_error(conn, h.id,
+               "lineage rebalancing requires a dense payload "
+               "(format \"coo\" is not supported)");
+    return true;
+  }
   if (!h.lineage.empty()) {
     std::shared_ptr<Lineage> lineage;
     {
@@ -326,7 +373,7 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
     }
     try {
       std::lock_guard<std::mutex> step_lock(lineage->mu);
-      const RebalanceDecision d = lineage->rebalancer->step(*ps);
+      const RebalanceDecision d = lineage->rebalancer->step(*inst->dense);
       r.rebalance = d.repartitioned ? "repartitioned" : "kept";
       r.partition = lineage->rebalancer->current();
     } catch (const std::exception& e) {
@@ -334,8 +381,8 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
       return true;
     }
     r.ms = ms_since(t0);
-    r.lmax = r.partition.max_load(*ps);
-    r.imbalance = r.partition.imbalance(*ps);
+    r.lmax = r.partition.max_load(ls);
+    r.imbalance = r.partition.imbalance(ls);
     send_response(conn, r);
     return true;
   }
@@ -351,9 +398,9 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
     if (h.deadline_ms.has_value()) {
       rc = RunContext::with_deadline(
           std::chrono::milliseconds(*h.deadline_ms));
-      incumbent = make_partitioner(opt_.incumbent_algo)->run(*ps, m);
+      incumbent = make_partitioner(opt_.incumbent_algo)->run(ls, m);
     }
-    r.partition = algo->run(*ps, m, rc);
+    r.partition = algo->run(ls, m, rc);
   } catch (const DeadlineExceeded&) {
     RECTPART_COUNT(kServiceDeadlineReturns, 1);
     r.partition = std::move(incumbent);
@@ -368,30 +415,31 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
     return true;
   }
   r.ms = ms_since(t0);
-  r.lmax = r.partition.max_load(*ps);
-  r.imbalance = r.partition.imbalance(*ps);
+  r.lmax = r.partition.max_load(ls);
+  r.imbalance = r.partition.imbalance(ls);
   send_response(conn, r);
 
   if (upgrade_async) {
     // The follow-up keeps the connection and the cached instance alive via
     // shared_ptr; the client reads a second response whenever it is ready.
     try {
-      pool_->submit([this, conn, ps, h] {
+      pool_->submit([this, conn, inst, h] {
         const auto u0 = std::chrono::steady_clock::now();
         Response f;
         f.id = h.id;
         f.algo = h.algo;
         f.m = h.m;
+        const LoadSubstrate uls = inst->view();
         try {
           f.partition = make_partitioner(h.algo)->run(
-              *ps, static_cast<int>(h.m));
+              uls, static_cast<int>(h.m));
         } catch (const std::exception& e) {
           send_error(conn, h.id, std::string("upgrade failed: ") + e.what());
           return;
         }
         f.ms = ms_since(u0);
-        f.lmax = f.partition.max_load(*ps);
-        f.imbalance = f.partition.imbalance(*ps);
+        f.lmax = f.partition.max_load(uls);
+        f.imbalance = f.partition.imbalance(uls);
         send_response(conn, f);
       });
     } catch (const std::runtime_error&) {

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/matrix.hpp"
+#include "prefix/sparse_load.hpp"
 
 namespace rectpart {
 
@@ -34,5 +35,33 @@ namespace rectpart {
 [[nodiscard]] LoadMatrix make_synthetic(const std::string& family, int n1,
                                         int n2, std::uint64_t seed,
                                         double delta = 1.2);
+
+/// Sparse generators for web-scale instances (n up to 2^20 and beyond).
+/// Both emit a raw COO stream of ~nnz_target triples in O(nnz) memory — the
+/// dense matrix is never materialized.  Duplicate coordinates are legal and
+/// accumulate in SparseLoadCSR::from_coo, so the post-dedup nnz is slightly
+/// below the target on skewed instances.  Deterministic in (shape,
+/// nnz_target, seed).
+
+/// Power-law instance in the spirit of web/social adjacency matrices: row
+/// and column indices drawn independently from a polynomially-skewed
+/// distribution (mass concentrates near index 0 — the "hubs"), values
+/// uniform in [1, 100].
+[[nodiscard]] CooInstance gen_powerlaw_coo(int n1, int n2,
+                                           std::int64_t nnz_target,
+                                           std::uint64_t seed);
+
+/// Rasterized-mesh instance: a jittered diagonal band (the sparsity pattern
+/// of a bandwidth-reduced mesh adjacency) plus a few dense refinement
+/// hotspots, values uniform in [1, 8].
+[[nodiscard]] CooInstance gen_mesh_coo(int n1, int n2,
+                                       std::int64_t nnz_target,
+                                       std::uint64_t seed);
+
+/// Name-based dispatch for the sparse families: "powerlaw", "mesh".
+[[nodiscard]] CooInstance make_synthetic_coo(const std::string& family,
+                                             int n1, int n2,
+                                             std::int64_t nnz_target,
+                                             std::uint64_t seed);
 
 }  // namespace rectpart

@@ -140,7 +140,7 @@ TEST_F(RegistryTest, CapturingLambdaRegistersWithoutShims) {
     register_partitioner(name, [name, captured_m_cap]() {
       return std::make_unique<LambdaPartitioner>(
           name,
-          [captured_m_cap](const PrefixSum2D& ps, int m, RunContext& ctx) {
+          [captured_m_cap](const LoadSubstrate& ps, int m, RunContext& ctx) {
             return make_partitioner("rect-uniform")
                 ->run(ps, std::min(m, captured_m_cap), ctx);
           });

@@ -66,11 +66,30 @@ TEST(Fingerprint, ShapeIsPartOfTheIdentity) {
   EXPECT_NE(fingerprint_matrix(row), fingerprint_matrix(col));
 }
 
+TEST(Fingerprint, CooEntryOrderIsPartOfTheIdentity) {
+  // The stream is hashed as received, before CSR normalization: a client
+  // that reorders its triples resubmits a *different* payload.
+  CooInstance a{4, 4, {{0, 0, 1}, {2, 3, 5}}};
+  CooInstance b{4, 4, {{2, 3, 5}, {0, 0, 1}}};
+  EXPECT_EQ(fingerprint_coo(a), fingerprint_coo(a));
+  EXPECT_NE(fingerprint_coo(a), fingerprint_coo(b));
+}
+
+TEST(Fingerprint, DenseAndCooHashDomainsAreDisjointForEqualBytes) {
+  // A 1x1 dense matrix and a COO stream whose raw bytes could alias must
+  // separate on the format tag, not by luck of the layout.
+  LoadMatrix a(1, 1);
+  a(0, 0) = 7;
+  CooInstance coo{1, 1, {{0, 0, 7}}};
+  EXPECT_NE(fingerprint_matrix(a), fingerprint_coo(coo));
+}
+
 // ---------------------------------------------------------------------------
 // Instance cache.
 
-std::shared_ptr<const PrefixSum2D> make_instance(int n, std::uint64_t seed) {
-  return std::make_shared<const PrefixSum2D>(random_matrix(n, n, 0, 9, seed));
+std::shared_ptr<const Instance> make_instance(int n, std::uint64_t seed) {
+  return std::make_shared<const Instance>(
+      std::make_shared<const PrefixSum2D>(random_matrix(n, n, 0, 9, seed)));
 }
 
 TEST(InstanceCache, HitReturnsTheStoredInstanceAndMissReturnsNull) {
@@ -464,6 +483,81 @@ TEST_F(ServiceTest, LineageKeepsThePartitionWhenTheLoadIsUnchanged) {
   EXPECT_EQ(second.partition.rects, first.partition.rects);
 }
 
+// ---------------------------------------------------------------------------
+// Sparse (COO) payloads.
+
+/// COO triples of a dense matrix's nonzero cells.
+CooInstance coo_of(const LoadMatrix& a) {
+  CooInstance coo;
+  coo.n1 = a.rows();
+  coo.n2 = a.cols();
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < a.cols(); ++j)
+      if (a(i, j) != 0)
+        coo.entries.push_back({static_cast<std::int32_t>(i),
+                               static_cast<std::int32_t>(j), a(i, j)});
+  return coo;
+}
+
+TEST_F(ServiceTest, CooSolveMatchesTheDensePartitionOfTheSameInstance) {
+  // The substrate contract, end to end through the daemon: the same logical
+  // matrix submitted densely and as a COO stream partitions identically.
+  const LoadMatrix a = make_synthetic("peak", 32, 32, 5, 1.2);
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.m = 6;
+  const Response dense = client.solve(a, opt);
+  ASSERT_TRUE(dense.ok) << dense.error;
+  const Response sparse = client.solve(coo_of(a), opt);
+  ASSERT_TRUE(sparse.ok) << sparse.error;
+  EXPECT_EQ(sparse.partition.rects, dense.partition.rects);
+  EXPECT_EQ(sparse.lmax, dense.lmax);
+  // Dense and COO payloads fingerprint into disjoint domains, so the
+  // sparse submit of the already-cached matrix is still a cold miss.
+  EXPECT_FALSE(sparse.cache_hit);
+}
+
+TEST_F(ServiceTest, CooResubmissionHitsTheInstanceCache) {
+  const CooInstance coo = coo_of(make_synthetic("diagonal", 32, 32, 5, 1.2));
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.m = 6;
+  const Response cold = client.solve(coo, opt);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  opt.algo = "hier-rb";  // different algorithm, same stream: still a hit
+  const Response warm = client.solve(coo, opt);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.cache_hit);
+}
+
+TEST_F(ServiceTest, BadCooEntriesAreARequestErrorNotACrash) {
+  // Out-of-range coordinates arrive only after the full payload is read,
+  // so the stream stays framed and the connection survives.
+  CooInstance coo{8, 8, {{9, 0, 1}}};
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.m = 2;
+  const Response r = client.solve(coo, opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("bad COO payload"), std::string::npos) << r.error;
+  EXPECT_TRUE(client.ping());
+}
+
+TEST_F(ServiceTest, LineageWithACooPayloadIsARequestError) {
+  const CooInstance coo = coo_of(make_synthetic("peak", 16, 16, 3, 1.2));
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.m = 4;
+  opt.lineage = "sim-a";
+  const Response r = client.solve(coo, opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("lineage rebalancing requires a dense payload"),
+            std::string::npos)
+      << r.error;
+  EXPECT_TRUE(client.ping());
+}
+
 TEST_F(ServiceTest, UnknownAlgorithmSuggestsTheClosestName) {
   ServiceClient client = connect();
   SolveOptions opt;
@@ -507,6 +601,37 @@ class TinyLimitServiceTest : public ServiceTest {
     opt.max_m = 4;
   }
 };
+
+TEST_F(TinyLimitServiceTest, OverlargeCooNnzIsRefusedBeforeThePayload) {
+  // The sparse payload gates on nnz, not rows*cols: a web-scale geometry
+  // with a small entry stream is fine, a giant stream is refused up front.
+  CooInstance coo{1000, 1000, std::vector<CooEntry>(17)};
+  for (int k = 0; k < 17; ++k)
+    coo.entries[static_cast<std::size_t>(k)] = {k, k, 1};
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.m = 2;
+  const Response r = client.solve(coo, opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("COO entries exceeds max_cells"), std::string::npos)
+      << r.error;
+  // The refusal precedes the payload read, so framing is lost and the
+  // daemon hangs up; a fresh connection is live.
+  EXPECT_TRUE(connect().ping());
+}
+
+TEST_F(TinyLimitServiceTest, SmallCooStreamOnHugeGeometryIsAccepted) {
+  // rows * cols = 10^6 would blow the dense max_cells gate; the sparse
+  // request carries 4 entries and must pass.
+  CooInstance coo{1000, 1000, {{0, 0, 3}, {999, 999, 2}, {500, 1, 7}, {3, 800, 1}}};
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.m = 2;
+  opt.algo = "jag-pq-heur";
+  const Response r = client.solve(coo, opt);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.m, 2);
+}
 
 TEST_F(TinyLimitServiceTest, OversizedRequestIsRefusedBeforeThePayload) {
   const int fd = raw_connect();
