@@ -18,6 +18,18 @@
 // service counters (service_requests, service_cache_hits) ride along, which
 // is what lets scripts/bench_gate.sh hold the daemon's request accounting
 // bit-exact across PRs.
+//
+// Counter windows and the post-response record path: the daemon finalizes a
+// solve's RequestRecord (flight ring, access log, request histogram — the
+// flight_records / telemetry_observations counters) on the handler thread
+// AFTER sending the response, so a snapshot taken the moment the client has
+// its answer races that landing.  A connection's handler is strictly
+// sequential, though: it finishes request N's record before reading request
+// N+1, and a ping leaves no record of its own.  So every counter window
+// here is fenced by ping round trips on the same connection — one before
+// the `before` snapshot, one before the delta — which makes the service
+// counters deterministic without pulling the record path into the measured
+// latency (the wall timer brackets only the solve).
 #include <unistd.h>
 
 #include <algorithm>
@@ -94,10 +106,12 @@ int main(int argc, char** argv) {
     for (int r = 0; r < reps; ++r) {
       const LoadMatrix a =
           make_synthetic("peak", n, n, 1000 + static_cast<std::uint64_t>(r));
+      if (!client.ping()) shape_ok = false;  // fence: prior record landed
       const obs::CounterSnapshot before = obs::counters_snapshot();
       WallTimer timer;
       const service::Response resp = client.solve(a, solve);
       samples.push_back(timer.milliseconds());
+      if (!client.ping()) shape_ok = false;  // fence: this record landed
       work = obs::counters_snapshot().delta_since(before);
       if (!resp.ok || resp.cache_hit) shape_ok = false;
     }
@@ -117,10 +131,12 @@ int main(int argc, char** argv) {
     std::vector<double> samples;
     obs::CounterSnapshot work;
     for (int r = 0; r < requests; ++r) {
+      if (!client.ping()) shape_ok = false;  // fence: prior record landed
       const obs::CounterSnapshot before = obs::counters_snapshot();
       WallTimer timer;
       const service::Response resp = client.solve(warm_matrix, solve);
       samples.push_back(timer.milliseconds());
+      if (!client.ping()) shape_ok = false;  // fence: this record landed
       work = obs::counters_snapshot().delta_since(before);
       if (!resp.ok || !resp.cache_hit) shape_ok = false;
     }
@@ -142,10 +158,12 @@ int main(int argc, char** argv) {
     std::vector<double> samples;
     obs::CounterSnapshot work;
     for (int r = 0; r < reps; ++r) {
+      if (!client.ping()) shape_ok = false;  // fence: prior record landed
       const obs::CounterSnapshot before = obs::counters_snapshot();
       WallTimer timer;
       const service::Response resp = client.solve(warm_matrix, slo);
       samples.push_back(timer.milliseconds());
+      if (!client.ping()) shape_ok = false;  // fence: this record landed
       work = obs::counters_snapshot().delta_since(before);
       if (!resp.ok || !resp.deadline_return) shape_ok = false;
     }
@@ -170,6 +188,10 @@ int main(int argc, char** argv) {
           service::ServiceClient client(server.socket_path());
           for (int r = 0; r < requests; ++r)
             if (!client.solve(warm_matrix, solve).ok) all_ok = false;
+          // Fence before the thread exits: once this connection's pong is
+          // back, its last solve record has landed, so the post-join
+          // counter delta sees every request exactly once.
+          if (!client.ping()) all_ok = false;
         } catch (const std::exception&) {
           all_ok = false;
         }

@@ -7,6 +7,8 @@
 //   ./rectpart_clientctl --socket=... --op=solve --input=load.bin --m=32 \
 //                        --lineage=sim-a
 //   ./rectpart_clientctl --socket=... --op=counters
+//   ./rectpart_clientctl --socket=... --op=metrics          # Prometheus text
+//   ./rectpart_clientctl --socket=... --op=metrics --json   # telemetry JSON
 //   ./rectpart_clientctl --socket=... --op=shutdown
 //
 // Exit status: 0 on an ok response, 1 on a daemon-side error response,
@@ -53,8 +55,10 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   if (flags.get_bool("help", false)) {
     std::printf(
-        "usage: %s --socket=PATH --op=solve|ping|counters|shutdown\n"
+        "usage: %s --socket=PATH --op=solve|ping|counters|metrics|shutdown\n"
         "          [--retry-ms=R]  (connect retry budget)\n"
+        "metrics:  Prometheus text exposition; --json prints the telemetry\n"
+        "          snapshot as JSON instead\n"
         "solve:    [--input=FILE | --family=NAME --n=N --seed=S] --m=M\n"
         "          [--algo=NAME] [--deadline-ms=D] [--upgrade]\n"
         "          [--wait-final] [--lineage=NAME]\n"
@@ -76,12 +80,34 @@ int main(int argc, char** argv) {
         socket_path, static_cast<int>(flags.get_int("retry-ms", 0)));
 
     if (op == "ping") {
-      const bool ok = client.ping();
-      std::printf("%s\n", ok ? "ok" : "unreachable");
-      return ok ? 0 : 1;
+      service::Response r;
+      try {
+        r = client.ping_details();
+      } catch (const std::exception&) {
+        std::printf("unreachable\n");
+        return 1;
+      }
+      std::printf("ok\n");
+      if (!r.version.empty())
+        std::printf("version    : %s\n", r.version.c_str());
+      if (r.uptime_ms >= 0)
+        std::printf("uptime     : %.1f s\n", r.uptime_ms / 1000.0);
+      if (r.cache_instances >= 0)
+        std::printf("cache      : %lld instances, %lld bytes\n",
+                    static_cast<long long>(r.cache_instances),
+                    static_cast<long long>(r.cache_bytes));
+      return 0;
     }
     if (op == "counters") {
       std::printf("%s\n", client.counters_json().c_str());
+      return 0;
+    }
+    if (op == "metrics") {
+      const service::Response r = client.metrics();
+      if (flags.get_bool("json", false))
+        std::printf("%s\n", r.telemetry_json.c_str());
+      else
+        std::fputs(r.metrics_text.c_str(), stdout);
       return 0;
     }
     if (op == "shutdown") {

@@ -6,11 +6,18 @@
 // `rectpart_clientctl --op=shutdown`.
 //
 //   ./rectpart_served --socket=/tmp/rectpart.sock
-//   ./rectpart_served --socket=/tmp/rectpart.sock --threads=4 --pool=2 \
+//   ./rectpart_served --socket=/tmp/rectpart.sock --threads=4 --pool=2
 //                     --cache=16 --incumbent=jag-m-heur
+//                     --access-log=access.jsonl --trace=trace.json
+//
+// Observability: SIGUSR1 dumps the flight recorder (the last
+// --flight-capacity request records) to stderr; `rectpart_clientctl
+// --op=metrics` scrapes the telemetry plane; `rectpart_top` renders it
+// live.
 #include <csignal>
 #include <cstdio>
 
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "util/flags.hpp"
 #include "util/parallel.hpp"
@@ -24,6 +31,11 @@ extern "C" void on_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
 }
 
+extern "C" void on_sigusr1(int) {
+  // Same discipline: one self-pipe write; the accept thread dumps.
+  if (g_server != nullptr) g_server->request_flight_dump();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -33,12 +45,16 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: %s --socket=PATH [--threads=T] [--pool=P] [--cache=N]\n"
         "          [--max-cells=C] [--max-m=M] [--incumbent=ALGO]\n"
-        "          [--rebalance-threshold=X]\n"
+        "          [--rebalance-threshold=X] [--access-log=FILE]\n"
+        "          [--flight-capacity=N] [--trace=FILE]\n"
         "socket: Unix-domain socket path to listen on (required)\n"
         "threads: global algorithm parallelism (0 = RECTPART_THREADS env)\n"
         "pool: daemon pool size (connection handlers + async upgrades)\n"
         "cache: instance-cache capacity (retained prefix-sum structures)\n"
-        "incumbent: fallback heuristic for deadline requests\n",
+        "incumbent: fallback heuristic for deadline requests\n"
+        "access-log: JSONL file, one line per request (appended, flushed)\n"
+        "flight-capacity: ring size of the flight recorder (SIGUSR1 dumps)\n"
+        "trace: Chrome trace JSON written at shutdown (obs/trace.hpp)\n",
         flags.program().c_str());
     return 0;
   }
@@ -58,8 +74,15 @@ int main(int argc, char** argv) {
   opt.rebalance_threshold =
       flags.get_double("rebalance-threshold", opt.rebalance_threshold);
   opt.incumbent_algo = flags.get_string("incumbent", opt.incumbent_algo);
+  opt.access_log_path = flags.get_string("access-log", "");
+  opt.flight_capacity = static_cast<std::size_t>(
+      flags.get_int("flight-capacity", static_cast<std::int64_t>(
+                                           opt.flight_capacity)));
 
   set_threads(static_cast<int>(flags.get_int("threads", 0)));
+
+  const std::string trace_path = flags.get_string("trace", "");
+  if (!trace_path.empty()) obs::trace_enable(true);
 
   service::Server server(opt);
   try {
@@ -71,6 +94,7 @@ int main(int argc, char** argv) {
   g_server = &server;
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  std::signal(SIGUSR1, on_sigusr1);
 
   std::printf("rectpart_served: listening on %s (pool=%d, threads=%d)\n",
               server.socket_path().c_str(), opt.threads, num_threads());
@@ -80,5 +104,14 @@ int main(int argc, char** argv) {
   std::printf("rectpart_served: shutting down\n");
   g_server = nullptr;
   server.stop();
+  if (!trace_path.empty()) {
+    if (obs::trace_write_json(trace_path)) {
+      std::printf("rectpart_served: trace written to %s\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "rectpart_served: failed to write trace %s\n",
+                   trace_path.c_str());
+    }
+  }
   return 0;
 }

@@ -64,6 +64,22 @@ svc_counters=$("$clientctl" --socket="$svc_sock" --op=counters)
 grep -q '"service_requests":3' <<<"$svc_counters"
 grep -q '"service_cache_hits":1' <<<"$svc_counters"
 grep -q '"service_deadline_returns":1' <<<"$svc_counters"
+
+echo "== tier-1: daemon telemetry (metrics scrape + promcheck + rectpart_top) =="
+# The same daemon's telemetry plane: the Prometheus exposition must satisfy
+# promcheck (format grammar + every compiled-in work counter exported), the
+# ping extras must carry the build SHA, and rectpart_top must render a
+# per-engine latency row from one cumulative poll.
+"$clientctl" --socket="$svc_sock" --op=metrics >"$svc_dir/metrics.prom"
+"$root"/build/tools/benchstat promcheck "$svc_dir/metrics.prom"
+grep -q 'rectpart_requests_total{op="solve"} 3' "$svc_dir/metrics.prom"
+grep -q '# TYPE rectpart_request_duration_us histogram' "$svc_dir/metrics.prom"
+"$clientctl" --socket="$svc_sock" --op=ping | grep -q 'version'
+top_out=$("$root"/build/tools/rectpart_top --socket="$svc_sock" --iterations=1)
+grep -q 'p50' <<<"$top_out"
+grep -q 'p99' <<<"$top_out"
+grep -Eq 'jag-m-(opt|heur) ' <<<"$top_out"  # a per-engine row rendered
+
 "$clientctl" --socket="$svc_sock" --op=shutdown >/dev/null
 wait "$svc_pid"
 trap - EXIT
@@ -89,10 +105,12 @@ grep -q '"sparse_rows_touched"' "$sparse_dir/BENCH_sparse_smoke.json"
 rm -rf "$sparse_dir"
 
 echo "== tier-1: RECTPART_OBS=0 (spans/counters compile to no-ops) =="
-# The disabled build must compile the instrumented tree cleanly and still
-# pass the observability suite (its counter assertions self-gate).
+# The disabled build must compile the instrumented tree cleanly — including
+# the fully-instrumented daemon, whose telemetry plane becomes no-ops — and
+# still pass the observability suite (its counter assertions self-gate).
 cmake -B build-noobs -S . -DRECTPART_OBS=0 >/dev/null
-cmake --build build-noobs -j "$jobs" --target test_obs rectpart_cli
+cmake --build build-noobs -j "$jobs" \
+  --target test_obs rectpart_cli rectpart_served rectpart_top
 build-noobs/tests/test_obs
 build-noobs/examples/rectpart_cli --family=peak --n=64 --m=16 \
   --algo=jag-m-heur --counters >/dev/null
@@ -119,13 +137,17 @@ echo "== tier-1: ThreadSanitizer (thread pool + determinism suites) =="
 cmake -B build-tsan -S . -DRECTPART_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" \
   --target test_parallel test_util test_picmag test_picmag3 test_jagged_opt \
-  test_service
+  test_service test_obs
 build-tsan/tests/test_parallel
 build-tsan/tests/test_util --gtest_filter='ThreadPool*'
 # The partition daemon under TSan: accept thread, connection handlers, the
-# instance cache, and asynchronous SLO upgrades all race-checked at a
-# forced multi-thread pool width.
+# instance cache, asynchronous SLO upgrades, and the live telemetry path
+# (per-request histograms, access log, flight recorder, metrics scrapes)
+# all race-checked at a forced multi-thread pool width.
 RECTPART_THREADS=4 build-tsan/tests/test_service
+# The telemetry registry's sharded write path (1-vs-8-thread merge
+# invariance test hammers concurrent observe()).
+RECTPART_THREADS=4 build-tsan/tests/test_obs --gtest_filter='Telemetry*'
 # The threaded simulator and stripe-DP suites, forced to a multi-thread pool
 # (the container may report a single CPU, which would otherwise degrade the
 # whole run to sequential and hide every race from TSan).

@@ -1,7 +1,10 @@
 #include "benchstat/benchstat.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -308,6 +311,263 @@ int print_diff(const BenchFile& baseline, const BenchFile& current,
      << " ms regression(s) beyond noise" << (opts.gate_ms ? " [gated]" : "")
      << "\n";
   return fail ? 1 : 0;
+}
+
+// -- promcheck -------------------------------------------------------------
+
+namespace {
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+/// One parsed sample line.
+struct PromSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;  ///< parse order
+  double value = 0;
+  int line = 0;
+};
+
+/// Parses `name{l="v",...} value` starting after the name.  Returns "" or
+/// the violation.
+std::string parse_labels_and_value(const std::string& text, std::size_t pos,
+                                   PromSample* out) {
+  if (pos < text.size() && text[pos] == '{') {
+    ++pos;
+    while (pos < text.size() && text[pos] != '}') {
+      std::size_t eq = text.find('=', pos);
+      if (eq == std::string::npos) return "label without '='";
+      std::string lname = text.substr(pos, eq - pos);
+      while (!lname.empty() && lname.back() == ' ') lname.pop_back();
+      if (!valid_label_name(lname)) return "bad label name '" + lname + "'";
+      for (const auto& [seen, _] : out->labels)
+        if (seen == lname) return "duplicate label '" + lname + "'";
+      pos = eq + 1;
+      if (pos >= text.size() || text[pos] != '"')
+        return "label value is not quoted";
+      ++pos;
+      std::string value;
+      for (;; ++pos) {
+        if (pos >= text.size()) return "unterminated label value";
+        const char c = text[pos];
+        if (c == '"') break;
+        if (c == '\\') {
+          ++pos;
+          if (pos >= text.size()) return "dangling escape in label value";
+          const char e = text[pos];
+          if (e == '\\' || e == '"')
+            value += e;
+          else if (e == 'n')
+            value += '\n';
+          else
+            return std::string("bad escape '\\") + e + "' in label value";
+          continue;
+        }
+        if (c == '\n') return "raw newline in label value";
+        value += c;
+      }
+      out->labels.emplace_back(std::move(lname), std::move(value));
+      ++pos;  // closing quote
+      if (pos < text.size() && text[pos] == ',') ++pos;
+      while (pos < text.size() && text[pos] == ' ') ++pos;
+    }
+    if (pos >= text.size()) return "unterminated label block";
+    ++pos;  // '}'
+  }
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+  if (pos >= text.size()) return "sample has no value";
+  const std::string rest = text.substr(pos);
+  errno = 0;
+  char* end = nullptr;
+  out->value = std::strtod(rest.c_str(), &end);
+  if (end == rest.c_str()) return "unparseable value '" + rest + "'";
+  // An optional timestamp may follow; anything else is garbage.
+  while (*end == ' ') ++end;
+  if (*end != '\0') {
+    char* ts_end = nullptr;
+    (void)std::strtod(end, &ts_end);
+    if (ts_end == end || *ts_end != '\0')
+      return "trailing garbage after value: '" + std::string(end) + "'";
+  }
+  return "";
+}
+
+/// Canonical key of a sample's labels with `drop` removed (bucket grouping).
+std::string labels_key(const PromSample& s, const std::string& drop) {
+  std::vector<std::pair<std::string, std::string>> sorted = s.labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& [k, v] : sorted) {
+    if (k == drop) continue;
+    key += k;
+    key += '=';
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+std::string err_at(int line, const std::string& what) {
+  return "line " + std::to_string(line) + ": " + what;
+}
+
+}  // namespace
+
+std::string promcheck(const std::string& exposition,
+                      const std::vector<std::string>& required) {
+  std::map<std::string, std::string> types;  // base name -> type
+  std::map<std::string, bool> sampled;       // name seen as a sample
+  std::vector<PromSample> samples;
+
+  int lineno = 0;
+  std::size_t start = 0;
+  while (start <= exposition.size()) {
+    const std::size_t nl = exposition.find('\n', start);
+    const std::string line =
+        exposition.substr(start, nl == std::string::npos
+                                     ? std::string::npos
+                                     : nl - start);
+    start = nl == std::string::npos ? exposition.size() + 1 : nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      std::istringstream is(line);
+      std::string hash, kind, name;
+      is >> hash >> kind >> name;
+      if (kind == "TYPE") {
+        std::string type;
+        is >> type;
+        if (!valid_metric_name(name))
+          return err_at(lineno, "bad metric name '" + name + "' in # TYPE");
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped")
+          return err_at(lineno, "unknown type '" + type + "'");
+        if (types.count(name) != 0)
+          return err_at(lineno, "duplicate # TYPE for '" + name + "'");
+        if (sampled.count(name) != 0)
+          return err_at(lineno,
+                        "# TYPE for '" + name + "' after its samples");
+        types[name] = type;
+      } else if (kind == "HELP") {
+        if (!valid_metric_name(name))
+          return err_at(lineno, "bad metric name '" + name + "' in # HELP");
+      }
+      continue;  // other comments pass
+    }
+
+    PromSample s;
+    s.line = lineno;
+    std::size_t pos = 0;
+    while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+    s.name = line.substr(0, pos);
+    if (!valid_metric_name(s.name))
+      return err_at(lineno, "bad metric name '" + s.name + "'");
+    const std::string err = parse_labels_and_value(line, pos, &s);
+    if (!err.empty()) return err_at(lineno, err);
+    sampled[s.name] = true;
+    // A histogram's child series mark the base name as sampled too, so a
+    // late # TYPE is caught.
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::size_t n = std::string(suffix).size();
+      if (s.name.size() > n &&
+          s.name.compare(s.name.size() - n, n, suffix) == 0) {
+        const std::string base = s.name.substr(0, s.name.size() - n);
+        if (types.count(base) != 0 && types[base] == "histogram")
+          sampled[base] = true;
+      }
+    }
+    samples.push_back(std::move(s));
+  }
+
+  // Histogram coherence, per base name and label set.
+  for (const auto& [base, type] : types) {
+    if (type != "histogram") continue;
+    struct Group {
+      std::vector<std::pair<double, double>> buckets;  // (le, count), order
+      double count = -1;
+      bool has_sum = false;
+      int line = 0;
+    };
+    std::map<std::string, Group> groups;
+    for (const PromSample& s : samples) {
+      if (s.name == base + "_bucket") {
+        Group& g = groups[labels_key(s, "le")];
+        g.line = s.line;
+        const auto le = std::find_if(
+            s.labels.begin(), s.labels.end(),
+            [](const auto& kv) { return kv.first == "le"; });
+        if (le == s.labels.end())
+          return err_at(s.line, base + "_bucket without an le label");
+        double bound = 0;
+        if (le->second == "+Inf") {
+          bound = std::numeric_limits<double>::infinity();
+        } else {
+          char* end = nullptr;
+          bound = std::strtod(le->second.c_str(), &end);
+          if (end == le->second.c_str() || *end != '\0')
+            return err_at(s.line, "unparseable le '" + le->second + "'");
+        }
+        g.buckets.emplace_back(bound, s.value);
+      } else if (s.name == base + "_sum") {
+        groups[labels_key(s, "le")].has_sum = true;
+      } else if (s.name == base + "_count") {
+        groups[labels_key(s, "le")].count = s.value;
+      }
+    }
+    for (auto& [key, g] : groups) {
+      if (g.buckets.empty())
+        return err_at(g.line, base + " label set has no _bucket series");
+      for (std::size_t i = 1; i < g.buckets.size(); ++i) {
+        if (g.buckets[i].first <= g.buckets[i - 1].first)
+          return err_at(g.line, base + " le bounds not increasing");
+        if (g.buckets[i].second < g.buckets[i - 1].second)
+          return err_at(g.line, base + " bucket counts not cumulative");
+      }
+      if (!std::isinf(g.buckets.back().first))
+        return err_at(g.line, base + " lacks an le=\"+Inf\" bucket");
+      if (!g.has_sum)
+        return err_at(g.line, base + " lacks a _sum series");
+      if (g.count < 0)
+        return err_at(g.line, base + " lacks a _count series");
+      if (g.count != g.buckets.back().second)
+        return err_at(g.line, base + " _count != le=\"+Inf\" bucket");
+    }
+  }
+
+  for (const std::string& name : required)
+    if (sampled.count(name) == 0)
+      return "required metric '" + name + "' is absent from the exposition";
+  return "";
+}
+
+std::vector<std::string> required_work_metrics() {
+  std::vector<std::string> names;
+  names.reserve(obs::kCounterCount);
+  for (int i = 0; i < obs::kCounterCount; ++i)
+    names.push_back(std::string("rectpart_work_") +
+                    obs::counter_name(static_cast<obs::Counter>(i)));
+  return names;
 }
 
 }  // namespace rectpart::benchstat

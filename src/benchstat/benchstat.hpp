@@ -130,4 +130,32 @@ int print_diff(const BenchFile& baseline, const BenchFile& current,
                const DiffReport& report, const DiffOptions& opts,
                std::ostream& os);
 
+// -- promcheck: Prometheus text-exposition validation ----------------------
+//
+// The daemon's "metrics" op answers in Prometheus text exposition format
+// (src/obs/telemetry.hpp).  promcheck() validates a scraped document
+// against the format grammar so a malformed exposition fails tier-1, not a
+// production scraper:
+//
+//   * metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]* resp.
+//     [a-zA-Z_][a-zA-Z0-9_]*; label values use only the \\, \", \n escapes;
+//   * at most one # TYPE per name, appearing before that name's first
+//     sample, with a known type;
+//   * every sample value parses as a number;
+//   * histogram series are complete and coherent: per label set, bucket
+//     counts are cumulative (non-decreasing in le), an le="+Inf" bucket
+//     exists, and _count equals it; _sum is present;
+//   * every name in `required` appears as a sample (completeness: the
+//     daemon must export all counters it declares).
+
+/// Returns "" when `exposition` is valid and complete, else a description
+/// of the first violation ("line N: ...").
+[[nodiscard]] std::string promcheck(const std::string& exposition,
+                                    const std::vector<std::string>& required);
+
+/// The completeness set for a daemon scrape: "rectpart_work_<name>" for
+/// every compiled-in obs counter (the spelling counters_to_prometheus
+/// exports them under).
+[[nodiscard]] std::vector<std::string> required_work_metrics();
+
 }  // namespace rectpart::benchstat

@@ -87,8 +87,19 @@ Partition Partitioner::run(const LoadSubstrate& ls, int m,
 #endif
   WallTimer timer;
   Partition p = run_impl(ls, m, ctx);
-  ctx.ms += timer.milliseconds();
+  const double ran_ms = timer.milliseconds();
+  ctx.ms += ran_ms;
 #if RECTPART_OBS_ENABLED
+  // One engine-latency observation per run, recorded before the counter
+  // delta is captured so telemetry_observations lands in ctx.counters
+  // (exactly 1 per run — thread-invariant, hence gateable).
+  if (ctx.telemetry != nullptr) {
+    const int hist = ctx.telemetry->histogram(
+        "rectpart_engine_run_us", {{"engine", name()}},
+        "Partitioner::run wall time per engine, microseconds.");
+    ctx.telemetry->observe(
+        hist, static_cast<std::uint64_t>(ran_ms >= 0 ? ran_ms * 1000.0 : 0));
+  }
   ctx.counters.merge(obs::counters_snapshot().delta_since(before));
 #endif
   return p;

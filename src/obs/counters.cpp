@@ -59,6 +59,20 @@ constexpr CounterMeta kMeta[kCounterCount] = {
     // uncounted), so the total is a function of which code paths ran.
     {"sparse_rows_touched", false, false},
     {"csc_mirror_builds", false, false},
+    // Telemetry-plane bookkeeping (obs/telemetry.hpp).  Observations are one
+    // per recording call — a pure function of which instrumented paths ran,
+    // so they gate like the service counters.  Series registration and shard
+    // allocation are once-per-process-history and once-per-thread
+    // respectively: their *deltas* depend on what already ran and on which
+    // threads touched which series, so both stay out of the deterministic
+    // set by design.
+    {"telemetry_observations", false, false},
+    {"telemetry_series", false, true},
+    {"telemetry_shard_allocs", false, true},
+    // Access-log lines and flight records are one per served request (plus
+    // one per error line), a pure function of the request stream.
+    {"access_log_lines", false, false},
+    {"flight_records", false, false},
 };
 
 // One cache-line-isolated block per thread.  Only the owning thread writes

@@ -57,6 +57,11 @@ enum class Counter : int {
   kSimdFallbackHits,        ///< SIMD kernel calls that ran a scalar tail/path
   kSparseRowsTouched,       ///< nonzero CSR rows visited by sparse queries
   kCscMirrorBuilds,         ///< lazy CSC mirror transposes installed
+  kTelemetryObservations,   ///< telemetry counter adds + histogram observes
+  kTelemetrySeries,         ///< telemetry series registered (process history)
+  kTelemetryShardAllocs,    ///< per-(thread, registry) telemetry shards made
+  kAccessLogLines,          ///< JSONL access-log lines written by the daemon
+  kFlightRecords,           ///< requests recorded into the flight recorder
   kCount
 };
 

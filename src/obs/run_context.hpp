@@ -20,6 +20,7 @@
 #include <string>
 
 #include "obs/counters.hpp"
+#include "obs/telemetry.hpp"
 
 namespace rectpart {
 
@@ -51,6 +52,14 @@ class RunContext {
 
   /// Total wall time (milliseconds) of the runs executed with this context.
   double ms = 0;
+
+  /// Live-telemetry sink: Partitioner::run records one engine-latency
+  /// histogram observation per run into it, so engine percentiles accumulate
+  /// wherever runs happen (daemon, bench reps, CLI).  Defaults to the
+  /// process-global registry; null detaches the run from live telemetry
+  /// (the work counters above are unaffected).  With -DRECTPART_OBS=0 the
+  /// registry is a no-op and nothing records.
+  obs::Telemetry* telemetry = &obs::telemetry();
 
   [[nodiscard]] bool deadline_expired() const {
     return deadline.has_value() && Clock::now() >= *deadline;

@@ -121,6 +121,24 @@ bool ServiceClient::ping() {
   }
 }
 
+Response ServiceClient::ping_details() {
+  RequestHeader h;
+  h.op = Op::kPing;
+  h.id = ++next_id_;
+  Response r = transact(h, nullptr, 0);
+  if (!r.ok) throw std::runtime_error("ping failed: " + r.error);
+  return r;
+}
+
+Response ServiceClient::metrics() {
+  RequestHeader h;
+  h.op = Op::kMetrics;
+  h.id = ++next_id_;
+  Response r = transact(h, nullptr, 0);
+  if (!r.ok) throw std::runtime_error("metrics request failed: " + r.error);
+  return r;
+}
+
 std::string ServiceClient::counters_json() {
   RequestHeader h;
   h.op = Op::kCounters;

@@ -57,6 +57,17 @@ class ServiceClient {
   /// Round-trip liveness probe.
   [[nodiscard]] bool ping();
 
+  /// Liveness probe with the full response: version (daemon's build SHA),
+  /// uptime_ms, instance-cache occupancy and bytes.  Throws on transport
+  /// failure or a daemon-side error.
+  [[nodiscard]] Response ping_details();
+
+  /// The daemon's telemetry plane: Response::metrics_text holds the
+  /// Prometheus text exposition, Response::telemetry_json the snapshot as
+  /// JSON, Response::counters_json the work counters.  Throws on transport
+  /// failure or a daemon-side error.
+  [[nodiscard]] Response metrics();
+
   /// The daemon's counter snapshot as a serialized JSON object.
   [[nodiscard]] std::string counters_json();
 

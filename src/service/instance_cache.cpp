@@ -24,13 +24,16 @@ void InstanceCache::insert(std::uint64_t key,
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
+    bytes_ += inst->approx_bytes() - it->second->inst->approx_bytes();
     it->second->inst = std::move(inst);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
+  bytes_ += inst->approx_bytes();
   lru_.push_front(Entry{key, std::move(inst)});
   index_[key] = lru_.begin();
   while (lru_.size() > capacity_) {
+    bytes_ -= lru_.back().inst->approx_bytes();
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }
@@ -39,6 +42,11 @@ void InstanceCache::insert(std::uint64_t key,
 std::size_t InstanceCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
+}
+
+std::int64_t InstanceCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 }  // namespace rectpart::service

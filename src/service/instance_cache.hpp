@@ -52,6 +52,20 @@ struct Instance {
   [[nodiscard]] LoadSubstrate view() const {
     return dense ? LoadSubstrate(*dense) : LoadSubstrate(*sparse);
   }
+
+  /// Approximate resident bytes of the prepared substrate: the bordered
+  /// prefix array (dense) or row_start/col/cum (sparse).  Lazily-built
+  /// transposes/mirrors are not counted — the estimate is a stable function
+  /// of the instance shape, which is what a cache-occupancy gauge wants
+  /// (no jitter when a -BEST run materializes the mirror).
+  [[nodiscard]] std::int64_t approx_bytes() const {
+    if (dense) {
+      return static_cast<std::int64_t>(dense->rows() + 1) *
+             static_cast<std::int64_t>(dense->cols() + 1) * 8;
+    }
+    return static_cast<std::int64_t>(sparse->rows() + 1) * 8 +
+           sparse->nnz() * 4 + (sparse->nnz() + 1) * 8;
+  }
 };
 
 class InstanceCache {
@@ -76,6 +90,10 @@ class InstanceCache {
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Approximate resident bytes across retained instances (sum of
+  /// Instance::approx_bytes; evicted-but-borrowed instances not counted).
+  [[nodiscard]] std::int64_t bytes() const;
+
  private:
   struct Entry {
     std::uint64_t key = 0;
@@ -83,6 +101,7 @@ class InstanceCache {
   };
 
   std::size_t capacity_;
+  std::int64_t bytes_ = 0;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;

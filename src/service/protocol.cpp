@@ -18,6 +18,7 @@ const char* op_name(Op op) {
     case Op::kSolve: return "solve";
     case Op::kPing: return "ping";
     case Op::kCounters: return "counters";
+    case Op::kMetrics: return "metrics";
     case Op::kShutdown: return "shutdown";
   }
   return "solve";
@@ -27,6 +28,7 @@ bool op_from_name(const std::string& s, Op* out) {
   if (s == "solve") *out = Op::kSolve;
   else if (s == "ping") *out = Op::kPing;
   else if (s == "counters") *out = Op::kCounters;
+  else if (s == "metrics") *out = Op::kMetrics;
   else if (s == "shutdown") *out = Op::kShutdown;
   else return false;
   return true;
@@ -94,8 +96,10 @@ bool parse_request_header(const std::string& line, RequestHeader* out,
   if (op_string.empty())
     return fail(error, "request header is missing 'op'");
   if (!op_from_name(op_string, &h.op))
-    return fail(error, "unknown op '" + op_string +
-                           "' (expected solve, ping, counters, or shutdown)");
+    return fail(error,
+                "unknown op '" + op_string +
+                    "' (expected solve, ping, counters, metrics, or "
+                    "shutdown)");
   if (!read_int_member(*doc, "id", &h.id, error)) return false;
   if (!read_string_member(*doc, "algo", &h.algo, error)) return false;
   if (!read_int_member(*doc, "m", &h.m, error)) return false;
@@ -186,6 +190,18 @@ std::string serialize_response(const Response& r) {
     }
     add_member(obj, "rects", std::move(rects));
   }
+  if (!r.version.empty()) {
+    add_member(obj, "version", JsonValue::make_string(r.version));
+    add_member(obj, "uptime_ms", JsonValue::make_double(r.uptime_ms));
+    add_member(obj, "cache_instances",
+               JsonValue::make_int(r.cache_instances));
+    add_member(obj, "cache_bytes", JsonValue::make_int(r.cache_bytes));
+  }
+  if (!r.metrics_text.empty()) {
+    add_member(obj, "metrics_prom", JsonValue::make_string(r.metrics_text));
+    if (auto telemetry = json_parse(r.telemetry_json); telemetry.has_value())
+      add_member(obj, "telemetry", std::move(*telemetry));
+  }
   if (!r.counters_json.empty()) {
     // The snapshot serializer emits valid JSON; parse it back so the
     // response stays one well-formed document rather than spliced text.
@@ -240,6 +256,16 @@ bool parse_response(const std::string& line, Response* out,
   }
   if (const JsonValue* counters = doc->find("counters"); counters != nullptr)
     r.counters_json = json_serialize(*counters);
+  r.version = doc->get_string("version", "");
+  if (!r.version.empty()) {
+    r.uptime_ms = doc->get_double("uptime_ms", -1);
+    r.cache_instances = doc->get_int("cache_instances", -1);
+    r.cache_bytes = doc->get_int("cache_bytes", -1);
+  }
+  r.metrics_text = doc->get_string("metrics_prom", "");
+  if (const JsonValue* telemetry = doc->find("telemetry");
+      telemetry != nullptr)
+    r.telemetry_json = json_serialize(*telemetry);
   *out = std::move(r);
   return true;
 }

@@ -19,7 +19,8 @@
 // default — the daemon's parsing is the input-hardening surface of this
 // subsystem, in the same spirit as the io/ loaders.
 //
-// Request fields:  op ("solve" | "ping" | "counters" | "shutdown"),
+// Request fields:  op ("solve" | "ping" | "counters" | "metrics" |
+//                  "shutdown"),
 //                  id (int, echoed back), and for solve: algo (registry
 //                  name), m, rows, cols, deadline_ms (optional), upgrade
 //                  (bool), lineage (optional string naming a drifting
@@ -27,7 +28,11 @@
 // Response fields: id, status ("ok" | "error"), message (errors only),
 //                  final, algo, m, cache_hit, deadline_return, rebalance
 //                  ("" | "kept" | "repartitioned"), ms, lmax, imbalance,
-//                  rects ([[x0,x1,y0,y1], ...]), counters (counters op).
+//                  rects ([[x0,x1,y0,y1], ...]), counters (counters op),
+//                  and for ping: version, uptime_ms, cache_instances,
+//                  cache_bytes; for metrics: metrics_prom (Prometheus
+//                  text exposition as one JSON string), telemetry (the
+//                  snapshot as a JSON object), counters.
 #pragma once
 
 #include <cstdint>
@@ -42,7 +47,7 @@ namespace rectpart::service {
 /// is cut off here instead of growing the read buffer without bound.
 inline constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
 
-enum class Op { kSolve, kPing, kCounters, kShutdown };
+enum class Op { kSolve, kPing, kCounters, kMetrics, kShutdown };
 
 struct RequestHeader {
   Op op = Op::kSolve;
@@ -88,6 +93,18 @@ struct Response {
   double imbalance = 0;
   Partition partition;
   std::string counters_json;
+
+  // Ping extras (absent unless the responder fills them; version empty
+  // means "not a ping-with-extras response").
+  std::string version;             ///< daemon's configure-time git SHA
+  double uptime_ms = -1;           ///< daemon uptime; < 0 means absent
+  std::int64_t cache_instances = -1;  ///< instance-cache occupancy
+  std::int64_t cache_bytes = -1;      ///< instance-cache resident bytes
+
+  // Metrics op: the Prometheus text exposition and the telemetry snapshot
+  // (as serialized JSON, like counters_json).
+  std::string metrics_text;
+  std::string telemetry_json;
 };
 
 [[nodiscard]] std::string serialize_response(const Response& r);

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
@@ -16,7 +17,10 @@
 #include "core/partitioner.hpp"
 #include "dynamic/rebalance.hpp"
 #include "obs/counters.hpp"
+#include "obs/telemetry.hpp"
 #include "service/fingerprint.hpp"
+#include "util/bench_json.hpp"
+#include "util/json.hpp"
 
 namespace rectpart::service {
 
@@ -49,6 +53,79 @@ bool socket_is_live(const std::string& path) {
 
 }  // namespace
 
+std::string RequestRecord::to_json() const {
+  // Hand-rolled for the same reason counters.cpp hand-rolls: the record is
+  // flat, and one line per request must not allocate a JsonValue tree.
+  char buf[256];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"seq\": %llu, \"t_ms\": %.3f, \"id\": %lld, \"op\": ",
+                static_cast<unsigned long long>(seq), t_ms,
+                static_cast<long long>(id));
+  out += buf;
+  out += '"';
+  out += json_escape(op);
+  out += "\", \"algo\": \"";
+  out += json_escape(algo);
+  out += "\", ";
+  std::snprintf(buf, sizeof(buf),
+                "\"fingerprint\": \"%016llx\", \"rows\": %lld, "
+                "\"cols\": %lld, \"cells\": %lld, \"nnz\": %lld, ",
+                static_cast<unsigned long long>(fingerprint),
+                static_cast<long long>(rows), static_cast<long long>(cols),
+                static_cast<long long>(cells), static_cast<long long>(nnz));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"cache_hit\": %s, \"deadline_return\": %s, \"ms\": %.6f, "
+                "\"lmax\": %lld, \"imbalance\": %.6f, \"status\": ",
+                cache_hit ? "true" : "false",
+                deadline_return ? "true" : "false", ms,
+                static_cast<long long>(lmax), imbalance);
+  out += buf;
+  out += '"';
+  out += json_escape(status);
+  out += '"';
+  if (!error.empty()) {
+    out += ", \"error\": \"";
+    out += json_escape(error);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(RequestRecord rec) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[static_cast<std::size_t>(next_ % capacity_)] = std::move(rec);
+  }
+  ++next_;
+  RECTPART_COUNT(kFlightRecords, 1);
+}
+
+std::string FlightRecorder::dump_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"flight_recorder\": [";
+  const std::size_t n = ring_.size();
+  // Oldest first: once the ring has wrapped, the oldest record sits at
+  // next_ % capacity_ (the slot the next write would claim).
+  const std::size_t start =
+      n < capacity_ ? 0 : static_cast<std::size_t>(next_ % capacity_);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += ring_[(start + i) % n].to_json();
+  }
+  out += "]}";
+  return out;
+}
+
 /// One accepted client.  The fd is closed when the last reference drops —
 /// the serving task and any in-flight async upgrade each hold one, so a
 /// follow-up response can never write into a closed (or recycled) fd.
@@ -72,7 +149,9 @@ struct Server::Lineage {
 };
 
 Server::Server(ServerOptions opt)
-    : opt_(std::move(opt)), cache_(opt_.cache_capacity) {}
+    : opt_(std::move(opt)),
+      cache_(opt_.cache_capacity),
+      flight_(opt_.flight_capacity) {}
 
 Server::~Server() { stop(); }
 
@@ -109,7 +188,39 @@ void Server::start() {
   if (::listen(listen_fd_, 64) < 0) sys_fail("listen");
   if (::pipe2(wake_pipe_, O_CLOEXEC) < 0) sys_fail("pipe2");
   if (::pipe2(stop_pipe_, O_CLOEXEC) < 0) sys_fail("pipe2");
+  if (::pipe2(dump_pipe_, O_CLOEXEC) < 0) sys_fail("pipe2");
 
+  if (!opt_.access_log_path.empty()) {
+    access_log_ = std::fopen(opt_.access_log_path.c_str(), "a");
+    if (access_log_ == nullptr)
+      sys_fail("fopen(" + opt_.access_log_path + ")");
+  }
+
+  // Telemetry series resolved before any worker thread exists, so the
+  // request paths record through plain ints with no registry lookups for
+  // the fixed-label series.
+  auto& tele = obs::telemetry();
+  tele_req_solve_ = tele.counter("rectpart_requests_total", {{"op", "solve"}},
+                                 "Requests accepted by the daemon, by op.");
+  tele_req_ping_ = tele.counter("rectpart_requests_total", {{"op", "ping"}});
+  tele_req_counters_ =
+      tele.counter("rectpart_requests_total", {{"op", "counters"}});
+  tele_req_metrics_ =
+      tele.counter("rectpart_requests_total", {{"op", "metrics"}});
+  tele_req_shutdown_ =
+      tele.counter("rectpart_requests_total", {{"op", "shutdown"}});
+  tele_proto_errors_ =
+      tele.counter("rectpart_protocol_errors_total", {},
+                   "Unparseable request headers (connection closed).");
+  gauge_conns_ = tele.gauge("rectpart_connections_inflight", {},
+                            "Accepted connections currently being served.");
+  gauge_cache_n_ = tele.gauge("rectpart_cache_instances", {},
+                              "Instance-cache occupancy (entries).");
+  gauge_cache_bytes_ =
+      tele.gauge("rectpart_cache_bytes", {},
+                 "Approximate resident bytes of cached instances.");
+
+  started_at_ = std::chrono::steady_clock::now();
   register_builtin_partitioners();
   pool_ = std::make_unique<ThreadPool>(
       opt_.threads > 0 ? static_cast<std::size_t>(opt_.threads) : 0);
@@ -126,6 +237,13 @@ void Server::wait_for_stop_request() {
 void Server::request_stop() {
   if (stop_pipe_[1] >= 0) {
     const ssize_t ignored = ::write(stop_pipe_[1], "x", 1);
+    (void)ignored;
+  }
+}
+
+void Server::request_flight_dump() {
+  if (dump_pipe_[1] >= 0) {
+    const ssize_t ignored = ::write(dump_pipe_[1], "x", 1);
     (void)ignored;
   }
 }
@@ -153,24 +271,40 @@ void Server::stop() {
   }
   ::close(listen_fd_);
   listen_fd_ = -1;
-  for (int* pipe_pair : {wake_pipe_, stop_pipe_})
+  for (int* pipe_pair : {wake_pipe_, stop_pipe_, dump_pipe_})
     for (int i = 0; i < 2; ++i) {
       ::close(pipe_pair[i]);
       pipe_pair[i] = -1;
     }
+  if (access_log_ != nullptr) {
+    std::fclose(access_log_);
+    access_log_ = nullptr;
+  }
   ::unlink(opt_.socket_path.c_str());
 }
 
 void Server::accept_loop() {
   for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
-    const int rc = ::poll(fds, 2, -1);
+    pollfd fds[3] = {{listen_fd_, POLLIN, 0},
+                     {wake_pipe_[0], POLLIN, 0},
+                     {dump_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 3, -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
     }
     if (stopping_.load(std::memory_order_relaxed) || fds[1].revents != 0)
       break;
+    if (fds[2].revents != 0) {
+      // SIGUSR1 landed (the handler wrote one byte — see rectpart_served):
+      // drain the pipe and dump on this thread, which may do anything a
+      // signal handler may not.
+      char drain[16];
+      while (::read(dump_pipe_[0], drain, sizeof(drain)) ==
+             static_cast<ssize_t>(sizeof(drain))) {
+      }
+      dump_flight("SIGUSR1");
+    }
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
@@ -181,6 +315,8 @@ void Server::accept_loop() {
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.insert(conn);
+      obs::telemetry().set(gauge_conns_,
+                           static_cast<std::int64_t>(conns_.size()));
     }
     try {
       pool_->submit([this, conn] { serve_connection(conn); });
@@ -201,26 +337,45 @@ void Server::serve_connection(const std::shared_ptr<Connection>& conn) {
     std::string error;
     if (!parse_request_header(line, &h, &error)) {
       // The payload boundary is unknowable after a bad header, so this
-      // connection cannot be resynchronized: report and close.
+      // connection cannot be resynchronized: report, dump the flight
+      // recorder (a hostile or confused peer is exactly the post-mortem
+      // moment), and close.
+      obs::telemetry().add(tele_proto_errors_);
       send_error(conn, -1, error);
+      dump_flight("protocol error");
       break;
     }
     bool keep = true;
     switch (h.op) {
       case Op::kPing: {
+        obs::telemetry().add(tele_req_ping_);
         Response r;
         r.id = h.id;
+        r.version = bench_git_sha();
+        r.uptime_ms = uptime_ms();
+        r.cache_instances = static_cast<std::int64_t>(cache_.size());
+        r.cache_bytes = cache_.bytes();
         send_response(conn, r);
         break;
       }
       case Op::kCounters: {
+        obs::telemetry().add(tele_req_counters_);
         Response r;
         r.id = h.id;
         r.counters_json = obs::counters_snapshot().to_json();
         send_response(conn, r);
         break;
       }
+      case Op::kMetrics: {
+        obs::telemetry().add(tele_req_metrics_);
+        Response r;
+        r.id = h.id;
+        fill_metrics_response(&r);
+        send_response(conn, r);
+        break;
+      }
       case Op::kShutdown: {
+        obs::telemetry().add(tele_req_shutdown_);
         Response r;
         r.id = h.id;
         send_response(conn, r);
@@ -228,6 +383,7 @@ void Server::serve_connection(const std::shared_ptr<Connection>& conn) {
         break;
       }
       case Op::kSolve:
+        obs::telemetry().add(tele_req_solve_);
         // A stray exception must not strand the client without a response
         // (the pool would swallow it into a future nobody reads).
         try {
@@ -243,6 +399,8 @@ void Server::serve_connection(const std::shared_ptr<Connection>& conn) {
   }
   std::lock_guard<std::mutex> lock(conns_mu_);
   conns_.erase(conn);
+  obs::telemetry().set(gauge_conns_,
+                       static_cast<std::int64_t>(conns_.size()));
 }
 
 bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
@@ -254,19 +412,46 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
   // not the logical rows*cols extent (that being unbounded is the point).
   constexpr std::int64_t kIntMax = std::numeric_limits<int>::max();
   const bool is_coo = h.format == "coo";
+
+  // Every solve attempt past header parse leaves one RequestRecord in the
+  // flight ring and (if enabled) the access log, whatever exit path it
+  // takes: the guard finalizes on scope exit, including exceptions (whose
+  // response serve_connection's catch sends).  A local class has the
+  // enclosing member function's access rights, so it may call the private
+  // finish_record.
+  struct RecordGuard {
+    Server* srv;
+    RequestRecord rec;
+    const char* verdict = "none";
+    explicit RecordGuard(Server* s) : srv(s) {}
+    ~RecordGuard() {
+      if (std::uncaught_exceptions() > 0) rec.error = "internal daemon error";
+      srv->finish_record(rec, verdict);
+    }
+  } guard(this);
+  RequestRecord& rec = guard.rec;
+  rec.id = h.id;
+  rec.algo = h.algo;
+  rec.rows = h.rows;
+  rec.cols = h.cols;
+  rec.nnz = is_coo ? h.nnz : 0;
+  rec.cells = h.rows * h.cols;
+  rec.status = "error";
+  rec.error = "connection lost mid-request";
+
   if (h.rows > kIntMax || h.cols > kIntMax ||
       (!is_coo && h.rows > 0 && h.cols > opt_.max_cells / h.rows)) {
-    send_error(conn, h.id,
-               "request of " + std::to_string(h.rows) + " x " +
-                   std::to_string(h.cols) + " cells exceeds max_cells=" +
-                   std::to_string(opt_.max_cells));
+    rec.error = "request of " + std::to_string(h.rows) + " x " +
+                std::to_string(h.cols) + " cells exceeds max_cells=" +
+                std::to_string(opt_.max_cells);
+    send_error(conn, h.id, rec.error);
     return false;
   }
   if (is_coo && h.nnz > opt_.max_cells) {
-    send_error(conn, h.id,
-               "request of " + std::to_string(h.nnz) +
-                   " COO entries exceeds max_cells=" +
-                   std::to_string(opt_.max_cells));
+    rec.error = "request of " + std::to_string(h.nnz) +
+                " COO entries exceeds max_cells=" +
+                std::to_string(opt_.max_cells);
+    send_error(conn, h.id, rec.error);
     return false;
   }
 
@@ -294,26 +479,29 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
 
   // Post-payload validation keeps the connection: the stream is in sync.
   if (is_coo ? (h.rows == 0 || h.cols == 0) : a.empty()) {
-    send_error(conn, h.id, "cannot partition an empty matrix");
+    rec.error = "cannot partition an empty matrix";
+    send_error(conn, h.id, rec.error);
     return true;
   }
   if (h.m > opt_.max_m) {
-    send_error(conn, h.id,
-               "m=" + std::to_string(h.m) +
-                   " exceeds max_m=" + std::to_string(opt_.max_m));
+    rec.error = "m=" + std::to_string(h.m) +
+                " exceeds max_m=" + std::to_string(opt_.max_m);
+    send_error(conn, h.id, rec.error);
     return true;
   }
   std::unique_ptr<Partitioner> algo;
   try {
     algo = make_partitioner(h.algo);
   } catch (const std::out_of_range& e) {
-    send_error(conn, h.id, e.what());  // carries the did-you-mean hint
+    rec.error = e.what();
+    send_error(conn, h.id, rec.error);  // carries the did-you-mean hint
     return true;
   }
 
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t key =
       is_coo ? fingerprint_coo(coo) : fingerprint_matrix(a);
+  rec.fingerprint = key;
   std::shared_ptr<const Instance> inst =
       cache_.find(key, static_cast<int>(h.rows), static_cast<int>(h.cols));
   const bool cache_hit = inst != nullptr;
@@ -326,7 +514,8 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
           coo.n1, coo.n2, std::move(coo.entries)));
     } catch (const std::invalid_argument& e) {
       // Out-of-range coordinates or negative loads; the stream is in sync.
-      send_error(conn, h.id, std::string("bad COO payload: ") + e.what());
+      rec.error = std::string("bad COO payload: ") + e.what();
+      send_error(conn, h.id, rec.error);
       return true;
     }
     inst = std::make_shared<Instance>(std::move(csr));
@@ -342,6 +531,7 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
   r.algo = h.algo;
   r.m = h.m;
   r.cache_hit = cache_hit;
+  rec.cache_hit = cache_hit;
   const int m = static_cast<int>(h.m);
 
   // Lineage path: perturbed resubmissions of one drifting workload go
@@ -351,9 +541,10 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
   // The Rebalancer's drift tracking is dense-only, so a sparse lineage
   // request is a protocol error rather than a silent dense blow-up.
   if (!h.lineage.empty() && is_coo) {
-    send_error(conn, h.id,
-               "lineage rebalancing requires a dense payload "
-               "(format \"coo\" is not supported)");
+    rec.error =
+        "lineage rebalancing requires a dense payload "
+        "(format \"coo\" is not supported)";
+    send_error(conn, h.id, rec.error);
     return true;
   }
   if (!h.lineage.empty()) {
@@ -377,13 +568,19 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
       r.rebalance = d.repartitioned ? "repartitioned" : "kept";
       r.partition = lineage->rebalancer->current();
     } catch (const std::exception& e) {
-      send_error(conn, h.id, std::string("rebalance failed: ") + e.what());
+      rec.error = std::string("rebalance failed: ") + e.what();
+      send_error(conn, h.id, rec.error);
       return true;
     }
     r.ms = ms_since(t0);
     r.lmax = r.partition.max_load(ls);
     r.imbalance = r.partition.imbalance(ls);
     send_response(conn, r);
+    rec.status = "ok";
+    rec.error.clear();
+    rec.ms = r.ms;
+    rec.lmax = r.lmax;
+    rec.imbalance = r.imbalance;
     return true;
   }
 
@@ -401,46 +598,73 @@ bool Server::handle_solve(const std::shared_ptr<Connection>& conn,
       incumbent = make_partitioner(opt_.incumbent_algo)->run(ls, m);
     }
     r.partition = algo->run(ls, m, rc);
+    if (h.deadline_ms.has_value()) guard.verdict = "met";
   } catch (const DeadlineExceeded&) {
     RECTPART_COUNT(kServiceDeadlineReturns, 1);
     r.partition = std::move(incumbent);
     r.algo = opt_.incumbent_algo;
     r.deadline_return = true;
+    guard.verdict = "returned";
+    rec.algo = opt_.incumbent_algo;
+    rec.deadline_return = true;
     if (h.upgrade) {
       r.final_reply = false;
       upgrade_async = true;
     }
   } catch (const std::exception& e) {
-    send_error(conn, h.id, std::string("solve failed: ") + e.what());
+    rec.error = std::string("solve failed: ") + e.what();
+    send_error(conn, h.id, rec.error);
     return true;
   }
   r.ms = ms_since(t0);
   r.lmax = r.partition.max_load(ls);
   r.imbalance = r.partition.imbalance(ls);
   send_response(conn, r);
+  rec.status = "ok";
+  rec.error.clear();
+  rec.ms = r.ms;
+  rec.lmax = r.lmax;
+  rec.imbalance = r.imbalance;
 
   if (upgrade_async) {
     // The follow-up keeps the connection and the cached instance alive via
     // shared_ptr; the client reads a second response whenever it is ready.
     try {
-      pool_->submit([this, conn, inst, h] {
+      pool_->submit([this, conn, inst, h, fingerprint = key] {
         const auto u0 = std::chrono::steady_clock::now();
         Response f;
         f.id = h.id;
         f.algo = h.algo;
         f.m = h.m;
+        RequestRecord urec;
+        urec.id = h.id;
+        urec.op = "upgrade";
+        urec.algo = h.algo;
+        urec.fingerprint = fingerprint;
+        urec.rows = h.rows;
+        urec.cols = h.cols;
+        urec.nnz = h.format == "coo" ? h.nnz : 0;
+        urec.cells = h.rows * h.cols;
+        urec.cache_hit = true;  // upgrades always reuse the held instance
         const LoadSubstrate uls = inst->view();
         try {
           f.partition = make_partitioner(h.algo)->run(
               uls, static_cast<int>(h.m));
         } catch (const std::exception& e) {
-          send_error(conn, h.id, std::string("upgrade failed: ") + e.what());
+          urec.status = "error";
+          urec.error = std::string("upgrade failed: ") + e.what();
+          send_error(conn, h.id, urec.error);
+          finish_record(urec, "upgrade");
           return;
         }
         f.ms = ms_since(u0);
         f.lmax = f.partition.max_load(uls);
         f.imbalance = f.partition.imbalance(uls);
         send_response(conn, f);
+        urec.ms = f.ms;
+        urec.lmax = f.lmax;
+        urec.imbalance = f.imbalance;
+        finish_record(urec, "upgrade");
       });
     } catch (const std::runtime_error&) {
       // Pool stopped mid-teardown; the non-final answer already went out.
@@ -464,6 +688,63 @@ void Server::send_error(const std::shared_ptr<Connection>& conn,
   r.ok = false;
   r.error = message;
   send_response(conn, r);
+}
+
+double Server::uptime_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - started_at_)
+      .count();
+}
+
+void Server::finish_record(const RequestRecord& rec,
+                           const char* deadline_verdict) {
+  RequestRecord stamped = rec;
+  stamped.seq = record_seq_.fetch_add(1, std::memory_order_relaxed);
+  stamped.t_ms = uptime_ms();
+
+  // Latency histogram, keyed by (engine, cache hit/miss, deadline verdict).
+  // Only completed answers observe: an error has no engine latency to speak
+  // of, and hostile algo strings must not mint unbounded label sets.
+  if (stamped.status == "ok") {
+    auto& tele = obs::telemetry();
+    const int hist = tele.histogram(
+        "rectpart_request_duration_us",
+        {{"engine", stamped.algo},
+         {"cache", stamped.cache_hit ? "hit" : "miss"},
+         {"deadline", deadline_verdict}},
+        "Round-trip solve time inside the daemon, microseconds.");
+    tele.observe(hist,
+                 static_cast<std::uint64_t>(
+                     stamped.ms >= 0 ? stamped.ms * 1000.0 : 0));
+    tele.set(gauge_cache_n_, static_cast<std::int64_t>(cache_.size()));
+    tele.set(gauge_cache_bytes_, cache_.bytes());
+  }
+
+  if (access_log_ != nullptr) {
+    const std::string line = stamped.to_json();
+    std::lock_guard<std::mutex> lock(access_mu_);
+    std::fwrite(line.data(), 1, line.size(), access_log_);
+    std::fputc('\n', access_log_);
+    std::fflush(access_log_);  // tail -f follows live traffic
+    RECTPART_COUNT(kAccessLogLines, 1);
+  }
+
+  flight_.record(std::move(stamped));
+}
+
+void Server::dump_flight(const char* reason) {
+  const std::string dump = flight_.dump_json();
+  std::fprintf(stderr, "rectpart_served: flight recorder dump (%s): %s\n",
+               reason, dump.c_str());
+  std::fflush(stderr);
+}
+
+void Server::fill_metrics_response(Response* r) const {
+  const obs::TelemetrySnapshot snap = obs::telemetry().snapshot();
+  r->telemetry_json = snap.to_json();
+  r->metrics_text =
+      to_prometheus(snap) + counters_to_prometheus(obs::counters_snapshot());
+  r->counters_json = obs::counters_snapshot().to_json();
 }
 
 }  // namespace rectpart::service

@@ -41,13 +41,16 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "service/instance_cache.hpp"
 #include "service/protocol.hpp"
@@ -78,6 +81,59 @@ struct ServerOptions {
   double rebalance_threshold = 0.10;
   /// Fallback heuristic computed as the incumbent for deadline requests.
   std::string incumbent_algo = "jag-m-heur";
+  /// JSONL access-log path; empty disables the log.  One line per solve
+  /// request (including errors), appended and flushed per line so a tail -f
+  /// follows live traffic.
+  std::string access_log_path;
+  /// Ring size of the flight recorder (last N request records kept for the
+  /// post-mortem dump on protocol error or SIGUSR1).
+  std::size_t flight_capacity = 64;
+};
+
+/// One request's worth of post-mortem/observability state: what the access
+/// log writes as a JSONL line and the flight recorder retains.  Plain
+/// struct, rendered to JSON only when a sink actually consumes it — the
+/// warm path must not pay serialization for a ring overwrite.
+struct RequestRecord {
+  std::uint64_t seq = 0;     ///< monotonic per-daemon record number
+  double t_ms = 0;           ///< ms since daemon start, at completion
+  std::int64_t id = 0;
+  std::string op = "solve";  ///< "solve" | "upgrade"
+  std::string algo;          ///< engine that produced the answer
+  std::uint64_t fingerprint = 0;
+  std::int64_t rows = 0, cols = 0;
+  std::int64_t nnz = 0;      ///< 0 for dense payloads
+  std::int64_t cells = 0;    ///< rows*cols extent
+  bool cache_hit = false;
+  bool deadline_return = false;
+  double ms = 0;
+  std::int64_t lmax = 0;
+  double imbalance = 0;
+  std::string status = "ok";  ///< "ok" | "error"
+  std::string error;          ///< message for status == "error"
+
+  /// One-line JSON object (no trailing newline), util/json.* escaping.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Fixed-size ring of the last N request records.  record() is mutex-guarded
+/// and O(1); dump_json() renders oldest-to-newest.  Capacity 0 disables
+/// recording entirely.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity);
+
+  void record(RequestRecord rec);
+
+  /// {"flight_recorder": [...oldest first...]} — pretty enough for a log,
+  /// machine-parseable for tests.
+  [[nodiscard]] std::string dump_json() const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<RequestRecord> ring_;  ///< ring_[seq % capacity]
+  std::uint64_t next_ = 0;           ///< records ever written
 };
 
 class Server {
@@ -100,6 +156,17 @@ class Server {
 
   /// Async-signal-safe stop trigger: one write to a self-pipe.
   void request_stop();
+
+  /// Async-signal-safe flight-recorder dump trigger (SIGUSR1 handler in
+  /// rectpart_served): one write to a self-pipe; the accept thread performs
+  /// the actual dump to stderr.
+  void request_flight_dump();
+
+  /// The flight recorder's current contents as JSON (tests; the daemon
+  /// itself dumps via request_flight_dump / protocol errors).
+  [[nodiscard]] std::string flight_recorder_json() const {
+    return flight_.dump_json();
+  }
 
   /// Tears the daemon down: joins the accept thread, shuts down live
   /// connections, drains the pool, unlinks the socket.  Idempotent.
@@ -126,16 +193,40 @@ class Server {
   void send_error(const std::shared_ptr<Connection>& conn, std::int64_t id,
                   const std::string& message);
 
+  /// Routes a finished request record to every sink: the flight ring, the
+  /// access log (if open), the per-(engine, cache, deadline) latency
+  /// histogram (ok records only), and the cache gauges.
+  void finish_record(const RequestRecord& rec, const char* deadline_verdict);
+  /// Writes the flight recorder to stderr, tagged with `reason`.
+  void dump_flight(const char* reason);
+  /// Builds the metrics-op response body (exposition + JSON snapshots).
+  void fill_metrics_response(Response* r) const;
+  [[nodiscard]] double uptime_ms() const;
+
   ServerOptions opt_;
   InstanceCache cache_;
+  FlightRecorder flight_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  ///< interrupts the accept poll()
   int stop_pipe_[2] = {-1, -1};  ///< wait_for_stop_request() blocks here
+  int dump_pipe_[2] = {-1, -1};  ///< request_flight_dump() writes here
   std::atomic<bool> stopping_{false};
   bool started_ = false;
   bool stopped_ = false;
+  std::chrono::steady_clock::time_point started_at_{};
+  std::atomic<std::uint64_t> record_seq_{0};
+
+  std::FILE* access_log_ = nullptr;  ///< owned; flushed per line
+  std::mutex access_mu_;
+
+  // Telemetry handles, resolved once in start() (before any worker thread
+  // exists).  kInvalidMetric in -DRECTPART_OBS=0 builds.
+  int tele_req_solve_ = -1, tele_req_ping_ = -1, tele_req_counters_ = -1,
+      tele_req_metrics_ = -1, tele_req_shutdown_ = -1;
+  int tele_proto_errors_ = -1;
+  int gauge_conns_ = -1, gauge_cache_n_ = -1, gauge_cache_bytes_ = -1;
 
   std::mutex conns_mu_;
   std::unordered_set<std::shared_ptr<Connection>> conns_;

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "obs/counters.hpp"
+#include "obs/telemetry.hpp"
 #include "util/bench_json.hpp"
 #include "util/json.hpp"
 
@@ -278,6 +279,91 @@ TEST(BenchDiff, DuplicateKeyKeepsLastOccurrence) {
   const DiffReport rep = benchstat::diff(base, cur, DiffOptions{});
   EXPECT_TRUE(rep.drifts.empty()) << "last record (counter=5) should win";
   EXPECT_FALSE(rep.failed(DiffOptions{}));
+}
+
+// ---------------------------------------------------------------------------
+// promcheck: the Prometheus exposition validator behind `benchstat
+// promcheck` and the tier-1 daemon-metrics smoke.
+
+TEST(Promcheck, AcceptsAWellFormedExposition) {
+  const std::string ok =
+      "# HELP x_total Things.\n"
+      "# TYPE x_total counter\n"
+      "x_total{op=\"solve\"} 3\n"
+      "x_total{op=\"es\\\"caped\\nvalue\\\\ok\"} 1\n"
+      "# TYPE g gauge\n"
+      "g -7\n"
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"10\"} 2\n"
+      "h_bucket{le=\"100\"} 5\n"
+      "h_bucket{le=\"+Inf\"} 6\n"
+      "h_sum 312\n"
+      "h_count 6\n";
+  EXPECT_EQ(benchstat::promcheck(ok, {}), "");
+}
+
+TEST(Promcheck, RequiredMetricCompletenessIsEnforced) {
+  const std::string ok = "# TYPE a_total counter\na_total 1\n";
+  EXPECT_EQ(benchstat::promcheck(ok, {"a_total"}), "");
+  const std::string err = benchstat::promcheck(ok, {"a_total", "b_total"});
+  EXPECT_NE(err.find("b_total"), std::string::npos) << err;
+}
+
+TEST(Promcheck, RejectsGrammarViolations) {
+  const auto fails = [](const std::string& text) {
+    return !benchstat::promcheck(text, {}).empty();
+  };
+  EXPECT_TRUE(fails("bad-name 1\n"));                       // name charset
+  EXPECT_TRUE(fails("x{0bad=\"v\"} 1\n"));                  // label charset
+  EXPECT_TRUE(fails("x{l=\"a\\qb\"} 1\n"));                 // bad escape
+  EXPECT_TRUE(fails("x{l=\"v\"} notanumber\n"));            // value
+  EXPECT_TRUE(fails("x{l=\"v\", l=\"w\"} 1\n"));            // dup label
+  EXPECT_TRUE(fails("x{l=\"v\" 1\n"));                      // unterminated
+  EXPECT_TRUE(fails("# TYPE x banana\nx 1\n"));             // unknown type
+  EXPECT_TRUE(fails("# TYPE x counter\n# TYPE x gauge\nx 1\n"));  // dup TYPE
+  EXPECT_TRUE(fails("x 1\n# TYPE x counter\n"));            // TYPE after use
+}
+
+TEST(Promcheck, RejectsIncoherentHistograms) {
+  const auto fails = [](const std::string& text) {
+    return !benchstat::promcheck(text, {}).empty();
+  };
+  // Non-cumulative bucket counts.
+  EXPECT_TRUE(fails(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"));
+  // No +Inf bucket.
+  EXPECT_TRUE(fails(
+      "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"));
+  // _count disagrees with the +Inf bucket.
+  EXPECT_TRUE(fails(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n"));
+  // Missing _sum.
+  EXPECT_TRUE(fails(
+      "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n"));
+}
+
+TEST(Promcheck, LiveTelemetryExpositionPassesItsOwnGate) {
+#if RECTPART_OBS_ENABLED
+  // End-to-end: a registry snapshot rendered by to_prometheus, plus the
+  // work-counter bridge, must satisfy promcheck with the full completeness
+  // set — the exact pairing tier1.sh exercises against the daemon.
+  obs::Telemetry tele;
+  const int h = tele.histogram("rectpart_request_duration_us",
+                               {{"engine", "jag\"m\\heur"}});
+  tele.observe(h, 0);
+  tele.observe(h, 12345);
+  tele.observe(h, (std::uint64_t{1} << 41));  // overflow bucket
+  const int c = tele.counter("rectpart_requests_total", {{"op", "solve"}});
+  tele.add(c, 2);
+  const std::string text = obs::to_prometheus(tele.snapshot()) +
+                           obs::counters_to_prometheus(
+                               obs::counters_snapshot());
+  const std::string err =
+      benchstat::promcheck(text, benchstat::required_work_metrics());
+  EXPECT_EQ(err, "") << text;
+#endif
 }
 
 }  // namespace

@@ -10,19 +10,26 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/partitioner.hpp"
 #include "hier/hier.hpp"
 #include "jagged/jagged.hpp"
 #include "obs/run_context.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "testing_util.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 
 namespace rectpart {
@@ -433,6 +440,269 @@ TEST_F(ObsTest, TraceExportsValidChromeTracingJson) {
   std::remove(path.c_str());
   obs::trace_reset();
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry plane (obs/telemetry.hpp): bucket algebra, percentile bound
+// guarantees, exposition escaping, and thread-count merge invariance.  The
+// bucket-math tests are pure functions and run in every configuration; the
+// registry tests need the real (RECTPART_OBS=1) implementation.
+
+TEST(TelemetryBuckets, IndexBoundsBracketEveryValue) {
+  using HB = obs::HistogramBuckets;
+  std::vector<std::uint64_t> probes = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100,
+                                       1000, 65535, 65536, (1ull << 39),
+                                       (1ull << 40) - 1};
+  for (std::uint64_t base : {1ull << 10, 1ull << 20, 1ull << 33})
+    for (std::uint64_t d : {std::uint64_t{0}, std::uint64_t{1}, base / 3})
+      probes.push_back(base + d);
+  for (const std::uint64_t v : probes) {
+    const int i = HB::index(v);
+    ASSERT_GE(i, 0) << v;
+    ASSERT_LT(i, HB::kOverflowIndex) << v;
+    EXPECT_LE(HB::lower_bound(i), v) << "bucket " << i;
+    EXPECT_GE(HB::upper_bound(i), v) << "bucket " << i;
+  }
+}
+
+TEST(TelemetryBuckets, ZeroAndOverflowAreTheirOwnBuckets) {
+  using HB = obs::HistogramBuckets;
+  EXPECT_EQ(HB::index(0), 0);
+  EXPECT_EQ(HB::lower_bound(0), 0u);
+  EXPECT_EQ(HB::upper_bound(0), 0u);
+  EXPECT_EQ(HB::index(1ull << 40), HB::kOverflowIndex);
+  EXPECT_EQ(HB::index(~std::uint64_t{0}), HB::kOverflowIndex);
+  EXPECT_EQ(HB::index((1ull << 40) - 1), HB::kOverflowIndex - 1);
+}
+
+TEST(TelemetryBuckets, BucketsArePartitionOfTheRange) {
+  using HB = obs::HistogramBuckets;
+  // Consecutive buckets tile [0, 2^40) with no gaps or overlaps.
+  for (int i = 0; i + 1 < HB::kOverflowIndex; ++i) {
+    EXPECT_EQ(HB::upper_bound(i) + 1, HB::lower_bound(i + 1))
+        << "gap after bucket " << i;
+  }
+}
+
+TEST(TelemetryPoint, MergeIsCommutative) {
+  obs::MetricPoint a, b;
+  a.kind = b.kind = obs::MetricKind::kHistogram;
+  a.buckets.assign(obs::HistogramBuckets::kBucketCount, 0);
+  b.buckets.assign(obs::HistogramBuckets::kBucketCount, 0);
+  std::uint64_t x = 88172645463325252ull;
+  const auto rng = [&x]() {  // xorshift, deterministic
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng() % 100000;
+    obs::MetricPoint& p = (rng() % 2 == 0) ? a : b;
+    ++p.buckets[static_cast<std::size_t>(obs::HistogramBuckets::index(v))];
+    p.sum += v;
+  }
+  obs::MetricPoint ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.sum, ba.sum);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.buckets, ba.buckets);
+}
+
+TEST(TelemetryPoint, PercentileBoundsBracketTheExactQuantile) {
+  obs::MetricPoint p;
+  p.kind = obs::MetricKind::kHistogram;
+  p.buckets.assign(obs::HistogramBuckets::kBucketCount, 0);
+  std::vector<std::uint64_t> values;
+  std::uint64_t x = 424242;
+  for (int i = 0; i < 2000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::uint64_t v = x % 1000000;
+    values.push_back(v);
+    ++p.buckets[static_cast<std::size_t>(obs::HistogramBuckets::index(v))];
+    p.sum += v;
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.01, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    // Nearest-rank exact quantile of the raw sample.
+    const std::size_t rank = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(q * static_cast<double>(values.size()))));
+    const std::uint64_t exact = values[rank - 1];
+    EXPECT_LE(p.percentile_lower(q), exact) << "q=" << q;
+    EXPECT_GE(p.percentile_upper(q), exact) << "q=" << q;
+  }
+}
+
+TEST(TelemetryPoint, PercentileOfEmptyHistogramIsZero) {
+  obs::MetricPoint p;
+  p.kind = obs::MetricKind::kHistogram;
+  p.buckets.assign(obs::HistogramBuckets::kBucketCount, 0);
+  EXPECT_EQ(p.percentile_upper(0.5), 0u);
+  EXPECT_EQ(p.percentile_lower(0.99), 0u);
+}
+
+TEST(TelemetryExposition, EscapesHostileLabelValues) {
+  const std::string hostile = "a\\b\"c\nd";
+  EXPECT_EQ(obs::prometheus_escape(hostile), "a\\\\b\\\"c\\nd");
+
+#if RECTPART_OBS_ENABLED
+  obs::Telemetry tele;
+  const int c = tele.counter("hostile_total", {{"path", hostile}});
+  tele.add(c, 3);
+  const std::string prom = obs::to_prometheus(tele.snapshot());
+  EXPECT_NE(prom.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos) << prom;
+  // The exposition must stay line-parseable: no raw newline inside a label.
+  for (std::size_t pos = prom.find('\n'); pos != std::string::npos;
+       pos = prom.find('\n', pos + 1)) {
+    if (pos + 1 < prom.size()) {
+      const char next = prom[pos + 1];
+      EXPECT_TRUE(next == '#' || next == '\0' || std::isalpha(next) != 0 ||
+                  next == '_')
+          << "line starting with '" << next << "'";
+    }
+  }
+#endif
+}
+
+#if RECTPART_OBS_ENABLED
+
+TEST(TelemetryRegistry, CountersGaugesAndHistogramsRoundTrip) {
+  obs::Telemetry tele;
+  const int c = tele.counter("reqs_total", {{"op", "solve"}}, "help!");
+  const int g = tele.gauge("inflight");
+  const int h = tele.histogram("lat_us");
+  ASSERT_NE(c, obs::kInvalidMetric);
+  ASSERT_NE(g, obs::kInvalidMetric);
+  ASSERT_NE(h, obs::kInvalidMetric);
+  // Re-registration under the same (name, labels) returns the same handle.
+  EXPECT_EQ(c, tele.counter("reqs_total", {{"op", "solve"}}));
+  tele.add(c, 2);
+  tele.add(c);
+  tele.set(g, -7);
+  tele.observe(h, 100);
+  tele.observe(h, 200);
+
+  const obs::TelemetrySnapshot s = tele.snapshot();
+  const obs::MetricPoint* pc = s.find("reqs_total", {{"op", "solve"}});
+  ASSERT_NE(pc, nullptr);
+  EXPECT_EQ(pc->value, 3u);
+  EXPECT_EQ(pc->help, "help!");
+  const obs::MetricPoint* pg = s.find("inflight", {});
+  ASSERT_NE(pg, nullptr);
+  EXPECT_EQ(pg->gauge_value, -7);
+  const obs::MetricPoint* ph = s.find("lat_us", {});
+  ASSERT_NE(ph, nullptr);
+  EXPECT_EQ(ph->count(), 2u);
+  EXPECT_EQ(ph->sum, 300u);
+}
+
+TEST(TelemetryRegistry, LabelOrderDoesNotSplitSeries) {
+  obs::Telemetry tele;
+  const int a = tele.counter("x_total", {{"a", "1"}, {"b", "2"}});
+  const int b = tele.counter("x_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+  tele.add(a);
+  tele.add(b);
+  const obs::TelemetrySnapshot s = tele.snapshot();
+  const obs::MetricPoint* p = s.find("x_total", {{"b", "2"}, {"a", "1"}});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->value, 2u);
+}
+
+TEST(TelemetryRegistry, KindConflictThrows) {
+  obs::Telemetry tele;
+  (void)tele.counter("dual", {});
+  EXPECT_THROW((void)tele.histogram("dual", {}), std::logic_error);
+}
+
+// The tentpole's determinism requirement: the merged snapshot is
+// bit-identical whether the observations came from 1 thread or 8.
+TEST(TelemetryRegistry, SnapshotIsThreadCountInvariant) {
+  constexpr int kObs = 4096;
+  const auto value_of = [](int i) {
+    return static_cast<std::uint64_t>((i * 2654435761u) % 500000);
+  };
+
+  obs::Telemetry seq;
+  {
+    const int h = seq.histogram("lat_us", {{"engine", "e"}});
+    const int c = seq.counter("n_total");
+    for (int i = 0; i < kObs; ++i) {
+      seq.observe(h, value_of(i));
+      seq.add(c);
+    }
+  }
+
+  obs::Telemetry par;
+  {
+    const int h = par.histogram("lat_us", {{"engine", "e"}});
+    const int c = par.counter("n_total");
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&par, h, c, t, value_of]() {
+        for (int i = t; i < kObs; i += kThreads) {
+          par.observe(h, value_of(i));
+          par.add(c);
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+
+  const obs::TelemetrySnapshot a = seq.snapshot();
+  const obs::TelemetrySnapshot b = par.snapshot();
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].name, b.series[i].name);
+    EXPECT_EQ(a.series[i].labels, b.series[i].labels);
+    EXPECT_EQ(a.series[i].value, b.series[i].value);
+    EXPECT_EQ(a.series[i].sum, b.series[i].sum);
+    EXPECT_EQ(a.series[i].buckets, b.series[i].buckets);
+  }
+  // Identical serialized forms — the JSON and exposition are functions of
+  // the snapshot only.
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(obs::to_prometheus(a), obs::to_prometheus(b));
+}
+
+TEST(TelemetryRegistry, SnapshotJsonParsesAndNamesSeries) {
+  obs::Telemetry tele;
+  const int h = tele.histogram("lat_us", {{"engine", "jag\"ged"}});
+  tele.observe(h, 42);
+  const std::string json = tele.snapshot().to_json();
+  std::string error;
+  const auto doc = json_parse(json, &error);
+  ASSERT_TRUE(doc.has_value()) << error << "\n" << json;
+  const JsonValue* series = doc->find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_TRUE(series->is_array());
+  ASSERT_EQ(series->items().size(), 1u);
+  EXPECT_EQ(series->items()[0].get_string("name", ""), "lat_us");
+  EXPECT_EQ(series->items()[0].get_int("count", 0), 1);
+}
+
+TEST(TelemetryRegistry, EngineRunsObserveThroughRunContext) {
+  register_builtin_partitioners();
+  obs::Telemetry tele;
+  RunContext ctx;
+  ctx.telemetry = &tele;
+  const LoadMatrix a = testing::random_matrix(32, 32, 1, 50, /*seed=*/7);
+  auto part = make_partitioner("jag-m-heur");
+  ASSERT_NE(part, nullptr);
+  (void)part->run(PrefixSum2D(a), 4, ctx);
+  (void)part->run(PrefixSum2D(a), 4, ctx);
+  const obs::TelemetrySnapshot s = tele.snapshot();
+  const obs::MetricPoint* p =
+      s.find("rectpart_engine_run_us", {{"engine", "jag-m-heur"}});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->count(), 2u);
+}
+
+#endif  // RECTPART_OBS_ENABLED
 
 TEST_F(ObsTest, DisabledTracingRecordsNothing) {
   obs::trace_reset();

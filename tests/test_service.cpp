@@ -19,7 +19,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -31,6 +34,7 @@
 #include "service/instance_cache.hpp"
 #include "service/protocol.hpp"
 #include "testing_util.hpp"
+#include "util/json.hpp"
 #include "workloads/synthetic.hpp"
 
 namespace rectpart::service {
@@ -678,6 +682,207 @@ TEST_F(ServiceTest, ShutdownRequestStopsTheServer) {
   client.request_shutdown();  // acknowledged before the stop begins
   server_->wait_for_stop_request();
   server_->stop();  // TearDown's second stop() is an idempotent no-op
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry plane (ISSUE 9): metrics op, ping extras, access log, flight
+// recorder.
+//
+// The telemetry registry is process-global, so series accumulate across the
+// Server instances these tests create; count assertions are deltas between
+// two scrapes, never absolute values.
+
+/// Value of the exposition line starting with `prefix` (name + label set),
+/// or 0 when the series has not been minted yet.
+std::uint64_t scrape_value(const std::string& exposition,
+                           const std::string& prefix) {
+  std::size_t pos = 0;
+  while (pos < exposition.size()) {
+    const std::size_t eol = exposition.find('\n', pos);
+    const std::string line = exposition.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? exposition.size() : eol + 1;
+    if (line.rfind(prefix, 0) == 0 && line.size() > prefix.size() &&
+        line[prefix.size()] == ' ')
+      return std::strtoull(line.c_str() + prefix.size() + 1, nullptr, 10);
+  }
+  return 0;
+}
+
+TEST_F(ServiceTest, PingDetailsCarryVersionUptimeAndCacheOccupancy) {
+  ServiceClient client = connect();
+  const Response before = client.ping_details();
+  EXPECT_FALSE(before.version.empty());
+  EXPECT_GE(before.uptime_ms, 0.0);
+  EXPECT_EQ(before.cache_instances, 0);
+  EXPECT_EQ(before.cache_bytes, 0);
+
+  const Response warm = client.solve(random_matrix(8, 8, 0, 9, 1),
+                                     SolveOptions{});
+  ASSERT_TRUE(warm.ok) << warm.error;
+  const Response after = client.ping_details();
+  EXPECT_EQ(after.cache_instances, 1);
+  EXPECT_GT(after.cache_bytes, 0);
+  EXPECT_GE(after.uptime_ms, before.uptime_ms);
+}
+
+TEST_F(ServiceTest, MetricsOpServesExpositionAndTelemetryJson) {
+  ServiceClient client = connect();
+  const Response base = client.metrics();
+  ASSERT_TRUE(base.ok) << base.error;
+  const std::uint64_t solves_before = scrape_value(
+      base.metrics_text, "rectpart_requests_total{op=\"solve\"}");
+
+  SolveOptions opt;
+  opt.algo = "jag-m-heur";
+  opt.m = 4;
+  const LoadMatrix a = random_matrix(16, 16, 0, 9, 3);
+  ASSERT_TRUE(client.solve(a, opt).ok);
+  ASSERT_TRUE(client.solve(a, opt).ok);  // second run: a cache hit
+
+  const Response m = client.metrics();
+  ASSERT_TRUE(m.ok) << m.error;
+  ASSERT_FALSE(m.metrics_text.empty());
+  // Exposition names the request histogram and the per-op counter...
+  EXPECT_EQ(scrape_value(m.metrics_text,
+                         "rectpart_requests_total{op=\"solve\"}"),
+            solves_before + 2)
+      << m.metrics_text;
+#if RECTPART_OBS_ENABLED
+  EXPECT_NE(m.metrics_text.find(
+                "# TYPE rectpart_request_duration_us histogram"),
+            std::string::npos)
+      << m.metrics_text;
+  // ...including both cache verdict label values after hit + miss.
+  EXPECT_NE(m.metrics_text.find("cache=\"miss\""), std::string::npos);
+  EXPECT_NE(m.metrics_text.find("cache=\"hit\""), std::string::npos);
+  // The work-counter bridge is present (promcheck's completeness set).
+  EXPECT_NE(m.metrics_text.find("rectpart_work_service_requests"),
+            std::string::npos);
+#endif
+
+  // The telemetry snapshot is valid JSON with a series array.
+  std::string error;
+  const auto doc = json_parse(m.telemetry_json, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* series = doc->find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_TRUE(series->is_array());
+}
+
+class AccessLogTest : public ServiceTest {
+ protected:
+  void configure(ServerOptions& opt) override {
+    std::snprintf(log_path_, sizeof(log_path_),
+                  "/tmp/rectpart_test_access_%d.jsonl",
+                  static_cast<int>(getpid()));
+    std::remove(log_path_);
+    opt.access_log_path = log_path_;
+  }
+  void TearDown() override {
+    ServiceTest::TearDown();
+    std::remove(log_path_);
+  }
+  char log_path_[128];
+};
+
+TEST_F(AccessLogTest, WritesOneParseableLinePerRequestIncludingErrors) {
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.m = 4;
+  ASSERT_TRUE(client.solve(random_matrix(8, 8, 0, 9, 1), opt).ok);
+  opt.algo = "no-such-engine";
+  EXPECT_FALSE(client.solve(random_matrix(8, 8, 0, 9, 1), opt).ok);
+  server_->stop();  // flush + close the log
+
+  std::ifstream in(log_path_);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0, ok_lines = 0, error_lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    std::string error;
+    const auto doc = json_parse(line, &error);
+    ASSERT_TRUE(doc.has_value()) << error << "\n" << line;
+    EXPECT_EQ(doc->get_int("rows", -1), 8);
+    EXPECT_GE(doc->get_double("t_ms", -1), 0.0);
+    EXPECT_FALSE(doc->get_string("fingerprint", "").empty());
+    const std::string status = doc->get_string("status", "");
+    if (status == "ok") {
+      ++ok_lines;
+      EXPECT_GE(doc->get_double("ms", -1), 0.0);
+      EXPECT_GT(doc->get_int("lmax", 0), 0);
+    } else {
+      ++error_lines;
+      EXPECT_NE(doc->get_string("error", "").find("no-such-engine"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(lines, 2);
+  EXPECT_EQ(ok_lines, 1);
+  EXPECT_EQ(error_lines, 1);
+}
+
+class FlightTest : public ServiceTest {
+ protected:
+  void configure(ServerOptions& opt) override { opt.flight_capacity = 2; }
+};
+
+TEST_F(FlightTest, RingKeepsTheLastNRequestsOldestFirst) {
+  ServiceClient client = connect();
+  SolveOptions opt;
+  opt.m = 2;
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(client.solve(random_matrix(4 + i, 4, 0, 9, 1), opt).ok);
+
+  // A request is recorded just after its response is sent, so the last
+  // record may trail the client's view by a beat — poll briefly.
+  std::optional<JsonValue> doc;
+  for (int spin = 0; spin < 2000; ++spin) {
+    std::string error;
+    doc = json_parse(server_->flight_recorder_json(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    const JsonValue* ring = doc->find("flight_recorder");
+    ASSERT_NE(ring, nullptr);
+    if (!ring->items().empty() &&
+        ring->items().back().get_int("rows", -1) == 8)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const JsonValue* ring = doc->find("flight_recorder");
+  ASSERT_TRUE(ring->is_array());
+  ASSERT_EQ(ring->items().size(), 2u);  // capacity 2 kept the last two
+  EXPECT_EQ(ring->items()[0].get_int("rows", -1), 7);  // oldest first
+  EXPECT_EQ(ring->items()[1].get_int("rows", -1), 8);
+  EXPECT_LT(ring->items()[0].get_int("seq", -1),
+            ring->items()[1].get_int("seq", -1));
+}
+
+TEST_F(ServiceTest, ProtocolErrorIncrementsTelemetryAndKeepsServing) {
+  ServiceClient good = connect();
+  ASSERT_TRUE(good.solve(random_matrix(4, 4, 0, 9, 1), SolveOptions{}).ok);
+  const Response base = good.metrics();
+  ASSERT_TRUE(base.ok);
+  const std::uint64_t errors_before =
+      scrape_value(base.metrics_text, "rectpart_protocol_errors_total");
+
+  const int fd = raw_connect();
+  const char garbage[] = "this is not json\n";
+  ASSERT_TRUE(write_all(fd, garbage, sizeof(garbage) - 1));
+  std::string carry, line;
+  ASSERT_TRUE(read_line(fd, &carry, &line));
+  EXPECT_NE(line.find("error"), std::string::npos);
+  ::close(fd);
+
+#if RECTPART_OBS_ENABLED
+  // The daemon counted the protocol error and still answers metrics.
+  const Response m = good.metrics();
+  ASSERT_TRUE(m.ok);
+  EXPECT_EQ(scrape_value(m.metrics_text, "rectpart_protocol_errors_total"),
+            errors_before + 1)
+      << m.metrics_text;
+#endif
+  EXPECT_TRUE(good.ping());
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 //       [--mad-factor=4.0]            noise band: f*(mad_a+mad_b)
 //       [--ms-rel-tol=0.10]           ... + rel*baseline_median
 //       [--ms-abs-floor=0.05]         ... + floor (ms)
+//   benchstat promcheck FILE          Prometheus exposition grammar +
+//       [--no-required]               completeness (every obs counter
+//                                     present as rectpart_work_<name>);
+//                                     FILE "-" reads stdin
 //   benchstat --validate FILE...      alias for `validate` (tier1.sh)
 //
 // The hard gate compares the scheduling-independent work counters of
@@ -33,9 +37,43 @@ int usage(const std::string& prog) {
                "       %s print FILE\n"
                "       %s diff BASELINE CURRENT [--ms-gate]\n"
                "            [--mad-factor=F] [--ms-rel-tol=R] "
-               "[--ms-abs-floor=A]\n",
-               prog.c_str(), prog.c_str(), prog.c_str());
+               "[--ms-abs-floor=A]\n"
+               "       %s promcheck FILE [--no-required]  ('-' = stdin)\n",
+               prog.c_str(), prog.c_str(), prog.c_str(), prog.c_str());
   return 2;
+}
+
+int cmd_promcheck(const std::string& file, bool check_required) {
+  std::string text;
+  if (file == "-") {
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0)
+      text.append(buf, n);
+  } else {
+    std::FILE* f = std::fopen(file.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "benchstat promcheck: cannot open %s\n",
+                   file.c_str());
+      return 2;
+    }
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  }
+  const std::vector<std::string> required =
+      check_required ? benchstat::required_work_metrics()
+                     : std::vector<std::string>{};
+  const std::string err = benchstat::promcheck(text, required);
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s: INVALID exposition: %s\n", file.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  std::printf("%s: OK (%zu bytes, %zu required metrics present)\n",
+              file.c_str(), text.size(), required.size());
+  return 0;
 }
 
 int cmd_validate(const std::vector<std::string>& files) {
@@ -104,6 +142,10 @@ int main(int argc, char** argv) {
   if (cmd == "print") {
     if (args.size() != 1) return usage(flags.program());
     return cmd_print(args.front());
+  }
+  if (cmd == "promcheck") {
+    if (args.size() != 1) return usage(flags.program());
+    return cmd_promcheck(args.front(), !flags.get_bool("no-required", false));
   }
   if (cmd == "diff") {
     if (args.size() != 2) return usage(flags.program());

@@ -1,0 +1,223 @@
+// rectpart_top: live terminal dashboard for the partition daemon.
+//
+// Polls the daemon's "metrics" op (service/protocol.hpp) and renders a
+// per-engine table of tail latencies, throughput, cache hit rate, and
+// deadline-return rate, computed client-side from the telemetry snapshot —
+// the daemon exports buckets, the dashboard does the math.
+//
+//   rectpart_top --socket=/tmp/rectpart.sock                  # live, 1s
+//   rectpart_top --socket=... --interval-ms=250
+//   rectpart_top --socket=... --iterations=1                  # one shot (CI)
+//   rectpart_top --socket=... --raw                           # exposition
+//
+// Percentiles are bucket upper bounds from the daemon's log-scale
+// histograms (src/obs/telemetry.hpp): the true pXX is <= the printed
+// value, and > the previous bucket's bound — "95" means p50 in (63, 95].
+// Throughput is the request-count delta between consecutive polls.
+//
+// Exit status: 0 on a clean run, 2 on usage/transport errors.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace rectpart;
+
+/// Per-engine aggregate over every (cache, deadline) label combination of
+/// rectpart_request_duration_us.
+struct EngineStats {
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t deadline_returns = 0;
+  std::uint64_t overflow = 0;
+  std::map<std::uint64_t, std::uint64_t> buckets;  ///< ub(us) -> count
+};
+
+/// Upper bound of the bucket holding the q-quantile (nearest-rank).  The
+/// overflow bucket has no finite bound; ~0 marks it and prints as "inf".
+std::uint64_t percentile_ub(const EngineStats& e, double q) {
+  const std::uint64_t n = e.count;
+  if (n == 0) return 0;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::min<double>(static_cast<double>(n),
+                                     q * static_cast<double>(n) + 0.999999)));
+  std::uint64_t seen = 0;
+  for (const auto& [ub, c] : e.buckets) {
+    seen += c;
+    if (seen >= rank) return ub;
+  }
+  return ~std::uint64_t{0};  // rank lands in the overflow bucket
+}
+
+std::string fmt_us(std::uint64_t us) {
+  char buf[32];
+  if (us == ~std::uint64_t{0}) return "inf";
+  if (us >= 1000000)
+    std::snprintf(buf, sizeof(buf), "%.1fs",
+                  static_cast<double>(us) / 1e6);
+  else if (us >= 10000)
+    std::snprintf(buf, sizeof(buf), "%.1fms",
+                  static_cast<double>(us) / 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "us", us);
+  return buf;
+}
+
+/// Parses the snapshot's rectpart_request_duration_us series into
+/// per-engine aggregates, and sums rectpart_requests_total into `total`.
+bool digest(const std::string& telemetry_json,
+            std::map<std::string, EngineStats>* engines,
+            std::uint64_t* total_requests, std::string* error) {
+  engines->clear();
+  *total_requests = 0;
+  const auto doc = json_parse(telemetry_json, error);
+  if (!doc) return false;
+  const JsonValue* series = doc->find("series");
+  if (series == nullptr || !series->is_array()) {
+    *error = "telemetry snapshot has no series array";
+    return false;
+  }
+  for (const JsonValue& s : series->items()) {
+    const std::string name = s.get_string("name", "");
+    if (name == "rectpart_requests_total") {
+      *total_requests += static_cast<std::uint64_t>(s.get_int("value", 0));
+      continue;
+    }
+    if (name != "rectpart_request_duration_us") continue;
+    const JsonValue* labels = s.find("labels");
+    if (labels == nullptr) continue;
+    EngineStats& e = (*engines)[labels->get_string("engine", "?")];
+    const std::uint64_t count =
+        static_cast<std::uint64_t>(s.get_int("count", 0));
+    e.count += count;
+    e.sum_us += static_cast<std::uint64_t>(s.get_int("sum", 0));
+    e.overflow += static_cast<std::uint64_t>(s.get_int("overflow", 0));
+    if (labels->get_string("cache", "") == "hit") e.hits += count;
+    if (labels->get_string("deadline", "") == "returned")
+      e.deadline_returns += count;
+    const JsonValue* buckets = s.find("buckets");
+    if (buckets == nullptr || !buckets->is_array()) continue;
+    for (const JsonValue& pair : buckets->items()) {
+      if (!pair.is_array() || pair.items().size() != 2) continue;
+      e.buckets[static_cast<std::uint64_t>(pair.items()[0].as_int())] +=
+          static_cast<std::uint64_t>(pair.items()[1].as_int());
+    }
+  }
+  return true;
+}
+
+void render(const std::map<std::string, EngineStats>& engines,
+            std::uint64_t total_requests, double reqs_per_s,
+            const service::Response& ping, bool clear) {
+  if (clear) std::fputs("\x1b[2J\x1b[H", stdout);
+  std::printf("rectpart_top — daemon %s, up %.1fs, cache %lld inst / %lld "
+              "bytes, %" PRIu64 " requests",
+              ping.version.empty() ? "?" : ping.version.c_str(),
+              ping.uptime_ms >= 0 ? ping.uptime_ms / 1000.0 : 0.0,
+              static_cast<long long>(std::max<std::int64_t>(
+                  0, ping.cache_instances)),
+              static_cast<long long>(std::max<std::int64_t>(
+                  0, ping.cache_bytes)),
+              total_requests);
+  if (reqs_per_s >= 0) std::printf(", %.1f req/s", reqs_per_s);
+  std::printf("\n\n");
+  std::printf("%-16s %8s %8s %8s %8s %6s %9s\n", "ENGINE", "REQS", "p50",
+              "p95", "p99", "HIT%", "DEADLINE%");
+  if (engines.empty())
+    std::printf("  (no solve requests recorded yet)\n");
+  for (const auto& [name, e] : engines) {
+    const double hit_pct =
+        e.count > 0 ? 100.0 * static_cast<double>(e.hits) /
+                          static_cast<double>(e.count)
+                    : 0.0;
+    const double dl_pct =
+        e.count > 0 ? 100.0 * static_cast<double>(e.deadline_returns) /
+                          static_cast<double>(e.count)
+                    : 0.0;
+    std::printf("%-16s %8" PRIu64 " %8s %8s %8s %5.1f%% %8.1f%%\n",
+                name.c_str(), e.count, fmt_us(percentile_ub(e, 0.50)).c_str(),
+                fmt_us(percentile_ub(e, 0.95)).c_str(),
+                fmt_us(percentile_ub(e, 0.99)).c_str(), hit_pct, dl_pct);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) {
+    std::printf(
+        "usage: %s --socket=PATH [--interval-ms=MS] [--iterations=N]\n"
+        "          [--raw] [--retry-ms=R]\n"
+        "interval-ms: poll period (default 1000)\n"
+        "iterations: polls before exiting; 0 = until interrupted\n"
+        "raw: print the Prometheus exposition each poll instead of the\n"
+        "     dashboard\n",
+        flags.program().c_str());
+    return 0;
+  }
+  const std::string socket_path = flags.get_string("socket", "");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "%s: --socket=PATH is required (see --help)\n",
+                 flags.program().c_str());
+    return 2;
+  }
+  const auto interval =
+      std::chrono::milliseconds(std::max<std::int64_t>(
+          10, flags.get_int("interval-ms", 1000)));
+  const std::int64_t iterations = flags.get_int("iterations", 0);
+  const bool raw = flags.get_bool("raw", false);
+  // Live mode repaints in place; a single shot (CI smoke, shell capture)
+  // or a redirected stdout just appends.
+  const bool clear = iterations != 1 && ::isatty(STDOUT_FILENO) != 0;
+
+  try {
+    service::ServiceClient client(
+        socket_path, static_cast<int>(flags.get_int("retry-ms", 0)));
+    std::uint64_t prev_total = 0;
+    bool have_prev = false;
+    for (std::int64_t i = 0; iterations == 0 || i < iterations; ++i) {
+      if (i > 0) std::this_thread::sleep_for(interval);
+      const service::Response m = client.metrics();
+      if (raw) {
+        std::fputs(m.metrics_text.c_str(), stdout);
+        std::fflush(stdout);
+        continue;
+      }
+      std::map<std::string, EngineStats> engines;
+      std::uint64_t total = 0;
+      std::string error;
+      if (!digest(m.telemetry_json, &engines, &total, &error)) {
+        std::fprintf(stderr, "%s: bad telemetry snapshot: %s\n",
+                     flags.program().c_str(), error.c_str());
+        return 2;
+      }
+      const double reqs_per_s =
+          have_prev ? static_cast<double>(total - prev_total) * 1000.0 /
+                          static_cast<double>(interval.count())
+                    : -1.0;
+      prev_total = total;
+      have_prev = true;
+      render(engines, total, reqs_per_s, client.ping_details(), clear);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", flags.program().c_str(), e.what());
+    return 2;
+  }
+}
